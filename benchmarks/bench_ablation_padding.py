@@ -1,0 +1,60 @@
+"""Ablation — random inter-function padding (§VIII-B).
+
+The paper considered padding and dropped it: 800 symbols already give
+6567 bits.  This bench quantifies both sides of that call on real images:
+the entropy gained and the startup-transfer cost paid.
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.core import padded_entropy_bits, randomize_image_padded
+from repro.core.randomize import layout_entropy_bits
+from repro.hw import PROTOTYPE_LINK
+
+FLASH_64K = 64 * 1024
+
+
+def test_padding_tradeoff(benchmark, testapp):
+    def measure():
+        randomized, _permutation = randomize_image_padded(
+            testapp, random.Random(1), flash_size=FLASH_64K
+        )
+        return {
+            "shuffle_bits": layout_entropy_bits(testapp.function_count()),
+            "padded_bits": padded_entropy_bits(testapp, flash_size=FLASH_64K),
+            "plain_size": testapp.size,
+            "padded_size": randomized.size,
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    plain_ms = PROTOTYPE_LINK.transfer_ms(result["plain_size"])
+    padded_ms = PROTOTYPE_LINK.transfer_ms(result["padded_size"])
+    assert result["padded_bits"] > result["shuffle_bits"]
+    assert result["padded_size"] > result["plain_size"]
+    rows = [
+        ("entropy (bits)", f"{result['shuffle_bits']:.0f}", f"{result['padded_bits']:.0f}"),
+        ("image size (B)", result["plain_size"], result["padded_size"]),
+        ("transfer @115200 (ms)", f"{plain_ms:.0f}", f"{padded_ms:.0f}"),
+    ]
+    print()
+    print(format_table(("metric", "shuffle only", "shuffle + padding"), rows,
+                       title="§VIII-B padding trade-off (testapp, 64 KB flash)"))
+    print("the paper's call: shuffle-only entropy is already "
+          "computationally secure, so the transfer cost is not worth paying")
+
+
+def test_padding_at_paper_scale(benchmark):
+    """At ArduPlane scale (256 KB flash, 221 KB image) there is almost no
+    slack to pad into — another reason the idea dies at paper scale."""
+    from repro.avr.memory import FLASH_SIZE
+    from repro.firmware import ARDUPLANE
+
+    def measure():
+        # slack available above the data section of a 221 KB image
+        return FLASH_SIZE - ARDUPLANE.stock_code_size
+
+    slack = benchmark(measure)
+    assert slack < 41 * 1024  # under 16% of the image
+    print(f"\nfree flash above ArduPlane: {slack} bytes "
+          f"({slack / FLASH_SIZE:.0%} of the chip) — little room to pad")

@@ -1,0 +1,91 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. §V-C — randomization frequency vs flash lifetime: every randomization
+   costs one of the application flash's ~10,000 write cycles.
+2. §VIII-A — software-only randomization (one fixed permutation for the
+   device's lifetime) vs MAVR's hardware-assisted re-randomization:
+   against a fixed layout a persistent attacker converges (brute force
+   without replacement, E = (N+1)/2, and no in-flight recovery); MAVR
+   keeps resetting the game.
+"""
+
+import random
+
+from repro.analysis import (
+    expected_attempts_fixed_layout,
+    format_table,
+    simulate_fixed_layout,
+    simulate_mavr,
+)
+from repro.core import RandomizationPolicy
+from repro.hw import FLASH_ENDURANCE_CYCLES
+
+
+def test_frequency_vs_lifetime(benchmark):
+    def sweep():
+        rows = []
+        for every in (1, 2, 5, 10, 50):
+            policy = RandomizationPolicy(every)
+            boots = policy.flash_lifetime_boots()
+            days = policy.flash_lifetime_days(boots_per_day=4)
+            rows.append((f"every {every} boot(s)", boots, f"{days:.0f}"))
+        return rows
+
+    rows = benchmark(sweep)
+    # lifetime scales linearly with the randomization interval
+    assert rows[0][1] == FLASH_ENDURANCE_CYCLES
+    assert rows[-1][1] == FLASH_ENDURANCE_CYCLES * 50
+    print()
+    print(format_table(
+        ("policy", "boots until wear-out", "days @ 4 boots/day"),
+        rows,
+        title="§V-C randomization frequency vs flash lifetime",
+    ))
+
+
+def test_software_only_vs_mavr(benchmark):
+    """The §VIII-A argument for adding hardware, quantified."""
+    layouts = 18
+
+    def run():
+        rng = random.Random(5)
+        fixed = simulate_fixed_layout(layouts, trials=3000, rng=rng)
+        rerandomized = simulate_mavr(layouts, trials=3000, rng=rng)
+        return fixed, rerandomized
+
+    fixed, rerandomized = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fixed < expected_attempts_fixed_layout(layouts) * 1.2
+    assert rerandomized > fixed
+    print()
+    print(format_table(
+        ("defense", "mean attempts to break (N=18)"),
+        [
+            ("software-only (fixed permutation)", f"{fixed:.1f}"),
+            ("MAVR (re-randomize per failure)", f"{rerandomized:.1f}"),
+        ],
+        title="§VIII-A software-only vs hardware-assisted",
+    ))
+    print("software-only also cannot recover in flight: a failed attempt "
+          "leaves the processor executing garbage until a power cycle")
+
+
+def test_detection_recovery_loop(benchmark, testapp):
+    """Repeated failed attacks: every one is absorbed by a re-randomize,
+    consuming exactly one flash cycle each (the wear the policy budgets)."""
+    from repro.core import MavrSystem
+
+    def run():
+        system = MavrSystem(testapp, seed=77)
+        system.boot()
+        for _ in range(3):
+            system.master.boot(attack_detected=True)
+        return system.report()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.randomizations == 4
+    assert report.flash_cycles_used == 4
+    assert report.flash_cycles_remaining == FLASH_ENDURANCE_CYCLES - 4
+    print(
+        f"\n3 failed attacks absorbed; flash cycles used: "
+        f"{report.flash_cycles_used} / {FLASH_ENDURANCE_CYCLES}"
+    )

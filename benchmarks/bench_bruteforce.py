@@ -1,0 +1,76 @@
+"""§V-D / §VII-A1 — brute-force effort.
+
+Paper math: P(j) = 1/N, E[X] = (N+1)/2 against a fixed layout; MAVR's
+re-randomization on every failure raises the average to ~n!.  Table I's
+function counts make that at least 800! attempts.
+
+The Monte-Carlo harness validates the formulas at tractable N, and the
+closed forms are evaluated at the paper's application sizes.
+"""
+
+import math
+import random
+
+from repro.analysis import (
+    estimate_for,
+    expected_attempts_fixed_layout,
+    format_table,
+    simulate_fixed_layout,
+    simulate_mavr,
+)
+from repro.firmware import PAPER_FUNCTION_COUNTS
+
+
+def test_montecarlo_matches_formulas(benchmark):
+    layouts = 24
+
+    def run():
+        rng = random.Random(7)
+        return (
+            simulate_fixed_layout(layouts, trials=2000, rng=rng),
+            simulate_mavr(layouts, trials=2000, rng=rng),
+        )
+
+    fixed_mean, mavr_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(fixed_mean - (layouts + 1) / 2) < 1.0
+    assert abs(mavr_mean - layouts) / layouts < 0.15
+    print(
+        f"\nN={layouts}: fixed-layout mean {fixed_mean:.2f} "
+        f"(theory {(layouts + 1) / 2}); MAVR mean {mavr_mean:.2f} (theory {layouts})"
+    )
+
+
+def test_paper_application_effort(benchmark):
+    estimates = benchmark(
+        lambda: {name: estimate_for(count) for name, count in PAPER_FUNCTION_COUNTS.items()}
+    )
+    rows = []
+    for name, estimate in estimates.items():
+        rows.append((
+            name,
+            estimate.function_count,
+            f"10^{estimate.log10_layouts:.0f}",
+        ))
+        # at least 800! for every application
+        assert estimate.layouts >= math.factorial(800)
+    print()
+    print(format_table(
+        ("application", "functions (n)", "expected attempts ~ n!"),
+        rows,
+        title="brute-force effort at paper scale",
+    ))
+
+
+def test_rerandomization_doubles_effort(benchmark):
+    """The MAVR-vs-fixed ratio approaches 2 — the (n!+n!)/2 = n! argument."""
+    layouts = 16
+
+    def run():
+        rng = random.Random(11)
+        fixed = simulate_fixed_layout(layouts, trials=4000, rng=rng)
+        rerandomized = simulate_mavr(layouts, trials=4000, rng=rng)
+        return rerandomized / fixed
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 1.6 < ratio < 2.4
+    print(f"\nre-randomization effort ratio: {ratio:.2f}x (theory -> 2x)")

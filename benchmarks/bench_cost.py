@@ -1,0 +1,22 @@
+"""§V-A4 — hardware cost of the MAVR extension.
+
+Paper: ATmega1284P at $7.74 + M95M02-DR at $3.94 = $11.68 over the
+$159.99 APM board — a 7.3% materials-cost increase.
+"""
+
+from repro.analysis import format_table
+from repro.hw import CostModel, MAVR_EXTRA_COMPONENTS
+
+
+def test_cost_model(benchmark):
+    report = benchmark(lambda: CostModel().report())
+    assert report["extra_usd"] == 11.68
+    assert report["increase_pct"] == 7.3
+    rows = [(c.name, f"${c.unit_price_usd:.2f}", c.role) for c in MAVR_EXTRA_COMPONENTS]
+    print()
+    print(format_table(("component", "unit price", "role"), rows,
+                       title="§V-A4 added components (batch-of-ten prices)"))
+    print(
+        f"total increase ${report['extra_usd']} on ${report['base_usd']} "
+        f"base = {report['increase_pct']}% (paper: $11.68 / 7.3%)"
+    )

@@ -1,0 +1,67 @@
+"""§VIII-B — entropy of the randomized layout.
+
+Paper: ArduRover's 800 symbols give 6567 bits, so random inter-function
+padding (the alternative the authors considered) is unnecessary.
+"""
+
+from repro.analysis import (
+    compare_defenses,
+    entropy_report,
+    format_table,
+    image_entropy_bits,
+    permutation_entropy_bits,
+)
+from repro.firmware import PAPER_FUNCTION_COUNTS
+
+
+def test_entropy_paper_rows(benchmark):
+    reports = benchmark(
+        lambda: {name: entropy_report(count) for name, count in PAPER_FUNCTION_COUNTS.items()}
+    )
+    rows = []
+    for name, report in reports.items():
+        rows.append((name, report.function_count, f"{report.shuffle_bits:.0f}"))
+    rover = reports["ardurover"]
+    assert abs(rover.shuffle_bits - 6567) < 10  # the paper's 6567 bits
+    print()
+    print(format_table(
+        ("application", "symbols", "entropy (bits)"),
+        rows,
+        title="§VIII-B layout entropy",
+    ))
+    print(
+        "padding would add only "
+        f"{rover.padding_bits_16:.0f} bits (16 pad sizes/gap) — unnecessary"
+    )
+
+
+def test_entropy_measured_on_images(benchmark, paper_apps_mavr):
+    bits = benchmark(
+        lambda: {name: image_entropy_bits(image) for name, image in paper_apps_mavr.items()}
+    )
+    assert abs(bits["ardurover"] - 6567) < 10
+    assert bits["arducopter"] > bits["arduplane"] > bits["ardurover"]
+
+
+def test_aslr_comparison(benchmark):
+    """§IX: ASLR on a 16-bit address space is dismissed for lack of entropy."""
+    comparison = benchmark(lambda: compare_defenses(800))
+    assert comparison["aslr_16bit_base_bits"] < 16
+    assert comparison["function_shuffle_bits"] / comparison["aslr_16bit_base_bits"] > 100
+    print(
+        f"\nASLR base entropy: {comparison['aslr_16bit_base_bits']:.0f} bits vs "
+        f"MAVR shuffle: {comparison['function_shuffle_bits']:.0f} bits"
+    )
+
+
+def test_entropy_scaling_series(benchmark):
+    """Entropy-vs-modularity series (the paper's 'more modules, stronger')."""
+    series = benchmark(
+        lambda: [(n, permutation_entropy_bits(n)) for n in (100, 200, 400, 800, 1600)]
+    )
+    for (n1, b1), (n2, b2) in zip(series, series[1:]):
+        assert b2 > b1
+    print()
+    print(format_table(("functions", "entropy (bits)"),
+                       [(n, f"{b:.0f}") for n, b in series],
+                       title="entropy vs code modularity"))

@@ -1,0 +1,38 @@
+"""Figure 6 — stack progression during the stealthy attack.
+
+Reproduces all seven labelled snapshots: clean stack, dirty stack after
+injection, after gadget1 (SP moved into the buffer), after the payload
+write, before the repair, after gadget1 again, and the repaired stack —
+ending with a verified clean resume.
+"""
+
+from repro.attack import derive_runtime_facts, trace_stealthy_attack
+
+
+def test_fig6_stack_progression(benchmark, testapp):
+    trace = benchmark.pedantic(
+        trace_stealthy_attack, args=(testapp,), rounds=1, iterations=1
+    )
+    assert len(trace.snapshots) == 7
+    assert trace.resumed_cleanly
+    print()
+    print(trace.render())
+
+
+def test_fig6_repair_byte_exact(benchmark, testapp):
+    """The repaired return-address bytes equal the statically known ones."""
+    from repro.attack import ret_address_bytes
+
+    facts = derive_runtime_facts(testapp)
+    trace = benchmark.pedantic(
+        trace_stealthy_attack, args=(testapp,), rounds=1, iterations=1
+    )
+    repaired = trace.snapshots[-1]
+    offset = facts.frame_sp + 1 - repaired.base_address
+    assert repaired.data[offset : offset + 3] == ret_address_bytes(
+        facts.return_address_word
+    )
+    print(
+        f"\nrepaired return address: word 0x{facts.return_address_word:05x} "
+        f"at data 0x{facts.frame_sp + 1:04x}..+2 — byte-exact"
+    )

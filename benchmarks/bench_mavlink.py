@@ -1,0 +1,54 @@
+"""Figure 2 — MAVLink packet structure.
+
+6-byte header (magic, length, seq, sender id, component id, message id),
+payload up to 255 bytes with a 9-byte minimum, 2-byte checksum — minimum
+packet length 17 bytes.
+"""
+
+from repro.analysis import format_table
+from repro.mavlink import (
+    CHECKSUM_LENGTH,
+    HEADER_LENGTH,
+    HEARTBEAT,
+    MAGIC,
+    MAX_PAYLOAD,
+    MIN_PACKET_LENGTH,
+    MIN_PAYLOAD,
+    Packet,
+    build,
+)
+
+
+def heartbeat():
+    return build(
+        HEARTBEAT, seq=1, sysid=1, compid=1,
+        custom_mode=0, type=1, autopilot=3, base_mode=81,
+        system_status=4, mavlink_version=3,
+    )
+
+
+def test_fig2_packet_structure(benchmark):
+    frame = benchmark(lambda: heartbeat().to_bytes())
+    rows = [
+        ("state magic number", 1, f"0x{MAGIC:02X}"),
+        ("length", 1, str(frame[1])),
+        ("packet sequence #", 1, str(frame[2])),
+        ("ID of message sender", 1, str(frame[3])),
+        ("ID of sender component", 1, str(frame[4])),
+        ("ID of message in payload", 1, str(frame[5])),
+        ("message", f"<= {MAX_PAYLOAD}", f"{len(frame) - 8} here"),
+        ("checksum", CHECKSUM_LENGTH, frame[-2:].hex()),
+    ]
+    print()
+    print(format_table(("field", "bytes", "value"), rows,
+                       title="Fig. 2: MAVLink packet structure"))
+    assert frame[0] == MAGIC
+    assert HEADER_LENGTH == 6
+    assert MIN_PACKET_LENGTH == HEADER_LENGTH + MIN_PAYLOAD + CHECKSUM_LENGTH == 17
+
+
+def test_frame_encode_decode_throughput(benchmark):
+    packet = heartbeat()
+    frame = packet.to_bytes()
+    decoded = benchmark(lambda: Packet.from_bytes(frame))
+    assert decoded == packet

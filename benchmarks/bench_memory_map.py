@@ -1,0 +1,56 @@
+"""Figure 1 — ATmega2560 memory organization.
+
+Three physically separate memories: 256 KB flash (the only executable
+space, word-addressed), the linear data space (mapped registers + I/O +
+8 KB SRAM; never executable), and EEPROM outside both.
+"""
+
+from repro.analysis import format_table
+from repro.avr import (
+    AvrCpu,
+    DATA_SPACE_SIZE,
+    EEPROM_SIZE,
+    FLASH_SIZE,
+    RAMEND,
+    SRAM_BASE,
+    SRAM_SIZE,
+)
+from repro.avr.iospace import SPH_DATA, SPL_DATA, SREG_DATA
+from repro.errors import IllegalExecutionError
+
+
+def test_fig1_memory_map(benchmark):
+    cpu = benchmark(AvrCpu)
+    rows = [
+        ("flash (program)", f"{FLASH_SIZE} B", "0x00000-0x3FFFF", "execute only"),
+        ("registers r0-r31", "32 B", "0x0000-0x001F", "memory mapped"),
+        ("I/O registers", "64 B", "0x0020-0x005F", "incl. SPL/SPH/SREG"),
+        ("extended I/O", "416 B", "0x0060-0x01FF", "lds/sts only"),
+        ("SRAM", f"{SRAM_SIZE} B", f"0x{SRAM_BASE:04X}-0x{RAMEND:04X}", "stack/globals/heap"),
+        ("EEPROM", f"{EEPROM_SIZE} B", "separate space", "config storage"),
+    ]
+    print()
+    print(format_table(("region", "size", "addresses", "notes"), rows,
+                       title="Fig. 1: ATmega2560 memory"))
+    assert cpu.flash.size == FLASH_SIZE
+    assert DATA_SPACE_SIZE == RAMEND + 1
+    assert (SPL_DATA, SPH_DATA, SREG_DATA) == (0x5D, 0x5E, 0x5F)
+
+
+def test_harvard_data_space_not_executable(benchmark):
+    """The property defeating classic injection (paper §III): the PC cannot
+    point into data memory — our model enforces it by never fetching from
+    the data space, and by faulting on fetches outside the image."""
+    def attempt():
+        cpu = AvrCpu()
+        cpu.load_program(b"\x00\x00")
+        cpu.reset()
+        cpu.data.write_block(SRAM_BASE, b"\x0f\xef")  # ldi r16,0xFF "injected"
+        cpu.pc = 0x8000  # far beyond the 1-word image
+        try:
+            cpu.step()
+            return False
+        except IllegalExecutionError:
+            return True
+
+    assert benchmark(attempt)

@@ -1,0 +1,28 @@
+"""Table I — number of functions per application.
+
+Paper rows: ArduPlane 917, ArduCopter 1030, ArduRover 800
+(average 915.67, median 917).
+"""
+
+import statistics
+
+from repro.analysis import paper_vs_measured
+from repro.firmware import PAPER_FUNCTION_COUNTS
+
+
+def test_table1_function_counts(benchmark, paper_apps_mavr):
+    counts = benchmark(
+        lambda: {name: image.function_count() for name, image in paper_apps_mavr.items()}
+    )
+    rows = []
+    for name, paper_value in PAPER_FUNCTION_COUNTS.items():
+        measured = counts[name]
+        rows.append((name, paper_value, measured))
+        assert measured == paper_value
+    values = list(counts.values())
+    assert round(statistics.mean(values)) in (915, 916)
+    assert statistics.median(values) == 917
+    print()
+    print(paper_vs_measured("Table I: number of functions", rows, "functions"))
+    print(f"mean={statistics.mean(values):.0f} median={statistics.median(values):.0f} "
+          "(paper: mean 915, median 917)")

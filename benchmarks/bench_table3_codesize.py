@@ -1,0 +1,46 @@
+"""Table III — change in code size, stock toolchain vs MAVR toolchain.
+
+Paper rows (bytes): ArduPlane 221608 -> 221294, ArduCopter 244532 ->
+244292, ArduRover 177870 -> 177556.  The headline: the custom toolchain's
+binaries come out *slightly smaller* (~0.1%) despite --no-relax.
+"""
+
+from repro.analysis import format_table
+from repro.firmware import PAPER_MAVR_SIZES, PAPER_STOCK_SIZES
+
+
+def test_table3_code_size(benchmark, paper_apps_stock, paper_apps_mavr):
+    sizes = benchmark(
+        lambda: {
+            name: (paper_apps_stock[name].size, paper_apps_mavr[name].size)
+            for name in paper_apps_stock
+        }
+    )
+    rows = []
+    for name in PAPER_STOCK_SIZES:
+        stock, mavr = sizes[name]
+        rows.append((
+            name,
+            PAPER_STOCK_SIZES[name], stock,
+            PAPER_MAVR_SIZES[name], mavr,
+        ))
+        # stock sizes are calibrated exactly
+        assert stock == PAPER_STOCK_SIZES[name]
+        # the MAVR build must be smaller, by the same order as the paper
+        delta = mavr - stock
+        paper_delta = PAPER_MAVR_SIZES[name] - PAPER_STOCK_SIZES[name]
+        assert delta < 0
+        assert abs(delta) < 3 * abs(paper_delta)
+    print()
+    print(format_table(
+        ("application", "paper stock", "measured stock", "paper MAVR", "measured MAVR"),
+        rows,
+        title="Table III: change in code size (bytes)",
+    ))
+
+
+def test_code_size_fits_flash(paper_apps_mavr, benchmark):
+    """Everything must fit the ATmega2560's 256 KB (paper §III)."""
+    sizes = benchmark(lambda: [image.size for image in paper_apps_mavr.values()])
+    for size in sizes:
+        assert size <= 256 * 1024

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: the three paper applications, both toolchains.
+
+Builds are cached inside :mod:`repro.firmware.apps`, so the first bench in
+a session pays the link cost and the rest reuse the images.
+"""
+
+import pytest
+
+from repro.asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
+from repro.firmware import ALL_APPS, TESTAPP, build_app
+
+
+@pytest.fixture(scope="session")
+def paper_apps_mavr():
+    """name -> image under the MAVR (randomizable) toolchain."""
+    return {m.name: build_app(m, MAVR_OPTIONS) for m in ALL_APPS}
+
+
+@pytest.fixture(scope="session")
+def paper_apps_stock():
+    """name -> image under the stock toolchain."""
+    return {m.name: build_app(m, STOCK_OPTIONS) for m in ALL_APPS}
+
+
+@pytest.fixture(scope="session")
+def arduplane(paper_apps_mavr):
+    return paper_apps_mavr["arduplane"]
+
+
+@pytest.fixture(scope="session")
+def testapp():
+    return build_app(TESTAPP, MAVR_OPTIONS)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Silently steering a UAV off its mission (the paper's motivating threat).
+
+Flies the same waypoint mission twice: once clean, once with a stealthy
+V2 attack corrupting the gyro calibration mid-flight.  The corrupted
+calibration biases the control loop, the airframe drifts off track — and
+the ground station's link monitor never alarms, because telemetry keeps
+flowing (it just reports the attacker-biased rotation as if it were real).
+
+Run:  python examples/mission_hijack.py
+"""
+
+from repro.attack import StealthyAttack
+from repro.firmware import build_testapp
+from repro.uav import Autopilot, GroundStation, Mission, Waypoint, track_deviation
+
+
+def fly(image, attack_at_tick=None, ticks=400):
+    """Fly the mission; optionally deliver the attack mid-flight."""
+    uav = Autopilot(image)
+    gcs = GroundStation()
+    mission = Mission([Waypoint(0, 60), Waypoint(0, 120), Waypoint(0, 500)])
+    attack = StealthyAttack(image) if attack_at_tick is not None else None
+
+    for tick in range(ticks):
+        if attack is not None and tick == attack_at_tick:
+            outcome = attack.execute(
+                uav, values=b"\x60\x00\x00", observe_ticks=0
+            )
+            assert outcome.succeeded
+        uav.tick()
+        gcs.ingest(uav.transmitted_bytes())
+        state = uav.flight.state
+        mission.update(state.x, state.y)
+    return uav, gcs, mission
+
+
+def main() -> None:
+    image = build_testapp()
+
+    print("flying the reference mission (clean firmware)...")
+    clean_uav, clean_gcs, clean_mission = fly(image)
+
+    print("flying again with a mid-flight stealthy attack...")
+    hit_uav, hit_gcs, hit_mission = fly(image, attack_at_tick=120)
+
+    stats = track_deviation(clean_uav.flight.track, hit_uav.flight.track)
+    print(f"\n{'':24}{'clean':>12}{'attacked':>12}")
+    print(f"{'waypoints reached':<24}{clean_mission.current_index:>12}"
+          f"{hit_mission.current_index:>12}")
+    print(f"{'final position x (m)':<24}{clean_uav.flight.state.x:>12.1f}"
+          f"{hit_uav.flight.state.x:>12.1f}")
+    print(f"{'final position y (m)':<24}{clean_uav.flight.state.y:>12.1f}"
+          f"{hit_uav.flight.state.y:>12.1f}")
+    print(f"{'telemetry frames':<24}{clean_gcs.health.frames_received:>12}"
+          f"{hit_gcs.health.frames_received:>12}")
+    print(f"{'link-lost alarms':<24}{str(clean_gcs.link_lost):>12}"
+          f"{str(hit_gcs.link_lost):>12}")
+    print(f"\nmean track deviation: {stats['mean']:.1f} m, "
+          f"final: {stats['final']:.1f} m")
+    print("the operator's screen showed a healthy link the whole time —")
+    print("that is the paper's 'stealthy attack' in one picture")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""V4: making a stealthy compromise permanent (extension experiment).
+
+The paper's attacks corrupt RAM; a reboot heals them.  This demo shows the
+same two gadgets programming the *EEPROM* through its memory-mapped
+controller registers, planting a forged calibration block that the
+firmware's own config loader faithfully restores on every boot — through
+resets and even a clean reflash of the firmware.
+
+Run:  python examples/persistence_attack.py
+"""
+
+from repro.attack import PersistenceAttack
+from repro.firmware import build_testapp
+from repro.firmware.hwmap import CONFIG_EEPROM_ADDR
+from repro.uav import Autopilot, GroundStation
+
+
+def telemetry_snapshot(uav, gcs, ticks=10):
+    for _ in range(ticks):
+        uav.tick()
+        gcs.ingest(uav.transmitted_bytes())
+    frame = gcs.last_frame
+    return frame.gyro_x if frame else None
+
+
+def main() -> None:
+    image = build_testapp()
+    uav = Autopilot(image)
+    gcs = GroundStation()
+
+    print("phase 1: normal flight")
+    print(f"  telemetry gyro_x: {telemetry_snapshot(uav, gcs)}")
+
+    print("\nphase 2: stealthy EEPROM-programming attack (V3 trampoline)")
+    calibration = b"\x40\x00\x80\x00\xc0\x00"
+    outcome = PersistenceAttack(image).execute(uav, calibration=calibration)
+    block = bytes(uav.cpu.eeprom.read(CONFIG_EEPROM_ADDR + i) for i in range(7))
+    print(f"  attack stealthy:        {outcome.stealthy}")
+    print(f"  EEPROM config planted:  {block.hex()}")
+    print(f"  SRAM calibration now:   0x{uav.read_variable('gyro_offset'):x} "
+          "(unchanged — nothing visible yet)")
+    print(f"  telemetry gyro_x:       {telemetry_snapshot(uav, gcs)} "
+          "(still clean)")
+
+    print("\nphase 3: the next boot loads the forged calibration")
+    uav.reset()
+    uav.run_ticks(5)
+    print(f"  SRAM calibration:       0x{uav.read_variable('gyro_offset'):x}")
+    print(f"  telemetry gyro_x:       {telemetry_snapshot(uav, gcs)} "
+          "(biased from now on)")
+
+    print("\nphase 4: even a clean firmware reflash does not help")
+    uav.reflash(image)
+    uav.run_ticks(5)
+    print(f"  SRAM calibration:       0x{uav.read_variable('gyro_offset'):x}")
+    print("\ntakeaway: MAVR's reflash covers program flash; persistent")
+    print("configuration is a separate surface — randomization prevents the")
+    print("exploit from *running* on a protected board, but one successful")
+    print("exploitation of an unprotected board outlives every reboot")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the whole paper in ~60 lines.
+
+Builds a vulnerable autopilot firmware, hijacks it stealthily through a
+MAVLink buffer overflow, then puts the same firmware behind MAVR and shows
+the identical exploit failing and being detected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attack import StealthyAttack, Write3, variable_address
+from repro.core import MavrSystem
+from repro.firmware import build_testapp
+from repro.mavlink.messages import PARAM_SET
+from repro.uav import Autopilot, MaliciousGroundStation
+
+
+def main() -> None:
+    # 1. build a vulnerable autopilot application (MAVR toolchain flags,
+    #    MAVLink length check disabled — the paper's injected bug)
+    image = build_testapp()
+    print(f"firmware: {image.name}, {image.size} bytes, "
+          f"{image.function_count()} functions")
+
+    # 2. stealthy attack (V2) against the unprotected board
+    uav = Autopilot(image)
+    outcome = StealthyAttack(image).execute(uav, values=b"\x40\x00\x00")
+    print("\n--- unprotected board ---")
+    print(f"attack landed:        {outcome.succeeded}")
+    print(f"board still running:  {outcome.status.value == 'running'}")
+    print(f"ground station alarm: {outcome.link_lost}")
+    print(f"gyro calibration now: 0x{uav.read_variable('gyro_offset'):x} "
+          "(attacker-chosen)")
+
+    # 3. the same firmware protected by MAVR
+    protected = MavrSystem(image, seed=2015)
+    overhead_ms = protected.boot()  # randomize + reprogram the app CPU
+    print("\n--- MAVR-protected board ---")
+    print(f"startup overhead: {overhead_ms:.0f} ms "
+          "(randomize + serial transfer)")
+
+    # replay the very same exploit bytes
+    attack = StealthyAttack(image)  # attacker only has the *original* binary
+    station = MaliciousGroundStation()
+    target = variable_address(image, "gyro_offset")
+    burst = station.exploit_burst(
+        PARAM_SET.msg_id, attack.attack_bytes([Write3(target, b"\x40\x00\x00")])
+    )
+    protected.run(10)
+    protected.autopilot.receive_bytes(burst)
+    protected.run(150, watch_every=5)
+
+    report = protected.report()
+    print(f"attack effect:        "
+          f"0x{protected.autopilot.read_variable('gyro_offset'):x} (unchanged)")
+    print(f"failed attempt detected: {report.attacks_detected >= 1}")
+    print(f"re-randomizations:    {report.randomizations - 1}")
+    print(f"board flying:         "
+          f"{protected.autopilot.status.value == 'running'}")
+    print(f"hardware cost:        +${report.cost['extra_usd']} "
+          f"({report.cost['increase_pct']}% of the board)")
+
+
+if __name__ == "__main__":
+    main()

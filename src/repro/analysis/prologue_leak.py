@@ -1,0 +1,94 @@
+"""The -mcall-prologues information leak (paper §VI-B1).
+
+"While this option essentially consolidates most gadgets into one area,
+the resulting very useful gadget has hundreds of references scattered
+throughout the program which are prone to leaking information about its
+new location."
+
+Given a stock-toolchain image, this module counts the references to the
+shared ``__prologue_saves__``/``__epilogue_restores__`` blocks — the
+beacons an attacker can triangulate from — quantifying why MAVR's custom
+toolchain disables the option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..asm.linker import EPILOGUE_NAME, PROLOGUE_NAME
+from ..avr.decoder import decode_at
+from ..avr.insn import Mnemonic
+from ..binfmt.image import FirmwareImage
+from ..errors import DecodeError
+
+
+@dataclass(frozen=True)
+class LeakReport:
+    """How exposed the consolidated gadget block is."""
+
+    prologue_references: int
+    epilogue_references: int
+    referencing_functions: int
+    total_functions: int
+
+    @property
+    def total_references(self) -> int:
+        return self.prologue_references + self.epilogue_references
+
+    @property
+    def exposure_fraction(self) -> float:
+        """Share of functions that point at the shared blocks.
+
+        Each referencing function is an independent observation an
+        attacker with any single code-pointer disclosure can use to
+        recover the block's randomized location.
+        """
+        if self.total_functions == 0:
+            return 0.0
+        return self.referencing_functions / self.total_functions
+
+
+def measure_prologue_leak(image: FirmwareImage) -> LeakReport:
+    """Count call/jmp references into the shared prologue/epilogue blocks."""
+    targets: Dict[str, Tuple[int, int]] = {}
+    for name in (PROLOGUE_NAME, EPILOGUE_NAME):
+        if name in image.symbols:
+            symbol = image.symbols.get(name)
+            targets[name] = (symbol.address, symbol.end)
+    if not targets:
+        return LeakReport(0, 0, 0, image.function_count())
+
+    prologue_refs = 0
+    epilogue_refs = 0
+    referencing: set = set()
+    for function in image.symbols.functions():
+        if function.name in targets:
+            continue
+        offset = function.address
+        while offset < function.end:
+            try:
+                insn, size = decode_at(image.code, offset)
+            except DecodeError:
+                offset += 2
+                continue
+            target_byte = None
+            if insn.mnemonic in (Mnemonic.CALL, Mnemonic.JMP):
+                target_byte = insn.k * 2
+            elif insn.mnemonic in (Mnemonic.RCALL, Mnemonic.RJMP):
+                target_byte = offset + 2 + insn.k * 2
+            if target_byte is not None:
+                for name, (start, end) in targets.items():
+                    if start <= target_byte < end:
+                        if name == PROLOGUE_NAME:
+                            prologue_refs += 1
+                        else:
+                            epilogue_refs += 1
+                        referencing.add(function.name)
+            offset += size
+    return LeakReport(
+        prologue_references=prologue_refs,
+        epilogue_references=epilogue_refs,
+        referencing_functions=len(referencing),
+        total_functions=image.function_count(),
+    )

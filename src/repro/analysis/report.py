@@ -1,0 +1,38 @@
+"""Table formatting for benchmark output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an ASCII table like the paper's Tables I-III."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in materialized:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Iterable[Sequence[object]],
+    value_name: str = "value",
+) -> str:
+    """Three-column comparison: application, paper, measured."""
+    return format_table(
+        ("application", f"paper {value_name}", f"measured {value_name}"),
+        rows,
+        title=title,
+    )

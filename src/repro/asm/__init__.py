@@ -1,0 +1,45 @@
+"""Assembler, linker and disassembler for the AVR ISA subset."""
+
+from .disassembler import disassemble, disassemble_image, format_instruction
+from .ir import (
+    AsmInsn,
+    DataDef,
+    DataKind,
+    FunctionDef,
+    Label,
+    LabelRef,
+    Program,
+    RefKind,
+    SymbolRef,
+)
+from .linker import (
+    EPILOGUE_NAME,
+    MAVR_OPTIONS,
+    PROLOGUE_NAME,
+    STOCK_OPTIONS,
+    LinkOptions,
+    link,
+)
+from .parser import parse_program
+
+__all__ = [
+    "disassemble",
+    "disassemble_image",
+    "format_instruction",
+    "AsmInsn",
+    "DataDef",
+    "DataKind",
+    "FunctionDef",
+    "Label",
+    "LabelRef",
+    "Program",
+    "RefKind",
+    "SymbolRef",
+    "EPILOGUE_NAME",
+    "MAVR_OPTIONS",
+    "PROLOGUE_NAME",
+    "STOCK_OPTIONS",
+    "LinkOptions",
+    "link",
+    "parse_program",
+]

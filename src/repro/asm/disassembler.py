@@ -1,0 +1,152 @@
+"""Disassembler: machine code -> human-readable AVR listings.
+
+Produces listings in the style the paper uses for its gadget figures
+(Fig. 4/5): byte address, instruction text, and resolved absolute targets
+for control flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..avr.decoder import disassemble_range
+from ..avr.insn import Instruction, Mnemonic
+from ..binfmt.image import FirmwareImage
+
+_POINTER_TEXT = {
+    Mnemonic.LD_X: ("ld", "X"),
+    Mnemonic.LD_X_INC: ("ld", "X+"),
+    Mnemonic.LD_X_DEC: ("ld", "-X"),
+    Mnemonic.LD_Y_INC: ("ld", "Y+"),
+    Mnemonic.LD_Y_DEC: ("ld", "-Y"),
+    Mnemonic.LD_Z_INC: ("ld", "Z+"),
+    Mnemonic.LD_Z_DEC: ("ld", "-Z"),
+    Mnemonic.ST_X: ("st", "X"),
+    Mnemonic.ST_X_INC: ("st", "X+"),
+    Mnemonic.ST_X_DEC: ("st", "-X"),
+    Mnemonic.ST_Y_INC: ("st", "Y+"),
+    Mnemonic.ST_Y_DEC: ("st", "-Y"),
+    Mnemonic.ST_Z_INC: ("st", "Z+"),
+    Mnemonic.ST_Z_DEC: ("st", "-Z"),
+}
+
+_BRANCH_ALIASES = {
+    (Mnemonic.BRBS, 1): "breq",
+    (Mnemonic.BRBC, 1): "brne",
+    (Mnemonic.BRBS, 0): "brcs",
+    (Mnemonic.BRBC, 0): "brcc",
+    (Mnemonic.BRBS, 2): "brmi",
+    (Mnemonic.BRBC, 2): "brpl",
+    (Mnemonic.BRBS, 4): "brlt",
+    (Mnemonic.BRBC, 4): "brge",
+}
+
+
+def format_instruction(insn: Instruction, pc_bytes: Optional[int] = None) -> str:
+    """Render one instruction as AVR assembly text.
+
+    When ``pc_bytes`` is given, PC-relative targets are rendered as absolute
+    byte addresses (``rjmp .+4 ; 0x1b28``-style).
+    """
+    m = insn.mnemonic
+
+    if m in _POINTER_TEXT:
+        op, pointer = _POINTER_TEXT[m]
+        if op == "ld":
+            return f"ld r{insn.rd}, {pointer}"
+        return f"st {pointer}, r{insn.rr}"
+
+    if m is Mnemonic.LDD_Y or m is Mnemonic.LDD_Z:
+        pointer = "Y" if m is Mnemonic.LDD_Y else "Z"
+        return f"ldd r{insn.rd}, {pointer}+{insn.q or 0}"
+    if m is Mnemonic.STD_Y or m is Mnemonic.STD_Z:
+        pointer = "Y" if m is Mnemonic.STD_Y else "Z"
+        return f"std {pointer}+{insn.q or 0}, r{insn.rr}"
+
+    if m in (Mnemonic.BRBS, Mnemonic.BRBC):
+        alias = _BRANCH_ALIASES.get((m, insn.b))
+        target = _relative_target(insn, pc_bytes)
+        name = alias if alias else f"{m.value} {insn.b},"
+        return f"{name} {target}"
+
+    if m in (Mnemonic.RJMP, Mnemonic.RCALL):
+        return f"{m.value} {_relative_target(insn, pc_bytes)}"
+
+    if m in (Mnemonic.JMP, Mnemonic.CALL):
+        return f"{m.value} 0x{insn.k * 2:x}"
+
+    if m in (Mnemonic.LDS,):
+        return f"lds r{insn.rd}, 0x{insn.k:04x}"
+    if m is Mnemonic.STS:
+        return f"sts 0x{insn.k:04x}, r{insn.rr}"
+
+    if m is Mnemonic.LDI:
+        return f"ldi r{insn.rd}, 0x{insn.k:02X}"
+    if m in (Mnemonic.SUBI, Mnemonic.SBCI, Mnemonic.ANDI, Mnemonic.ORI, Mnemonic.CPI):
+        return f"{m.value} r{insn.rd}, 0x{insn.k:02X}"
+
+    if m is Mnemonic.IN:
+        return f"in r{insn.rd}, 0x{insn.a:02x}"
+    if m is Mnemonic.OUT:
+        return f"out 0x{insn.a:02x}, r{insn.rr}"
+    if m in (Mnemonic.SBI, Mnemonic.CBI, Mnemonic.SBIC, Mnemonic.SBIS):
+        return f"{m.value} 0x{insn.a:02x}, {insn.b}"
+
+    if m in (Mnemonic.BLD, Mnemonic.BST, Mnemonic.SBRC, Mnemonic.SBRS):
+        return f"{m.value} r{insn.rd}, {insn.b}"
+    if m is Mnemonic.BSET:
+        return "sei" if insn.b == 7 else f"bset {insn.b}"
+    if m is Mnemonic.BCLR:
+        return "cli" if insn.b == 7 else f"bclr {insn.b}"
+
+    if m is Mnemonic.PUSH:
+        return f"push r{insn.rr}"
+    if m is Mnemonic.POP:
+        return f"pop r{insn.rd}"
+
+    if m in (Mnemonic.ADIW, Mnemonic.SBIW):
+        return f"{m.value} r{insn.rd}, 0x{insn.k:02X}"
+
+    if m is Mnemonic.MOVW:
+        return f"movw r{insn.rd}, r{insn.rr}"
+
+    if m is Mnemonic.LPM_R0:
+        return "lpm"
+    if m is Mnemonic.LPM:
+        return f"lpm r{insn.rd}, Z"
+    if m is Mnemonic.LPM_INC:
+        return f"lpm r{insn.rd}, Z+"
+
+    if insn.rd is not None and insn.rr is not None:
+        return f"{m.value} r{insn.rd}, r{insn.rr}"
+    if insn.rd is not None:
+        return f"{m.value} r{insn.rd}"
+    return m.value
+
+
+def _relative_target(insn: Instruction, pc_bytes: Optional[int]) -> str:
+    if pc_bytes is None:
+        return f".{insn.k * 2:+d}"
+    target = pc_bytes + 2 + insn.k * 2
+    return f"0x{target:x}"
+
+
+def disassemble(code: bytes, start: int = 0, end: Optional[int] = None) -> List[str]:
+    """Best-effort listing of ``code[start:end]``."""
+    stop = len(code) if end is None else end
+    lines = []
+    for offset, insn in disassemble_range(code, start, stop):
+        lines.append(f"{offset:6x}:  {format_instruction(insn, offset)}")
+    return lines
+
+
+def disassemble_image(image: FirmwareImage, symbol: Optional[str] = None) -> str:
+    """Disassemble a whole image (or one function) with symbol headers."""
+    parts: List[str] = []
+    functions = image.symbols.functions()
+    if symbol is not None:
+        functions = [image.symbols.get(symbol)]
+    for sym in functions:
+        parts.append(f"\n{sym.address:08x} <{sym.name}>:")
+        parts.extend(disassemble(image.code, sym.address, sym.end))
+    return "\n".join(parts)

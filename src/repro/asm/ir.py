@@ -1,0 +1,182 @@
+"""Assembler intermediate representation.
+
+Both front-ends — the text parser and the synthetic-firmware code
+generator — produce this IR, and the linker consumes it:
+
+* :class:`AsmInsn` — an AVR instruction whose immediate may still be
+  symbolic (:class:`SymbolRef` to a global symbol or :class:`LabelRef` to a
+  function-local label).
+* :class:`FunctionDef` — a named sequence of instructions and local labels;
+  the unit MAVR shuffles.
+* :class:`DataDef` — a named data object (buffers, strings, call tables).
+
+Reference kinds mirror AVR relocations: ``word`` (code word address, what
+``call``/``jmp`` encode), ``lo8``/``hi8`` (halves of a data byte address or
+of a code word address for ``ldi`` pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Union
+
+from ..avr.insn import Instruction, Mnemonic
+from ..errors import AsmError
+
+
+class RefKind(Enum):
+    """How a symbolic operand maps onto an encoded field."""
+
+    WORD = "word"  # code word address (call/jmp targets)
+    LO8 = "lo8"  # low byte of a data byte-address
+    HI8 = "hi8"  # high byte of a data byte-address
+    LO8_WORD = "lo8w"  # low byte of a code word-address (ldi Z pairs)
+    HI8_WORD = "hi8w"  # high byte of a code word-address
+
+
+@dataclass(frozen=True)
+class SymbolRef:
+    """Reference to a global symbol (function or data object)."""
+
+    name: str
+    kind: RefKind = RefKind.WORD
+    addend: int = 0  # bytes for data refs, words for code refs
+
+    def __str__(self) -> str:
+        suffix = f"+{self.addend}" if self.addend else ""
+        if self.kind is RefKind.WORD:
+            return f"{self.name}{suffix}"
+        return f"{self.kind.value}({self.name}{suffix})"
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """Reference to a label local to the enclosing function."""
+
+    name: str
+    kind: RefKind = RefKind.WORD
+
+    def __str__(self) -> str:
+        return f".{self.name}"
+
+
+Operand = Union[int, SymbolRef, LabelRef]
+
+
+@dataclass(frozen=True)
+class AsmInsn:
+    """An instruction whose ``k`` operand may be symbolic."""
+
+    mnemonic: Mnemonic
+    rd: Optional[int] = None
+    rr: Optional[int] = None
+    k: Optional[Operand] = None
+    q: Optional[int] = None
+    a: Optional[int] = None
+    b: Optional[int] = None
+
+    def concrete(self, k: int) -> Instruction:
+        """Materialize with a resolved immediate."""
+        return Instruction(
+            self.mnemonic, rd=self.rd, rr=self.rr, k=k, q=self.q, a=self.a, b=self.b
+        )
+
+    def as_instruction(self) -> Instruction:
+        """Materialize when no symbolic operand is present."""
+        if isinstance(self.k, (SymbolRef, LabelRef)):
+            raise AsmError(f"unresolved symbolic operand in {self.mnemonic.value}")
+        return Instruction(
+            self.mnemonic, rd=self.rd, rr=self.rr, k=self.k, q=self.q, a=self.a, b=self.b
+        )
+
+    @property
+    def is_symbolic(self) -> bool:
+        return isinstance(self.k, (SymbolRef, LabelRef))
+
+
+@dataclass(frozen=True)
+class Label:
+    """A function-local label definition."""
+
+    name: str
+
+
+Item = Union[AsmInsn, Label]
+
+
+@dataclass
+class FunctionDef:
+    """One function: the block unit of MAVR randomization."""
+
+    name: str
+    items: List[Item] = field(default_factory=list)
+    # Registers this function saves; the toolchain turns this into inline
+    # push/pop or shared prologue/epilogue calls (-mcall-prologues).
+    save_regs: Sequence[int] = ()
+    # When True the toolchain must keep the epilogue inline even under
+    # -mcall-prologues (models GCC only using the shared blocks where
+    # beneficial; also what makes write_mem_gadget exist in stock builds).
+    force_inline_epilogue: bool = False
+
+    def labels(self) -> List[str]:
+        return [item.name for item in self.items if isinstance(item, Label)]
+
+    def instructions(self) -> List[AsmInsn]:
+        return [item for item in self.items if isinstance(item, AsmInsn)]
+
+
+class DataKind(Enum):
+    BYTES = "bytes"
+    SPACE = "space"
+    FUNCPTR_TABLE = "funcptr_table"  # array of 2-byte function word addresses
+
+
+@dataclass
+class DataDef:
+    """One data-section object.
+
+    ``segment`` selects where the object lives: ``"flash"`` objects are
+    constants embedded in the image (read with ``lpm``) and are what the
+    MAVR patcher can rewrite; ``"sram"`` objects are zero-initialized
+    variables allocated in the data space (read/written with ``lds``/
+    ``sts``) and occupy no image bytes.
+    """
+
+    name: str
+    kind: DataKind
+    payload: Union[bytes, int, List[str]]
+    # BYTES -> bytes, SPACE -> size int, FUNCPTR_TABLE -> function names
+    segment: str = "flash"
+
+    def size_bytes(self) -> int:
+        if self.kind is DataKind.BYTES:
+            return len(self.payload)  # type: ignore[arg-type]
+        if self.kind is DataKind.SPACE:
+            return int(self.payload)  # type: ignore[arg-type]
+        return 2 * len(self.payload)  # type: ignore[arg-type]
+
+
+@dataclass
+class Program:
+    """A whole translation unit handed to the linker."""
+
+    functions: List[FunctionDef] = field(default_factory=list)
+    data: List[DataDef] = field(default_factory=list)
+    entry: str = "main"
+
+    def function(self, name: str) -> FunctionDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise AsmError(f"no such function: {name}")
+
+    def add_function(self, func: FunctionDef) -> None:
+        if any(f.name == func.name for f in self.functions):
+            raise AsmError(f"duplicate function: {func.name}")
+        self.functions.append(func)
+
+    def add_data(self, data: DataDef) -> None:
+        if any(d.name == data.name for d in self.data):
+            raise AsmError(f"duplicate data object: {data.name}")
+        self.data.append(data)

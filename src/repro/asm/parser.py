@@ -1,0 +1,471 @@
+"""Text assembler front-end: AVR-flavoured assembly source -> IR Program.
+
+Grammar (line oriented, ``;`` or ``#`` start comments)::
+
+    .text                         ; section switches
+    .data
+    .func NAME [saves=r2,r3,...] [inline]
+        LABEL:                    ; local label
+        mnemonic operands
+    .endfunc
+    .entry NAME                   ; program entry symbol (default main)
+
+    ; in .data:
+    NAME: .byte 1, 2, 0x41        ; flash constant bytes
+    NAME: .space 64               ; SRAM zero-init variable
+    NAME: .space 64 flash         ; flash gap
+    NAME: .funcptr f1, f2, f3     ; flash function-pointer table
+
+Operands understand registers (``r0``..``r31``), immediates (decimal,
+``0x``-hex, ``-`` negatives), ``lo8(sym)``/``hi8(sym)`` (data addresses),
+``lo8w(sym)``/``hi8w(sym)`` (code word addresses), pointer forms
+(``X``, ``X+``, ``-X``, ``Y+q``, ``Z+q``) and branch aliases (``breq``,
+``brne``, ``brcs``, ``brcc``, ``brge``, ``brlt``).
+Targets of ``call``/``jmp``/``rcall``/``rjmp``/branches may be local labels
+(defined inside the function) or global symbol names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from ..avr.insn import Mnemonic
+from ..errors import AsmSyntaxError
+from .ir import (
+    AsmInsn,
+    DataDef,
+    DataKind,
+    FunctionDef,
+    Label,
+    LabelRef,
+    Program,
+    RefKind,
+    SymbolRef,
+)
+
+_BRANCH_ALIASES = {
+    "breq": (Mnemonic.BRBS, 1),
+    "brne": (Mnemonic.BRBC, 1),
+    "brcs": (Mnemonic.BRBS, 0),
+    "brcc": (Mnemonic.BRBC, 0),
+    "brmi": (Mnemonic.BRBS, 2),
+    "brpl": (Mnemonic.BRBC, 2),
+    "brlt": (Mnemonic.BRBS, 4),
+    "brge": (Mnemonic.BRBC, 4),
+}
+
+_SIMPLE = {
+    "nop": Mnemonic.NOP, "ret": Mnemonic.RET, "reti": Mnemonic.RETI,
+    "ijmp": Mnemonic.IJMP, "icall": Mnemonic.ICALL, "wdr": Mnemonic.WDR,
+    "sleep": Mnemonic.SLEEP, "break": Mnemonic.BREAK,
+}
+
+_RR_OPS = {
+    "mov": Mnemonic.MOV, "add": Mnemonic.ADD, "adc": Mnemonic.ADC,
+    "sub": Mnemonic.SUB, "sbc": Mnemonic.SBC, "and": Mnemonic.AND,
+    "or": Mnemonic.OR, "eor": Mnemonic.EOR, "cp": Mnemonic.CP,
+    "cpc": Mnemonic.CPC, "cpse": Mnemonic.CPSE, "movw": Mnemonic.MOVW,
+    "mul": Mnemonic.MUL, "muls": Mnemonic.MULS, "mulsu": Mnemonic.MULSU,
+}
+
+_IMM_OPS = {
+    "ldi": Mnemonic.LDI, "subi": Mnemonic.SUBI, "sbci": Mnemonic.SBCI,
+    "andi": Mnemonic.ANDI, "ori": Mnemonic.ORI, "cpi": Mnemonic.CPI,
+}
+
+_ONE_OPS = {
+    "com": Mnemonic.COM, "neg": Mnemonic.NEG, "inc": Mnemonic.INC,
+    "dec": Mnemonic.DEC, "swap": Mnemonic.SWAP, "lsr": Mnemonic.LSR,
+    "asr": Mnemonic.ASR, "ror": Mnemonic.ROR, "push": Mnemonic.PUSH,
+    "pop": Mnemonic.POP,
+}
+
+_LD_FORMS = {
+    "x": Mnemonic.LD_X, "x+": Mnemonic.LD_X_INC, "-x": Mnemonic.LD_X_DEC,
+    "y+": Mnemonic.LD_Y_INC, "-y": Mnemonic.LD_Y_DEC,
+    "z+": Mnemonic.LD_Z_INC, "-z": Mnemonic.LD_Z_DEC,
+}
+_ST_FORMS = {
+    "x": Mnemonic.ST_X, "x+": Mnemonic.ST_X_INC, "-x": Mnemonic.ST_X_DEC,
+    "y+": Mnemonic.ST_Y_INC, "-y": Mnemonic.ST_Y_DEC,
+    "z+": Mnemonic.ST_Z_INC, "-z": Mnemonic.ST_Z_DEC,
+}
+
+_REG_RE = re.compile(r"^r(\d{1,2})$", re.IGNORECASE)
+_REF_RE = re.compile(r"^(lo8w|hi8w|lo8|hi8)\(([A-Za-z_.][\w.]*)([+-]\d+)?\)$")
+_DISP_RE = re.compile(r"^([yz])\+(\d+)$", re.IGNORECASE)
+
+
+def parse(source: str) -> Program:
+    """Parse assembly source text into a :class:`Program`."""
+    return _Parser(source).parse()
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.lines = source.splitlines()
+        self.program = Program()
+        self.section = ".text"
+        self.current: Optional[FunctionDef] = None
+        self.line_number = 0
+
+    def error(self, message: str) -> AsmSyntaxError:
+        return AsmSyntaxError(message, self.line_number)
+
+    def parse(self) -> Program:
+        for index, raw in enumerate(self.lines, start=1):
+            self.line_number = index
+            line = _strip_comment(raw).strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line)
+            else:
+                self._statement(line)
+        if self.current is not None:
+            raise self.error(f"missing .endfunc for {self.current.name}")
+        return self.program
+
+    # -- directives ------------------------------------------------------
+
+    def _directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".text" or name == ".data":
+            if self.current is not None:
+                raise self.error("section switch inside .func")
+            self.section = name
+        elif name == ".entry":
+            if not rest:
+                raise self.error(".entry needs a symbol name")
+            self.program.entry = rest
+        elif name == ".func":
+            self._begin_func(rest)
+        elif name == ".endfunc":
+            if self.current is None:
+                raise self.error(".endfunc without .func")
+            self.program.add_function(self.current)
+            self.current = None
+        else:
+            raise self.error(f"unknown directive {name}")
+
+    def _begin_func(self, rest: str) -> None:
+        if self.current is not None:
+            raise self.error("nested .func")
+        if self.section != ".text":
+            raise self.error(".func outside .text")
+        tokens = rest.split()
+        if not tokens:
+            raise self.error(".func needs a name")
+        name = tokens[0]
+        saves: List[int] = []
+        inline = False
+        for token in tokens[1:]:
+            if token.startswith("saves="):
+                for reg_text in token[len("saves="):].split(","):
+                    match = _REG_RE.match(reg_text.strip())
+                    if not match:
+                        raise self.error(f"bad register in saves=: {reg_text}")
+                    saves.append(int(match.group(1)))
+            elif token == "inline":
+                inline = True
+            else:
+                raise self.error(f"unknown .func attribute: {token}")
+        self.current = FunctionDef(
+            name, [], save_regs=tuple(saves), force_inline_epilogue=inline
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def _statement(self, line: str) -> None:
+        if self.section == ".data":
+            self._data_statement(line)
+            return
+        if self.current is None:
+            raise self.error("instruction outside .func")
+        label_match = re.match(r"^([A-Za-z_.][\w.]*):(.*)$", line)
+        if label_match:
+            self.current.items.append(Label(label_match.group(1)))
+            remainder = label_match.group(2).strip()
+            if remainder:
+                self._statement(remainder)
+            return
+        self.current.items.append(self._instruction(line))
+
+    def _data_statement(self, line: str) -> None:
+        match = re.match(r"^([A-Za-z_][\w.]*):\s*(\.\w+)\s*(.*)$", line)
+        if not match:
+            raise self.error("data statement must be 'name: .directive args'")
+        name, directive, args = match.group(1), match.group(2).lower(), match.group(3)
+        if directive == ".byte":
+            payload = bytes(self._int(token.strip()) & 0xFF for token in args.split(","))
+            self.program.add_data(DataDef(name, DataKind.BYTES, payload, segment="flash"))
+        elif directive == ".space":
+            tokens = args.split()
+            size = self._int(tokens[0])
+            segment = tokens[1] if len(tokens) > 1 else "sram"
+            if segment not in ("sram", "flash"):
+                raise self.error(f"bad segment {segment}")
+            self.program.add_data(DataDef(name, DataKind.SPACE, size, segment=segment))
+        elif directive == ".funcptr":
+            names = [token.strip() for token in args.split(",") if token.strip()]
+            if not names:
+                raise self.error(".funcptr needs at least one function")
+            self.program.add_data(
+                DataDef(name, DataKind.FUNCPTR_TABLE, names, segment="flash")
+            )
+        else:
+            raise self.error(f"unknown data directive {directive}")
+
+    # -- instruction parsing ----------------------------------------------
+
+    def _instruction(self, line: str) -> AsmInsn:
+        parts = line.split(None, 1)
+        mnem = parts[0].lower()
+        operands = [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+
+        if mnem == "clr":
+            self._expect(operands, 1, mnem)
+            reg = self._reg(operands[0])
+            return AsmInsn(Mnemonic.EOR, rd=reg, rr=reg)
+        if mnem == "tst":
+            self._expect(operands, 1, mnem)
+            reg = self._reg(operands[0])
+            return AsmInsn(Mnemonic.AND, rd=reg, rr=reg)
+        if mnem == "lsl":
+            self._expect(operands, 1, mnem)
+            reg = self._reg(operands[0])
+            return AsmInsn(Mnemonic.ADD, rd=reg, rr=reg)
+        if mnem == "rol":
+            self._expect(operands, 1, mnem)
+            reg = self._reg(operands[0])
+            return AsmInsn(Mnemonic.ADC, rd=reg, rr=reg)
+        if mnem == "ser":
+            self._expect(operands, 1, mnem)
+            return AsmInsn(Mnemonic.LDI, rd=self._reg(operands[0]), k=0xFF)
+        if mnem == "sei":
+            return AsmInsn(Mnemonic.BSET, b=7)
+        if mnem == "cli":
+            return AsmInsn(Mnemonic.BCLR, b=7)
+        if mnem in _SIMPLE:
+            self._expect(operands, 0, mnem)
+            return AsmInsn(_SIMPLE[mnem])
+        if mnem in _RR_OPS:
+            self._expect(operands, 2, mnem)
+            return AsmInsn(_RR_OPS[mnem], rd=self._reg(operands[0]), rr=self._reg(operands[1]))
+        if mnem in _IMM_OPS:
+            self._expect(operands, 2, mnem)
+            return AsmInsn(_IMM_OPS[mnem], rd=self._reg(operands[0]), k=self._value(operands[1]))
+        if mnem in _ONE_OPS:
+            self._expect(operands, 1, mnem)
+            reg = self._reg(operands[0])
+            if mnem == "push":
+                return AsmInsn(Mnemonic.PUSH, rr=reg)
+            return AsmInsn(_ONE_OPS[mnem], rd=reg)
+        if mnem in ("adiw", "sbiw"):
+            self._expect(operands, 2, mnem)
+            return AsmInsn(
+                Mnemonic.ADIW if mnem == "adiw" else Mnemonic.SBIW,
+                rd=self._reg(operands[0]), k=self._int(operands[1]),
+            )
+        if mnem == "in":
+            self._expect(operands, 2, mnem)
+            return AsmInsn(Mnemonic.IN, rd=self._reg(operands[0]), a=self._int(operands[1]))
+        if mnem == "out":
+            self._expect(operands, 2, mnem)
+            return AsmInsn(Mnemonic.OUT, a=self._int(operands[0]), rr=self._reg(operands[1]))
+        if mnem in ("sbi", "cbi", "sbic", "sbis"):
+            self._expect(operands, 2, mnem)
+            table = {"sbi": Mnemonic.SBI, "cbi": Mnemonic.CBI,
+                     "sbic": Mnemonic.SBIC, "sbis": Mnemonic.SBIS}
+            return AsmInsn(table[mnem], a=self._int(operands[0]), b=self._int(operands[1]))
+        if mnem in ("bld", "bst", "sbrc", "sbrs"):
+            self._expect(operands, 2, mnem)
+            table = {"bld": Mnemonic.BLD, "bst": Mnemonic.BST,
+                     "sbrc": Mnemonic.SBRC, "sbrs": Mnemonic.SBRS}
+            return AsmInsn(table[mnem], rd=self._reg(operands[0]), b=self._int(operands[1]))
+        if mnem == "lds":
+            self._expect(operands, 2, mnem)
+            return AsmInsn(Mnemonic.LDS, rd=self._reg(operands[0]), k=self._value(operands[1]))
+        if mnem == "sts":
+            self._expect(operands, 2, mnem)
+            return AsmInsn(Mnemonic.STS, k=self._value(operands[0]), rr=self._reg(operands[1]))
+        if mnem == "ld":
+            self._expect(operands, 2, mnem)
+            return self._pointer_op(operands[0], operands[1], load=True)
+        if mnem == "st":
+            self._expect(operands, 2, mnem)
+            return self._pointer_op(operands[1], operands[0], load=False)
+        if mnem == "ldd":
+            self._expect(operands, 2, mnem)
+            pointer, disp = self._displacement(operands[1])
+            mn = Mnemonic.LDD_Y if pointer == "y" else Mnemonic.LDD_Z
+            return AsmInsn(mn, rd=self._reg(operands[0]), q=disp)
+        if mnem == "std":
+            self._expect(operands, 2, mnem)
+            pointer, disp = self._displacement(operands[0])
+            mn = Mnemonic.STD_Y if pointer == "y" else Mnemonic.STD_Z
+            return AsmInsn(mn, rr=self._reg(operands[1]), q=disp)
+        if mnem == "lpm":
+            if not operands:
+                return AsmInsn(Mnemonic.LPM_R0)
+            self._expect(operands, 2, mnem)
+            if operands[1].lower() == "z+":
+                return AsmInsn(Mnemonic.LPM_INC, rd=self._reg(operands[0]))
+            return AsmInsn(Mnemonic.LPM, rd=self._reg(operands[0]))
+        if mnem in ("call", "jmp", "rcall", "rjmp"):
+            self._expect(operands, 1, mnem)
+            table = {"call": Mnemonic.CALL, "jmp": Mnemonic.JMP,
+                     "rcall": Mnemonic.RCALL, "rjmp": Mnemonic.RJMP}
+            return AsmInsn(table[mnem], k=self._target(operands[0]))
+        if mnem in _BRANCH_ALIASES:
+            self._expect(operands, 1, mnem)
+            base, bit = _BRANCH_ALIASES[mnem]
+            return AsmInsn(base, b=bit, k=self._target(operands[0]))
+        raise self.error(f"unknown mnemonic: {mnem}")
+
+    # -- operand helpers ---------------------------------------------------
+
+    def _expect(self, operands: List[str], count: int, mnem: str) -> None:
+        if len(operands) != count:
+            raise self.error(f"{mnem} expects {count} operand(s), got {len(operands)}")
+
+    def _reg(self, text: str) -> int:
+        match = _REG_RE.match(text)
+        if not match:
+            raise self.error(f"expected register, got {text!r}")
+        reg = int(match.group(1))
+        if reg > 31:
+            raise self.error(f"register out of range: {text}")
+        return reg
+
+    def _int(self, text: str) -> int:
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise self.error(f"expected integer, got {text!r}") from None
+
+    def _value(self, text: str) -> Union[int, SymbolRef]:
+        """Immediate: integer, lo8()/hi8() reference, or bare data symbol."""
+        ref = _REF_RE.match(text)
+        if ref:
+            kind = {"lo8": RefKind.LO8, "hi8": RefKind.HI8,
+                    "lo8w": RefKind.LO8_WORD, "hi8w": RefKind.HI8_WORD}[ref.group(1)]
+            addend = int(ref.group(3)) if ref.group(3) else 0
+            return SymbolRef(ref.group(2), kind, addend)
+        try:
+            return int(text, 0)
+        except ValueError:
+            pass
+        plain = re.match(r"^([A-Za-z_][\w.]*)([+-]\d+)?$", text)
+        if plain:
+            addend = int(plain.group(2)) if plain.group(2) else 0
+            return SymbolRef(plain.group(1), RefKind.WORD, addend)
+        raise self.error(f"bad immediate/operand: {text!r}")
+
+    def _target(self, text: str) -> Union[int, SymbolRef, LabelRef]:
+        """Control-flow target: local label, global symbol, or address."""
+        ref = _REF_RE.match(text)
+        if ref:
+            raise self.error("lo8/hi8 not valid as a jump target")
+        try:
+            return int(text, 0)
+        except ValueError:
+            pass
+        if not re.match(r"^[A-Za-z_.][\w.]*$", text):
+            raise self.error(f"bad target: {text!r}")
+        if self.current is not None and text in _defined_labels(self.current):
+            return LabelRef(text)
+        # forward local label references look like globals here; the linker
+        # cannot know, so we scan the raw function text instead:
+        return _LateTarget(text)  # resolved at .endfunc time
+
+    # -- displacement forms -------------------------------------------------
+
+    def _pointer_op(self, reg_text: str, pointer_text: str, load: bool) -> AsmInsn:
+        pointer = pointer_text.lower()
+        disp = _DISP_RE.match(pointer)
+        if disp:
+            mn = (Mnemonic.LDD_Y if disp.group(1) == "y" else Mnemonic.LDD_Z) if load else (
+                Mnemonic.STD_Y if disp.group(1) == "y" else Mnemonic.STD_Z)
+            q = int(disp.group(2))
+            if load:
+                return AsmInsn(mn, rd=self._reg(reg_text), q=q)
+            return AsmInsn(mn, rr=self._reg(reg_text), q=q)
+        if pointer == "y":
+            mn = Mnemonic.LDD_Y if load else Mnemonic.STD_Y
+            if load:
+                return AsmInsn(mn, rd=self._reg(reg_text), q=0)
+            return AsmInsn(mn, rr=self._reg(reg_text), q=0)
+        if pointer == "z":
+            mn = Mnemonic.LDD_Z if load else Mnemonic.STD_Z
+            if load:
+                return AsmInsn(mn, rd=self._reg(reg_text), q=0)
+            return AsmInsn(mn, rr=self._reg(reg_text), q=0)
+        forms = _LD_FORMS if load else _ST_FORMS
+        if pointer not in forms:
+            raise self.error(f"bad pointer operand: {pointer_text!r}")
+        if load:
+            return AsmInsn(forms[pointer], rd=self._reg(reg_text))
+        return AsmInsn(forms[pointer], rr=self._reg(reg_text))
+
+    def _displacement(self, text: str) -> Tuple[str, int]:
+        lowered = text.lower()
+        match = _DISP_RE.match(lowered)
+        if match:
+            return match.group(1), int(match.group(2))
+        if lowered in ("y", "z"):
+            return lowered, 0
+        raise self.error(f"bad displacement operand: {text!r}")
+
+
+class _LateTarget(SymbolRef):
+    """A control-flow target that may turn out to be a forward local label."""
+
+    def __new__(cls, name: str):  # SymbolRef is frozen; construct via parent
+        return super().__new__(cls)
+
+    def __init__(self, name: str) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "kind", RefKind.WORD)
+        object.__setattr__(self, "addend", 0)
+
+
+def _defined_labels(func: FunctionDef) -> List[str]:
+    return func.labels()
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line
+
+
+def resolve_late_targets(program: Program) -> None:
+    """Convert :class:`_LateTarget` refs to local labels where defined.
+
+    Called by :func:`parse_and_link`; split out for testability.
+    """
+    for func in program.functions:
+        labels = set(func.labels())
+        for index, item in enumerate(func.items):
+            if isinstance(item, AsmInsn) and isinstance(item.k, _LateTarget):
+                if item.k.name in labels:
+                    new_k: Union[LabelRef, SymbolRef] = LabelRef(item.k.name)
+                else:
+                    new_k = SymbolRef(item.k.name, RefKind.WORD)
+                func.items[index] = AsmInsn(
+                    item.mnemonic, rd=item.rd, rr=item.rr, k=new_k,
+                    q=item.q, a=item.a, b=item.b,
+                )
+
+
+def parse_program(source: str) -> Program:
+    """Parse source and finalize forward-label resolution."""
+    program = parse(source)
+    resolve_late_targets(program)
+    return program

@@ -1,0 +1,47 @@
+"""Stealthy code-reuse attacks against the simulated APM (paper §IV)."""
+
+from .chain import ChainBuilder, FILL_BYTE, Write3, ret_address_bytes
+from .gadgets import Gadget, GadgetFinder, StkMoveGadget, WriteMemGadget
+from .results import AttackOutcome, deliver
+from .runtime_facts import (
+    RuntimeFacts,
+    derive_runtime_facts,
+    find_handler_call_site,
+    variable_address,
+)
+from .stacktrace import AttackTrace, trace_stealthy_attack
+from .v1_basic import BasicAttack, GARBAGE_WORD
+from .v2_stealthy import StealthyAttack
+from .v3_trampoline import DEFAULT_STAGING_BASE, TrampolineAttack
+from .v4_persistence import (
+    PersistenceAttack,
+    config_block_pairs,
+    eeprom_program_writes,
+)
+
+__all__ = [
+    "ChainBuilder",
+    "FILL_BYTE",
+    "Write3",
+    "ret_address_bytes",
+    "Gadget",
+    "GadgetFinder",
+    "StkMoveGadget",
+    "WriteMemGadget",
+    "AttackOutcome",
+    "deliver",
+    "RuntimeFacts",
+    "derive_runtime_facts",
+    "find_handler_call_site",
+    "variable_address",
+    "AttackTrace",
+    "trace_stealthy_attack",
+    "BasicAttack",
+    "GARBAGE_WORD",
+    "StealthyAttack",
+    "DEFAULT_STAGING_BASE",
+    "TrampolineAttack",
+    "PersistenceAttack",
+    "config_block_pairs",
+    "eeprom_program_writes",
+]

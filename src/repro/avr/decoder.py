@@ -1,0 +1,324 @@
+"""Binary decoder: AVR machine code words -> :class:`Instruction`.
+
+Inverse of :mod:`repro.avr.encoder` for the supported ISA subset.  Decoding
+is also how the gadget finder and the defense's failure model work: bytes
+that do not decode raise :class:`~repro.errors.DecodeError`, which the CPU
+turns into the "executing garbage" crash the paper's watchdog detects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import DecodeError
+from .insn import Instruction, Mnemonic, signed
+
+_RR_BY_BASE = {
+    0x0400: Mnemonic.CPC,
+    0x0800: Mnemonic.SBC,
+    0x0C00: Mnemonic.ADD,
+    0x1000: Mnemonic.CPSE,
+    0x1400: Mnemonic.CP,
+    0x1800: Mnemonic.SUB,
+    0x1C00: Mnemonic.ADC,
+    0x2000: Mnemonic.AND,
+    0x2400: Mnemonic.EOR,
+    0x2800: Mnemonic.OR,
+    0x2C00: Mnemonic.MOV,
+}
+
+_IMM_BY_BASE = {
+    0x3000: Mnemonic.CPI,
+    0x4000: Mnemonic.SBCI,
+    0x5000: Mnemonic.SUBI,
+    0x6000: Mnemonic.ORI,
+    0x7000: Mnemonic.ANDI,
+    0xE000: Mnemonic.LDI,
+}
+
+_LD_BY_MODE = {
+    0x1: Mnemonic.LD_Z_INC,
+    0x2: Mnemonic.LD_Z_DEC,
+    0x4: Mnemonic.LPM,
+    0x5: Mnemonic.LPM_INC,
+    0x9: Mnemonic.LD_Y_INC,
+    0xA: Mnemonic.LD_Y_DEC,
+    0xC: Mnemonic.LD_X,
+    0xD: Mnemonic.LD_X_INC,
+    0xE: Mnemonic.LD_X_DEC,
+    0xF: Mnemonic.POP,
+}
+
+_ST_BY_MODE = {
+    0x1: Mnemonic.ST_Z_INC,
+    0x2: Mnemonic.ST_Z_DEC,
+    0x9: Mnemonic.ST_Y_INC,
+    0xA: Mnemonic.ST_Y_DEC,
+    0xC: Mnemonic.ST_X,
+    0xD: Mnemonic.ST_X_INC,
+    0xE: Mnemonic.ST_X_DEC,
+    0xF: Mnemonic.PUSH,
+}
+
+_ONE_OP_BY_NIBBLE = {
+    0x0: Mnemonic.COM,
+    0x1: Mnemonic.NEG,
+    0x2: Mnemonic.SWAP,
+    0x3: Mnemonic.INC,
+    0x5: Mnemonic.ASR,
+    0x6: Mnemonic.LSR,
+    0x7: Mnemonic.ROR,
+    0xA: Mnemonic.DEC,
+}
+
+_FIXED_BY_WORD = {
+    0x0000: Mnemonic.NOP,
+    0x9409: Mnemonic.IJMP,
+    0x9509: Mnemonic.ICALL,
+    0x9508: Mnemonic.RET,
+    0x9518: Mnemonic.RETI,
+    0x9588: Mnemonic.SLEEP,
+    0x9598: Mnemonic.BREAK,
+    0x95A8: Mnemonic.WDR,
+    0x95C8: Mnemonic.LPM_R0,
+}
+
+_BIT_IO_BY_BASE = {
+    0x9800: Mnemonic.CBI,
+    0x9900: Mnemonic.SBIC,
+    0x9A00: Mnemonic.SBI,
+    0x9B00: Mnemonic.SBIS,
+}
+
+_REG_BIT_BY_BASE = {
+    0xF800: Mnemonic.BLD,
+    0xFA00: Mnemonic.BST,
+    0xFC00: Mnemonic.SBRC,
+    0xFE00: Mnemonic.SBRS,
+}
+
+
+def needs_second_word(word: int) -> bool:
+    """Return True when ``word`` opens a two-word instruction."""
+    if (word & 0xFE0E) in (0x940C, 0x940E):  # jmp / call
+        return True
+    if (word & 0xFE0F) in (0x9000, 0x9200):  # lds / sts
+        return True
+    return False
+
+
+def decode(word: int, next_word: Optional[int] = None, address: int = 0) -> Instruction:
+    """Decode one instruction whose first word is ``word``.
+
+    ``next_word`` must be supplied for two-word instructions; ``address`` is
+    the byte address, used only for error reporting.
+    """
+    word &= 0xFFFF
+
+    fixed = _FIXED_BY_WORD.get(word)
+    if fixed is not None:
+        return Instruction(fixed)
+
+    top4 = word & 0xF000
+
+    if top4 == 0x0000:
+        if (word & 0xFF00) == 0x0100:
+            return Instruction(
+                Mnemonic.MOVW, rd=((word >> 4) & 0x0F) * 2, rr=(word & 0x0F) * 2
+            )
+        if (word & 0xFF00) == 0x0200:
+            return Instruction(
+                Mnemonic.MULS, rd=16 + ((word >> 4) & 0x0F), rr=16 + (word & 0x0F)
+            )
+        if (word & 0xFF88) == 0x0300:
+            return Instruction(
+                Mnemonic.MULSU, rd=16 + ((word >> 4) & 0x07), rr=16 + (word & 0x07)
+            )
+        base = word & 0xFC00
+        if base in _RR_BY_BASE:
+            return _decode_rr(base, word)
+        raise DecodeError(word, address)
+
+    if top4 in (0x1000, 0x2000):
+        base = word & 0xFC00
+        if base in _RR_BY_BASE:
+            return _decode_rr(base, word)
+        raise DecodeError(word, address)
+
+    if top4 in _IMM_BY_BASE:
+        k = ((word >> 4) & 0xF0) | (word & 0x0F)
+        rd = 16 + ((word >> 4) & 0x0F)
+        return Instruction(_IMM_BY_BASE[top4], rd=rd, k=k)
+
+    if top4 in (0x8000, 0xA000):  # ldd/std with displacement
+        q = ((word >> 8) & 0x20) | ((word >> 7) & 0x18) | (word & 0x07)
+        reg = (word >> 4) & 0x1F
+        store = bool(word & 0x0200)
+        use_y = bool(word & 0x0008)
+        if store:
+            mnem = Mnemonic.STD_Y if use_y else Mnemonic.STD_Z
+            return Instruction(mnem, rr=reg, q=q)
+        mnem = Mnemonic.LDD_Y if use_y else Mnemonic.LDD_Z
+        return Instruction(mnem, rd=reg, q=q)
+
+    if top4 == 0x9000:
+        if (word & 0xFC00) == 0x9C00:
+            rd = (word >> 4) & 0x1F
+            rr = ((word >> 5) & 0x10) | (word & 0x0F)
+            return Instruction(Mnemonic.MUL, rd=rd, rr=rr)
+        return _decode_9xxx(word, next_word, address)
+
+    if top4 == 0xB000:
+        a = ((word >> 5) & 0x30) | (word & 0x0F)
+        reg = (word >> 4) & 0x1F
+        if word & 0x0800:
+            return Instruction(Mnemonic.OUT, rr=reg, a=a)
+        return Instruction(Mnemonic.IN, rd=reg, a=a)
+
+    if top4 == 0xC000:
+        return Instruction(Mnemonic.RJMP, k=signed(word & 0xFFF, 12))
+
+    if top4 == 0xD000:
+        return Instruction(Mnemonic.RCALL, k=signed(word & 0xFFF, 12))
+
+    if top4 == 0xF000:
+        base = word & 0xFE00
+        if base in _REG_BIT_BY_BASE:
+            if word & 0x0008:
+                raise DecodeError(word, address)
+            return Instruction(
+                _REG_BIT_BY_BASE[base], rd=(word >> 4) & 0x1F, b=word & 0x07
+            )
+        b = word & 0x07
+        k = signed((word >> 3) & 0x7F, 7)
+        if (word & 0xFC00) == 0xF000:
+            return Instruction(Mnemonic.BRBS, k=k, b=b)
+        if (word & 0xFC00) == 0xF400:
+            return Instruction(Mnemonic.BRBC, k=k, b=b)
+        raise DecodeError(word, address)
+
+    raise DecodeError(word, address)
+
+
+def _decode_rr(base: int, word: int) -> Instruction:
+    rd = (word >> 4) & 0x1F
+    rr = ((word >> 5) & 0x10) | (word & 0x0F)
+    return Instruction(_RR_BY_BASE[base], rd=rd, rr=rr)
+
+
+def _decode_9xxx(word: int, next_word: Optional[int], address: int) -> Instruction:
+    group = word & 0xFE00
+
+    if group == 0x9000:  # lds / ld / lpm / pop
+        mode = word & 0x0F
+        rd = (word >> 4) & 0x1F
+        if mode == 0x0:
+            if next_word is None:
+                raise DecodeError(word, address)
+            return Instruction(Mnemonic.LDS, rd=rd, k=next_word & 0xFFFF)
+        mnem = _LD_BY_MODE.get(mode)
+        if mnem is None:
+            raise DecodeError(word, address)
+        return Instruction(mnem, rd=rd)
+
+    if group == 0x9200:  # sts / st / push
+        mode = word & 0x0F
+        rr = (word >> 4) & 0x1F
+        if mode == 0x0:
+            if next_word is None:
+                raise DecodeError(word, address)
+            return Instruction(Mnemonic.STS, rr=rr, k=next_word & 0xFFFF)
+        mnem = _ST_BY_MODE.get(mode)
+        if mnem is None:
+            raise DecodeError(word, address)
+        return Instruction(mnem, rr=rr)
+
+    if group in (0x9400, 0x9600):
+        if (word & 0xFE0E) in (0x940C, 0x940E):  # jmp / call
+            if next_word is None:
+                raise DecodeError(word, address)
+            k = (((word >> 4) & 0x1F) << 17) | ((word & 1) << 16) | (next_word & 0xFFFF)
+            mnem = Mnemonic.JMP if (word & 0xFE0E) == 0x940C else Mnemonic.CALL
+            return Instruction(mnem, k=k)
+        if (word & 0xFF8F) == 0x9408:
+            return Instruction(Mnemonic.BSET, b=(word >> 4) & 0x07)
+        if (word & 0xFF8F) == 0x9488:
+            return Instruction(Mnemonic.BCLR, b=(word >> 4) & 0x07)
+        if (word & 0xFE00) == 0x9400:
+            nibble = word & 0x0F
+            mnem = _ONE_OP_BY_NIBBLE.get(nibble)
+            if mnem is not None:
+                return Instruction(mnem, rd=(word >> 4) & 0x1F)
+            raise DecodeError(word, address)
+        if (word & 0xFF00) == 0x9600:
+            return _decode_adiw(Mnemonic.ADIW, word)
+        if (word & 0xFF00) == 0x9700:
+            return _decode_adiw(Mnemonic.SBIW, word)
+        raise DecodeError(word, address)
+
+    if group == 0x9600:  # pragma: no cover - handled above
+        raise DecodeError(word, address)
+
+    base = word & 0xFF00
+    if base in _BIT_IO_BY_BASE:
+        return Instruction(
+            _BIT_IO_BY_BASE[base], a=(word >> 3) & 0x1F, b=word & 0x07
+        )
+
+    if (word & 0xFF00) in (0x9600, 0x9700):
+        mnem = Mnemonic.ADIW if (word & 0xFF00) == 0x9600 else Mnemonic.SBIW
+        return _decode_adiw(mnem, word)
+
+    raise DecodeError(word, address)
+
+
+def _decode_adiw(mnem: Mnemonic, word: int) -> Instruction:
+    k = ((word >> 2) & 0x30) | (word & 0x0F)
+    rd = 24 + ((word >> 4) & 0x03) * 2
+    return Instruction(mnem, rd=rd, k=k)
+
+
+def decode_at(code: bytes, byte_offset: int) -> Tuple[Instruction, int]:
+    """Decode the instruction starting at ``byte_offset`` in ``code``.
+
+    Returns ``(instruction, size_in_bytes)``.
+    """
+    if byte_offset + 1 >= len(code) or byte_offset < 0:
+        raise DecodeError(0xFFFF, byte_offset)
+    word = code[byte_offset] | (code[byte_offset + 1] << 8)
+    next_word = None
+    if needs_second_word(word):
+        if byte_offset + 3 >= len(code):
+            raise DecodeError(word, byte_offset)
+        next_word = code[byte_offset + 2] | (code[byte_offset + 3] << 8)
+    insn = decode(word, next_word, byte_offset)
+    return insn, insn.size_bytes
+
+
+def iter_instructions(code: bytes, start: int = 0, end: Optional[int] = None) -> Iterator[Tuple[int, Instruction]]:
+    """Linearly sweep ``code`` yielding ``(byte_offset, instruction)``.
+
+    Stops at the first undecodable word — callers that want error recovery
+    (the gadget finder) catch :class:`DecodeError` themselves.
+    """
+    offset = start
+    limit = len(code) if end is None else end
+    while offset + 1 < limit:
+        insn, size = decode_at(code, offset)
+        yield offset, insn
+        offset += size
+
+
+def disassemble_range(code: bytes, start: int, end: int) -> List[Tuple[int, Instruction]]:
+    """Best-effort decode of ``[start, end)``; undecodable words are skipped."""
+    out: List[Tuple[int, Instruction]] = []
+    offset = start
+    while offset + 1 < end:
+        try:
+            insn, size = decode_at(code, offset)
+        except DecodeError:
+            offset += 2
+            continue
+        out.append((offset, insn))
+        offset += size
+    return out

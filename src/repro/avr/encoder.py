@@ -1,0 +1,284 @@
+"""Binary encoder: :class:`Instruction` -> AVR machine code words.
+
+Encodings follow the AVR instruction set manual bit-for-bit for the
+supported subset, so images we build are genuine AVR machine code and the
+decoder/disassembler roundtrips (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import EncodeError
+from .insn import Instruction, Mnemonic
+
+# Base opcodes for the register-register ALU group (0000..0010 11xx).
+_RR_BASE = {
+    Mnemonic.CPC: 0x0400,
+    Mnemonic.SBC: 0x0800,
+    Mnemonic.ADD: 0x0C00,
+    Mnemonic.CPSE: 0x1000,
+    Mnemonic.CP: 0x1400,
+    Mnemonic.SUB: 0x1800,
+    Mnemonic.ADC: 0x1C00,
+    Mnemonic.AND: 0x2000,
+    Mnemonic.EOR: 0x2400,
+    Mnemonic.OR: 0x2800,
+    Mnemonic.MOV: 0x2C00,
+}
+
+# Base opcodes for the register-immediate group (d = 16..31).
+_IMM_BASE = {
+    Mnemonic.CPI: 0x3000,
+    Mnemonic.SBCI: 0x4000,
+    Mnemonic.SUBI: 0x5000,
+    Mnemonic.ORI: 0x6000,
+    Mnemonic.ANDI: 0x7000,
+    Mnemonic.LDI: 0xE000,
+}
+
+# Low nibbles for the 0x9000/0x9200 load/store group.
+_LD_MODE = {
+    Mnemonic.LD_Z_INC: 0x1,
+    Mnemonic.LD_Z_DEC: 0x2,
+    Mnemonic.LPM: 0x4,
+    Mnemonic.LPM_INC: 0x5,
+    Mnemonic.LD_Y_INC: 0x9,
+    Mnemonic.LD_Y_DEC: 0xA,
+    Mnemonic.LD_X: 0xC,
+    Mnemonic.LD_X_INC: 0xD,
+    Mnemonic.LD_X_DEC: 0xE,
+    Mnemonic.POP: 0xF,
+}
+_ST_MODE = {
+    Mnemonic.ST_Z_INC: 0x1,
+    Mnemonic.ST_Z_DEC: 0x2,
+    Mnemonic.ST_Y_INC: 0x9,
+    Mnemonic.ST_Y_DEC: 0xA,
+    Mnemonic.ST_X: 0xC,
+    Mnemonic.ST_X_INC: 0xD,
+    Mnemonic.ST_X_DEC: 0xE,
+    Mnemonic.PUSH: 0xF,
+}
+
+# One-operand group low nibbles (0x9400 | d<<4 | nibble).
+_ONE_OP = {
+    Mnemonic.COM: 0x0,
+    Mnemonic.NEG: 0x1,
+    Mnemonic.SWAP: 0x2,
+    Mnemonic.INC: 0x3,
+    Mnemonic.ASR: 0x5,
+    Mnemonic.LSR: 0x6,
+    Mnemonic.ROR: 0x7,
+    Mnemonic.DEC: 0xA,
+}
+
+_FIXED = {
+    Mnemonic.NOP: 0x0000,
+    Mnemonic.IJMP: 0x9409,
+    Mnemonic.ICALL: 0x9509,
+    Mnemonic.RET: 0x9508,
+    Mnemonic.RETI: 0x9518,
+    Mnemonic.SLEEP: 0x9588,
+    Mnemonic.BREAK: 0x9598,
+    Mnemonic.WDR: 0x95A8,
+    Mnemonic.LPM_R0: 0x95C8,
+}
+
+_BIT_IO = {
+    Mnemonic.CBI: 0x9800,
+    Mnemonic.SBIC: 0x9900,
+    Mnemonic.SBI: 0x9A00,
+    Mnemonic.SBIS: 0x9B00,
+}
+
+_REG_BIT = {
+    Mnemonic.BLD: 0xF800,
+    Mnemonic.BST: 0xFA00,
+    Mnemonic.SBRC: 0xFC00,
+    Mnemonic.SBRS: 0xFE00,
+}
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise EncodeError(message)
+
+
+def _req(value, name: str, insn: Instruction) -> int:
+    _check(value is not None, f"{insn.mnemonic.value}: missing operand {name}")
+    return value
+
+
+def encode(insn: Instruction) -> List[int]:
+    """Encode one instruction into a list of one or two 16-bit words."""
+    m = insn.mnemonic
+
+    if m in _FIXED:
+        return [_FIXED[m]]
+
+    if m in _RR_BASE:
+        rd = _req(insn.rd, "rd", insn)
+        rr = _req(insn.rr, "rr", insn)
+        _check(0 <= rd < 32 and 0 <= rr < 32, f"{m.value}: register out of range")
+        return [_RR_BASE[m] | ((rr & 0x10) << 5) | ((rd & 0x1F) << 4) | (rr & 0x0F)]
+
+    if m in _IMM_BASE:
+        rd = _req(insn.rd, "rd", insn)
+        k = _req(insn.k, "k", insn)
+        _check(16 <= rd < 32, f"{m.value}: rd must be r16..r31, got r{rd}")
+        _check(0 <= k <= 0xFF, f"{m.value}: immediate out of range: {k}")
+        return [_IMM_BASE[m] | ((k & 0xF0) << 4) | ((rd - 16) << 4) | (k & 0x0F)]
+
+    if m is Mnemonic.MUL:
+        rd = _req(insn.rd, "rd", insn)
+        rr = _req(insn.rr, "rr", insn)
+        _check(0 <= rd < 32 and 0 <= rr < 32, "mul: register out of range")
+        return [0x9C00 | ((rr & 0x10) << 5) | (rd << 4) | (rr & 0x0F)]
+
+    if m is Mnemonic.MULS:
+        rd = _req(insn.rd, "rd", insn)
+        rr = _req(insn.rr, "rr", insn)
+        _check(16 <= rd < 32 and 16 <= rr < 32, "muls: registers must be r16..r31")
+        return [0x0200 | ((rd - 16) << 4) | (rr - 16)]
+
+    if m is Mnemonic.MULSU:
+        rd = _req(insn.rd, "rd", insn)
+        rr = _req(insn.rr, "rr", insn)
+        _check(16 <= rd < 24 and 16 <= rr < 24, "mulsu: registers must be r16..r23")
+        return [0x0300 | ((rd - 16) << 4) | (rr - 16)]
+
+    if m is Mnemonic.MOVW:
+        rd = _req(insn.rd, "rd", insn)
+        rr = _req(insn.rr, "rr", insn)
+        _check(rd % 2 == 0 and rr % 2 == 0, "movw: registers must be even")
+        _check(0 <= rd < 32 and 0 <= rr < 32, "movw: register out of range")
+        return [0x0100 | ((rd // 2) << 4) | (rr // 2)]
+
+    if m in (Mnemonic.LDD_Y, Mnemonic.LDD_Z, Mnemonic.STD_Y, Mnemonic.STD_Z):
+        q = insn.q or 0
+        _check(0 <= q < 64, f"{m.value}: displacement out of range: {q}")
+        store = m in (Mnemonic.STD_Y, Mnemonic.STD_Z)
+        reg = _req(insn.rr if store else insn.rd, "rr" if store else "rd", insn)
+        _check(0 <= reg < 32, f"{m.value}: register out of range")
+        use_y = m in (Mnemonic.LDD_Y, Mnemonic.STD_Y)
+        return [
+            0x8000
+            | ((q & 0x20) << 8)
+            | ((q & 0x18) << 7)
+            | (int(store) << 9)
+            | (reg << 4)
+            | (int(use_y) << 3)
+            | (q & 0x07)
+        ]
+
+    if m in _LD_MODE or m is Mnemonic.LDS:
+        rd = _req(insn.rd, "rd", insn)
+        _check(0 <= rd < 32, f"{m.value}: register out of range")
+        if m is Mnemonic.LDS:
+            k = _req(insn.k, "k", insn)
+            _check(0 <= k <= 0xFFFF, f"lds: address out of range: {k}")
+            return [0x9000 | (rd << 4), k]
+        return [0x9000 | (rd << 4) | _LD_MODE[m]]
+
+    if m in _ST_MODE or m is Mnemonic.STS:
+        reg = insn.rr if insn.rr is not None else insn.rd
+        reg = _req(reg, "rr", insn)
+        _check(0 <= reg < 32, f"{m.value}: register out of range")
+        if m is Mnemonic.STS:
+            k = _req(insn.k, "k", insn)
+            _check(0 <= k <= 0xFFFF, f"sts: address out of range: {k}")
+            return [0x9200 | (reg << 4), k]
+        return [0x9200 | (reg << 4) | _ST_MODE[m]]
+
+    if m in _ONE_OP:
+        rd = _req(insn.rd, "rd", insn)
+        _check(0 <= rd < 32, f"{m.value}: register out of range")
+        return [0x9400 | (rd << 4) | _ONE_OP[m]]
+
+    if m is Mnemonic.BSET:
+        b = _req(insn.b, "b", insn)
+        _check(0 <= b < 8, "bset: bit out of range")
+        return [0x9408 | (b << 4)]
+
+    if m is Mnemonic.BCLR:
+        b = _req(insn.b, "b", insn)
+        _check(0 <= b < 8, "bclr: bit out of range")
+        return [0x9488 | (b << 4)]
+
+    if m in (Mnemonic.JMP, Mnemonic.CALL):
+        k = _req(insn.k, "k", insn)
+        _check(0 <= k < (1 << 22), f"{m.value}: target out of 22-bit range: {k}")
+        base = 0x940C if m is Mnemonic.JMP else 0x940E
+        high = base | (((k >> 17) & 0x1F) << 4) | ((k >> 16) & 1)
+        return [high, k & 0xFFFF]
+
+    if m in (Mnemonic.ADIW, Mnemonic.SBIW):
+        rd = _req(insn.rd, "rd", insn)
+        k = _req(insn.k, "k", insn)
+        _check(rd in (24, 26, 28, 30), f"{m.value}: rd must be 24/26/28/30")
+        _check(0 <= k < 64, f"{m.value}: immediate out of range: {k}")
+        base = 0x9600 if m is Mnemonic.ADIW else 0x9700
+        return [base | ((k & 0x30) << 2) | (((rd - 24) // 2) << 4) | (k & 0x0F)]
+
+    if m in _BIT_IO:
+        a = _req(insn.a, "a", insn)
+        b = _req(insn.b, "b", insn)
+        _check(0 <= a < 32, f"{m.value}: I/O address must be 0..31, got {a}")
+        _check(0 <= b < 8, f"{m.value}: bit out of range")
+        return [_BIT_IO[m] | (a << 3) | b]
+
+    if m is Mnemonic.IN:
+        rd = _req(insn.rd, "rd", insn)
+        a = _req(insn.a, "a", insn)
+        _check(0 <= rd < 32, "in: register out of range")
+        _check(0 <= a < 64, f"in: I/O address out of range: {a}")
+        return [0xB000 | ((a & 0x30) << 5) | (rd << 4) | (a & 0x0F)]
+
+    if m is Mnemonic.OUT:
+        rr = insn.rr if insn.rr is not None else insn.rd
+        rr = _req(rr, "rr", insn)
+        a = _req(insn.a, "a", insn)
+        _check(0 <= rr < 32, "out: register out of range")
+        _check(0 <= a < 64, f"out: I/O address out of range: {a}")
+        return [0xB800 | ((a & 0x30) << 5) | (rr << 4) | (a & 0x0F)]
+
+    if m in (Mnemonic.RJMP, Mnemonic.RCALL):
+        k = _req(insn.k, "k", insn)
+        _check(-2048 <= k < 2048, f"{m.value}: displacement out of range: {k}")
+        base = 0xC000 if m is Mnemonic.RJMP else 0xD000
+        return [base | (k & 0xFFF)]
+
+    if m in (Mnemonic.BRBS, Mnemonic.BRBC):
+        k = _req(insn.k, "k", insn)
+        b = _req(insn.b, "b", insn)
+        _check(-64 <= k < 64, f"{m.value}: displacement out of range: {k}")
+        _check(0 <= b < 8, f"{m.value}: SREG bit out of range")
+        base = 0xF000 if m is Mnemonic.BRBS else 0xF400
+        return [base | ((k & 0x7F) << 3) | b]
+
+    if m in _REG_BIT:
+        rd = _req(insn.rd, "rd", insn)
+        b = _req(insn.b, "b", insn)
+        _check(0 <= rd < 32, f"{m.value}: register out of range")
+        _check(0 <= b < 8, f"{m.value}: bit out of range")
+        return [_REG_BIT[m] | (rd << 4) | b]
+
+    raise EncodeError(f"no encoding for mnemonic {m.value}")
+
+
+def encode_bytes(insn: Instruction) -> bytes:
+    """Encode one instruction into little-endian bytes."""
+    out = bytearray()
+    for word in encode(insn):
+        out.append(word & 0xFF)
+        out.append((word >> 8) & 0xFF)
+    return bytes(out)
+
+
+def encode_stream(insns) -> bytes:
+    """Encode a sequence of instructions into contiguous machine code."""
+    out = bytearray()
+    for insn in insns:
+        out.extend(encode_bytes(insn))
+    return bytes(out)

@@ -1,0 +1,84 @@
+"""I/O register map for the simulated ATmega2560.
+
+AVR exposes two address spaces for the same registers: the *I/O address*
+used by ``in``/``out``/``sbi``/``cbi`` (0x00..0x3F), and the *data address*
+used by loads/stores, which is the I/O address plus 0x20.  The stk_move
+gadget in the paper writes the stack pointer with ``out 0x3d, r28`` /
+``out 0x3e, r29`` which is why getting this mapping right matters.
+"""
+
+from __future__ import annotations
+
+# Offset between I/O addressing and data-space addressing.
+IO_TO_DATA_OFFSET = 0x20
+
+# Core I/O registers (I/O addresses, i.e. as used by in/out).
+SPL = 0x3D
+SPH = 0x3E
+SREG_IO = 0x3F
+
+# Data-space addresses of the same registers.
+SPL_DATA = SPL + IO_TO_DATA_OFFSET  # 0x5D
+SPH_DATA = SPH + IO_TO_DATA_OFFSET  # 0x5E
+SREG_DATA = SREG_IO + IO_TO_DATA_OFFSET  # 0x5F
+
+# A small set of peripheral registers the synthetic firmware uses.  The
+# addresses follow the ATmega2560 datasheet where a register exists there;
+# registers in extended I/O space (>= 0x60 data address) are only reachable
+# via lds/sts, exactly as on silicon.
+PINA = 0x00
+DDRA = 0x01
+PORTA = 0x02
+PINB = 0x03
+DDRB = 0x04
+PORTB = 0x05
+
+# Watchdog-feed port: the firmware signals liveness to the MAVR master
+# processor by toggling a GPIO line.  We model it as PORTB bit 0.
+FEED_PORT = PORTB
+FEED_BIT = 0
+# Boot-signature line: main pulses PORTB bit 1 once on entry, letting the
+# master's timing analysis notice an application restart it did not order
+# (the signature a failed exploit leaves when a wild ret lands on the
+# reset vector).
+BOOT_BIT = 1
+
+# UART 0 (extended I/O, data-space addresses).
+UDR0_DATA = 0xC6  # UART data register
+UCSR0A_DATA = 0xC0  # status: bit 5 = UDRE (data register empty), bit 7 = RXC
+UCSR0B_DATA = 0xC1
+UBRR0L_DATA = 0xC4
+UBRR0H_DATA = 0xC5
+
+UDRE_BIT = 5
+RXC_BIT = 7
+
+# EEPROM controller (core I/O, reachable with in/out — and with plain
+# data-space stores, which is how a ROP chain can drive it).
+EECR = 0x1F  # control: bit 0 EERE (read enable), bit 1 EEPE (write enable)
+EEDR = 0x20  # data register
+EEARL = 0x21  # address low
+EEARH = 0x22  # address high
+EECR_DATA = EECR + IO_TO_DATA_OFFSET  # 0x3F
+EEDR_DATA = EEDR + IO_TO_DATA_OFFSET  # 0x40
+EEARL_DATA = EEARL + IO_TO_DATA_OFFSET  # 0x41
+EEARH_DATA = EEARH + IO_TO_DATA_OFFSET  # 0x42
+EERE_BIT = 0
+EEPE_BIT = 1
+
+IO_SPACE_SIZE = 0x40  # 0x00..0x3F reachable by in/out
+
+
+def io_to_data(io_addr: int) -> int:
+    """Convert an ``in``/``out`` I/O address to its data-space address."""
+    if not 0 <= io_addr < IO_SPACE_SIZE:
+        raise ValueError(f"I/O address out of range: 0x{io_addr:02x}")
+    return io_addr + IO_TO_DATA_OFFSET
+
+
+def data_to_io(data_addr: int) -> int:
+    """Convert a data-space address to its I/O address."""
+    io_addr = data_addr - IO_TO_DATA_OFFSET
+    if not 0 <= io_addr < IO_SPACE_SIZE:
+        raise ValueError(f"data address 0x{data_addr:02x} is not in I/O space")
+    return io_addr

@@ -1,0 +1,219 @@
+"""Memories of the simulated ATmega2560 (paper Fig. 1).
+
+Three physically separate memories, per the Harvard architecture:
+
+* **flash** — 256 KB of program memory, addressed as 128 K two-byte words.
+  The only memory instructions execute from.
+* **data space** — one linear byte space containing the 32 general registers
+  (0x0000..0x001F), the 64 core I/O registers (0x0020..0x005F), extended I/O
+  (0x0060..0x01FF) and 8 KB of SRAM (0x0200..0x21FF).  The stack, globals and
+  heap live here; nothing here is executable.
+* **EEPROM** — 4 KB persistent configuration storage outside both spaces.
+
+The single linear data space with memory-mapped registers is what makes the
+paper's attack work: gadgets change the stack pointer by storing to data
+addresses 0x5D/0x5E, and overwrite "registers" with plain stores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import MemoryAccessError
+from .iospace import IO_TO_DATA_OFFSET, SREG_DATA
+from .sreg import StatusRegister
+
+FLASH_SIZE = 256 * 1024  # bytes
+FLASH_WORDS = FLASH_SIZE // 2
+
+REGISTER_FILE_BASE = 0x0000
+REGISTER_FILE_SIZE = 32
+IO_BASE = 0x0020
+EXT_IO_BASE = 0x0060
+SRAM_BASE = 0x0200
+SRAM_SIZE = 8 * 1024
+RAMEND = SRAM_BASE + SRAM_SIZE - 1  # 0x21FF
+DATA_SPACE_SIZE = RAMEND + 1
+
+EEPROM_SIZE = 4 * 1024
+
+# Callback signature for I/O hooks: (data_address, value_or_None) -> int|None.
+ReadHook = Callable[[int], int]
+WriteHook = Callable[[int, int], None]
+
+
+class FlashMemory:
+    """Program memory: byte-addressed storage executed as 16-bit words."""
+
+    def __init__(self, size: int = FLASH_SIZE) -> None:
+        self.size = size
+        self._bytes = bytearray(b"\xff" * size)  # erased flash reads 0xFF
+
+    def load(self, image: bytes, offset: int = 0) -> None:
+        """Program ``image`` starting at byte ``offset``."""
+        if offset < 0 or offset + len(image) > self.size:
+            raise MemoryAccessError(
+                f"flash image of {len(image)} bytes does not fit at offset {offset}"
+            )
+        self._bytes[offset : offset + len(image)] = image
+
+    def erase(self) -> None:
+        """Return the whole array to the erased state."""
+        for i in range(self.size):
+            self._bytes[i] = 0xFF
+
+    def read_byte(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise MemoryAccessError(f"flash byte read out of range: 0x{address:06x}")
+        return self._bytes[address]
+
+    def read_word(self, word_address: int) -> int:
+        """Fetch the little-endian 16-bit word at ``word_address``."""
+        byte_addr = word_address * 2
+        if not 0 <= byte_addr + 1 < self.size:
+            raise MemoryAccessError(
+                f"flash word read out of range: word 0x{word_address:05x}"
+            )
+        return self._bytes[byte_addr] | (self._bytes[byte_addr + 1] << 8)
+
+    def write_page(self, address: int, data: bytes) -> None:
+        """Bootloader-style page write (no erase modelling beyond overwrite)."""
+        self.load(data, address)
+
+    def dump(self, start: int = 0, length: Optional[int] = None) -> bytes:
+        if length is None:
+            length = self.size - start
+        return bytes(self._bytes[start : start + length])
+
+
+class Eeprom:
+    """Persistent configuration memory, byte addressed, outside data space."""
+
+    def __init__(self, size: int = EEPROM_SIZE) -> None:
+        self.size = size
+        self._bytes = bytearray(b"\xff" * size)
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise MemoryAccessError(f"EEPROM read out of range: 0x{address:04x}")
+        return self._bytes[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.size:
+            raise MemoryAccessError(f"EEPROM write out of range: 0x{address:04x}")
+        self._bytes[address] = value & 0xFF
+
+
+class DataSpace:
+    """The single linear data space, registers and I/O included.
+
+    The 32 general registers live at the bottom of this space, so register
+    reads/writes and memory loads/stores view the same bytes — the property
+    the paper's ``write_mem_gadget`` relies on.  SREG (data address 0x5F) is
+    backed by a :class:`StatusRegister` so flag semantics stay exact.
+    """
+
+    def __init__(self, sreg: StatusRegister) -> None:
+        self._bytes = bytearray(DATA_SPACE_SIZE)
+        self.sreg = sreg
+        self._read_hooks: Dict[int, ReadHook] = {}
+        self._write_hooks: Dict[int, WriteHook] = {}
+
+    # -- hooks ---------------------------------------------------------
+
+    def add_read_hook(self, data_address: int, hook: ReadHook) -> None:
+        """Route reads of ``data_address`` through ``hook`` (peripherals)."""
+        self._read_hooks[data_address] = hook
+
+    def add_write_hook(self, data_address: int, hook: WriteHook) -> None:
+        """Observe/override writes to ``data_address`` (peripherals).
+
+        A hook returning ``None`` observes only; returning an int replaces
+        the stored byte (how self-clearing strobe bits are modelled).
+        """
+        self._write_hooks[data_address] = hook
+
+    # -- registers -----------------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        """Read general register r0..r31 (memory mapped)."""
+        if not 0 <= index < REGISTER_FILE_SIZE:
+            raise MemoryAccessError(f"register index out of range: {index}")
+        return self._bytes[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if not 0 <= index < REGISTER_FILE_SIZE:
+            raise MemoryAccessError(f"register index out of range: {index}")
+        self._bytes[index] = value & 0xFF
+
+    def read_reg_pair(self, low_index: int) -> int:
+        """Read a 16-bit register pair (e.g. 28 for Y, 30 for Z)."""
+        return self.read_reg(low_index) | (self.read_reg(low_index + 1) << 8)
+
+    def write_reg_pair(self, low_index: int, value: int) -> None:
+        self.write_reg(low_index, value & 0xFF)
+        self.write_reg(low_index + 1, (value >> 8) & 0xFF)
+
+    # -- raw byte access (loads/stores, stack) ---------------------------
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < DATA_SPACE_SIZE:
+            raise MemoryAccessError(f"data read out of range: 0x{address:05x}")
+        if address == SREG_DATA:
+            return self.sreg.byte
+        hook = self._read_hooks.get(address)
+        if hook is not None:
+            return hook(address) & 0xFF
+        return self._bytes[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < DATA_SPACE_SIZE:
+            raise MemoryAccessError(f"data write out of range: 0x{address:05x}")
+        value &= 0xFF
+        if address == SREG_DATA:
+            self.sreg.byte = value
+            return
+        hook = self._write_hooks.get(address)
+        if hook is not None:
+            override = hook(address, value)
+            if override is not None:
+                value = override & 0xFF
+        self._bytes[address] = value
+
+    def read_io(self, io_address: int) -> int:
+        """``in`` semantics: read I/O register by I/O address."""
+        return self.read(io_address + IO_TO_DATA_OFFSET)
+
+    def write_io(self, io_address: int, value: int) -> None:
+        """``out`` semantics: write I/O register by I/O address."""
+        self.write(io_address + IO_TO_DATA_OFFSET, value)
+
+    # -- stack pointer ---------------------------------------------------
+
+    @property
+    def sp(self) -> int:
+        """16-bit stack pointer held in SPL/SPH (data 0x5D/0x5E)."""
+        return self._bytes[0x5D] | (self._bytes[0x5E] << 8)
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self._bytes[0x5D] = value & 0xFF
+        self._bytes[0x5E] = (value >> 8) & 0xFF
+
+    # -- convenience -----------------------------------------------------
+
+    def read_block(self, address: int, length: int) -> bytes:
+        """Read ``length`` raw bytes (no hooks), for inspection/snapshots."""
+        if address < 0 or address + length > DATA_SPACE_SIZE:
+            raise MemoryAccessError(
+                f"block read out of range: 0x{address:05x}+{length}"
+            )
+        return bytes(self._bytes[address : address + length])
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Write raw bytes (no hooks), for test setup."""
+        if address < 0 or address + len(data) > DATA_SPACE_SIZE:
+            raise MemoryAccessError(
+                f"block write out of range: 0x{address:05x}+{len(data)}"
+            )
+        self._bytes[address : address + len(data)] = data

@@ -1,0 +1,95 @@
+"""AVR status register (SREG) model.
+
+SREG is a single byte of eight independent flags.  The simulator keeps them
+as booleans for fast access and packs/unpacks the byte only when software
+reads or writes I/O address 0x3F.
+
+Bit layout (datasheet order, bit 7 .. bit 0)::
+
+    I  T  H  S  V  N  Z  C
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Bit positions within the packed SREG byte.
+BIT_C = 0  # carry
+BIT_Z = 1  # zero
+BIT_N = 2  # negative
+BIT_V = 3  # two's complement overflow
+BIT_S = 4  # sign (N xor V)
+BIT_H = 5  # half carry
+BIT_T = 6  # bit copy storage
+BIT_I = 7  # global interrupt enable
+
+FLAG_NAMES = ("C", "Z", "N", "V", "S", "H", "T", "I")
+
+
+@dataclass
+class StatusRegister:
+    """Mutable SREG with named flag attributes."""
+
+    c: bool = False
+    z: bool = False
+    n: bool = False
+    v: bool = False
+    s: bool = False
+    h: bool = False
+    t: bool = False
+    i: bool = False
+
+    @property
+    def byte(self) -> int:
+        """Pack the flags into the architectural byte value."""
+        return (
+            (self.c << BIT_C)
+            | (self.z << BIT_Z)
+            | (self.n << BIT_N)
+            | (self.v << BIT_V)
+            | (self.s << BIT_S)
+            | (self.h << BIT_H)
+            | (self.t << BIT_T)
+            | (self.i << BIT_I)
+        )
+
+    @byte.setter
+    def byte(self, value: int) -> None:
+        value &= 0xFF
+        self.c = bool(value & (1 << BIT_C))
+        self.z = bool(value & (1 << BIT_Z))
+        self.n = bool(value & (1 << BIT_N))
+        self.v = bool(value & (1 << BIT_V))
+        self.s = bool(value & (1 << BIT_S))
+        self.h = bool(value & (1 << BIT_H))
+        self.t = bool(value & (1 << BIT_T))
+        self.i = bool(value & (1 << BIT_I))
+
+    def get_bit(self, bit: int) -> bool:
+        """Read a flag by SREG bit index (0=C .. 7=I)."""
+        return bool(self.byte & (1 << bit))
+
+    def set_bit(self, bit: int, value: bool) -> None:
+        """Write a flag by SREG bit index (0=C .. 7=I)."""
+        byte = self.byte
+        if value:
+            byte |= 1 << bit
+        else:
+            byte &= ~(1 << bit)
+        self.byte = byte
+
+    def update_sign(self) -> None:
+        """Recompute S = N xor V after N/V changed."""
+        self.s = self.n != self.v
+
+    def copy(self) -> "StatusRegister":
+        clone = StatusRegister()
+        clone.byte = self.byte
+        return clone
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [
+            name if self.get_bit(bit) else name.lower()
+            for bit, name in enumerate(FLAG_NAMES)
+        ]
+        return "".join(reversed(bits))

@@ -1,0 +1,83 @@
+"""Execution and stack tracing utilities.
+
+Used by tests (behavioural-equivalence checks between original and
+randomized firmware) and by the Fig. 6 reproduction, which snapshots the
+stack at each stage of the stealthy attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .cpu import AvrCpu
+from .insn import Instruction, Mnemonic
+
+
+@dataclass(frozen=True)
+class StackSnapshot:
+    """A window of stack memory captured at a labelled moment."""
+
+    label: str
+    sp: int
+    base_address: int
+    data: bytes
+    cycle: int
+
+    def hexdump(self, width: int = 8) -> str:
+        """Render like the paper's Fig. 6 stack listings."""
+        lines = []
+        for row_start in range(0, len(self.data), width):
+            row = self.data[row_start : row_start + width]
+            addr = self.base_address + row_start
+            body = " ".join(f"0x{b:02X}" for b in row)
+            lines.append(f"0x{addr:06X}: {body}")
+        return "\n".join(lines)
+
+
+def snapshot_stack(
+    cpu: AvrCpu, label: str, window: int = 32, base: Optional[int] = None
+) -> StackSnapshot:
+    """Capture ``window`` bytes starting just above SP (or at ``base``)."""
+    start = base if base is not None else cpu.data.sp + 1
+    start = max(0, start)
+    length = min(window, 0x2200 - start)
+    return StackSnapshot(
+        label=label,
+        sp=cpu.data.sp,
+        base_address=start,
+        data=cpu.data.read_block(start, length),
+        cycle=cpu.cycles,
+    )
+
+
+@dataclass
+class ExecutionTrace:
+    """Records retired instructions and externally visible stores.
+
+    The *observable trace* (`io_writes`) — stores outside the register file
+    and stack region — is the behavioural-equivalence criterion used to show
+    randomized firmware behaves identically to the original.
+    """
+
+    record_instructions: bool = True
+    instructions: List[Tuple[int, Instruction]] = field(default_factory=list)
+    io_writes: List[Tuple[int, int]] = field(default_factory=list)
+    max_instructions: int = 2_000_000
+
+    def attach(self, cpu: AvrCpu) -> None:
+        cpu.trace_hooks.append(self._on_retire)
+
+    def _on_retire(self, cpu: AvrCpu, pc_bytes: int, insn: Instruction) -> None:
+        if self.record_instructions and len(self.instructions) < self.max_instructions:
+            self.instructions.append((pc_bytes, insn))
+        if insn.mnemonic is Mnemonic.STS:
+            self.io_writes.append((insn.k, cpu.data.read(insn.k)))
+        elif insn.mnemonic is Mnemonic.OUT:
+            self.io_writes.append((insn.a + 0x20, cpu.data.read_reg(insn.rr)))
+
+    def mnemonic_counts(self) -> dict:
+        counts: dict = {}
+        for _pc, insn in self.instructions:
+            counts[insn.mnemonic] = counts.get(insn.mnemonic, 0) + 1
+        return counts

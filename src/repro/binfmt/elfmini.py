@@ -1,0 +1,115 @@
+"""Minimal ELF-like object container ("mini-ELF").
+
+The real pipeline is: GCC emits an ELF with a symbol table → preprocessing
+reads the symbols → objcopy strips them into an Intel HEX.  Our linker emits
+this mini-ELF, which keeps the same separation: a container that still *has*
+the symbol table, from which the preprocessor builds the stripped HEX plus
+prepended symbol blob.
+
+Binary layout::
+
+    magic "MELF" | u16 version | u16 n_sections
+    per section:  u16 name_len | name | u32 addr | u32 size | data
+    symbol table blob (repro.binfmt.symtab format)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import BinfmtError
+from .symtab import SymbolTable
+
+_MAGIC = b"MELF"
+_VERSION = 1
+
+
+@dataclass
+class Section:
+    """A named, placed blob of bytes (.text, .data, .vectors, ...)."""
+
+    name: str
+    address: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.address + len(self.data)
+
+
+@dataclass
+class MiniElf:
+    """Sections + symbols, serializable, convertible to a flat flash image."""
+
+    sections: List[Section] = field(default_factory=list)
+    symbols: SymbolTable = field(default_factory=SymbolTable)
+
+    def section(self, name: str) -> Section:
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        raise BinfmtError(f"no such section: {name}")
+
+    def has_section(self, name: str) -> bool:
+        return any(sec.name == name for sec in self.sections)
+
+    def add_section(self, section: Section) -> None:
+        if self.has_section(section.name):
+            raise BinfmtError(f"duplicate section: {section.name}")
+        for existing in self.sections:
+            if section.address < existing.end and existing.address < section.end:
+                raise BinfmtError(
+                    f"section {section.name} overlaps {existing.name}"
+                )
+        self.sections.append(section)
+
+    def flat_image(self, fill: int = 0xFF) -> bytes:
+        """Flatten all sections into one contiguous image from address 0."""
+        if not self.sections:
+            return b""
+        end = max(sec.end for sec in self.sections)
+        image = bytearray([fill]) * end
+        for sec in self.sections:
+            image[sec.address : sec.end] = sec.data
+        return bytes(image)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(struct.pack("<4sHH", _MAGIC, _VERSION, len(self.sections)))
+        for sec in self.sections:
+            raw_name = sec.name.encode("utf-8")
+            out += struct.pack("<H", len(raw_name))
+            out += raw_name
+            out += struct.pack("<II", sec.address, len(sec.data))
+            out += sec.data
+        out += self.symbols.to_bytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MiniElf":
+        head = struct.Struct("<4sHH")
+        if len(blob) < head.size:
+            raise BinfmtError("mini-ELF truncated (header)")
+        magic, version, n_sections = head.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise BinfmtError(f"bad mini-ELF magic: {magic!r}")
+        if version != _VERSION:
+            raise BinfmtError(f"unsupported mini-ELF version: {version}")
+        offset = head.size
+        obj = cls()
+        for _ in range(n_sections):
+            (name_len,) = struct.unpack_from("<H", blob, offset)
+            offset += 2
+            name = blob[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            address, size = struct.unpack_from("<II", blob, offset)
+            offset += 8
+            if offset + size > len(blob):
+                raise BinfmtError(f"mini-ELF truncated (section {name})")
+            obj.add_section(Section(name, address, bytes(blob[offset : offset + size])))
+            offset += size
+        obj.symbols = SymbolTable.from_bytes(blob[offset:])
+        return obj

@@ -1,0 +1,95 @@
+"""Function-pointer discovery in the data section.
+
+Paper §VI-B2: *"references in the data section are scanned for function
+pointers.  Any pointers found, particularly C++ class vtables and global
+arrays of functions used in some applications for call routing, are also
+added to the HEX file to allow MAVR to update these locations at runtime."*
+
+The linker gives us ground truth (it emitted the tables), but a production
+preprocessor only has the binary — so we implement the scan too and test it
+against ground truth.  A scanned candidate is any aligned 2-byte
+little-endian value that equals the word address of a known function entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from .image import FirmwareImage
+
+
+@dataclass(frozen=True)
+class PointerCandidate:
+    """A data-section slot that looks like a function pointer."""
+
+    location: int  # byte offset of the slot within the image
+    target_word: int  # stored value (function word address)
+    target_name: str  # function whose entry it matches
+
+
+def scan_function_pointers(
+    image: FirmwareImage, require_alignment: bool = True
+) -> List[PointerCandidate]:
+    """Scan the data region for slots that reference a function.
+
+    A slot counts when its 2-byte value is a function's word address, or
+    the word address of a fixed-region trampoline stub — a ``jmp`` whose
+    target is a function entry (how pointer tables work on >128 KB parts).
+    """
+    entries = {sym.word_address: sym.name for sym in image.symbols.functions()}
+    trampolines = _trampoline_map(image, entries)
+    found: List[PointerCandidate] = []
+    step = 2 if require_alignment else 1
+    start = image.data_start
+    if require_alignment and start % 2:
+        start += 1
+    for location in range(start, image.data_end - 1, step):
+        value = image.code[location] | (image.code[location + 1] << 8)
+        name = entries.get(value) or trampolines.get(value)
+        if name is not None:
+            found.append(PointerCandidate(location, value, name))
+    return found
+
+
+def _trampoline_map(image: FirmwareImage, entries: dict) -> dict:
+    """word address of each fixed-region jmp stub -> target function name."""
+    from ..avr.decoder import decode_at
+    from ..avr.insn import Mnemonic
+    from ..errors import DecodeError
+
+    stubs: dict = {}
+    fixed_limit = min(image.text_start, image.data_start)
+    offset = 0
+    while offset + 1 < fixed_limit:
+        try:
+            insn, size = decode_at(image.code, offset)
+        except DecodeError:
+            offset += 2
+            continue
+        if insn.mnemonic is Mnemonic.JMP and insn.k in entries:
+            stubs[offset // 2] = entries[insn.k]
+        offset += size
+    return stubs
+
+
+def scan_precision_recall(image: FirmwareImage) -> dict:
+    """Compare scan output with the linker's ground-truth pointer slots.
+
+    Returns precision/recall so tests and benches can assert that the scan
+    never misses a real pointer (recall == 1.0 is required for the defense
+    to be sound; false positives merely cause harmless extra patching when
+    the value happens to coincide with a function entry).
+    """
+    truth: Set[int] = set(image.funcptr_locations)
+    scanned: Set[int] = {c.location for c in scan_function_pointers(image)}
+    true_positives = len(truth & scanned)
+    precision = true_positives / len(scanned) if scanned else 1.0
+    recall = true_positives / len(truth) if truth else 1.0
+    return {
+        "truth": len(truth),
+        "scanned": len(scanned),
+        "true_positives": true_positives,
+        "precision": precision,
+        "recall": recall,
+    }

@@ -1,0 +1,163 @@
+"""Intel HEX encoding/decoding.
+
+The flash utility (avrdude in the paper) moves firmware around as Intel HEX
+text.  We implement the record types needed for 256 KB images:
+
+* ``00`` data
+* ``01`` end-of-file
+* ``04`` extended linear address (upper 16 bits), required above 64 KB
+
+The MAVR preprocessor prepends symbol information to the HEX file; we encode
+that blob as ordinary data records in a reserved virtual window above flash
+(see :data:`SYMBOL_WINDOW_BASE`), so standard tooling still parses the file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import BinfmtError
+
+RECORD_DATA = 0x00
+RECORD_EOF = 0x01
+RECORD_EXT_LINEAR = 0x04
+
+# Virtual address window where prepended (non-flash) metadata records live.
+SYMBOL_WINDOW_BASE = 0x0080_0000
+
+
+def _checksum(record_bytes: bytes) -> int:
+    return (-sum(record_bytes)) & 0xFF
+
+
+def _format_record(address16: int, record_type: int, payload: bytes) -> str:
+    record = bytes([len(payload), (address16 >> 8) & 0xFF, address16 & 0xFF, record_type]) + payload
+    return ":" + record.hex().upper() + f"{_checksum(record):02X}"
+
+
+def encode(chunks: Dict[int, bytes], record_size: int = 16) -> str:
+    """Encode ``{absolute_address: data}`` chunks into Intel HEX text.
+
+    Chunks are emitted in ascending address order; extended linear address
+    records are inserted whenever the upper 16 address bits change.
+    """
+    if record_size <= 0 or record_size > 255:
+        raise BinfmtError(f"record size out of range: {record_size}")
+    lines: List[str] = []
+    current_upper = None
+    for base in sorted(chunks):
+        data = chunks[base]
+        offset = 0
+        while offset < len(data):
+            address = base + offset
+            upper = (address >> 16) & 0xFFFF
+            if upper != current_upper:
+                lines.append(_format_record(0, RECORD_EXT_LINEAR, bytes([upper >> 8, upper & 0xFF])))
+                current_upper = upper
+            # do not cross a 64 KB boundary inside one record
+            span = min(record_size, len(data) - offset, 0x10000 - (address & 0xFFFF))
+            lines.append(_format_record(address & 0xFFFF, RECORD_DATA, data[offset : offset + span]))
+            offset += span
+    lines.append(_format_record(0, RECORD_EOF, b""))
+    return "\n".join(lines) + "\n"
+
+
+def decode(text: str) -> Dict[int, bytes]:
+    """Decode Intel HEX text into contiguous ``{address: data}`` chunks."""
+    sparse: Dict[int, int] = {}
+    upper = 0
+    saw_eof = False
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise BinfmtError(f"line {line_number}: data after EOF record")
+        if not line.startswith(":"):
+            raise BinfmtError(f"line {line_number}: missing ':' start code")
+        try:
+            blob = bytes.fromhex(line[1:])
+        except ValueError as exc:
+            raise BinfmtError(f"line {line_number}: bad hex digits") from exc
+        if len(blob) < 5:
+            raise BinfmtError(f"line {line_number}: record too short")
+        count, addr_high, addr_low, record_type = blob[0], blob[1], blob[2], blob[3]
+        payload = blob[4:-1]
+        if len(payload) != count:
+            raise BinfmtError(f"line {line_number}: length mismatch")
+        if sum(blob) & 0xFF != 0:
+            raise BinfmtError(f"line {line_number}: checksum mismatch")
+        if record_type == RECORD_DATA:
+            base = (upper << 16) | (addr_high << 8) | addr_low
+            for i, value in enumerate(payload):
+                sparse[base + i] = value
+        elif record_type == RECORD_EOF:
+            saw_eof = True
+        elif record_type == RECORD_EXT_LINEAR:
+            if count != 2:
+                raise BinfmtError(f"line {line_number}: bad extended address record")
+            upper = (payload[0] << 8) | payload[1]
+        else:
+            raise BinfmtError(f"line {line_number}: unsupported record type {record_type:02x}")
+    if not saw_eof:
+        raise BinfmtError("missing EOF record")
+    return _coalesce(sparse)
+
+
+def _coalesce(sparse: Dict[int, int]) -> Dict[int, bytes]:
+    chunks: Dict[int, bytes] = {}
+    if not sparse:
+        return chunks
+    addresses = sorted(sparse)
+    start = addresses[0]
+    run = bytearray([sparse[start]])
+    previous = start
+    for address in addresses[1:]:
+        if address == previous + 1:
+            run.append(sparse[address])
+        else:
+            chunks[start] = bytes(run)
+            start = address
+            run = bytearray([sparse[address]])
+        previous = address
+    chunks[start] = bytes(run)
+    return chunks
+
+
+def encode_with_symbols(code: bytes, symbol_blob: bytes, code_base: int = 0) -> str:
+    """Produce the MAVR *preprocessed* HEX: symbol blob prepended to code.
+
+    The symbol blob occupies the reserved virtual window so the application
+    bytes remain exactly where the flash utility expects them.
+    """
+    chunks = {SYMBOL_WINDOW_BASE: symbol_blob, code_base: code}
+    # dict ordering: encode() sorts by address, so the window base must sort
+    # after code — it does (0x800000 > any flash address).  The blob is
+    # conceptually "prepended"; physically it is a separate address island.
+    return encode(chunks)
+
+
+def decode_with_symbols(text: str, code_base: int = 0) -> Tuple[bytes, bytes]:
+    """Split a preprocessed HEX back into ``(code, symbol_blob)``."""
+    chunks = decode(text)
+    symbol_blob = b""
+    code_parts: Dict[int, bytes] = {}
+    for base, data in chunks.items():
+        if base >= SYMBOL_WINDOW_BASE:
+            if symbol_blob:
+                raise BinfmtError("multiple symbol windows in HEX file")
+            symbol_blob = data
+        else:
+            code_parts[base] = data
+    if not code_parts:
+        raise BinfmtError("no code records in HEX file")
+    start = min(code_parts)
+    if start != code_base:
+        raise BinfmtError(
+            f"code does not start at 0x{code_base:05x} (found 0x{start:05x})"
+        )
+    end = max(base + len(data) for base, data in code_parts.items())
+    image = bytearray(b"\xff" * (end - code_base))
+    for base, data in code_parts.items():
+        image[base - code_base : base - code_base + len(data)] = data
+    return bytes(image), symbol_blob

@@ -1,0 +1,61 @@
+"""MAVR defense: preprocessing, randomization, patching, master processor."""
+
+from .fuses import ReadoutProtectedFlash
+from .master import MasterProcessor, MasterStats
+from .mavr import MavrReport, MavrSystem
+from .padding import (
+    generate_padded_permutation,
+    padded_entropy_bits,
+    randomize_image_padded,
+)
+from .patching import patch_image, randomize_image, verify_patched
+from .policy import EVERY_BOOT, EVERY_TENTH_BOOT, RandomizationPolicy
+from .preprocess import (
+    PreprocessReport,
+    check_randomizable,
+    load_preprocessed,
+    preprocess,
+    preprocess_report,
+)
+from .software_only import SoftwareOnlyDefense, SoftwareOnlyStats
+from .randomize import (
+    BlockMove,
+    Permutation,
+    generate_permutation,
+    layout_entropy_bits,
+    permutation_count,
+    shuffled_symbol_table,
+)
+from .watchdog import WatchdogConfig, WatchdogMonitor
+
+__all__ = [
+    "generate_padded_permutation",
+    "padded_entropy_bits",
+    "randomize_image_padded",
+    "SoftwareOnlyDefense",
+    "SoftwareOnlyStats",
+    "ReadoutProtectedFlash",
+    "MasterProcessor",
+    "MasterStats",
+    "MavrReport",
+    "MavrSystem",
+    "patch_image",
+    "randomize_image",
+    "verify_patched",
+    "EVERY_BOOT",
+    "EVERY_TENTH_BOOT",
+    "RandomizationPolicy",
+    "PreprocessReport",
+    "check_randomizable",
+    "load_preprocessed",
+    "preprocess",
+    "preprocess_report",
+    "BlockMove",
+    "Permutation",
+    "generate_permutation",
+    "layout_entropy_bits",
+    "permutation_count",
+    "shuffled_symbol_table",
+    "WatchdogConfig",
+    "WatchdogMonitor",
+]

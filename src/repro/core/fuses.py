@@ -1,0 +1,47 @@
+"""Readout-protection fuse (paper §V-A3).
+
+The application processor's lock bits prevent any external read of its
+flash once set.  In MAVR this guarantees the *randomized* binary is never
+exposed: an attacker can hold the original binary (it is on the external
+flash / public download) but cannot dump the shuffled layout actually
+executing.
+"""
+
+from __future__ import annotations
+
+from ..avr.memory import FlashMemory
+from ..errors import FuseViolationError
+
+
+class ReadoutProtectedFlash:
+    """Debug-port view of the application processor's flash.
+
+    The CPU itself fetches from :class:`FlashMemory` directly (instruction
+    fetch is internal); this wrapper is the *external* interface — ISP or
+    JTAG reads — which the fuse gates.
+    """
+
+    def __init__(self, flash: FlashMemory, locked: bool = True) -> None:
+        self._flash = flash
+        self._locked = locked
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def set_lock(self) -> None:
+        """Program the lock bits (one-way until a full chip erase)."""
+        self._locked = True
+
+    def chip_erase(self) -> None:
+        """The only way to clear the fuse — it destroys the contents."""
+        self._flash.erase()
+        self._locked = False
+
+    def external_read(self, address: int, length: int) -> bytes:
+        """ISP/JTAG read attempt."""
+        if self._locked:
+            raise FuseViolationError(
+                "readout protection fuse is set; external flash read denied"
+            )
+        return self._flash.dump(address, length)

@@ -1,0 +1,144 @@
+"""The MAVR master processor (paper §V-A2, §VI).
+
+The ATmega1284P that owns the defense at runtime:
+
+* reads the preprocessed binary + symbols from the external flash,
+* generates a fresh permutation and patches the binary,
+* programs the application processor through the bootloader/ISP link
+  (the Table II startup overhead),
+* then watches the feed line; a failed ROP attack shows up as silence,
+  upon which the master resets and re-randomizes immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..binfmt.image import FirmwareImage
+from ..errors import DefenseError
+from ..hw.clock import SimClock
+from ..hw.flashchip import ExternalFlash
+from ..hw.isp import IspProgrammer
+from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
+from ..uav.autopilot import Autopilot
+from .patching import randomize_image
+from .policy import RandomizationPolicy
+from .preprocess import check_randomizable
+from .randomize import Permutation
+from .watchdog import WatchdogConfig, WatchdogMonitor
+
+
+@dataclass
+class MasterStats:
+    """Defense-side accounting."""
+
+    boots: int = 0
+    randomizations: int = 0
+    attacks_detected: int = 0
+    last_startup_overhead_ms: float = 0.0
+    startup_overheads_ms: List[float] = field(default_factory=list)
+
+
+class MasterProcessor:
+    """Owns the external flash, the ISP link and the watchdog role."""
+
+    def __init__(
+        self,
+        autopilot: Autopilot,
+        policy: RandomizationPolicy = RandomizationPolicy(),
+        link: ProgrammingLink = PROTOTYPE_LINK,
+        watchdog: WatchdogConfig = WatchdogConfig(),
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.autopilot = autopilot
+        self.policy = policy
+        self.clock = SimClock()
+        self.external_flash = ExternalFlash()
+        self.isp = IspProgrammer(link, self.clock)
+        self.watchdog_config = watchdog
+        self.rng = rng if rng is not None else random.Random()
+        self.stats = MasterStats()
+        self.monitor = WatchdogMonitor(autopilot.feed, watchdog)
+        self._original: Optional[FirmwareImage] = None
+        self.current_image: Optional[FirmwareImage] = None
+        self.last_permutation: Optional[Permutation] = None
+
+    # -- deployment ---------------------------------------------------------
+
+    def deploy(self, preprocessed_hex: str) -> None:
+        """Receive the preprocessed HEX and store it on the external flash.
+
+        Mirrors the flash utility: the HEX record stream is decoded on
+        arrival and the chip holds the compact binary (code + symbol
+        blob), which is what lets a 220 KB application plus its symbols
+        squeeze into a chip sized like the application processor's flash.
+        """
+        image = FirmwareImage.from_preprocessed_hex(preprocessed_hex)
+        self.external_flash.store(image.to_flash_blob())
+        self._original = None  # reparse on next boot
+
+    def _original_image(self) -> FirmwareImage:
+        if self._original is None:
+            blob = self.external_flash.read_all()
+            if not blob:
+                raise DefenseError("no application deployed on the external flash")
+            image = FirmwareImage.from_flash_blob(blob)
+            check_randomizable(image)
+            self._original = image
+        return self._original
+
+    # -- boot sequence --------------------------------------------------------
+
+    def boot(self, attack_detected: bool = False) -> float:
+        """Power the system up (or recover it); returns startup overhead ms."""
+        original = self._original_image()
+        overhead_ms = 0.0
+        if self.policy.should_randomize(self.stats.boots, attack_detected):
+            randomized, permutation = randomize_image(original, self.rng)
+            overhead_ms = self.isp.program(self.autopilot.cpu.flash, randomized.code)
+            self.autopilot.reflash(randomized)
+            self.current_image = randomized
+            self.last_permutation = permutation
+            self.stats.randomizations += 1
+        else:
+            self.autopilot.reset()
+        self.stats.boots += 1
+        self.stats.last_startup_overhead_ms = overhead_ms
+        if overhead_ms:
+            self.stats.startup_overheads_ms.append(overhead_ms)
+        self.monitor = WatchdogMonitor(self.autopilot.feed, self.watchdog_config)
+        return overhead_ms
+
+    # -- runtime monitoring ------------------------------------------------------
+
+    def watch(self) -> bool:
+        """One monitoring pass; on a detected failure, reset + re-randomize.
+
+        Returns True when a failed attack was detected and handled.
+        """
+        crashed = self.autopilot.status.value == "crashed"
+        silent = not self.monitor.check(self.autopilot.cpu.cycles)
+        if crashed or silent:
+            self.stats.attacks_detected += 1
+            self.boot(attack_detected=True)
+            return True
+        return False
+
+    def run(self, ticks: int, watch_every: int = 10) -> int:
+        """Drive the autopilot with periodic monitoring; returns detections."""
+        detections = 0
+        for tick_index in range(ticks):
+            self.autopilot.tick()
+            if (tick_index + 1) % watch_every == 0:
+                if self.watch():
+                    detections += 1
+        return detections
+
+    # -- reporting ----------------------------------------------------------------
+
+    def startup_overhead_ms(self) -> float:
+        """Measure the overhead of one randomize+program cycle."""
+        self.boot(attack_detected=True)  # force a randomization
+        return self.stats.last_startup_overhead_ms

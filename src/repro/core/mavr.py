@@ -1,0 +1,95 @@
+"""MAVR system facade: the full hardware + software defense in one object.
+
+Wires together everything the paper's Fig. 7 shows: the application
+processor (inside :class:`~repro.uav.Autopilot`), the master processor
+with its external flash and ISP link, the readout-protection fuse, and the
+host-side preprocessing entry point.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..binfmt.image import FirmwareImage
+from ..hw.board import CostModel
+from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
+from ..uav.autopilot import Autopilot
+from ..uav.sensors import SensorState
+from .fuses import ReadoutProtectedFlash
+from .master import MasterProcessor
+from .policy import RandomizationPolicy
+from .preprocess import preprocess
+from .watchdog import WatchdogConfig
+
+
+@dataclass
+class MavrReport:
+    """Summary of a protected system's state."""
+
+    boots: int
+    randomizations: int
+    attacks_detected: int
+    flash_cycles_used: int
+    flash_cycles_remaining: int
+    last_startup_overhead_ms: float
+    cost: dict
+
+
+class MavrSystem:
+    """A UAV protected by MAVR."""
+
+    def __init__(
+        self,
+        image: FirmwareImage,
+        policy: RandomizationPolicy = RandomizationPolicy(),
+        link: ProgrammingLink = PROTOTYPE_LINK,
+        watchdog: WatchdogConfig = WatchdogConfig(),
+        seed: Optional[int] = None,
+        sensor_state: Optional[SensorState] = None,
+    ) -> None:
+        # host phase: preprocess and "upload" to the external flash
+        hex_text = preprocess(image)
+        self.autopilot = Autopilot(image, sensor_state)
+        self.master = MasterProcessor(
+            self.autopilot,
+            policy=policy,
+            link=link,
+            watchdog=watchdog,
+            rng=random.Random(seed),
+        )
+        self.master.deploy(hex_text)
+        self.protected_flash = ReadoutProtectedFlash(
+            self.autopilot.cpu.flash, locked=True
+        )
+        self.cost = CostModel()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def boot(self) -> float:
+        """Power-on: randomize per policy, program, release reset."""
+        return self.master.boot()
+
+    def run(self, ticks: int, watch_every: int = 10) -> int:
+        """Fly for ``ticks`` control periods under master supervision."""
+        return self.master.run(ticks, watch_every)
+
+    @property
+    def running_image(self) -> FirmwareImage:
+        image = self.master.current_image
+        if image is None:
+            raise RuntimeError("system has not booted yet")
+        return image
+
+    def report(self) -> MavrReport:
+        stats = self.master.stats
+        return MavrReport(
+            boots=stats.boots,
+            randomizations=stats.randomizations,
+            attacks_detected=stats.attacks_detected,
+            flash_cycles_used=self.master.isp.stats.programming_cycles,
+            flash_cycles_remaining=self.master.isp.remaining_cycles,
+            last_startup_overhead_ms=stats.last_startup_overhead_ms,
+            cost=self.cost.report(),
+        )

@@ -1,0 +1,55 @@
+"""Randomization-frequency policy (paper §V-C).
+
+Randomizing on every boot is the strongest defense but each randomization
+reprograms the application processor, whose flash endures ~10,000 write
+cycles.  The policy trades security for hardware lifetime:
+
+* randomize every N-th normal boot (configurable),
+* *always* randomize after a detected failed attack (non-negotiable — a
+  failed attempt may have leaked one layout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.isp import FLASH_ENDURANCE_CYCLES
+
+
+@dataclass(frozen=True)
+class RandomizationPolicy:
+    """When the master must regenerate the layout."""
+
+    randomize_every_boots: int = 1  # 1 = every boot (strongest)
+
+    def __post_init__(self) -> None:
+        if self.randomize_every_boots < 1:
+            raise ValueError("randomize_every_boots must be >= 1")
+
+    def should_randomize(self, boot_count: int, attack_detected: bool) -> bool:
+        """Decide at boot ``boot_count`` (0-based)."""
+        if attack_detected:
+            return True
+        if boot_count == 0:
+            return True  # first boot must install a randomized image
+        return boot_count % self.randomize_every_boots == 0
+
+    # -- lifetime arithmetic (the §V-C tradeoff, used by the ablation bench)
+
+    def flash_lifetime_boots(self, endurance: int = FLASH_ENDURANCE_CYCLES) -> int:
+        """Boots until the endurance budget is exhausted (no attacks)."""
+        return endurance * self.randomize_every_boots
+
+    def flash_lifetime_days(
+        self,
+        boots_per_day: float,
+        endurance: int = FLASH_ENDURANCE_CYCLES,
+    ) -> float:
+        """Calendar lifetime under a given boot rate."""
+        if boots_per_day <= 0:
+            raise ValueError("boots_per_day must be positive")
+        return self.flash_lifetime_boots(endurance) / boots_per_day
+
+
+EVERY_BOOT = RandomizationPolicy(1)
+EVERY_TENTH_BOOT = RandomizationPolicy(10)

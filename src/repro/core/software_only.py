@@ -1,0 +1,70 @@
+"""The software-only defense the paper considered and rejected (§VIII-A).
+
+"Initially a software only solution was contemplated … randomize the
+application binary at flash time as it was being written into the board."
+
+Two flaws, both reproduced here:
+
+1. **One permutation for the device's lifetime.**  Failed attempts leak
+   information; an attacker who can distinguish failures brute-forces a
+   fixed layout in E = (N+1)/2 attempts instead of ~N, and the layout
+   never rotates away from partial knowledge.
+2. **No fault tolerance.**  A failed ROP attempt leaves the application
+   processor executing garbage; without a master processor there is
+   nothing on board to reset it — recovery requires cycling the power,
+   "extremely difficult when a UAV is in flight".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..binfmt.image import FirmwareImage
+from ..uav.autopilot import Autopilot, AutopilotStatus
+from .patching import randomize_image
+from .preprocess import check_randomizable
+from .randomize import Permutation
+
+
+@dataclass
+class SoftwareOnlyStats:
+    attacks_crashed: int = 0
+    power_cycles_needed: int = 0
+
+
+class SoftwareOnlyDefense:
+    """Flash-time randomization with no runtime hardware support."""
+
+    def __init__(self, image: FirmwareImage, seed: Optional[int] = None) -> None:
+        check_randomizable(image)
+        self._original = image
+        randomized, permutation = randomize_image(image, random.Random(seed))
+        # the single permutation this device will ever have
+        self.image: FirmwareImage = randomized
+        self.permutation: Permutation = permutation
+        self.autopilot = Autopilot(randomized)
+        self.stats = SoftwareOnlyStats()
+
+    def run(self, ticks: int) -> AutopilotStatus:
+        """Fly; there is no watchdog, so nothing reacts to a crash."""
+        for _ in range(ticks):
+            self.autopilot.tick()
+        if self.autopilot.status is AutopilotStatus.CRASHED:
+            self.stats.attacks_crashed += 1
+        return self.autopilot.status
+
+    @property
+    def recovered_in_flight(self) -> bool:
+        """Always False after a crash: no master to pulse the reset line."""
+        return self.autopilot.status is AutopilotStatus.RUNNING
+
+    def power_cycle(self) -> None:
+        """Ground intervention: the only recovery path (§VIII-A).
+
+        Note what does *not* happen: the layout stays the same — the
+        attacker's accumulated knowledge remains valid.
+        """
+        self.stats.power_cycles_needed += 1
+        self.autopilot.reflash(self.image)  # same bytes, same permutation

@@ -1,0 +1,74 @@
+"""Master-side timing analysis of the feed line (paper §V-A2 / §VI-A).
+
+"Post randomization the master processor then assumes a role similar to a
+watchdog timer listening to the application processor.  By doing so the
+master processor can easily detect when a failed attack has occurred since
+the application processor will not feed the master by signaling high for a
+period of time."
+
+The firmware toggles a GPIO once per control loop; the master alarms when
+no toggle arrives within a window of expected loop periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..avr.devices import FeedLine
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Timing-analysis parameters."""
+
+    # expected control-loop period, in CPU cycles (a generous bound)
+    expected_period_cycles: int = 100_000
+    # how many missed periods before the master declares a failed attack
+    missed_periods_threshold: int = 4
+
+    @property
+    def window_cycles(self) -> int:
+        return self.expected_period_cycles * self.missed_periods_threshold
+
+
+class WatchdogMonitor:
+    """Evaluates liveness and restart signatures from feed-line events."""
+
+    def __init__(self, feed: FeedLine, config: WatchdogConfig = WatchdogConfig()) -> None:
+        self.feed = feed
+        self.config = config
+        self.alarms = 0
+
+    def alive(self, now_cycles: int) -> bool:
+        """Has the application fed the watchdog recently enough?"""
+        last = self.feed.last_feed_cycle
+        if last is None:
+            # never fed: alive only within the startup grace window
+            return now_cycles < self.config.window_cycles
+        return now_cycles - last <= self.config.window_cycles
+
+    def unexpected_boot(self) -> bool:
+        """More than one boot pulse since the master released reset.
+
+        The first pulse is the legitimate startup announcement; any further
+        pulse means the application walked back through the reset vector —
+        the footprint of a failed code-reuse attempt.
+        """
+        return len(self.feed.boot_pulses) > 1
+
+    def check(self, now_cycles: int) -> bool:
+        """Full timing analysis; records an alarm on failure."""
+        ok = self.alive(now_cycles) and not self.unexpected_boot()
+        if not ok:
+            self.alarms += 1
+        return ok
+
+    def observed_period(self) -> Optional[float]:
+        """Mean cycles between feed toggles (diagnostics)."""
+        events = self.feed.events
+        if len(events) < 2:
+            return None
+        first_cycle = events[0][0]
+        last_cycle = events[-1][0]
+        return (last_cycle - first_cycle) / (len(events) - 1)

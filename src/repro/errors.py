@@ -1,0 +1,104 @@
+"""Exception hierarchy shared across the MAVR reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+one base type at API boundaries while tests assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AvrError(ReproError):
+    """Base class for AVR core simulator errors."""
+
+
+class DecodeError(AvrError):
+    """An opcode word could not be decoded into a known instruction."""
+
+    def __init__(self, word: int, address: int) -> None:
+        self.word = word
+        self.address = address
+        super().__init__(
+            f"cannot decode opcode 0x{word:04x} at byte address 0x{address:05x}"
+        )
+
+
+class EncodeError(AvrError):
+    """An instruction could not be encoded (bad operands or range)."""
+
+
+class MemoryAccessError(AvrError):
+    """Out-of-range or illegal memory access in the simulated core."""
+
+
+class IllegalExecutionError(AvrError):
+    """The core tried to execute from an illegal location (crash signal).
+
+    This models the ``executing garbage`` outcome the paper describes after a
+    failed ROP attempt: the program counter walks into data it cannot decode
+    or leaves the flash image.
+    """
+
+
+class CpuFault(AvrError):
+    """A fault raised while executing (wraps the triggering condition)."""
+
+    def __init__(self, message: str, pc: int, cycles: int) -> None:
+        self.pc = pc
+        self.cycles = cycles
+        super().__init__(f"{message} (pc=0x{pc:05x}, cycle={cycles})")
+
+
+class AsmError(ReproError):
+    """Base class for assembler / linker errors."""
+
+
+class AsmSyntaxError(AsmError):
+    """Malformed assembly source."""
+
+    def __init__(self, message: str, line: int) -> None:
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+class LinkError(AsmError):
+    """Symbol resolution or layout failure while linking."""
+
+
+class BinfmtError(ReproError):
+    """Malformed binary container (HEX / image / symbol table)."""
+
+
+class MavlinkError(ReproError):
+    """MAVLink framing or checksum failure."""
+
+
+class AttackError(ReproError):
+    """An attack could not be constructed (e.g. required gadget missing)."""
+
+
+class GadgetNotFoundError(AttackError):
+    """No gadget matching the requested classification exists in the image."""
+
+
+class DefenseError(ReproError):
+    """MAVR defense pipeline failure."""
+
+
+class PatchError(DefenseError):
+    """A call/jump/function-pointer could not be retargeted."""
+
+
+class FuseViolationError(DefenseError):
+    """An access forbidden by the readout-protection fuse was attempted."""
+
+
+class FlashWearError(DefenseError):
+    """The flash programming-cycle budget was exhausted."""
+
+
+class HardwareError(ReproError):
+    """Simulated board-level failure (wiring, bootloader protocol)."""

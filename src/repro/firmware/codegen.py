@@ -1,0 +1,213 @@
+"""Synthetic function generator for the autopilot applications.
+
+The paper evaluates on ArduPlane/ArduCopter/ArduRover — hundreds of
+functions of control, filtering and housekeeping code.  We regenerate that
+population synthetically but *structurally faithfully*: register-math
+kernels, struct accessors (``ldd``/``std`` through Y), copy loops, switch
+functions with long-jump trampolines, and local callers that give the
+relaxation pass something to shrink.
+
+All generation is deterministic in the seed, so images are reproducible.
+
+Register discipline: bodies use only the call-clobbered registers
+(r18..r27, r30/r31) unless the function declares ``save_regs``; r1 is kept
+zero (GCC convention).  "Task-safe" fillers — the ones reachable through
+the firmware's dispatch table — additionally restrict their stores to the
+``scratch_b`` variable so the control loop stays deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..asm.ir import AsmInsn, FunctionDef, Label, LabelRef, RefKind, SymbolRef
+from ..avr.insn import Mnemonic
+
+M = Mnemonic
+
+_SCRATCH_REGS = (18, 19, 20, 21, 22, 23, 24, 25)
+_ALU_RR = (M.ADD, M.ADC, M.SUB, M.AND, M.OR, M.EOR, M.MOV)
+_ALU_ONE = (M.INC, M.DEC, M.COM, M.NEG, M.LSR, M.SWAP)
+
+
+class FunctionFactory:
+    """Deterministic generator of filler :class:`FunctionDef` objects."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self._counter = 0
+
+    # -- public API ------------------------------------------------------
+
+    def task_function(self, name: str, target_words: int) -> FunctionDef:
+        """A filler that is safe to call from the dispatch table."""
+        items = self._math_body(max(target_words - 2, 4), pointer_stores=False)
+        items.append(AsmInsn(M.STS, k=SymbolRef("scratch_b"), rr=24))
+        return FunctionDef(name, items)
+
+    def filler(
+        self,
+        name: str,
+        target_words: int,
+        callees: Sequence[str] = (),
+        save_count: int = 0,
+        with_switch: bool = False,
+        with_early_ret: bool = False,
+    ) -> FunctionDef:
+        """A general filler function of roughly ``target_words`` words."""
+        save_regs = self._pick_saves(save_count)
+        overhead = 2 * len(save_regs) + 1  # pushes + pops + ret
+        budget = max(target_words - overhead, 6)
+        items: List = []
+        if save_regs:
+            with_early_ret = False  # early ret would skip the pop chain
+        if with_early_ret:
+            items.extend(self._early_ret_guard())
+            budget -= 4
+        if with_switch:
+            switch_items, used = self._switch_body()
+            items.extend(switch_items)
+            budget -= used
+        for callee in callees:
+            items.append(AsmInsn(M.CALL, k=SymbolRef(callee)))
+            budget -= 2
+        if save_regs and 28 in save_regs and 29 in save_regs and self.rng.random() < 0.5:
+            struct_items, used = self._struct_body()
+            items.extend(struct_items)
+            budget -= used
+        items.extend(self._math_body(max(budget, 2)))
+        return FunctionDef(name, items, save_regs=save_regs)
+
+    def next_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter:04d}"
+
+    # -- bodies ----------------------------------------------------------
+
+    def _pick_saves(self, save_count: int) -> tuple:
+        if save_count <= 0:
+            return ()
+        pool = list(range(2, 18))
+        self.rng.shuffle(pool)
+        chosen = sorted(pool[: max(save_count - 2, 0)])
+        if save_count >= 2:
+            chosen += [28, 29]
+        return tuple(chosen)
+
+    def _math_body(self, words: int, pointer_stores: bool = True) -> List:
+        """Straight-line register arithmetic, sometimes with a loop.
+
+        ``pointer_stores`` adds X/Z stores (realistic, but only safe in
+        functions the control loop never calls — a slide through them with
+        junk pointers faults, which is the point).
+        """
+        items: List = []
+        produced = 0
+        loop_done = False
+        while produced < words:
+            roll = self.rng.random()
+            if roll < 0.10 and words - produced >= 4 and not loop_done:
+                # small counted loop: ldi; label; dec; brne
+                label = f"l{self._fresh()}"
+                counter = self.rng.choice(_SCRATCH_REGS)
+                items.append(AsmInsn(M.LDI, rd=counter, k=self.rng.randint(2, 9)))
+                items.append(Label(label))
+                items.append(AsmInsn(M.DEC, rd=counter))
+                items.append(AsmInsn(M.BRBC, b=1, k=LabelRef(label)))
+                produced += 3
+                loop_done = True
+            elif roll < 0.25:
+                items.append(
+                    AsmInsn(M.LDI, rd=self.rng.choice(_SCRATCH_REGS),
+                            k=self.rng.randint(0, 255))
+                )
+                produced += 1
+            elif roll < 0.35:
+                items.append(
+                    AsmInsn(self.rng.choice(_ALU_ONE), rd=self.rng.choice(_SCRATCH_REGS))
+                )
+                produced += 1
+            elif roll < 0.45 and words - produced >= 2:
+                # scratch spill/reload
+                var = self.rng.choice(("scratch_a", "scratch_b"))
+                reg = self.rng.choice(_SCRATCH_REGS)
+                items.append(AsmInsn(M.STS, k=SymbolRef(var), rr=reg))
+                produced += 2
+            elif pointer_stores and roll < 0.53 and words - produced >= 3:
+                # pointer store through X/Z (buffer writes real firmware is
+                # full of; a control-flow slide lands here with junk in the
+                # pointer and faults — the realistic failure mode)
+                low = self.rng.choice((26, 30))
+                items.append(
+                    AsmInsn(M.LDI, rd=low, k=self.rng.randint(0x20, 0xFF))
+                )
+                items.append(AsmInsn(M.LDI, rd=low + 1, k=self.rng.randint(2, 0x21)))
+                items.append(
+                    AsmInsn(
+                        M.ST_X_INC if low == 26 else M.ST_Z_INC,
+                        rr=self.rng.choice(_SCRATCH_REGS),
+                    )
+                )
+                produced += 3
+            else:
+                rd = self.rng.choice(_SCRATCH_REGS)
+                rr = self.rng.choice(_SCRATCH_REGS)
+                items.append(AsmInsn(self.rng.choice(_ALU_RR), rd=rd, rr=rr))
+                produced += 1
+        return items
+
+    def _struct_body(self) -> tuple:
+        """Y-relative struct accesses (requires r28/r29 saved)."""
+        items: List = [
+            AsmInsn(M.MOVW, rd=28, rr=24),  # Y = pointer argument
+        ]
+        words = 1
+        for _ in range(self.rng.randint(2, 6)):
+            q = self.rng.randint(0, 16)
+            reg = self.rng.choice(_SCRATCH_REGS)
+            if self.rng.random() < 0.5:
+                items.append(AsmInsn(M.LDD_Y, rd=reg, q=q))
+            else:
+                items.append(AsmInsn(M.STD_Y, rr=reg, q=q))
+            words += 1
+        return items, words
+
+    def _switch_body(self) -> tuple:
+        """cpi/brne dispatch with long-jmp trampolines to local labels."""
+        suffix = self._fresh()
+        cases = self.rng.randint(2, 4)
+        items: List = []
+        words = 0
+        end_label = f"sw_end{suffix}"
+        for case in range(cases):
+            check = f"sw_chk{suffix}_{case}"
+            target = f"sw_cs{suffix}_{case}"
+            items.append(AsmInsn(M.CPI, rd=24, k=case))
+            items.append(AsmInsn(M.BRBC, b=1, k=LabelRef(check)))
+            items.append(AsmInsn(M.JMP, k=LabelRef(target)))  # trampoline
+            items.append(Label(check))
+            words += 4
+        items.append(AsmInsn(M.RJMP, k=LabelRef(end_label)))
+        words += 1
+        for case in range(cases):
+            items.append(Label(f"sw_cs{suffix}_{case}"))
+            items.append(AsmInsn(M.LDI, rd=25, k=case * 3 + 1))
+            items.append(AsmInsn(M.RJMP, k=LabelRef(end_label)))
+            words += 2
+        items.append(Label(end_label))
+        return items, words
+
+    def _early_ret_guard(self) -> List:
+        """A guarded early return — an extra ret gadget in the image."""
+        label = f"cont{self._fresh()}"
+        return [
+            AsmInsn(M.CPI, rd=24, k=0xFF),
+            AsmInsn(M.BRBC, b=1, k=LabelRef(label)),
+            AsmInsn(M.RET),
+            Label(label),
+        ]
+
+    def _fresh(self) -> int:
+        self._counter += 1
+        return self._counter

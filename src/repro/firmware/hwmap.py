@@ -1,0 +1,69 @@
+"""Board-level address map shared by firmware, sensors, attacks and tests.
+
+Sensor devices appear as extended-I/O registers (reachable only with
+``lds``/``sts``, as on the ATmega2560); firmware state lives in named SRAM
+variables whose addresses come from the linker (this module only fixes the
+*device* side and the variable *names*).
+"""
+
+from __future__ import annotations
+
+# -- sensor device registers (extended I/O, data-space addresses) ----------
+# 3-axis gyroscope, 16-bit little-endian per axis.
+GYRO_X_REG = 0x0100
+GYRO_Y_REG = 0x0102
+GYRO_Z_REG = 0x0104
+# 3-axis accelerometer.
+ACCEL_X_REG = 0x0106
+ACCEL_Y_REG = 0x0108
+ACCEL_Z_REG = 0x010A
+# barometer (pressure, 16-bit)
+BARO_REG = 0x010C
+# magnetometer heading (16-bit)
+MAG_REG = 0x010E
+
+SENSOR_REGS = (
+    GYRO_X_REG, GYRO_Y_REG, GYRO_Z_REG,
+    ACCEL_X_REG, ACCEL_Y_REG, ACCEL_Z_REG,
+    BARO_REG, MAG_REG,
+)
+
+# -- servo / actuator output (core I/O) ------------------------------------
+SERVO_PORT_IO = 0x02  # PORTA: elevator command byte
+
+# -- UART (data-space addresses, from repro.avr.iospace) --------------------
+UART_STATUS = 0xC0  # UCSR0A
+UART_DATA = 0xC6  # UDR0
+
+# -- named SRAM variables (sized; addresses assigned by the linker) ---------
+# name -> size in bytes
+SRAM_VARIABLES = {
+    "gyro_value": 6,     # filtered gyro x/y/z, int16 each
+    "gyro_offset": 6,    # calibration offset per axis — the attack target
+    "accel_value": 6,
+    "attitude_state": 6,
+    "attitude_est": 2,  # complementary-filter accumulator (muls-based)
+    "servo_command": 2,
+    "loop_counter": 2,
+    "nav_mode": 1,
+    "scratch_a": 2,
+    "scratch_b": 2,
+}
+
+# Telemetry framing emitted by telemetry_send (simplified wire format the
+# ground station monitor understands).
+TELEMETRY_MARKER = 0xA5
+TELEMETRY_TRAILER = 0x5A
+TELEMETRY_FRAME_LENGTH = 8  # marker + 6 gyro bytes + trailer
+
+# EEPROM-backed configuration block (paper Fig. 1's persistent storage):
+# one magic byte followed by the 6-byte gyro calibration.  Firmware loads
+# it at boot when the magic matches; a fresh (erased) EEPROM is skipped.
+CONFIG_EEPROM_ADDR = 0x10
+CONFIG_MAGIC = 0x42
+CONFIG_PAYLOAD_BYTES = 6  # gyro_offset x/y/z
+
+# Size of the vulnerable MAVLink receive buffer on the stack (bytes).
+# Sized like a realistic MAVLink receive buffer; the stealthy V2 chain must
+# fit inside it ("utilizing the buffer space to store the attack payload").
+RX_BUFFER_SIZE = 96

@@ -1,0 +1,100 @@
+"""Application manifests: the knobs that pin each app to the paper's rows.
+
+Table I fixes the function counts (ArduPlane 917, ArduCopter 1030,
+ArduRover 800); Table III fixes the stock code sizes.  The remaining knobs
+(prologue users, caller pairs) shape the stock-vs-MAVR toolchain size delta
+the way §VII-B2 reports: the custom toolchain produces *slightly smaller*
+binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AppManifest:
+    """Everything needed to deterministically regenerate one application."""
+
+    name: str
+    function_count: int  # functions in the MAVR (no shared blocks) build
+    stock_code_size: int  # exact bytes of the stock build (Table III)
+    seed: int
+    prologue_user_count: int = 10  # fillers with >=4 callee saves
+    local_caller_pairs: int = 150  # adjacent caller->callee filler pairs
+    switch_function_count: int = 40
+    early_ret_count: int = 30
+    task_count: int = 8
+    text_fraction: float = 0.94  # share of the stock size budgeted to .text
+
+
+ARDUPLANE = AppManifest(
+    name="arduplane",
+    function_count=917,
+    stock_code_size=221_608,
+    seed=0x41505031,  # "APP1"
+    prologue_user_count=2,
+    local_caller_pairs=190,
+    switch_function_count=45,
+)
+
+ARDUCOPTER = AppManifest(
+    name="arducopter",
+    function_count=1030,
+    stock_code_size=244_532,
+    seed=0x41505032,
+    prologue_user_count=4,
+    local_caller_pairs=240,
+    switch_function_count=50,
+)
+
+ARDUROVER = AppManifest(
+    name="ardurover",
+    function_count=800,
+    stock_code_size=177_870,
+    seed=0x41505033,
+    prologue_user_count=3,
+    local_caller_pairs=160,
+    switch_function_count=38,
+)
+
+# Small app for fast unit/integration tests: same structure, 60 functions.
+TESTAPP = AppManifest(
+    name="testapp",
+    function_count=60,
+    stock_code_size=16_384,
+    seed=0x54455354,  # "TEST"
+    prologue_user_count=4,
+    local_caller_pairs=10,
+    switch_function_count=5,
+    early_ret_count=4,
+)
+
+ALL_APPS = (ARDUPLANE, ARDUCOPTER, ARDUROVER)
+PAPER_FUNCTION_COUNTS = {  # Table I
+    "arduplane": 917,
+    "arducopter": 1030,
+    "ardurover": 800,
+}
+PAPER_STOCK_SIZES = {  # Table III, stock column
+    "arduplane": 221_608,
+    "arducopter": 244_532,
+    "ardurover": 177_870,
+}
+PAPER_MAVR_SIZES = {  # Table III, MAVR column
+    "arduplane": 221_294,
+    "arducopter": 244_292,
+    "ardurover": 177_556,
+}
+PAPER_STARTUP_MS = {  # Table II
+    "arduplane": 19_209,
+    "arducopter": 21_206,
+    "ardurover": 15_412,
+}
+
+
+def manifest_by_name(name: str) -> AppManifest:
+    for manifest in ALL_APPS + (TESTAPP,):
+        if manifest.name == name:
+            return manifest
+    raise KeyError(f"unknown application: {name}")

@@ -1,0 +1,339 @@
+"""Hand-written core of the synthetic autopilot firmware.
+
+These functions are the *reachable* heart of every generated application:
+the main control loop, sensor acquisition, a P-controller, the (optionally
+vulnerable) MAVLink receive handler, telemetry, the watchdog feed, a
+function-pointer task dispatcher, and a switch-trampoline navigation
+update.
+
+Two of them exist to carry the paper's exact gadgets:
+
+* ``rtos_context_restore`` — ends in the Fig. 4 ``stk_move`` sequence
+  (``out 0x3e``/``out 0x3f``/``out 0x3d`` + three pops + ``ret``), the shape
+  avr-libc's ``longjmp`` leaves in real firmware.
+* ``param_block_write`` — ``std Y+1..Y+3`` of r5..r7 followed by the long
+  callee-save pop chain, the Fig. 5 ``write_mem_gadget``.
+"""
+
+from __future__ import annotations
+
+from ..asm import parse_program
+from ..asm.ir import Program
+from .hwmap import (
+    CONFIG_EEPROM_ADDR,
+    CONFIG_MAGIC,
+    CONFIG_PAYLOAD_BYTES,
+    GYRO_X_REG,
+    GYRO_Y_REG,
+    GYRO_Z_REG,
+    RX_BUFFER_SIZE,
+    SERVO_PORT_IO,
+    SRAM_VARIABLES,
+    TELEMETRY_MARKER,
+    TELEMETRY_TRAILER,
+    UART_DATA,
+    UART_STATUS,
+)
+
+_VULNERABLE_RX = f"""
+.func mavlink_handle_rx saves=r28,r29 inline
+    ; allocate the receive buffer on the stack (GCC-style frame)
+    in r28, 0x3d
+    in r29, 0x3e
+    sbiw r28, {RX_BUFFER_SIZE // 2}
+    sbiw r28, {RX_BUFFER_SIZE - RX_BUFFER_SIZE // 2}
+    out 0x3d, r28
+    out 0x3e, r29
+    ; X -> first buffer byte
+    movw r26, r28
+    adiw r26, 1
+rx_loop:
+    lds r24, {UART_STATUS:#x}
+    sbrs r24, 7            ; RXC set?
+    rjmp rx_done           ; no byte waiting -> done
+    lds r24, {UART_DATA:#x}
+    st X+, r24             ; VULNERABILITY: no bound on X (length check off)
+    rjmp rx_loop
+rx_done:
+    ; minimal handling: stash the first two payload bytes
+    ldd r24, Y+7
+    sts scratch_a, r24
+    ldd r24, Y+8
+    sts scratch_a+1, r24
+    ; release the frame
+    adiw r28, {RX_BUFFER_SIZE // 2}
+    adiw r28, {RX_BUFFER_SIZE - RX_BUFFER_SIZE // 2}
+    out 0x3d, r28
+    out 0x3e, r29
+.endfunc
+"""
+
+_SAFE_RX = f"""
+.func mavlink_handle_rx saves=r28,r29 inline
+    in r28, 0x3d
+    in r29, 0x3e
+    sbiw r28, {RX_BUFFER_SIZE // 2}
+    sbiw r28, {RX_BUFFER_SIZE - RX_BUFFER_SIZE // 2}
+    out 0x3d, r28
+    out 0x3e, r29
+    movw r26, r28
+    adiw r26, 1
+    ldi r25, {RX_BUFFER_SIZE}  ; remaining space — the length check
+rx_loop:
+    lds r24, {UART_STATUS:#x}
+    sbrs r24, 7
+    rjmp rx_done
+    lds r24, {UART_DATA:#x}
+    cpi r25, 0
+    breq rx_drain              ; buffer full: discard the byte
+    st X+, r24
+    dec r25
+rx_drain:
+    rjmp rx_loop
+rx_done:
+    ldd r24, Y+7
+    sts scratch_a, r24
+    ldd r24, Y+8
+    sts scratch_a+1, r24
+    adiw r28, {RX_BUFFER_SIZE // 2}
+    adiw r28, {RX_BUFFER_SIZE - RX_BUFFER_SIZE // 2}
+    out 0x3d, r28
+    out 0x3e, r29
+.endfunc
+"""
+
+
+def _axis_read(reg: int, offset: int) -> str:
+    """Read one gyro axis, add its calibration offset, store the result."""
+    return f"""
+    lds r24, {reg:#x}
+    lds r25, {reg + 1:#x}
+    lds r18, gyro_offset+{offset}
+    lds r19, gyro_offset+{offset + 1}
+    add r24, r18
+    adc r25, r19
+    sts gyro_value+{offset}, r24
+    sts gyro_value+{offset + 1}, r25
+"""
+
+
+def core_source(vulnerable: bool = True) -> str:
+    """Assembly text of the reachable firmware core."""
+    rx_handler = _VULNERABLE_RX if vulnerable else _SAFE_RX
+    return f"""
+.entry main
+.text
+
+.func sensors_read
+{_axis_read(GYRO_X_REG, 0)}
+{_axis_read(GYRO_Y_REG, 2)}
+{_axis_read(GYRO_Z_REG, 4)}
+.endfunc
+
+.func control_step
+    ; P-controller: servo = 0x80 - (gyro_x >> 2)
+    lds r24, gyro_value
+    lds r25, gyro_value+1
+    asr r25
+    ror r24
+    asr r25
+    ror r24
+    ldi r18, 0x80
+    sub r18, r24
+    sts servo_command, r18
+    out {SERVO_PORT_IO:#x}, r18
+.endfunc
+
+.func config_load
+    ; load the EEPROM-backed calibration if the magic byte is programmed
+    ldi r24, {CONFIG_EEPROM_ADDR}
+    out 0x21, r24          ; EEARL
+    ldi r24, 0
+    out 0x22, r24          ; EEARH
+    sbi 0x1f, 0            ; EECR: strobe EERE
+    in r24, 0x20           ; EEDR
+    cpi r24, {CONFIG_MAGIC}
+    brne cfg_done
+    ldi r26, lo8(gyro_offset)
+    ldi r27, hi8(gyro_offset)
+    ldi r25, {CONFIG_PAYLOAD_BYTES}
+    ldi r22, {CONFIG_EEPROM_ADDR + 1}
+cfg_loop:
+    out 0x21, r22
+    sbi 0x1f, 0
+    in r24, 0x20
+    st X+, r24
+    inc r22
+    dec r25
+    brne cfg_loop
+cfg_done:
+    nop
+.endfunc
+
+.func attitude_estimate
+    ; complementary-filter step: attitude_est += (gyro_hi * Kdt) >> 0
+    lds r24, gyro_value+1
+    ldi r18, 37
+    muls r24, r18          ; signed 16-bit product in r1:r0
+    lds r20, attitude_est
+    lds r21, attitude_est+1
+    add r20, r0
+    adc r21, r1
+    clr r1                 ; restore the GCC zero register
+    sts attitude_est, r20
+    sts attitude_est+1, r21
+.endfunc
+
+.func nav_update
+    lds r24, nav_mode
+    cpi r24, 1
+    brne check_rtl
+    jmp mode_loiter        ; switch trampoline: long jmp to a local label
+check_rtl:
+    cpi r24, 2
+    brne mode_default
+    jmp mode_rtl
+mode_default:
+    ldi r24, 0
+    sts scratch_b, r24
+    rjmp nav_done
+mode_loiter:
+    ldi r24, 1
+    sts scratch_b, r24
+    rjmp nav_done
+mode_rtl:
+    ldi r24, 2
+    sts scratch_b, r24
+nav_done:
+    nop
+.endfunc
+
+{rx_handler}
+
+.func telemetry_send
+    ldi r24, {TELEMETRY_MARKER:#x}
+    sts {UART_DATA:#x}, r24
+    lds r24, gyro_value
+    sts {UART_DATA:#x}, r24
+    lds r24, gyro_value+1
+    sts {UART_DATA:#x}, r24
+    lds r24, gyro_value+2
+    sts {UART_DATA:#x}, r24
+    lds r24, gyro_value+3
+    sts {UART_DATA:#x}, r24
+    lds r24, gyro_value+4
+    sts {UART_DATA:#x}, r24
+    lds r24, gyro_value+5
+    sts {UART_DATA:#x}, r24
+    ldi r24, {TELEMETRY_TRAILER:#x}
+    sts {UART_DATA:#x}, r24
+.endfunc
+
+.func watchdog_feed
+    in r24, 0x05           ; PORTB
+    ldi r25, 0x01
+    eor r24, r25
+    out 0x05, r24          ; toggle the master-processor feed line
+.endfunc
+
+.func task_dispatch
+    ; r24 = task index; dispatch through the flash funcptr table
+    ldi r30, lo8(task_table)
+    ldi r31, hi8(task_table)
+    add r30, r24
+    adc r31, r1
+    add r30, r24
+    adc r31, r1
+    lpm r26, Z+
+    lpm r27, Z
+    movw r30, r26
+    icall
+.endfunc
+
+.func rtos_context_restore inline
+    ; longjmp-style tail: this IS the paper's stk_move gadget (Fig. 4)
+    out 0x3e, r29
+    out 0x3f, r0
+    out 0x3d, r28
+    pop r28
+    pop r29
+    pop r16
+.endfunc
+
+.func param_block_write saves=r4,r5,r6,r7,r8,r9,r10,r11,r12,r13,r14,r15,r16,r17,r28,r29 inline
+    ; parameter-block store: body + pop chain IS write_mem_gadget (Fig. 5)
+    movw r28, r24
+    std Y+1, r5
+    std Y+2, r6
+    std Y+3, r7
+.endfunc
+
+.func comms_poll saves=r28,r29 inline
+    ; communication task: scratch frame for parse state, then poll the link.
+    ; The frame also gives the stack realistic depth below RAMEND — caller
+    ; state that a smashing (V1) attack destroys.
+    in r28, 0x3d
+    in r29, 0x3e
+    sbiw r28, 44
+    out 0x3d, r28
+    out 0x3e, r29
+    call mavlink_handle_rx
+    adiw r28, 44
+    out 0x3d, r28
+    out 0x3e, r29
+.endfunc
+
+.func main inline
+    ; boot signature: one pulse on PORTB bit 1 tells the master we
+    ; (re)started — unexpected pulses betray a failed attack's wild reset
+    sbi 0x05, 1
+    cbi 0x05, 1
+    call config_load
+main_loop:
+    call sensors_read
+    call attitude_estimate
+    call control_step
+    call nav_update
+    call comms_poll
+    call telemetry_send
+    lds r24, loop_counter
+    inc r24
+    sts loop_counter, r24
+    andi r24, 0x07
+    call task_dispatch
+    call watchdog_feed
+    rjmp main_loop
+.endfunc
+
+.data
+{_sram_decls()}
+"""
+
+
+def _sram_decls() -> str:
+    lines = []
+    for name, size in SRAM_VARIABLES.items():
+        lines.append(f"{name}: .space {size}")
+    return "\n".join(lines)
+
+
+CORE_FUNCTION_NAMES = (
+    "config_load",
+    "sensors_read",
+    "attitude_estimate",
+    "control_step",
+    "nav_update",
+    "comms_poll",
+    "mavlink_handle_rx",
+    "telemetry_send",
+    "watchdog_feed",
+    "task_dispatch",
+    "rtos_context_restore",
+    "param_block_write",
+    "main",
+)
+
+
+def core_program(vulnerable: bool = True) -> Program:
+    """Parse the core into IR (task_table is added by the app builder)."""
+    return parse_program(core_source(vulnerable))

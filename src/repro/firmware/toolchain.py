@@ -1,0 +1,66 @@
+"""Toolchain facade: the flag combinations from paper §VI-B1.
+
+The paper's build matrix:
+
+* **stock** — what the attacker downloads and analyzes: GNU defaults,
+  ``--relax``-style call shortening and ``-mcall-prologues`` shared
+  register-save blocks, function alignment padding.
+* **MAVR** — the custom toolchain MAVR requires: ``--no-relax`` (every
+  call/jump in its long absolute form so any function can be reached from
+  anywhere after shuffling) and ``-mno-call-prologues`` (no LDI-encoded
+  code pointers into a shared block).
+
+:func:`build` ties a manifest and a config together and reports the code
+sizes Table III compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..asm.linker import LinkOptions, MAVR_OPTIONS, STOCK_OPTIONS
+from ..binfmt.image import FirmwareImage
+from .apps import build_app
+from .manifests import ALL_APPS, AppManifest
+
+
+@dataclass(frozen=True)
+class ToolchainConfig:
+    """A named toolchain flag set."""
+
+    name: str
+    options: LinkOptions
+
+    @property
+    def randomizable(self) -> bool:
+        """Can MAVR safely randomize binaries from this toolchain?
+
+        Relaxed calls may not reach a moved target, and call-prologue LDI
+        pairs hide code pointers from the patcher — both must be off.
+        """
+        return not self.options.relax and not self.options.call_prologues
+
+
+STOCK_TOOLCHAIN = ToolchainConfig("stock-gcc", STOCK_OPTIONS)
+MAVR_TOOLCHAIN = ToolchainConfig("mavr-custom", MAVR_OPTIONS)
+
+
+def build(manifest: AppManifest, config: ToolchainConfig = MAVR_TOOLCHAIN,
+          vulnerable: bool = True) -> FirmwareImage:
+    """Build one app under one toolchain."""
+    return build_app(manifest, config.options, vulnerable)
+
+
+def code_size_comparison() -> Dict[str, Dict[str, int]]:
+    """Table III: stock vs MAVR toolchain code size for all three apps."""
+    rows: Dict[str, Dict[str, int]] = {}
+    for manifest in ALL_APPS:
+        stock = build(manifest, STOCK_TOOLCHAIN)
+        custom = build(manifest, MAVR_TOOLCHAIN)
+        rows[manifest.name] = {
+            "stock": stock.size,
+            "mavr": custom.size,
+            "delta": custom.size - stock.size,
+        }
+    return rows

@@ -1,0 +1,50 @@
+"""Board-level hardware models: external flash, programming link, cost."""
+
+from .board import (
+    APM_BOARD_PRICE_USD,
+    ATMEGA1284P_PRICE_USD,
+    M95M02_PRICE_USD,
+    Component,
+    CostModel,
+    MAVR_EXTRA_COMPONENTS,
+    STOCK_COMPONENTS,
+)
+from .clock import SimClock
+from .flashchip import ExternalFlash, M95M02_SIZE
+from .isp import (
+    BOOTLOADER_ENTRY_MS,
+    FLASH_ENDURANCE_CYCLES,
+    IspProgrammer,
+    ProgrammingStats,
+)
+from .serialbus import (
+    FLASH_PAGE_SIZE,
+    FLASH_PAGE_WRITE_MS,
+    PRODUCTION_LINK,
+    PROTOTYPE_BAUD,
+    PROTOTYPE_LINK,
+    ProgrammingLink,
+)
+
+__all__ = [
+    "APM_BOARD_PRICE_USD",
+    "ATMEGA1284P_PRICE_USD",
+    "M95M02_PRICE_USD",
+    "Component",
+    "CostModel",
+    "MAVR_EXTRA_COMPONENTS",
+    "STOCK_COMPONENTS",
+    "SimClock",
+    "ExternalFlash",
+    "M95M02_SIZE",
+    "BOOTLOADER_ENTRY_MS",
+    "FLASH_ENDURANCE_CYCLES",
+    "IspProgrammer",
+    "ProgrammingStats",
+    "FLASH_PAGE_SIZE",
+    "FLASH_PAGE_WRITE_MS",
+    "PRODUCTION_LINK",
+    "PROTOTYPE_BAUD",
+    "PROTOTYPE_LINK",
+    "ProgrammingLink",
+]

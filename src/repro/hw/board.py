@@ -1,0 +1,65 @@
+"""The MAVR board: component inventory and cost model (paper §V-A4).
+
+The prototype extends a stock APM 2.5 with an ATmega1284P master processor
+and an M95M02-DR external flash.  At batch-of-ten prototype prices that is
+$7.74 + $3.94 = $11.68 on top of the $159.99 board — a 7.3% materials-cost
+increase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+APM_BOARD_PRICE_USD = 159.99
+ATMEGA1284P_PRICE_USD = 7.74
+M95M02_PRICE_USD = 3.94
+
+
+@dataclass(frozen=True)
+class Component:
+    name: str
+    unit_price_usd: float
+    role: str
+
+
+STOCK_COMPONENTS = (
+    Component("APM 2.5 (ATmega2560)", APM_BOARD_PRICE_USD, "application processor board"),
+)
+
+MAVR_EXTRA_COMPONENTS = (
+    Component("ATmega1284P", ATMEGA1284P_PRICE_USD, "master processor"),
+    Component("M95M02-DR", M95M02_PRICE_USD, "external flash"),
+)
+
+
+@dataclass
+class CostModel:
+    """Bill-of-materials arithmetic for the §V-A4 numbers."""
+
+    base: tuple = STOCK_COMPONENTS
+    extras: tuple = MAVR_EXTRA_COMPONENTS
+
+    @property
+    def base_cost(self) -> float:
+        return sum(component.unit_price_usd for component in self.base)
+
+    @property
+    def extra_cost(self) -> float:
+        return sum(component.unit_price_usd for component in self.extras)
+
+    @property
+    def total_cost(self) -> float:
+        return self.base_cost + self.extra_cost
+
+    @property
+    def increase_fraction(self) -> float:
+        return self.extra_cost / self.base_cost
+
+    def report(self) -> dict:
+        return {
+            "base_usd": round(self.base_cost, 2),
+            "extra_usd": round(self.extra_cost, 2),
+            "total_usd": round(self.total_cost, 2),
+            "increase_pct": round(self.increase_fraction * 100, 1),
+        }

@@ -1,0 +1,22 @@
+"""Simulated wall-clock for board-level timing accounting."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Millisecond accumulator shared by the board's timing models."""
+
+    def __init__(self) -> None:
+        self._elapsed_ms = 0.0
+
+    @property
+    def now_ms(self) -> float:
+        return self._elapsed_ms
+
+    def advance_ms(self, delta: float) -> None:
+        if delta < 0:
+            raise ValueError("time cannot go backwards")
+        self._elapsed_ms += delta
+
+    def advance_cycles(self, cycles: int, clock_hz: int = 16_000_000) -> None:
+        self.advance_ms(cycles / clock_hz * 1000.0)

@@ -1,0 +1,75 @@
+"""In-application programming of the application processor (paper §VI-B4).
+
+The master asserts RESET, enters the bootloader with a magic byte sequence,
+streams the randomized binary page by page, and issues a final reset to
+start the program.  Every reprogramming costs one write cycle of the
+ATmega2560's embedded flash, which is rated for 10,000 cycles — the budget
+that drives the randomization-frequency policy (§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import FlashWearError, HardwareError
+from .clock import SimClock
+from .serialbus import FLASH_PAGE_SIZE, ProgrammingLink, PROTOTYPE_LINK
+
+FLASH_ENDURANCE_CYCLES = 10_000
+BOOTLOADER_ENTRY_MS = 50.0  # reset pulse + sync byte exchange
+
+
+@dataclass
+class ProgrammingStats:
+    """Accounting across the board's lifetime."""
+
+    programming_cycles: int = 0
+    bytes_programmed: int = 0
+    total_programming_ms: float = 0.0
+    last_programming_ms: float = 0.0
+
+
+class IspProgrammer:
+    """Streams images into an AVR core's flash with wear and time models."""
+
+    def __init__(
+        self,
+        link: ProgrammingLink = PROTOTYPE_LINK,
+        clock: Optional[SimClock] = None,
+        endurance: int = FLASH_ENDURANCE_CYCLES,
+    ) -> None:
+        self.link = link
+        self.clock = clock if clock is not None else SimClock()
+        self.endurance = endurance
+        self.stats = ProgrammingStats()
+
+    def program(self, flash, image: bytes) -> float:
+        """Write ``image`` into ``flash`` (an :class:`~repro.avr.FlashMemory`).
+
+        Returns the elapsed milliseconds and advances the clock.  Raises
+        :class:`FlashWearError` once the endurance budget is exhausted.
+        """
+        if self.stats.programming_cycles >= self.endurance:
+            raise FlashWearError(
+                f"application flash exhausted: {self.stats.programming_cycles} "
+                f"of {self.endurance} write cycles used"
+            )
+        if len(image) > flash.size:
+            raise HardwareError(
+                f"image of {len(image)} bytes exceeds flash size {flash.size}"
+            )
+        flash.erase()
+        for offset in range(0, len(image), FLASH_PAGE_SIZE):
+            flash.write_page(offset, image[offset : offset + FLASH_PAGE_SIZE])
+        elapsed = BOOTLOADER_ENTRY_MS + self.link.programming_ms(len(image))
+        self.clock.advance_ms(elapsed)
+        self.stats.programming_cycles += 1
+        self.stats.bytes_programmed += len(image)
+        self.stats.total_programming_ms += elapsed
+        self.stats.last_programming_ms = elapsed
+        return elapsed
+
+    @property
+    def remaining_cycles(self) -> int:
+        return max(self.endurance - self.stats.programming_cycles, 0)

@@ -1,0 +1,62 @@
+"""MAVLink protocol: framing, messages, stream parsing, serial timing."""
+
+from .channel import BITS_PER_BYTE_8N1, LinkTiming, SerialChannel
+from .checksum import frame_checksum, x25_accumulate, x25_crc
+from .messages import (
+    ALL_MESSAGES,
+    ATTITUDE,
+    COMMAND_LONG,
+    GLOBAL_POSITION_INT,
+    HEARTBEAT,
+    MISSION_ITEM,
+    PARAM_SET,
+    RAW_IMU,
+    STATUSTEXT,
+    SYS_STATUS,
+    FieldDef,
+    MessageDef,
+    message_by_id,
+)
+from .packet import (
+    CHECKSUM_LENGTH,
+    HEADER_LENGTH,
+    MAGIC,
+    MAX_PAYLOAD,
+    MIN_PACKET_LENGTH,
+    MIN_PAYLOAD,
+    Packet,
+    build,
+)
+from .parser import ParserStats, StreamParser
+
+__all__ = [
+    "BITS_PER_BYTE_8N1",
+    "LinkTiming",
+    "SerialChannel",
+    "frame_checksum",
+    "x25_accumulate",
+    "x25_crc",
+    "ALL_MESSAGES",
+    "ATTITUDE",
+    "COMMAND_LONG",
+    "GLOBAL_POSITION_INT",
+    "HEARTBEAT",
+    "MISSION_ITEM",
+    "PARAM_SET",
+    "RAW_IMU",
+    "STATUSTEXT",
+    "SYS_STATUS",
+    "FieldDef",
+    "MessageDef",
+    "message_by_id",
+    "CHECKSUM_LENGTH",
+    "HEADER_LENGTH",
+    "MAGIC",
+    "MAX_PAYLOAD",
+    "MIN_PACKET_LENGTH",
+    "MIN_PAYLOAD",
+    "Packet",
+    "build",
+    "ParserStats",
+    "StreamParser",
+]

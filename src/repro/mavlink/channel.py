@@ -1,0 +1,65 @@
+"""Serial byte channel with baud-rate timing.
+
+Connects the ground station to the UAV's USART.  The same timing model
+backs :mod:`repro.hw.serialbus` (master-processor programming link): at
+``baud`` with 8N1 framing each byte costs 10 bit times, which at the
+paper's 115200 baud gives 11.52 bytes/ms — the figure behind Table II.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+BITS_PER_BYTE_8N1 = 10  # start + 8 data + stop
+
+
+@dataclass(frozen=True)
+class LinkTiming:
+    """Throughput model for an asynchronous serial link."""
+
+    baud: int = 115_200
+
+    @property
+    def bytes_per_ms(self) -> float:
+        return self.baud / BITS_PER_BYTE_8N1 / 1000.0
+
+    def transfer_ms(self, n_bytes: int) -> float:
+        """Milliseconds to move ``n_bytes`` across the link."""
+        if n_bytes < 0:
+            raise ValueError("negative byte count")
+        return n_bytes / self.bytes_per_ms
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        return self.transfer_ms(n_bytes) / 1000.0
+
+
+class SerialChannel:
+    """Bidirectional byte queue pair with accumulated transfer time."""
+
+    def __init__(self, timing: LinkTiming = LinkTiming()) -> None:
+        self.timing = timing
+        self._to_uav: Deque[int] = deque()
+        self._to_gcs: Deque[int] = deque()
+        self.elapsed_ms = 0.0
+
+    def send_to_uav(self, data: bytes) -> None:
+        self._to_uav.extend(data)
+        self.elapsed_ms += self.timing.transfer_ms(len(data))
+
+    def send_to_gcs(self, data: bytes) -> None:
+        self._to_gcs.extend(data)
+        self.elapsed_ms += self.timing.transfer_ms(len(data))
+
+    def drain_uav_side(self) -> bytes:
+        """Bytes waiting at the UAV (its USART receive queue)."""
+        data = bytes(self._to_uav)
+        self._to_uav.clear()
+        return data
+
+    def drain_gcs_side(self) -> bytes:
+        """Bytes waiting at the ground station."""
+        data = bytes(self._to_gcs)
+        self._to_gcs.clear()
+        return data

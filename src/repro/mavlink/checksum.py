@@ -1,0 +1,29 @@
+"""MAVLink checksum: CRC-16/MCRF4XX (the X.25 CRC), as used on the wire.
+
+The two checksum bytes close every MAVLink frame (paper Fig. 2).  MAVLink
+additionally folds a per-message ``CRC_EXTRA`` byte into the CRC so that
+sender and receiver must agree on the message layout.
+"""
+
+from __future__ import annotations
+
+X25_INIT_CRC = 0xFFFF
+
+
+def x25_accumulate(byte: int, crc: int) -> int:
+    """Fold one byte into the running CRC."""
+    tmp = (byte ^ (crc & 0xFF)) & 0xFF
+    tmp = (tmp ^ (tmp << 4)) & 0xFF
+    return ((crc >> 8) ^ (tmp << 8) ^ (tmp << 3) ^ (tmp >> 4)) & 0xFFFF
+
+
+def x25_crc(data: bytes, crc: int = X25_INIT_CRC) -> int:
+    """CRC over ``data`` starting from ``crc``."""
+    for byte in data:
+        crc = x25_accumulate(byte, crc)
+    return crc
+
+
+def frame_checksum(frame_body: bytes, crc_extra: int) -> int:
+    """Checksum of a frame: header (sans magic) + payload + CRC_EXTRA."""
+    return x25_accumulate(crc_extra & 0xFF, x25_crc(frame_body))

@@ -1,0 +1,176 @@
+"""MAVLink message definitions used by the UAV/ground-station simulation.
+
+A pragmatic subset of the common dialect: heartbeats and telemetry the
+ground station monitors for the paper's *stealthiness* criterion, parameter
+and command messages an attacker-controlled ground station can send.
+
+Each definition carries the field struct layout and the ``CRC_EXTRA`` byte
+(computed the same way pymavlink does: CRC of name + field types + names).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import MavlinkError
+from .checksum import x25_accumulate, x25_crc
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One message field: python struct code + name."""
+
+    code: str  # struct format character, e.g. 'f', 'B', 'H'
+    name: str
+
+    @property
+    def type_name(self) -> str:
+        return _TYPE_NAMES[self.code]
+
+
+_TYPE_NAMES = {
+    "f": "float", "d": "double",
+    "b": "int8_t", "B": "uint8_t",
+    "h": "int16_t", "H": "uint16_t",
+    "i": "int32_t", "I": "uint32_t",
+    "q": "int64_t", "Q": "uint64_t",
+}
+
+_TYPE_SIZES = {"f": 4, "d": 8, "b": 1, "B": 1, "h": 2, "H": 2, "i": 4, "I": 4, "q": 8, "Q": 8}
+
+
+@dataclass(frozen=True)
+class MessageDef:
+    """A message type: id, name, wire-ordered fields."""
+
+    msg_id: int
+    name: str
+    fields: Tuple[FieldDef, ...]
+
+    @property
+    def wire_fields(self) -> List[FieldDef]:
+        """Fields sorted by decreasing size (MAVLink wire ordering)."""
+        return sorted(
+            self.fields, key=lambda f: -_TYPE_SIZES[f.code]
+        )
+
+    @property
+    def crc_extra(self) -> int:
+        """Per-message seed byte folded into the frame checksum."""
+        crc = x25_crc((self.name + " ").encode("ascii"))
+        for field in self.wire_fields:
+            crc = x25_crc((field.type_name + " ").encode("ascii"), crc)
+            crc = x25_crc((field.name + " ").encode("ascii"), crc)
+        return (crc & 0xFF) ^ (crc >> 8)
+
+    @property
+    def payload_length(self) -> int:
+        return sum(_TYPE_SIZES[f.code] for f in self.fields)
+
+    def pack(self, **values: float) -> bytes:
+        """Pack named field values into wire-order payload bytes."""
+        out = b""
+        for field in self.wire_fields:
+            if field.name not in values:
+                raise MavlinkError(f"{self.name}: missing field {field.name}")
+            out += struct.pack("<" + field.code, values[field.name])
+        extra = set(values) - {f.name for f in self.fields}
+        if extra:
+            raise MavlinkError(f"{self.name}: unknown fields {sorted(extra)}")
+        return out
+
+    def unpack(self, payload: bytes) -> Dict[str, float]:
+        """Unpack wire-order payload bytes into a field dict."""
+        if len(payload) != self.payload_length:
+            raise MavlinkError(
+                f"{self.name}: payload is {len(payload)} bytes, "
+                f"expected {self.payload_length}"
+            )
+        values: Dict[str, float] = {}
+        offset = 0
+        for field in self.wire_fields:
+            size = _TYPE_SIZES[field.code]
+            (values[field.name],) = struct.unpack_from("<" + field.code, payload, offset)
+            offset += size
+        return values
+
+
+def _fields(*pairs: Tuple[str, str]) -> Tuple[FieldDef, ...]:
+    return tuple(FieldDef(code, name) for code, name in pairs)
+
+
+HEARTBEAT = MessageDef(0, "HEARTBEAT", _fields(
+    ("I", "custom_mode"), ("B", "type"), ("B", "autopilot"),
+    ("B", "base_mode"), ("B", "system_status"), ("B", "mavlink_version"),
+))
+
+SYS_STATUS = MessageDef(1, "SYS_STATUS", _fields(
+    ("I", "onboard_control_sensors_present"),
+    ("I", "onboard_control_sensors_enabled"),
+    ("I", "onboard_control_sensors_health"),
+    ("H", "load"), ("H", "voltage_battery"), ("h", "current_battery"),
+    ("b", "battery_remaining"),
+))
+
+PARAM_SET = MessageDef(23, "PARAM_SET", _fields(
+    ("f", "param_value"), ("B", "target_system"), ("B", "target_component"),
+    ("H", "param_index"), ("B", "param_type"),
+))
+
+RAW_IMU = MessageDef(27, "RAW_IMU", _fields(
+    ("Q", "time_usec"),
+    ("h", "xacc"), ("h", "yacc"), ("h", "zacc"),
+    ("h", "xgyro"), ("h", "ygyro"), ("h", "zgyro"),
+    ("h", "xmag"), ("h", "ymag"), ("h", "zmag"),
+))
+
+ATTITUDE = MessageDef(30, "ATTITUDE", _fields(
+    ("I", "time_boot_ms"),
+    ("f", "roll"), ("f", "pitch"), ("f", "yaw"),
+    ("f", "rollspeed"), ("f", "pitchspeed"), ("f", "yawspeed"),
+))
+
+GLOBAL_POSITION_INT = MessageDef(33, "GLOBAL_POSITION_INT", _fields(
+    ("I", "time_boot_ms"),
+    ("i", "lat"), ("i", "lon"), ("i", "alt"), ("i", "relative_alt"),
+    ("h", "vx"), ("h", "vy"), ("h", "vz"), ("H", "hdg"),
+))
+
+MISSION_ITEM = MessageDef(39, "MISSION_ITEM", _fields(
+    ("f", "param1"), ("f", "param2"), ("f", "param3"), ("f", "param4"),
+    ("f", "x"), ("f", "y"), ("f", "z"),
+    ("H", "seq"), ("H", "command"),
+    ("B", "target_system"), ("B", "target_component"),
+    ("B", "frame"), ("B", "current"), ("B", "autocontinue"),
+))
+
+COMMAND_LONG = MessageDef(76, "COMMAND_LONG", _fields(
+    ("f", "param1"), ("f", "param2"), ("f", "param3"), ("f", "param4"),
+    ("f", "param5"), ("f", "param6"), ("f", "param7"),
+    ("H", "command"), ("B", "target_system"), ("B", "target_component"),
+    ("B", "confirmation"),
+))
+
+STATUSTEXT_SEVERITY_INFO = 6
+STATUSTEXT = MessageDef(253, "STATUSTEXT", _fields(
+    ("B", "severity"),
+    # simplified: 8-byte text field packed as uint64 to stay numeric
+    ("Q", "text"),
+))
+
+ALL_MESSAGES: Dict[int, MessageDef] = {
+    definition.msg_id: definition
+    for definition in (
+        HEARTBEAT, SYS_STATUS, PARAM_SET, RAW_IMU, ATTITUDE,
+        GLOBAL_POSITION_INT, MISSION_ITEM, COMMAND_LONG, STATUSTEXT,
+    )
+}
+
+
+def message_by_id(msg_id: int) -> MessageDef:
+    try:
+        return ALL_MESSAGES[msg_id]
+    except KeyError:
+        raise MavlinkError(f"unknown message id {msg_id}") from None

@@ -1,0 +1,126 @@
+"""MAVLink v1 framing (paper Fig. 2).
+
+Wire layout::
+
+    0    magic   0xFE ("state magic number")
+    1    length  payload byte count
+    2    seq     packet sequence number
+    3    sysid   ID of message sender
+    4    compid  ID of message sender component
+    5    msgid   ID of message in payload
+    6..  payload (up to 255 bytes)
+    end  checksum, 2 bytes little-endian (X.25 + CRC_EXTRA)
+
+Header is 6 bytes; with the 2-byte checksum and the paper's minimum 9-byte
+payload the minimum packet length is 17 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import MavlinkError
+from .checksum import frame_checksum
+from .messages import MessageDef, message_by_id
+
+MAGIC = 0xFE
+HEADER_LENGTH = 6
+CHECKSUM_LENGTH = 2
+MAX_PAYLOAD = 255
+MIN_PAYLOAD = 9  # per the paper's description of the minimum packet
+MIN_PACKET_LENGTH = HEADER_LENGTH + MIN_PAYLOAD + CHECKSUM_LENGTH  # 17
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One framed MAVLink packet."""
+
+    seq: int
+    sysid: int
+    compid: int
+    msgid: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for name in ("seq", "sysid", "compid", "msgid"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFF:
+                raise MavlinkError(f"{name} out of range: {value}")
+
+    @property
+    def declared_length(self) -> int:
+        """The length byte value; capped at 255 even for oversized frames."""
+        return min(len(self.payload), MAX_PAYLOAD)
+
+    def to_bytes(self, crc_extra: Optional[int] = None) -> bytes:
+        """Serialize.  ``crc_extra`` defaults to the registered message's."""
+        if len(self.payload) > MAX_PAYLOAD:
+            raise MavlinkError(
+                f"payload too long for a legal frame: {len(self.payload)}"
+            )
+        if crc_extra is None:
+            crc_extra = message_by_id(self.msgid).crc_extra
+        body = bytes([
+            len(self.payload), self.seq, self.sysid, self.compid, self.msgid,
+        ]) + self.payload
+        checksum = frame_checksum(body, crc_extra)
+        return bytes([MAGIC]) + body + bytes([checksum & 0xFF, checksum >> 8])
+
+    def to_bytes_oversized(self, crc_extra: Optional[int] = None) -> bytes:
+        """Serialize an attack frame whose payload exceeds 255 bytes.
+
+        The length byte *lies* (it is truncated to 255); a correct receiver
+        rejects the frame, but the paper's injected vulnerability — the
+        disabled length check — makes the APM copy every byte anyway.
+        """
+        if crc_extra is None:
+            crc_extra = message_by_id(self.msgid).crc_extra
+        body = bytes([
+            self.declared_length, self.seq, self.sysid, self.compid, self.msgid,
+        ]) + self.payload
+        checksum = frame_checksum(body, crc_extra)
+        return bytes([MAGIC]) + body + bytes([checksum & 0xFF, checksum >> 8])
+
+    @classmethod
+    def from_bytes(cls, frame: bytes, check_crc: bool = True) -> "Packet":
+        """Parse one complete frame."""
+        if len(frame) < HEADER_LENGTH + CHECKSUM_LENGTH:
+            raise MavlinkError(f"frame too short: {len(frame)} bytes")
+        if frame[0] != MAGIC:
+            raise MavlinkError(f"bad magic: 0x{frame[0]:02x}")
+        length = frame[1]
+        expected = HEADER_LENGTH + length + CHECKSUM_LENGTH
+        if len(frame) != expected:
+            raise MavlinkError(
+                f"frame length {len(frame)} does not match declared {expected}"
+            )
+        payload = frame[HEADER_LENGTH : HEADER_LENGTH + length]
+        packet = cls(
+            seq=frame[2], sysid=frame[3], compid=frame[4], msgid=frame[5],
+            payload=payload,
+        )
+        if check_crc:
+            crc_extra = message_by_id(packet.msgid).crc_extra
+            checksum = frame_checksum(frame[1:-2], crc_extra)
+            wire = frame[-2] | (frame[-1] << 8)
+            if checksum != wire:
+                raise MavlinkError(
+                    f"checksum mismatch: computed 0x{checksum:04x}, "
+                    f"wire 0x{wire:04x}"
+                )
+        return packet
+
+    def decode(self) -> dict:
+        """Unpack the payload according to the registered message type."""
+        definition = message_by_id(self.msgid)
+        return definition.unpack(self.payload)
+
+
+def build(definition: MessageDef, seq: int = 0, sysid: int = 255,
+          compid: int = 0, **values) -> Packet:
+    """Convenience: pack field values into a frame for ``definition``."""
+    return Packet(
+        seq=seq, sysid=sysid, compid=compid, msgid=definition.msg_id,
+        payload=definition.pack(**values),
+    )

@@ -1,0 +1,144 @@
+"""Streaming MAVLink parser (byte-at-a-time state machine).
+
+Two operating modes:
+
+* ``length_check=True`` — a correct receiver: the declared length byte
+  bounds the payload and malformed/oversized frames are dropped.
+* ``length_check=False`` — the paper's injected vulnerability (§IV-B):
+  *"we disabled the length check within the MAVLink buffer"*.  The parser
+  accumulates every byte after the frame header, regardless of the declared
+  length, until the UART burst ends (:meth:`StreamParser.flush`), modelling
+  the unbounded copy into the receive buffer that makes the stack overflow
+  possible.  One burst = one frame, which is how the exploit is delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from .checksum import frame_checksum
+from .messages import ALL_MESSAGES
+from .packet import CHECKSUM_LENGTH, HEADER_LENGTH, MAGIC, Packet
+
+
+class _State(Enum):
+    IDLE = "idle"
+    HEADER = "header"
+    PAYLOAD = "payload"
+    CHECKSUM = "checksum"
+
+
+@dataclass
+class ParserStats:
+    """Counters a ground station can alarm on."""
+
+    frames_ok: int = 0
+    frames_bad_crc: int = 0
+    frames_unknown_type: int = 0
+    bytes_dropped: int = 0
+    oversized_frames: int = 0
+
+
+class StreamParser:
+    """Incremental frame extractor over a raw byte stream."""
+
+    def __init__(self, length_check: bool = True) -> None:
+        self.length_check = length_check
+        self.stats = ParserStats()
+        self._state = _State.IDLE
+        self._buffer = bytearray()
+        self._declared_length = 0
+
+    def push(self, data: bytes) -> List[Packet]:
+        """Feed bytes; return every complete packet they finish."""
+        packets: List[Packet] = []
+        for byte in data:
+            packet = self._push_byte(byte)
+            if packet is not None:
+                packets.append(packet)
+        return packets
+
+    def _push_byte(self, byte: int) -> Optional[Packet]:
+        if self._state is _State.IDLE:
+            if byte == MAGIC:
+                self._buffer = bytearray([byte])
+                self._state = _State.HEADER
+            else:
+                self.stats.bytes_dropped += 1
+            return None
+
+        self._buffer.append(byte)
+
+        if self._state is _State.HEADER:
+            if len(self._buffer) == HEADER_LENGTH:
+                self._declared_length = self._buffer[1]
+                self._state = (
+                    _State.PAYLOAD if self._declared_length else _State.CHECKSUM
+                )
+            return None
+
+        if self._state is _State.PAYLOAD:
+            payload_seen = len(self._buffer) - HEADER_LENGTH
+            if self.length_check:
+                if payload_seen == self._declared_length:
+                    self._state = _State.CHECKSUM
+                return None
+            # vulnerable mode: accumulate until the burst ends (flush)
+            return None
+
+        # CHECKSUM state
+        expected = HEADER_LENGTH + self._declared_length + CHECKSUM_LENGTH
+        if len(self._buffer) == expected:
+            frame = bytes(self._buffer)
+            self._reset()
+            return self._finish(frame)
+        return None
+
+    def flush(self) -> Optional[Packet]:
+        """End-of-stream: in vulnerable mode, emit the oversized tail frame."""
+        if self.length_check or self._state is not _State.PAYLOAD:
+            self._reset()
+            return None
+        frame = bytes(self._buffer)
+        self._reset()
+        return self._finish_vulnerable(frame)
+
+    def _reset(self) -> None:
+        self._state = _State.IDLE
+        self._buffer = bytearray()
+        self._declared_length = 0
+
+    def _finish(self, frame: bytes) -> Optional[Packet]:
+        msgid = frame[5]
+        if msgid not in ALL_MESSAGES:
+            self.stats.frames_unknown_type += 1
+            return None
+        crc_extra = ALL_MESSAGES[msgid].crc_extra
+        checksum = frame_checksum(frame[1:-2], crc_extra)
+        wire = frame[-2] | (frame[-1] << 8)
+        if checksum != wire:
+            self.stats.frames_bad_crc += 1
+            return None
+        self.stats.frames_ok += 1
+        return Packet(
+            seq=frame[2], sysid=frame[3], compid=frame[4], msgid=msgid,
+            payload=frame[HEADER_LENGTH:-CHECKSUM_LENGTH],
+        )
+
+    def _finish_vulnerable(self, frame: bytes) -> Packet:
+        """Oversized frame in vulnerable mode: delivered without any check.
+
+        Everything after the header — including what would have been the
+        checksum — is handed to the consumer as payload, exactly the bytes
+        the unchecked ``memcpy`` would have written.
+        """
+        self.stats.frames_ok += 1
+        payload = frame[HEADER_LENGTH:]
+        if len(payload) > frame[1] + CHECKSUM_LENGTH:
+            self.stats.oversized_frames += 1
+        return Packet(
+            seq=frame[2], sysid=frame[3], compid=frame[4], msgid=frame[5],
+            payload=payload,
+        )

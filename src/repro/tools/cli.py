@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro.tools <command>``.
+
+Commands mirror the workflows a user of the original system would have:
+
+* ``build``    — build an application, optionally writing the MAVR
+  preprocessed HEX (what goes onto the external flash).
+* ``info``     — image statistics (sizes, regions, symbols).
+* ``disasm``   — disassemble an application or one function.
+* ``gadgets``  — gadget inventory with Fig. 4/5-style listings.
+* ``attack``   — run V1/V2/V3 against a simulated unprotected board.
+* ``defend``   — run a guessing campaign against a MAVR-protected board.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis import format_table, guessing_campaign
+from ..asm import disassemble_image
+from ..asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
+from ..attack import BasicAttack, GadgetFinder, StealthyAttack, TrampolineAttack
+from ..firmware import build_app, manifest_by_name
+from ..uav import Autopilot
+
+_TOOLCHAINS = {"stock": STOCK_OPTIONS, "mavr": MAVR_OPTIONS}
+
+
+def _add_app_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "app",
+        choices=("testapp", "arduplane", "arducopter", "ardurover"),
+        help="application to operate on",
+    )
+    parser.add_argument(
+        "--toolchain", choices=tuple(_TOOLCHAINS), default="mavr",
+        help="toolchain flag set (default: mavr, the randomizable build)",
+    )
+
+
+def _load(args: argparse.Namespace):
+    return build_app(manifest_by_name(args.app), _TOOLCHAINS[args.toolchain])
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    image = _load(args)
+    print(f"built {image.name}: {image.size} bytes, "
+          f"{image.function_count()} functions [{image.toolchain_tag}]")
+    if args.out:
+        from ..core import preprocess
+
+        hex_text = preprocess(image)
+        with open(args.out, "w", encoding="ascii") as handle:
+            handle.write(hex_text)
+        print(f"wrote preprocessed HEX to {args.out} ({len(hex_text)} bytes)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    image = _load(args)
+    rows = [
+        ("name", image.name),
+        ("toolchain", image.toolchain_tag),
+        ("total size", f"{image.size} B"),
+        ("fixed region", f"0x00000-0x{image.text_start:05x}"),
+        (".text", f"0x{image.text_start:05x}-0x{image.text_end:05x} "
+                  f"({image.text_end - image.text_start} B)"),
+        (".data", f"0x{image.data_start:05x}-0x{image.data_end:05x} "
+                  f"({image.data_end - image.data_start} B)"),
+        ("functions", str(image.function_count())),
+        ("funcptr slots", str(len(image.funcptr_locations))),
+        ("entry", image.entry_symbol),
+    ]
+    print(format_table(("property", "value"), rows))
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    image = _load(args)
+    print(disassemble_image(image, args.function))
+    return 0
+
+
+def _cmd_gadgets(args: argparse.Namespace) -> int:
+    from ..asm import disassemble
+
+    image = _load(args)
+    finder = GadgetFinder(image)
+    print(f"{finder.count()} gadgets ending in ret\n")
+    stk = finder.find_stk_move()
+    print(f"stk_move at 0x{stk.entry:05x} (pops {stk.pop_regs}):")
+    print("\n".join(disassemble(image.code, stk.entry, stk.entry + 14)))
+    wm = finder.find_write_mem()
+    print(f"\nwrite_mem_gadget: std half 0x{wm.std_entry:05x}, "
+          f"pop half 0x{wm.pop_entry:05x}, {wm.pop_bytes} pops:")
+    print("\n".join(disassemble(image.code, wm.std_entry, wm.pop_entry + 8)))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    image = _load(args)
+    if args.toolchain != "mavr":
+        print("note: attacks are normally demonstrated on the mavr build",
+              file=sys.stderr)
+    autopilot = Autopilot(image)
+    attack = {
+        "v1": lambda: BasicAttack(image).execute(autopilot),
+        "v2": lambda: StealthyAttack(image).execute(autopilot),
+        "v3": lambda: TrampolineAttack(image).execute(autopilot),
+    }[args.variant]
+    outcome = attack()
+    rows = [
+        ("attack", outcome.name),
+        ("bytes delivered", str(outcome.delivered_bytes)),
+        ("write landed", str(outcome.succeeded)),
+        ("board status", outcome.status.value),
+        ("telemetry after", f"{outcome.telemetry_frames_after} frames"),
+        ("ground station alarm", str(outcome.link_lost)),
+        ("verdict", "STEALTHY" if outcome.stealthy else "DETECTED/FAILED"),
+    ]
+    print(format_table(("field", "value"), rows))
+    return 0 if outcome.succeeded else 1
+
+
+def _cmd_defend(args: argparse.Namespace) -> int:
+    image = _load(args)
+    result = guessing_campaign(image, attempts=args.attempts, seed=args.seed)
+    rows = [
+        ("attempts", str(result.attempts)),
+        ("exploit effects", str(result.effects)),
+        ("detections", str(result.detections)),
+        ("layouts consumed", str(result.randomizations_consumed)),
+        ("UAV still flying", str(result.still_flying)),
+    ]
+    print(format_table(("field", "value"), rows,
+                       title="guessing campaign vs MAVR"))
+    return 0 if result.effects == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Paper-vs-measured summary (Tables I-III need --full)."""
+    import math
+
+    from ..analysis import entropy_report, estimate_for
+    from ..hw import CostModel, PROTOTYPE_LINK
+    from ..firmware import (
+        ALL_APPS,
+        PAPER_FUNCTION_COUNTS,
+        PAPER_MAVR_SIZES,
+        PAPER_STARTUP_MS,
+        PAPER_STOCK_SIZES,
+    )
+
+    lines = ["# MAVR reproduction report", ""]
+
+    if args.full:
+        from ..core import MavrSystem
+
+        lines.append("## Table I/II/III (measured)")
+        rows = []
+        for manifest in ALL_APPS:
+            stock = build_app(manifest, STOCK_OPTIONS)
+            mavr = build_app(manifest, MAVR_OPTIONS)
+            overhead = MavrSystem(mavr, seed=1).boot()
+            rows.append((
+                manifest.name,
+                f"{mavr.function_count()} (paper {PAPER_FUNCTION_COUNTS[manifest.name]})",
+                f"{stock.size} (paper {PAPER_STOCK_SIZES[manifest.name]})",
+                f"{mavr.size} (paper {PAPER_MAVR_SIZES[manifest.name]})",
+                f"{overhead:.0f} ms (paper {PAPER_STARTUP_MS[manifest.name]})",
+            ))
+        lines.append(format_table(
+            ("app", "functions", "stock bytes", "MAVR bytes", "startup"),
+            rows,
+        ))
+        lines.append("")
+
+    lines.append("## Analysis (closed form)")
+    rover = entropy_report(800)
+    plane = estimate_for(917)
+    cost = CostModel().report()
+    lines.append(format_table(("metric", "value", "paper"), [
+        ("entropy, 800 symbols", f"{rover.shuffle_bits:.0f} bits", "6567 bits"),
+        ("brute force, 917 fns", f"~10^{plane.log10_layouts:.0f}", "~917!"),
+        ("transfer rate", f"{PROTOTYPE_LINK.bytes_per_ms:.2f} B/ms", "~11 B/ms"),
+        ("hardware cost", f"+${cost['extra_usd']} ({cost['increase_pct']}%)",
+         "+$11.68 (7.3%)"),
+    ]))
+    lines.append("")
+
+    lines.append("## Effectiveness (test application)")
+    image = build_app(manifest_by_name("testapp"), MAVR_OPTIONS)
+    v2 = StealthyAttack(image).execute(Autopilot(image))
+    campaign = guessing_campaign(image, attempts=2, seed=1)
+    lines.append(format_table(("experiment", "result"), [
+        ("V2 vs unprotected", "stealthy success" if v2.stealthy and v2.succeeded
+         else "FAILED"),
+        ("replay vs MAVR", f"{campaign.effects} effects / "
+         f"{campaign.detections} detections in {campaign.attempts} attempts"),
+        ("UAV survived campaign", str(campaign.still_flying)),
+    ]))
+
+    text = "\n".join(lines) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="MAVR reproduction command-line tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build_cmd = subparsers.add_parser("build", help="build an application")
+    _add_app_argument(build_cmd)
+    build_cmd.add_argument("--out", help="write preprocessed HEX here")
+    build_cmd.set_defaults(func=_cmd_build)
+
+    info = subparsers.add_parser("info", help="image statistics")
+    _add_app_argument(info)
+    info.set_defaults(func=_cmd_info)
+
+    disasm = subparsers.add_parser("disasm", help="disassemble")
+    _add_app_argument(disasm)
+    disasm.add_argument("--function", help="only this function")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    gadgets = subparsers.add_parser("gadgets", help="gadget inventory")
+    _add_app_argument(gadgets)
+    gadgets.set_defaults(func=_cmd_gadgets)
+
+    attack = subparsers.add_parser("attack", help="run an attack simulation")
+    _add_app_argument(attack)
+    attack.add_argument("--variant", choices=("v1", "v2", "v3"), default="v2")
+    attack.set_defaults(func=_cmd_attack)
+
+    defend = subparsers.add_parser("defend", help="guessing campaign vs MAVR")
+    _add_app_argument(defend)
+    defend.add_argument("--attempts", type=int, default=3)
+    defend.add_argument("--seed", type=int, default=0)
+    defend.set_defaults(func=_cmd_defend)
+
+    report = subparsers.add_parser(
+        "report", help="paper-vs-measured reproduction summary"
+    )
+    report.add_argument("--full", action="store_true",
+                        help="include Tables I-III at full application scale")
+    report.add_argument("--out", help="write markdown here instead of stdout")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""UAV simulation: autopilot harness, sensors, flight model, ground station."""
+
+from .autopilot import Autopilot, AutopilotStatus, CrashInfo
+from .flight import FlightModel, FlightState, GYRO_UNITS_PER_DEG_S, SERVO_NEUTRAL
+from .groundstation import (
+    GroundStation,
+    LinkHealth,
+    MaliciousGroundStation,
+    TelemetryFrame,
+)
+from .mission import Mission, Waypoint, track_deviation
+from .sensors import SensorState, SensorSuite
+
+__all__ = [
+    "Autopilot",
+    "AutopilotStatus",
+    "CrashInfo",
+    "FlightModel",
+    "FlightState",
+    "GYRO_UNITS_PER_DEG_S",
+    "SERVO_NEUTRAL",
+    "GroundStation",
+    "LinkHealth",
+    "MaliciousGroundStation",
+    "TelemetryFrame",
+    "Mission",
+    "Waypoint",
+    "track_deviation",
+    "SensorState",
+    "SensorSuite",
+]

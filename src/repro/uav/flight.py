@@ -1,0 +1,74 @@
+"""Kinematic flight model.
+
+A deliberately simple closed loop sufficient to show the paper's point —
+that silently corrupting the gyro calibration steers the vehicle off its
+path while the telemetry stream keeps flowing:
+
+* the firmware's P-controller writes an elevator/aileron command byte to
+  the servo port;
+* the flight model integrates that command into a roll rate and heading;
+* the roll rate feeds back into the gyro device registers the firmware
+  samples on the next loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .sensors import SensorSuite
+
+SERVO_NEUTRAL = 0x80
+GYRO_UNITS_PER_DEG_S = 16.0  # raw sensor counts per deg/s
+
+
+@dataclass
+class FlightState:
+    """Planar vehicle state: position, heading, roll."""
+
+    x: float = 0.0
+    y: float = 0.0
+    heading_deg: float = 0.0  # 0 = north, clockwise positive
+    roll_deg: float = 0.0
+    roll_rate_dps: float = 0.0
+    airspeed: float = 20.0  # m/s
+
+
+class FlightModel:
+    """Integrates servo commands into vehicle motion and sensor readings."""
+
+    def __init__(self, sensors: SensorSuite, dt: float = 0.02) -> None:
+        self.sensors = sensors
+        self.dt = dt
+        self.state = FlightState()
+        self.track: List[Tuple[float, float]] = [(0.0, 0.0)]
+
+    def step(self, servo_command: int) -> None:
+        """Advance one control period given the firmware's servo byte."""
+        state = self.state
+        # servo deflection (signed) -> roll rate demand
+        deflection = servo_command - SERVO_NEUTRAL
+        state.roll_rate_dps = deflection * 0.8
+        state.roll_deg += state.roll_rate_dps * self.dt
+        state.roll_deg = max(-60.0, min(60.0, state.roll_deg))
+        # coordinated turn: heading rate proportional to roll angle
+        state.heading_deg += state.roll_deg * 0.5 * self.dt
+        heading_rad = math.radians(state.heading_deg)
+        state.x += math.sin(heading_rad) * state.airspeed * self.dt
+        state.y += math.cos(heading_rad) * state.airspeed * self.dt
+        self.track.append((state.x, state.y))
+        # feed the gyro device with the achieved roll rate
+        self.sensors.set_gyro(
+            x=state.roll_rate_dps * GYRO_UNITS_PER_DEG_S, y=0.0, z=0.0
+        )
+
+    def distance_from(self, other_track: List[Tuple[float, float]]) -> float:
+        """Mean planar deviation between this track and another."""
+        n = min(len(self.track), len(other_track))
+        if n == 0:
+            return 0.0
+        total = 0.0
+        for (x1, y1), (x2, y2) in zip(self.track[:n], other_track[:n]):
+            total += math.hypot(x1 - x2, y1 - y2)
+        return total / n

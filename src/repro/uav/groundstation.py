@@ -1,0 +1,156 @@
+"""Ground stations: the legitimate monitor and the attacker's.
+
+The paper's stealthiness criterion is *what the ground station can see*: a
+V1 attack smashes the stack, telemetry degenerates or stops, and the
+operator notices; a V2/V3 attack returns cleanly and the stream never
+misses a beat.  :class:`GroundStation` implements exactly that monitor —
+frame-rate accounting plus structural validation of every telemetry frame.
+
+:class:`MaliciousGroundStation` is the compromised/attacker-built station
+of Fig. 3: same link, but it can emit raw (oversized) MAVLink frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..firmware.hwmap import (
+    TELEMETRY_FRAME_LENGTH,
+    TELEMETRY_MARKER,
+    TELEMETRY_TRAILER,
+)
+from ..mavlink.messages import MessageDef
+from ..mavlink.packet import Packet, build
+
+
+@dataclass(frozen=True)
+class TelemetryFrame:
+    """One decoded downlink frame (gyro x/y/z as signed 16-bit)."""
+
+    gyro_x: int
+    gyro_y: int
+    gyro_z: int
+
+
+def _signed16(low: int, high: int) -> int:
+    value = low | (high << 8)
+    return value - 0x10000 if value & 0x8000 else value
+
+
+@dataclass
+class LinkHealth:
+    """What the operator's screen shows."""
+
+    frames_received: int = 0
+    malformed_bytes: int = 0
+    silent_polls: int = 0
+    consecutive_silent_polls: int = 0
+
+
+class GroundStation:
+    """Legitimate GCS: parses telemetry, raises an alarm on link anomalies."""
+
+    # polls with no valid frame before the operator declares the link lost
+    SILENCE_ALARM_THRESHOLD = 5
+
+    def __init__(self) -> None:
+        self.health = LinkHealth()
+        self.frames: List[TelemetryFrame] = []
+        self._pending = bytearray()
+        self._seq = 0
+
+    # -- downlink ----------------------------------------------------------
+
+    def ingest(self, data: bytes) -> List[TelemetryFrame]:
+        """Consume downlink bytes; returns frames completed by this poll."""
+        self._pending.extend(data)
+        new_frames: List[TelemetryFrame] = []
+        while True:
+            frame = self._extract_frame()
+            if frame is None:
+                break
+            new_frames.append(frame)
+        if new_frames:
+            self.health.frames_received += len(new_frames)
+            self.health.consecutive_silent_polls = 0
+            self.frames.extend(new_frames)
+        else:
+            self.health.silent_polls += 1
+            self.health.consecutive_silent_polls += 1
+        return new_frames
+
+    def _extract_frame(self) -> Optional[TelemetryFrame]:
+        # resync to the marker
+        while self._pending and self._pending[0] != TELEMETRY_MARKER:
+            self._pending.pop(0)
+            self.health.malformed_bytes += 1
+        if len(self._pending) < TELEMETRY_FRAME_LENGTH:
+            return None
+        raw = bytes(self._pending[:TELEMETRY_FRAME_LENGTH])
+        if raw[-1] != TELEMETRY_TRAILER:
+            # broken frame: skip the marker and resync
+            self._pending.pop(0)
+            self.health.malformed_bytes += 1
+            return self._extract_frame()
+        del self._pending[:TELEMETRY_FRAME_LENGTH]
+        return TelemetryFrame(
+            gyro_x=_signed16(raw[1], raw[2]),
+            gyro_y=_signed16(raw[3], raw[4]),
+            gyro_z=_signed16(raw[5], raw[6]),
+        )
+
+    # -- operator view -------------------------------------------------------
+
+    @property
+    def link_lost(self) -> bool:
+        """The alarm the paper's attacks must avoid tripping."""
+        return (
+            self.health.consecutive_silent_polls >= self.SILENCE_ALARM_THRESHOLD
+        )
+
+    @property
+    def last_frame(self) -> Optional[TelemetryFrame]:
+        return self.frames[-1] if self.frames else None
+
+    # -- uplink ----------------------------------------------------------
+
+    def next_seq(self) -> int:
+        seq = self._seq
+        self._seq = (self._seq + 1) & 0xFF
+        return seq
+
+    def command(self, definition: MessageDef, **values) -> bytes:
+        """Serialize a legitimate MAVLink command frame."""
+        return build(definition, seq=self.next_seq(), sysid=255, **values).to_bytes()
+
+
+class MaliciousGroundStation(GroundStation):
+    """Attacker-controlled station (paper Fig. 3): sends raw exploit bytes."""
+
+    def exploit_frame(self, msgid: int, payload: bytes) -> bytes:
+        """Wrap an arbitrary-length payload in MAVLink framing.
+
+        The receiver's length check is the disabled one, so the frame's
+        length byte does not constrain the payload.
+        """
+        packet = Packet(
+            seq=self.next_seq(), sysid=255, compid=0, msgid=msgid,
+            payload=payload,
+        )
+        return packet.to_bytes_oversized()
+
+    def exploit_burst(self, msgid: int, attack_bytes: bytes) -> bytes:
+        """A MAVLink-headed burst with byte-exact attacker control.
+
+        The vulnerable receiver copies every arriving byte, so the attack
+        string must land at exact stack offsets; the trailing checksum a
+        legal frame would carry is deliberately omitted (nothing on the
+        victim checks it before the overflow happens).
+        """
+        header = bytes([
+            0xFE,  # MAGIC
+            min(len(attack_bytes), 255),
+            self.next_seq(), 255, 0, msgid,
+        ])
+        return header + attack_bytes

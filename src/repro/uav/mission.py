@@ -1,0 +1,68 @@
+"""Mission/waypoint bookkeeping and navigation-deviation metrics.
+
+The paper's headline attack goal is to "modify the UAV navigation path"
+without the ground station noticing.  This module gives experiments a way
+to quantify that: fly a mission with clean firmware to get the reference
+track, fly it again under attack, and measure the divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    x: float
+    y: float
+    radius: float = 25.0
+
+    def reached_by(self, x: float, y: float) -> bool:
+        return math.hypot(self.x - x, self.y - y) <= self.radius
+
+
+@dataclass
+class Mission:
+    """An ordered list of waypoints plus progress tracking."""
+
+    waypoints: List[Waypoint] = field(default_factory=list)
+    current_index: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.current_index >= len(self.waypoints)
+
+    @property
+    def current(self) -> Optional[Waypoint]:
+        if self.complete:
+            return None
+        return self.waypoints[self.current_index]
+
+    def update(self, x: float, y: float) -> bool:
+        """Advance progress; returns True when a waypoint was just reached."""
+        target = self.current
+        if target is not None and target.reached_by(x, y):
+            self.current_index += 1
+            return True
+        return False
+
+
+def track_deviation(
+    reference: List[Tuple[float, float]], actual: List[Tuple[float, float]]
+) -> dict:
+    """Pointwise deviation statistics between two flight tracks."""
+    n = min(len(reference), len(actual))
+    if n == 0:
+        return {"mean": 0.0, "max": 0.0, "final": 0.0, "points": 0}
+    distances = [
+        math.hypot(x1 - x2, y1 - y2)
+        for (x1, y1), (x2, y2) in zip(reference[:n], actual[:n])
+    ]
+    return {
+        "mean": sum(distances) / n,
+        "max": max(distances),
+        "final": distances[-1],
+        "points": n,
+    }

@@ -1,0 +1,66 @@
+"""Sensor models wired into the AVR data space.
+
+The APM 2.5 carries a 3-axis gyroscope, accelerometer, magnetometer and a
+barometer (paper §II-A).  Each appears to the firmware as a pair of
+extended-I/O registers (little-endian int16) that the ``sensors_read``
+routine samples with ``lds`` — mirroring how sensor values end up "recorded
+in the data address space" where the paper's attack overwrites them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..avr.cpu import AvrCpu
+from ..firmware.hwmap import (
+    ACCEL_X_REG,
+    ACCEL_Y_REG,
+    ACCEL_Z_REG,
+    BARO_REG,
+    GYRO_X_REG,
+    GYRO_Y_REG,
+    GYRO_Z_REG,
+    MAG_REG,
+)
+
+
+def _to_int16(value: float) -> int:
+    clamped = max(-32768, min(32767, int(round(value))))
+    return clamped & 0xFFFF
+
+
+@dataclass
+class SensorState:
+    """Physical quantities the devices report (raw sensor units)."""
+
+    gyro: Dict[str, float] = field(default_factory=lambda: {"x": 0.0, "y": 0.0, "z": 0.0})
+    accel: Dict[str, float] = field(default_factory=lambda: {"x": 0.0, "y": 0.0, "z": 1000.0})
+    baro: float = 10_000.0
+    mag: float = 0.0
+
+
+class SensorSuite:
+    """Installs data-space read hooks exposing :class:`SensorState`."""
+
+    def __init__(self, cpu: AvrCpu, state: SensorState = None) -> None:
+        self.state = state if state is not None else SensorState()
+        self._register_pair(cpu, GYRO_X_REG, lambda: self.state.gyro["x"])
+        self._register_pair(cpu, GYRO_Y_REG, lambda: self.state.gyro["y"])
+        self._register_pair(cpu, GYRO_Z_REG, lambda: self.state.gyro["z"])
+        self._register_pair(cpu, ACCEL_X_REG, lambda: self.state.accel["x"])
+        self._register_pair(cpu, ACCEL_Y_REG, lambda: self.state.accel["y"])
+        self._register_pair(cpu, ACCEL_Z_REG, lambda: self.state.accel["z"])
+        self._register_pair(cpu, BARO_REG, lambda: self.state.baro)
+        self._register_pair(cpu, MAG_REG, lambda: self.state.mag)
+
+    @staticmethod
+    def _register_pair(cpu: AvrCpu, base: int, getter) -> None:
+        cpu.data.add_read_hook(base, lambda _addr: _to_int16(getter()) & 0xFF)
+        cpu.data.add_read_hook(base + 1, lambda _addr: (_to_int16(getter()) >> 8) & 0xFF)
+
+    def set_gyro(self, x: float, y: float, z: float) -> None:
+        self.state.gyro.update(x=x, y=y, z=z)
+
+    def set_accel(self, x: float, y: float, z: float) -> None:
+        self.state.accel.update(x=x, y=y, z=z)

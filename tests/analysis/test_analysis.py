@@ -1,0 +1,143 @@
+"""Security analysis: brute-force formulas vs Monte-Carlo, entropy, gadget
+survival, and table formatting."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    attack_survival_rate,
+    compare_defenses,
+    entropy_report,
+    estimate_for,
+    expected_attempts_fixed_layout,
+    expected_attempts_mavr,
+    format_table,
+    layouts_for_functions,
+    mean_survival_fraction,
+    measure_survival,
+    padding_entropy_bits,
+    paper_vs_measured,
+    permutation_entropy_bits,
+    simulate_fixed_layout,
+    simulate_mavr,
+    success_probability_at,
+)
+
+
+# -- closed forms ------------------------------------------------------------
+
+def test_success_probability_is_uniform():
+    # the paper's telescoping identity: P(j) = 1/N for every j <= N
+    for attempt in (1, 3, 10):
+        assert math.isclose(success_probability_at(attempt, 10), 0.1)
+    assert success_probability_at(11, 10) == 0.0
+    with pytest.raises(ValueError):
+        success_probability_at(0, 10)
+
+
+@given(st.integers(1, 10_000))
+def test_expected_attempts_formulas(layouts):
+    assert expected_attempts_fixed_layout(layouts) == (layouts + 1) / 2
+    assert expected_attempts_mavr(layouts) == layouts
+
+
+def test_mavr_doubles_fixed_effort_asymptotically():
+    layouts = layouts_for_functions(10)
+    ratio = expected_attempts_mavr(layouts) / expected_attempts_fixed_layout(layouts)
+    assert 1.9 < ratio <= 2.0
+
+
+def test_estimate_for_paper_apps():
+    plane = estimate_for(917)
+    assert plane.layouts == math.factorial(917)
+    assert plane.log10_layouts > 2000  # astronomically large
+    rover = estimate_for(800)
+    assert rover.expected_mavr == math.factorial(800)
+
+
+# -- Monte Carlo agreement ------------------------------------------------------
+
+def test_simulation_matches_fixed_formula():
+    rng = random.Random(1)
+    layouts = 20
+    mean = simulate_fixed_layout(layouts, trials=3000, rng=rng)
+    assert abs(mean - expected_attempts_fixed_layout(layouts)) < 0.8
+
+
+def test_simulation_matches_mavr_formula():
+    rng = random.Random(2)
+    layouts = 20
+    mean = simulate_mavr(layouts, trials=3000, rng=rng)
+    assert abs(mean - layouts) / layouts < 0.15
+
+
+def test_rerandomization_increases_effort():
+    rng = random.Random(3)
+    layouts = 12
+    fixed = simulate_fixed_layout(layouts, trials=4000, rng=rng)
+    rerandomized = simulate_mavr(layouts, trials=4000, rng=rng)
+    assert rerandomized > fixed * 1.5
+
+
+# -- entropy -----------------------------------------------------------------------
+
+def test_entropy_800_symbols_is_6567_bits():
+    assert abs(permutation_entropy_bits(800) - 6567) < 10
+
+
+def test_entropy_monotone():
+    assert permutation_entropy_bits(1030) > permutation_entropy_bits(917)
+    assert permutation_entropy_bits(917) > permutation_entropy_bits(800)
+
+
+def test_entropy_report_fields():
+    report = entropy_report(800)
+    assert report.shuffle_bits > 6000
+    assert report.padding_bits_16 == 800 * 4
+    assert report.total_with_padding > report.shuffle_bits
+
+
+def test_padding_entropy_validation():
+    assert padding_entropy_bits(10, 1) == 0.0
+    with pytest.raises(ValueError):
+        padding_entropy_bits(10, 0)
+
+
+def test_compare_defenses_shows_aslr_weakness():
+    comparison = compare_defenses(800)
+    assert comparison["aslr_16bit_base_bits"] < 10
+    assert comparison["function_shuffle_bits"] > 6000
+
+
+# -- gadget survival ---------------------------------------------------------------
+
+def test_gadget_survival_low(testapp):
+    samples = measure_survival(testapp, trials=5, rng=random.Random(0), probe_limit=60)
+    fraction = mean_survival_fraction(samples)
+    assert fraction < 0.2  # almost every gadget address is invalidated
+    assert attack_survival_rate(samples) < 0.5
+
+
+def test_gadget_survival_empty():
+    assert mean_survival_fraction([]) == 0.0
+    assert attack_survival_rate([]) == 0.0
+
+
+# -- report formatting -----------------------------------------------------------------
+
+def test_format_table():
+    text = format_table(("a", "bee"), [(1, 2), (30, 4)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bee" in lines[1]
+    assert "30" in lines[4]  # title, header, separator, row 1, row 2
+
+
+def test_paper_vs_measured():
+    text = paper_vs_measured("Table II", [("arduplane", 19209, 19259)], "ms")
+    assert "paper ms" in text
+    assert "arduplane" in text

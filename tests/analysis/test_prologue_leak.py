@@ -1,0 +1,36 @@
+"""§VI-B1 call-prologue consolidation leak."""
+
+from repro.analysis import measure_prologue_leak
+
+
+def test_stock_build_leaks(testapp_stock):
+    report = measure_prologue_leak(testapp_stock)
+    assert report.total_references > 0
+    assert report.prologue_references == report.epilogue_references
+    assert 0 < report.exposure_fraction < 1
+
+
+def test_mavr_build_has_no_shared_block(testapp):
+    report = measure_prologue_leak(testapp)
+    assert report.total_references == 0
+    assert report.referencing_functions == 0
+    assert report.exposure_fraction == 0.0
+
+
+def test_references_match_prologue_users(testapp_stock, testapp):
+    """Every shared-block user contributes exactly one prologue jmp and
+    one epilogue jmp."""
+    report = measure_prologue_leak(testapp_stock)
+    assert report.prologue_references == report.referencing_functions
+
+
+def test_paper_scale_leak():
+    """At ArduPlane scale the shared block collects multiple beacons —
+    each one a way to triangulate the block after randomization."""
+    from repro.asm.linker import STOCK_OPTIONS
+    from repro.firmware import ARDUPLANE, build_app
+
+    image = build_app(ARDUPLANE, STOCK_OPTIONS)
+    report = measure_prologue_leak(image)
+    assert report.total_references >= 2 * 2  # >= configured prologue users
+    assert report.total_functions == 919  # 917 + the two shared blocks

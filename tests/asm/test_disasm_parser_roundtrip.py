@@ -1,0 +1,66 @@
+"""Cross-tool property: the parser accepts what the disassembler prints.
+
+For data/ALU/I-O instructions (everything whose text form carries no
+label), ``parse(format(insn))`` must reproduce the instruction exactly —
+keeping the two front-ends honest with each other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import format_instruction, parse_program
+from repro.avr import Instruction, Mnemonic
+
+M = Mnemonic
+
+reg = st.integers(0, 31)
+reg_high = st.integers(16, 31)
+imm8 = st.integers(0, 255)
+disp6 = st.integers(0, 63)
+bit3 = st.integers(0, 7)
+
+_CASES = st.one_of(
+    st.builds(lambda rd, rr: Instruction(M.MOV, rd=rd, rr=rr), reg, reg),
+    st.builds(lambda rd, rr: Instruction(M.ADD, rd=rd, rr=rr), reg, reg),
+    st.builds(lambda rd, rr: Instruction(M.EOR, rd=rd, rr=rr), reg, reg),
+    st.builds(lambda rd, rr: Instruction(M.MUL, rd=rd, rr=rr), reg, reg),
+    st.builds(lambda rd, k: Instruction(M.LDI, rd=rd, k=k), reg_high, imm8),
+    st.builds(lambda rd, k: Instruction(M.ANDI, rd=rd, k=k), reg_high, imm8),
+    st.builds(lambda rd, k: Instruction(M.CPI, rd=rd, k=k), reg_high, imm8),
+    st.builds(lambda rd: Instruction(M.INC, rd=rd), reg),
+    st.builds(lambda rd: Instruction(M.LSR, rd=rd), reg),
+    st.builds(lambda rr: Instruction(M.PUSH, rr=rr), reg),
+    st.builds(lambda rd: Instruction(M.POP, rd=rd), reg),
+    st.builds(lambda rd, q: Instruction(M.LDD_Y, rd=rd, q=q), reg, disp6),
+    st.builds(lambda rr, q: Instruction(M.STD_Y, rr=rr, q=q), reg, disp6),
+    st.builds(lambda rd, q: Instruction(M.LDD_Z, rd=rd, q=q), reg, disp6),
+    st.builds(lambda rr, q: Instruction(M.STD_Z, rr=rr, q=q), reg, disp6),
+    st.builds(lambda rd: Instruction(M.LD_X_INC, rd=rd), reg),
+    st.builds(lambda rr: Instruction(M.ST_Y_DEC, rr=rr), reg),
+    st.builds(lambda rd, a: Instruction(M.IN, rd=rd, a=a), reg, st.integers(0, 63)),
+    st.builds(lambda rr, a: Instruction(M.OUT, rr=rr, a=a), reg, st.integers(0, 63)),
+    st.builds(lambda a, b: Instruction(M.SBI, a=a, b=b), st.integers(0, 31), bit3),
+    st.builds(lambda rd, b: Instruction(M.SBRC, rd=rd, b=b), reg, bit3),
+    st.builds(lambda rd, k: Instruction(M.LDS, rd=rd, k=k), reg, st.integers(0, 0xFFFF)),
+    st.builds(lambda rr, k: Instruction(M.STS, rr=rr, k=k), reg, st.integers(0, 0xFFFF)),
+    st.builds(lambda rd, k: Instruction(M.ADIW, rd=rd, k=k),
+              st.sampled_from([24, 26, 28, 30]), disp6),
+    st.builds(lambda rd, rr: Instruction(M.MOVW, rd=rd, rr=rr),
+              st.integers(0, 15).map(lambda i: i * 2),
+              st.integers(0, 15).map(lambda i: i * 2)),
+    st.sampled_from([Instruction(M.NOP), Instruction(M.RET), Instruction(M.WDR),
+                     Instruction(M.IJMP), Instruction(M.ICALL),
+                     Instruction(M.LPM_R0)]),
+    st.builds(lambda rd: Instruction(M.LPM, rd=rd), reg),
+    st.builds(lambda rd: Instruction(M.LPM_INC, rd=rd), reg),
+)
+
+
+@settings(max_examples=600, deadline=None)
+@given(_CASES)
+def test_parser_accepts_disassembler_output(insn):
+    text = format_instruction(insn)
+    program = parse_program(f".text\n.func f\n{text}\n.endfunc\n")
+    parsed = program.function("f").instructions()
+    assert len(parsed) == 1
+    assert parsed[0].as_instruction() == insn

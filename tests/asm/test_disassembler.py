@@ -1,0 +1,79 @@
+"""Disassembler formatting tests (the paper's Fig. 4/5 listing style)."""
+
+from repro.asm import disassemble, disassemble_image, format_instruction, link, parse_program
+from repro.asm.linker import MAVR_OPTIONS
+from repro.avr import Instruction, Mnemonic, encode_stream
+
+I = Instruction
+M = Mnemonic
+
+
+def test_format_gadget_instructions():
+    """The exact instructions from the paper's stk_move/write_mem gadgets."""
+    assert format_instruction(I(M.OUT, a=0x3E, rr=29)) == "out 0x3e, r29"
+    assert format_instruction(I(M.OUT, a=0x3D, rr=28)) == "out 0x3d, r28"
+    assert format_instruction(I(M.POP, rd=28)) == "pop r28"
+    assert format_instruction(I(M.RET)) == "ret"
+    assert format_instruction(I(M.STD_Y, rr=5, q=1)) == "std Y+1, r5"
+    assert format_instruction(I(M.STD_Y, rr=6, q=2)) == "std Y+2, r6"
+
+
+def test_format_various():
+    assert format_instruction(I(M.LDI, rd=22, k=1)) == "ldi r22, 0x01"
+    assert format_instruction(I(M.JMP, k=0x5DE // 2)) == "jmp 0x5de"
+    assert format_instruction(I(M.CALL, k=0x100)) == "call 0x200"
+    assert format_instruction(I(M.LDS, rd=16, k=0x400)) == "lds r16, 0x0400"
+    assert format_instruction(I(M.STS, rr=16, k=0x400)) == "sts 0x0400, r16"
+    assert format_instruction(I(M.LD_X_INC, rd=3)) == "ld r3, X+"
+    assert format_instruction(I(M.ST_Y_DEC, rr=4)) == "st -Y, r4"
+    assert format_instruction(I(M.BSET, b=7)) == "sei"
+    assert format_instruction(I(M.BCLR, b=7)) == "cli"
+    assert format_instruction(I(M.MOVW, rd=28, rr=30)) == "movw r28, r30"
+    assert format_instruction(I(M.ADIW, rd=24, k=1)) == "adiw r24, 0x01"
+    assert format_instruction(I(M.IN, rd=0, a=0x3F)) == "in r0, 0x3f"
+    assert format_instruction(I(M.SBIW, rd=28, k=2)) == "sbiw r28, 0x02"
+    assert format_instruction(I(M.LPM_R0)) == "lpm"
+    assert format_instruction(I(M.LPM_INC, rd=5)) == "lpm r5, Z+"
+
+
+def test_relative_targets_resolved_with_pc():
+    # rcall .+912 at byte address 0x1c8 (paper Fig. 9 example shape)
+    text = format_instruction(I(M.RCALL, k=456), pc_bytes=0x1C8)
+    assert text == f"rcall 0x{0x1C8 + 2 + 912:x}"
+    text = format_instruction(I(M.BRBC, b=1, k=-3), pc_bytes=0x10)
+    assert text.startswith("brne 0x")
+
+
+def test_disassemble_stream():
+    code = encode_stream([
+        I(M.LDI, rd=22, k=1),
+        I(M.CALL, k=0x2EF),
+        I(M.RET),
+    ])
+    lines = disassemble(code)
+    assert len(lines) == 3
+    assert "ldi r22, 0x01" in lines[0]
+    assert "call" in lines[1]
+    assert "ret" in lines[2]
+
+
+def test_disassemble_skips_garbage():
+    code = b"\xff\xff" + encode_stream([I(M.NOP)])
+    lines = disassemble(code)
+    assert len(lines) == 1
+
+
+def test_disassemble_image_with_symbols():
+    source = """
+.text
+.func main inline
+    ldi r24, 0x01
+    break
+.endfunc
+"""
+    image = link(parse_program(source), MAVR_OPTIONS)
+    listing = disassemble_image(image)
+    assert "<main>:" in listing
+    assert "ldi r24, 0x01" in listing
+    single = disassemble_image(image, "main")
+    assert "<main>:" in single

@@ -1,0 +1,264 @@
+"""Linker tests: layout, relaxation, call prologues, and behavioural
+equivalence between toolchain configurations."""
+
+import pytest
+
+from repro.asm import (
+    EPILOGUE_NAME,
+    MAVR_OPTIONS,
+    PROLOGUE_NAME,
+    STOCK_OPTIONS,
+    AsmInsn,
+    DataDef,
+    DataKind,
+    FunctionDef,
+    LinkOptions,
+    Program,
+    SymbolRef,
+    link,
+    parse_program,
+)
+from repro.avr import AvrCpu, Mnemonic, decode_at
+from repro.avr.memory import SRAM_BASE
+from repro.binfmt.symtab import DATA_SPACE_FLAG
+from repro.errors import LinkError
+
+SOURCE = """
+.text
+.func worker saves=r10,r11,r12,r13,r28,r29
+    ldi r24, 0x0A
+    sts 0x0400, r24
+.endfunc
+
+.func tiny
+    ldi r25, 0x01
+.endfunc
+
+.func main inline
+    call worker
+    call tiny
+    break
+.endfunc
+
+.data
+counter: .space 2
+table: .funcptr worker, tiny
+"""
+
+
+def build(options):
+    return link(parse_program(SOURCE), options)
+
+
+def run_to_halt(image, max_instructions=100_000):
+    cpu = AvrCpu()
+    cpu.load_program(image.code)
+    cpu.reset()
+    cpu.run(max_instructions)
+    assert cpu.halted, "program did not reach break"
+    return cpu
+
+
+def test_stock_build_contains_shared_blocks():
+    image = build(STOCK_OPTIONS)
+    names = [s.name for s in image.functions()]
+    assert PROLOGUE_NAME in names
+    assert EPILOGUE_NAME in names
+
+
+def test_mavr_build_has_no_shared_blocks():
+    image = build(MAVR_OPTIONS)
+    names = [s.name for s in image.functions()]
+    assert PROLOGUE_NAME not in names
+    assert EPILOGUE_NAME not in names
+
+
+def test_both_toolchains_behave_identically():
+    for options in (STOCK_OPTIONS, MAVR_OPTIONS):
+        cpu = run_to_halt(build(options))
+        assert cpu.data.read(0x400) == 0x0A
+        assert cpu.data.read_reg(25) == 0x01
+
+
+def test_function_tiling_valid():
+    for options in (STOCK_OPTIONS, MAVR_OPTIONS):
+        image = build(options)
+        image.validate()  # raises on tiling/pointer problems
+
+
+def test_alignment_padding():
+    image = build(STOCK_OPTIONS)
+    for sym in image.functions():
+        assert sym.address % 4 == 0
+        assert sym.size % 4 == 0
+    image2 = build(MAVR_OPTIONS)
+    for sym in image2.functions():
+        assert sym.address % 2 == 0
+
+
+def test_relaxation_shrinks_calls():
+    relaxed = link(parse_program(SOURCE), LinkOptions(relax=True, call_prologues=False, align_functions=2))
+    unrelaxed = link(parse_program(SOURCE), MAVR_OPTIONS)
+    assert relaxed.text_end - relaxed.text_start < unrelaxed.text_end - unrelaxed.text_start
+    # relaxed main should contain rcall instead of call
+    main = relaxed.symbols.get("main")
+    mnemonics = []
+    offset = main.address
+    while offset < main.end:
+        insn, size = decode_at(relaxed.code, offset)
+        mnemonics.append(insn.mnemonic)
+        offset += size
+    assert Mnemonic.RCALL in mnemonics
+    assert Mnemonic.CALL not in mnemonics
+
+
+def test_no_relax_uses_long_calls_only():
+    image = build(MAVR_OPTIONS)
+    main = image.symbols.get("main")
+    offset = main.address
+    mnemonics = []
+    while offset < main.end:
+        insn, size = decode_at(image.code, offset)
+        mnemonics.append(insn.mnemonic)
+        offset += size
+    assert Mnemonic.CALL in mnemonics
+    assert Mnemonic.RCALL not in mnemonics
+
+
+def test_sram_allocation_and_symbols():
+    image = build(MAVR_OPTIONS)
+    counter = image.symbols.get("counter")
+    assert counter.address == DATA_SPACE_FLAG + SRAM_BASE
+    assert counter.size == 2
+
+
+def test_funcptr_table_routes_through_trampolines():
+    """Table slots hold low trampoline addresses; each stub jmps to its
+    function (the >128 KB-safe pointer scheme)."""
+    image = build(MAVR_OPTIONS)
+    assert len(image.funcptr_locations) == 2
+    worker = image.symbols.get("worker")
+    stub_word = image.read_funcptr(image.funcptr_locations[0])
+    fixed_end = min(image.text_start, image.data_start)
+    assert stub_word * 2 < fixed_end  # stub lives in the fixed region
+    insn, _size = decode_at(image.code, stub_word * 2)
+    assert insn.mnemonic is Mnemonic.JMP
+    assert insn.k == worker.word_address
+
+
+def test_entry_jump_in_fixed_region():
+    image = build(MAVR_OPTIONS)
+    # __init ends with jmp main somewhere in the fixed region (followed by
+    # the trampoline stubs)
+    fixed_end = min(image.text_start, image.data_start)
+    main_word = image.symbols.get("main").word_address
+    offset = 0
+    found = False
+    while offset + 1 < fixed_end:
+        insn, size = decode_at(image.code, offset)
+        if insn.mnemonic is Mnemonic.JMP and insn.k == main_word:
+            found = True
+            break
+        offset += size
+    assert found
+
+
+def test_data_section_below_text():
+    """Flash constants are placed low so 16-bit lpm pointers reach them
+    even on a 256 KB part."""
+    image = build(MAVR_OPTIONS)
+    assert image.data_start < image.text_start
+    assert image.data_end <= image.text_start
+    for location in image.funcptr_locations:
+        assert location < 0x10000  # reachable through Z
+
+
+def test_undefined_symbol_raises():
+    program = Program()
+    program.add_function(FunctionDef("main", [AsmInsn(Mnemonic.CALL, k=SymbolRef("ghost"))]))
+    with pytest.raises(LinkError):
+        link(program, MAVR_OPTIONS)
+
+
+def test_empty_program_raises():
+    with pytest.raises(LinkError):
+        link(Program(), MAVR_OPTIONS)
+
+
+def test_duplicate_function_rejected():
+    program = Program()
+    program.add_function(FunctionDef("main", [AsmInsn(Mnemonic.NOP)]))
+    with pytest.raises(Exception):
+        program.add_function(FunctionDef("main", [AsmInsn(Mnemonic.NOP)]))
+
+
+def test_local_jmp_switch_trampoline():
+    """A long jmp to a local label: the switch-trampoline pattern."""
+    source = """
+.text
+.func main inline
+    ldi r24, 1
+    jmp case1
+case0:
+    ldi r25, 0x10
+    break
+case1:
+    ldi r25, 0x20
+    break
+.endfunc
+"""
+    image = link(parse_program(source), MAVR_OPTIONS)
+    cpu = run_to_halt(image)
+    assert cpu.data.read_reg(25) == 0x20
+
+
+def test_prologue_epilogue_preserve_registers():
+    """Callee-saved registers survive a call through the shared blocks."""
+    source = """
+.text
+.func clobber saves=r10,r11,r12,r13,r14,r15,r16,r17,r28,r29
+    ldi r28, 0xDE
+    ldi r29, 0xAD
+    ldi r16, 0x99
+.endfunc
+
+.func main inline
+    ldi r28, 0x11
+    ldi r29, 0x22
+    ldi r16, 0x33
+    call clobber
+    break
+.endfunc
+"""
+    program = parse_program(source)
+    image = link(program, STOCK_OPTIONS)
+    cpu = run_to_halt(image)
+    assert cpu.data.read_reg(28) == 0x11
+    assert cpu.data.read_reg(29) == 0x22
+    assert cpu.data.read_reg(16) == 0x33
+
+
+def test_inline_saves_preserve_registers():
+    source = """
+.text
+.func clobber saves=r10,r28
+    ldi r28, 0xDE
+    mov r10, r28
+.endfunc
+
+.func main inline
+    ldi r28, 0x11
+    mov r10, r28
+    call clobber
+    break
+.endfunc
+"""
+    image = link(parse_program(source), MAVR_OPTIONS)
+    cpu = run_to_halt(image)
+    assert cpu.data.read_reg(28) == 0x11
+    assert cpu.data.read_reg(10) == 0x11
+
+
+def test_toolchain_tags():
+    assert build(STOCK_OPTIONS).toolchain_tag == "relax+mcall-prologues"
+    assert build(MAVR_OPTIONS).toolchain_tag == "no-relax+mno-call-prologues"

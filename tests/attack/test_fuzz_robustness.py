@@ -1,0 +1,62 @@
+"""Robustness fuzzing: hostile inputs must fail with typed errors, never
+crash the library."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack import GadgetFinder
+from repro.binfmt import FirmwareImage, Symbol, SymbolTable
+from repro.errors import ReproError
+from repro.mavlink import StreamParser
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=4, max_size=512), st.integers(0, 2**31))
+def test_gadget_finder_on_random_bytes(blob, seed):
+    """Arbitrary bytes as an 'image': the scanner must survive."""
+    size = len(blob) - (len(blob) % 2)
+    blob = blob[:size]
+    table = SymbolTable([Symbol("blob", 0, size)])
+    image = FirmwareImage(
+        code=blob, symbols=table, text_start=0, text_end=size,
+        data_start=size, data_end=size, entry_symbol="blob",
+    )
+    finder = GadgetFinder(image)
+    gadgets = finder.gadgets()
+    for gadget in gadgets:
+        assert 0 <= gadget.address < size
+    finder.jop_gadgets()
+    finder.histogram()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=256), st.booleans())
+def test_stream_parser_fuzz(noise, vulnerable):
+    parser = StreamParser(length_check=not vulnerable)
+    parser.push(noise)
+    parser.flush()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=200))
+def test_from_flash_blob_fuzz(blob):
+    """Corrupted flash containers raise typed errors only."""
+    try:
+        FirmwareImage.from_flash_blob(blob)
+    except ReproError:
+        pass
+    except (UnicodeDecodeError, ValueError):
+        pass  # tag decoding of random bytes; acceptable failure class
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=400))
+def test_hex_decode_fuzz(text):
+    from repro.binfmt import decode
+    try:
+        decode(text)
+    except ReproError:
+        pass

@@ -1,0 +1,158 @@
+"""Gadget classifier negative/edge cases and chain builder error paths."""
+
+import pytest
+
+from repro.attack import ChainBuilder, GadgetFinder, Write3
+from repro.attack.gadgets import WriteMemGadget, _classify_stk_move, _classify_write_mem, Gadget
+from repro.avr import Instruction, Mnemonic, encode_stream
+from repro.binfmt import FirmwareImage, Symbol, SymbolTable
+from repro.errors import AttackError
+
+I = Instruction
+M = Mnemonic
+
+
+def gadget_from(insns):
+    code = encode_stream(insns)
+    pairs = []
+    offset = 0
+    for insn in insns:
+        pairs.append((offset, insn))
+        offset += insn.size_bytes
+    return Gadget(0, tuple(pairs))
+
+
+def test_stk_move_requires_spl_write():
+    # SPH write with no SPL write -> not a stack move
+    gadget = gadget_from([
+        I(M.OUT, a=0x3E, rr=29),
+        I(M.POP, rd=28),
+        I(M.RET),
+    ])
+    assert _classify_stk_move(gadget) is None
+
+
+def test_stk_move_rejects_interleaved_work():
+    gadget = gadget_from([
+        I(M.OUT, a=0x3E, rr=29),
+        I(M.ADD, rd=16, rr=17),  # arbitrary work between SP writes
+        I(M.OUT, a=0x3D, rr=28),
+        I(M.RET),
+    ])
+    assert _classify_stk_move(gadget) is None
+
+
+def test_stk_move_allows_sreg_restore():
+    gadget = gadget_from([
+        I(M.OUT, a=0x3E, rr=29),
+        I(M.OUT, a=0x3F, rr=0),
+        I(M.OUT, a=0x3D, rr=28),
+        I(M.RET),
+    ])
+    classified = _classify_stk_move(gadget)
+    assert classified is not None
+    assert classified.pop_regs == ()
+
+
+def test_write_mem_rejects_interleaved_non_pop():
+    gadget = gadget_from([
+        I(M.STD_Y, rr=5, q=1),
+        I(M.POP, rd=29),
+        I(M.ADD, rd=16, rr=17),  # breaks the pop chain
+        I(M.POP, rd=28),
+        I(M.RET),
+    ])
+    assert _classify_write_mem(gadget) is None
+
+
+def test_write_mem_requires_stored_regs_reloaded():
+    gadget = gadget_from([
+        I(M.STD_Y, rr=5, q=1),
+        I(M.POP, rd=29),
+        I(M.POP, rd=28),
+        I(M.POP, rd=4),  # r5 never reloaded
+        I(M.RET),
+    ])
+    assert _classify_write_mem(gadget) is None
+
+
+def test_chain_builder_rejects_non_contiguous_stores(testapp):
+    builder = ChainBuilder(testapp)
+    # forge a gadget with a hole in its displacements
+    builder.wm = WriteMemGadget(
+        std_entry=builder.wm.std_entry,
+        pop_entry=builder.wm.pop_entry,
+        stores=((1, 5), (3, 6), (5, 7)),  # gaps
+        pop_regs=builder.wm.pop_regs,
+    )
+    with pytest.raises(AttackError):
+        builder.write_chain([Write3(0x300, b"abc")], 0, {})
+
+
+def test_chain_builder_requires_y_first_in_stk():
+    """A stk_move that reloads the wrong registers first is unusable."""
+    pops = [I(M.POP, rd=r) for r in (29, 28, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4)]
+    insns = [
+        # stk_move variant popping r16 before r28/r29
+        I(M.OUT, a=0x3E, rr=29),
+        I(M.OUT, a=0x3D, rr=28),
+        I(M.POP, rd=16),
+        I(M.POP, rd=28),
+        I(M.POP, rd=29),
+        I(M.RET),
+        # a valid write_mem so only the stk shape is at fault
+        I(M.STD_Y, rr=5, q=1),
+        I(M.STD_Y, rr=6, q=2),
+        I(M.STD_Y, rr=7, q=3),
+        *pops,
+        I(M.RET),
+    ]
+    code = encode_stream(insns)
+    table = SymbolTable([Symbol("blob", 0, len(code))])
+    image = FirmwareImage(
+        code=code, symbols=table, text_start=0, text_end=len(code),
+        data_start=len(code), data_end=len(code), entry_symbol="blob",
+    )
+    with pytest.raises(AttackError):
+        ChainBuilder(image)
+
+
+def test_write3_target_bounds():
+    with pytest.raises(AttackError):
+        Write3(-1, b"abc")
+
+
+def test_finder_gadget_boundaries(testapp):
+    """Gadget runs never span an undecodable hole or control flow."""
+    finder = GadgetFinder(testapp)
+    for gadget in finder.gadgets()[:50]:
+        mnemonics = gadget.mnemonics()
+        assert mnemonics[-1] is M.RET
+        # no control flow before the final ret
+        from repro.avr.insn import CONTROL_FLOW
+        assert all(m not in CONTROL_FLOW for m in mnemonics[:-1])
+
+
+def test_jop_gadgets_found(testapp):
+    """Jump-oriented gadgets (ijmp/icall-terminated) are counted too."""
+    finder = GadgetFinder(testapp)
+    jop = finder.jop_gadgets()
+    assert finder.jop_count() == len(jop)
+    assert finder.jop_count() >= 1  # task_dispatch ends in icall
+    for gadget in jop:
+        assert gadget.mnemonics()[-1] in (M.IJMP, M.ICALL)
+
+
+def test_jop_gadgets_also_move_under_randomization(testapp):
+    import random
+    from repro.core import randomize_image
+
+    finder = GadgetFinder(testapp)
+    jop = finder.jop_gadgets()
+    randomized, _perm = randomize_image(testapp, random.Random(77))
+    surviving = sum(
+        1 for g in jop
+        if randomized.code[g.address : g.address + 8]
+        == testapp.code[g.address : g.address + 8]
+    )
+    assert surviving / len(jop) < 0.5

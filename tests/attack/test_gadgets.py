@@ -1,0 +1,136 @@
+"""Gadget discovery and classification."""
+
+import pytest
+
+from repro.attack import GadgetFinder
+from repro.avr import Instruction, Mnemonic, encode_stream
+from repro.binfmt import FirmwareImage, Symbol, SymbolTable
+from repro.errors import GadgetNotFoundError
+
+I = Instruction
+M = Mnemonic
+
+
+def image_from(insns):
+    code = encode_stream(insns)
+    table = SymbolTable([Symbol("blob", 0, len(code))])
+    return FirmwareImage(
+        code=code, symbols=table, text_start=0, text_end=len(code),
+        data_start=len(code), data_end=len(code), entry_symbol="blob",
+    )
+
+
+def test_counts_one_gadget_per_ret():
+    image = image_from([
+        I(M.LDI, rd=16, k=1), I(M.RET),
+        I(M.INC, rd=17), I(M.DEC, rd=17), I(M.RET),
+    ])
+    finder = GadgetFinder(image)
+    assert finder.count() == 2
+    lengths = sorted(g.length for g in finder.gadgets())
+    assert lengths == [2, 3]
+
+
+def test_control_flow_breaks_runs():
+    image = image_from([
+        I(M.LDI, rd=16, k=1),
+        I(M.RJMP, k=0),      # breaks the run
+        I(M.LDI, rd=17, k=2),
+        I(M.RET),
+    ])
+    finder = GadgetFinder(image)
+    gadgets = finder.gadgets()
+    assert len(gadgets) == 1
+    assert gadgets[0].length == 2  # ldi r17 + ret only
+
+
+def test_undecodable_bytes_break_runs():
+    code = encode_stream([I(M.LDI, rd=16, k=1)]) + b"\xff\xff" + encode_stream([
+        I(M.LDI, rd=17, k=2), I(M.RET),
+    ])
+    table = SymbolTable([Symbol("blob", 0, len(code))])
+    image = FirmwareImage(
+        code=code, symbols=table, text_start=0, text_end=len(code),
+        data_start=len(code), data_end=len(code), entry_symbol="blob",
+    )
+    gadgets = GadgetFinder(image).gadgets()
+    assert len(gadgets) == 1
+    assert gadgets[0].length == 2
+
+
+def test_stk_move_classified():
+    image = image_from([
+        I(M.NOP),
+        I(M.OUT, a=0x3E, rr=29),
+        I(M.OUT, a=0x3F, rr=0),
+        I(M.OUT, a=0x3D, rr=28),
+        I(M.POP, rd=28),
+        I(M.POP, rd=29),
+        I(M.POP, rd=16),
+        I(M.RET),
+    ])
+    finder = GadgetFinder(image)
+    stk = finder.find_stk_move()
+    assert stk.entry == 2  # byte address of `out 0x3e, r29`
+    assert stk.pop_regs == (28, 29, 16)
+    assert stk.pop_bytes == 3
+
+
+def test_write_mem_classified():
+    pops = [I(M.POP, rd=r) for r in (29, 28, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4)]
+    image = image_from([
+        I(M.STD_Y, rr=5, q=1),
+        I(M.STD_Y, rr=6, q=2),
+        I(M.STD_Y, rr=7, q=3),
+        *pops,
+        I(M.RET),
+    ])
+    finder = GadgetFinder(image)
+    wm = finder.find_write_mem()
+    assert wm.std_entry == 0
+    assert wm.pop_entry == 6  # after three 1-word stores
+    assert wm.stores == ((1, 5), (2, 6), (3, 7))
+    assert wm.pop_regs[0] == 29
+    assert wm.pop_index(5) == 14
+
+
+def test_write_mem_requires_y_reload():
+    # pops that do not include r28/r29 cannot chain
+    image = image_from([
+        I(M.STD_Y, rr=5, q=1),
+        I(M.POP, rd=5),
+        I(M.RET),
+    ])
+    finder = GadgetFinder(image)
+    assert finder.write_mem_gadgets() == []
+
+
+def test_missing_gadget_raises():
+    image = image_from([I(M.LDI, rd=16, k=1), I(M.RET)])
+    finder = GadgetFinder(image)
+    with pytest.raises(GadgetNotFoundError):
+        finder.find_stk_move()
+    with pytest.raises(GadgetNotFoundError):
+        finder.find_write_mem()
+
+
+def test_testapp_has_paper_gadgets(testapp):
+    finder = GadgetFinder(testapp)
+    stk = finder.find_stk_move()
+    wm = finder.find_write_mem()
+    # the paper's exact shapes, carried by the firmware core
+    assert stk.pop_regs == (28, 29, 16)
+    assert wm.stores == ((1, 5), (2, 6), (3, 7))
+    assert wm.pop_regs == (29, 28, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4)
+    assert finder.count() > 50  # every function contributes at least its ret
+
+
+def test_histogram_sums_to_count(testapp):
+    finder = GadgetFinder(testapp)
+    assert sum(finder.histogram().values()) == finder.count()
+
+
+def test_gadget_addresses_inside_text(testapp):
+    for gadget in GadgetFinder(testapp).gadgets():
+        assert 0 <= gadget.address < testapp.text_end
+        assert gadget.ret_address < testapp.text_end

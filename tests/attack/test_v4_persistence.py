@@ -1,0 +1,120 @@
+"""V4 persistence attack + the EEPROM controller it drives."""
+
+import pytest
+
+from repro.attack import (
+    PersistenceAttack,
+    config_block_pairs,
+    eeprom_program_writes,
+)
+from repro.avr import AvrCpu, EepromController, Instruction, Mnemonic, encode_stream
+from repro.avr.iospace import EECR_DATA, EEDR_DATA, EEARL_DATA
+from repro.firmware.hwmap import CONFIG_EEPROM_ADDR, CONFIG_MAGIC
+from repro.uav import Autopilot, AutopilotStatus
+
+I = Instruction
+M = Mnemonic
+
+
+# -- controller ---------------------------------------------------------------
+
+def eeprom_cpu():
+    cpu = AvrCpu()
+    controller = EepromController(cpu)
+    cpu.load_program(encode_stream([I(M.NOP)]))
+    cpu.reset()
+    return cpu, controller
+
+
+def test_controller_write_and_read():
+    cpu, controller = eeprom_cpu()
+    cpu.data.write(EEARL_DATA, 0x20)
+    cpu.data.write(EEDR_DATA, 0x99)
+    cpu.data.write(EECR_DATA, 0x02)  # EEPE strobe
+    assert cpu.eeprom.read(0x20) == 0x99
+    cpu.data.write(EEDR_DATA, 0x00)
+    cpu.data.write(EECR_DATA, 0x01)  # EERE strobe
+    assert cpu.data.read(EEDR_DATA) == 0x99
+    assert controller.writes == 1 and controller.reads == 1
+
+
+def test_strobe_bits_self_clear():
+    cpu, _controller = eeprom_cpu()
+    cpu.data.write(EECR_DATA, 0x02)
+    assert cpu.data.read(EECR_DATA) == 0  # EEPE reads back as zero
+
+
+def test_out_of_range_strobe_ignored():
+    cpu, controller = eeprom_cpu()
+    cpu.data.write(EEARL_DATA, 0xFF)
+    cpu.data.write(0x42, 0xFF)  # EEARH: address 0xFFFF, beyond 4 KB
+    cpu.data.write(EECR_DATA, 0x02)
+    assert controller.writes == 0
+
+
+# -- chain construction --------------------------------------------------------
+
+def test_eeprom_program_writes_layout():
+    writes = eeprom_program_writes([(0x10, 0xAA), (0x11, 0xBB)])
+    assert len(writes) == 3
+    assert writes[0].target == EEDR_DATA
+    assert writes[0].values == bytes([0xAA, 0x10, 0x00])
+    assert writes[1].target == EECR_DATA
+    assert writes[1].values == bytes([0x02, 0xBB, 0x11])
+    assert writes[2].values[0] == 0x02  # final commit strobe
+
+
+def test_eeprom_program_writes_empty():
+    assert eeprom_program_writes([]) == []
+
+
+def test_eeprom_program_writes_address_range():
+    with pytest.raises(ValueError):
+        eeprom_program_writes([(0x100, 1)])
+
+
+def test_config_block_pairs():
+    pairs = config_block_pairs(b"\x01\x02\x03\x04\x05\x06")
+    assert pairs[0] == (CONFIG_EEPROM_ADDR, CONFIG_MAGIC)
+    assert pairs[1] == (CONFIG_EEPROM_ADDR + 1, 1)
+    assert len(pairs) == 7
+    with pytest.raises(ValueError):
+        config_block_pairs(b"\x01")
+
+
+# -- the attack ------------------------------------------------------------------
+
+def test_v4_plants_config_and_persists(testapp):
+    autopilot = Autopilot(testapp)
+    calibration = b"\x40\x00\x80\x00\xc0\x00"
+    outcome = PersistenceAttack(testapp).execute(autopilot, calibration=calibration)
+    assert outcome.stealthy
+    assert "eeprom_config" in outcome.effects
+    block = bytes(
+        autopilot.cpu.eeprom.read(CONFIG_EEPROM_ADDR + i) for i in range(7)
+    )
+    assert block == bytes([CONFIG_MAGIC]) + calibration
+
+    # SRAM effect appears only after the next boot loads the config...
+    assert autopilot.read_variable("gyro_offset") == 0
+    autopilot.reset()
+    autopilot.run_ticks(5)
+    assert autopilot.read_variable("gyro_offset") == int.from_bytes(
+        calibration, "little"
+    )
+
+    # ...and a clean firmware reflash does NOT remove it
+    autopilot.reflash(testapp)
+    autopilot.run_ticks(5)
+    assert autopilot.status is AutopilotStatus.RUNNING
+    assert autopilot.read_variable("gyro_offset") == int.from_bytes(
+        calibration, "little"
+    )
+
+
+def test_fresh_eeprom_config_is_skipped(testapp):
+    """Without the magic byte, config_load leaves the defaults alone."""
+    autopilot = Autopilot(testapp)
+    autopilot.run_ticks(5)
+    assert autopilot.read_variable("gyro_offset") == 0
+    assert autopilot.cpu.eeprom.read(CONFIG_EEPROM_ADDR) == 0xFF

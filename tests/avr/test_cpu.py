@@ -1,0 +1,308 @@
+"""Execution semantics of the AVR core: arithmetic flags, control flow,
+stack discipline with 3-byte return addresses, and crash behaviour."""
+
+import pytest
+
+from repro.avr import (
+    AvrCpu,
+    Instruction,
+    Mnemonic,
+    RAMEND,
+    encode_stream,
+)
+from repro.avr.iospace import SPH, SPL
+from repro.errors import CpuFault, IllegalExecutionError
+
+I = Instruction
+M = Mnemonic
+
+
+def run_program(insns, max_instructions=10_000, setup=None):
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream(list(insns) + [I(M.BREAK)]))
+    cpu.reset()
+    if setup:
+        setup(cpu)
+    cpu.run(max_instructions)
+    return cpu
+
+
+def test_reset_state():
+    cpu = AvrCpu()
+    cpu.load_program(b"\x00\x00")
+    cpu.reset()
+    assert cpu.pc == 0
+    assert cpu.data.sp == RAMEND
+    assert not cpu.halted
+
+
+def test_ldi_mov_add_flags():
+    cpu = run_program([
+        I(M.LDI, rd=16, k=200),
+        I(M.LDI, rd=17, k=100),
+        I(M.ADD, rd=16, rr=17),
+    ])
+    assert cpu.data.read_reg(16) == (200 + 100) & 0xFF
+    assert cpu.sreg.c  # 300 carries out
+
+
+def test_adc_chain_16bit():
+    # 0x00FF + 0x0001 across two bytes = 0x0100
+    cpu = run_program([
+        I(M.LDI, rd=16, k=0xFF), I(M.LDI, rd=17, k=0x00),
+        I(M.LDI, rd=18, k=0x01), I(M.LDI, rd=19, k=0x00),
+        I(M.ADD, rd=16, rr=18),
+        I(M.ADC, rd=17, rr=19),
+    ])
+    assert cpu.data.read_reg(16) == 0x00
+    assert cpu.data.read_reg(17) == 0x01
+
+
+def test_sub_and_zero_flag():
+    cpu = run_program([
+        I(M.LDI, rd=16, k=5),
+        I(M.SUBI, rd=16, k=5),
+    ])
+    assert cpu.data.read_reg(16) == 0
+    assert cpu.sreg.z
+
+
+def test_cpse_skips_two_word_instruction():
+    cpu = run_program([
+        I(M.LDI, rd=16, k=1),
+        I(M.LDI, rd=17, k=1),
+        I(M.CPSE, rd=16, rr=17),
+        I(M.STS, rr=16, k=0x400),  # skipped (2 words)
+        I(M.LDI, rd=20, k=9),
+    ])
+    assert cpu.data.read(0x400) == 0
+    assert cpu.data.read_reg(20) == 9
+
+
+def test_branch_taken_and_not_taken():
+    # brne loop: decrement r16 from 3 to 0
+    code = [
+        I(M.LDI, rd=16, k=3),
+        I(M.LDI, rd=17, k=0),
+        # loop:
+        I(M.INC, rd=17),
+        I(M.DEC, rd=16),
+        I(M.BRBC, b=1, k=-3),  # brne back to loop
+    ]
+    cpu = run_program(code)
+    assert cpu.data.read_reg(16) == 0
+    assert cpu.data.read_reg(17) == 3
+
+
+def test_call_pushes_three_bytes_big_endian_in_memory():
+    # call to a function that just returns; inspect stack bytes mid-call
+    code = encode_stream([
+        I(M.CALL, k=4),       # words 0..1
+        I(M.BREAK),           # word 2
+        I(M.NOP),             # word 3
+        I(M.BREAK),           # word 4: "function" halts so we can inspect
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.run(10)
+    # return address = word 2, pushed as 3 bytes, high at lowest address
+    sp = cpu.data.sp
+    assert sp == RAMEND - 3
+    assert cpu.data.read(sp + 1) == 0x00  # high
+    assert cpu.data.read(sp + 2) == 0x00  # mid
+    assert cpu.data.read(sp + 3) == 0x02  # low (word addr 2)
+
+
+def test_call_ret_roundtrip():
+    code = encode_stream([
+        I(M.LDI, rd=16, k=0),
+        I(M.CALL, k=5),
+        I(M.BREAK),
+        I(M.NOP),
+        I(M.INC, rd=16),       # word 5: function body
+        I(M.RET),
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.run(20)
+    assert cpu.data.read_reg(16) == 1
+    assert cpu.data.sp == RAMEND  # stack balanced
+
+
+def test_rcall_and_icall():
+    code = encode_stream([
+        I(M.LDI, rd=30, k=7), I(M.LDI, rd=31, k=0),  # Z = word 7
+        I(M.ICALL),
+        I(M.RCALL, k=3),   # from word 4 to word 7
+        I(M.BREAK),
+        I(M.NOP), I(M.NOP),
+        I(M.INC, rd=20),   # word 7
+        I(M.RET),
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.run(30)
+    assert cpu.data.read_reg(20) == 2  # called twice
+
+
+def test_push_pop():
+    cpu = run_program([
+        I(M.LDI, rd=16, k=0xAB),
+        I(M.PUSH, rr=16),
+        I(M.LDI, rd=16, k=0),
+        I(M.POP, rd=17),
+    ])
+    assert cpu.data.read_reg(17) == 0xAB
+    assert cpu.data.sp == RAMEND
+
+
+def test_out_to_sp_moves_stack():
+    """The stk_move gadget mechanism: out 0x3e/0x3d rewrites SP."""
+    cpu = run_program([
+        I(M.LDI, rd=28, k=0x34),
+        I(M.LDI, rd=29, k=0x12),
+        I(M.OUT, a=SPH, rr=29),
+        I(M.OUT, a=SPL, rr=28),
+    ])
+    assert cpu.data.sp == 0x1234
+
+
+def test_memory_mapped_registers():
+    """Storing to data address 5 IS writing r5 (write_mem_gadget relies on it)."""
+    cpu = run_program([
+        I(M.LDI, rd=16, k=0x77),
+        I(M.STS, rr=16, k=0x0005),  # data address of r5
+    ])
+    assert cpu.data.read_reg(5) == 0x77
+
+
+def test_std_ldd_displacement():
+    cpu = run_program([
+        I(M.LDI, rd=28, k=0x00), I(M.LDI, rd=29, k=0x03),  # Y = 0x300
+        I(M.LDI, rd=16, k=0x11),
+        I(M.MOV, rd=5, rr=16),
+        I(M.STD_Y, rr=5, q=1),
+        I(M.LDD_Y, rd=6, q=1),
+    ])
+    assert cpu.data.read(0x301) == 0x11
+    assert cpu.data.read_reg(6) == 0x11
+
+
+def test_ld_st_post_increment():
+    cpu = run_program([
+        I(M.LDI, rd=26, k=0x00), I(M.LDI, rd=27, k=0x03),  # X = 0x300
+        I(M.LDI, rd=16, k=1),
+        I(M.ST_X_INC, rr=16),
+        I(M.LDI, rd=16, k=2),
+        I(M.ST_X_INC, rr=16),
+    ])
+    assert cpu.data.read(0x300) == 1
+    assert cpu.data.read(0x301) == 2
+    assert cpu.data.read_reg_pair(26) == 0x302
+
+
+def test_adiw_sbiw():
+    cpu = run_program([
+        I(M.LDI, rd=24, k=0xFF), I(M.LDI, rd=25, k=0x00),
+        I(M.ADIW, rd=24, k=2),
+    ])
+    assert cpu.data.read_reg_pair(24) == 0x101
+
+
+def test_lpm_reads_flash():
+    code = encode_stream([
+        I(M.LDI, rd=30, k=0), I(M.LDI, rd=31, k=0),
+        I(M.LPM, rd=16),
+        I(M.BREAK),
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.run(10)
+    assert cpu.data.read_reg(16) == code[0]
+
+
+def test_sbi_cbi_sbic_sbis():
+    cpu = run_program([
+        I(M.SBI, a=0x05, b=3),
+        I(M.SBIS, a=0x05, b=3),   # skip next (taken)
+        I(M.LDI, rd=16, k=0xEE),  # skipped
+        I(M.CBI, a=0x05, b=3),
+        I(M.SBIC, a=0x05, b=3),   # skip next (taken: bit clear)
+        I(M.LDI, rd=17, k=0xEE),  # skipped
+    ])
+    assert cpu.data.read_reg(16) == 0
+    assert cpu.data.read_reg(17) == 0
+
+
+def test_bst_bld_sbrs():
+    cpu = run_program([
+        I(M.LDI, rd=16, k=0b1000),
+        I(M.BST, rd=16, b=3),
+        I(M.BLD, rd=17, b=0),
+        I(M.SBRS, rd=17, b=0),
+        I(M.LDI, rd=18, k=0xEE),  # skipped
+    ])
+    assert cpu.data.read_reg(17) == 1
+    assert cpu.data.read_reg(18) == 0
+
+
+def test_sreg_io_read_write():
+    cpu = run_program([
+        I(M.LDI, rd=16, k=0x03),  # C and Z
+        I(M.OUT, a=0x3F, rr=16),
+        I(M.IN, rd=17, a=0x3F),
+    ])
+    assert cpu.data.read_reg(17) == 0x03
+    assert cpu.sreg.c and cpu.sreg.z
+
+
+def test_execute_beyond_image_is_crash():
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream([I(M.NOP)]))
+    cpu.reset()
+    cpu.step()
+    with pytest.raises(IllegalExecutionError):
+        cpu.step()
+
+
+def test_undecodable_word_is_crash():
+    cpu = AvrCpu()
+    cpu.load_program(b"\xff\xff")
+    cpu.reset()
+    with pytest.raises(IllegalExecutionError):
+        cpu.step()
+
+
+def test_step_after_halt_faults():
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream([I(M.BREAK)]))
+    cpu.reset()
+    cpu.run(5)
+    assert cpu.halted
+    with pytest.raises(CpuFault):
+        cpu.step()
+
+
+def test_cycle_accounting_progresses():
+    cpu = run_program([I(M.LDI, rd=16, k=1), I(M.CALL, k=3), I(M.RET)][:1])
+    assert cpu.cycles >= 1
+    assert cpu.elapsed_seconds > 0
+
+
+def test_ijmp_uses_z_word_address():
+    code = encode_stream([
+        I(M.LDI, rd=30, k=4), I(M.LDI, rd=31, k=0),
+        I(M.IJMP),
+        I(M.BREAK),                 # word 3: skipped
+        I(M.LDI, rd=16, k=0x5A),    # word 4
+        I(M.BREAK),
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.run(10)
+    assert cpu.data.read_reg(16) == 0x5A

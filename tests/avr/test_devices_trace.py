@@ -1,0 +1,113 @@
+"""USART, feed-line, and tracing peripherals."""
+
+from repro.avr import (
+    AvrCpu,
+    ExecutionTrace,
+    FeedLine,
+    Instruction,
+    Mnemonic,
+    Usart,
+    encode_stream,
+    snapshot_stack,
+)
+from repro.avr.iospace import (
+    FEED_BIT,
+    FEED_PORT,
+    RXC_BIT,
+    UCSR0A_DATA,
+    UDR0_DATA,
+    UDRE_BIT,
+)
+
+I = Instruction
+M = Mnemonic
+
+
+def build_cpu(insns):
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream(list(insns) + [I(M.BREAK)]))
+    cpu.reset()
+    return cpu
+
+
+def test_usart_rx_status_and_read():
+    # poll UCSR0A, read UDR0 into r16
+    cpu = build_cpu([
+        I(M.LDS, rd=17, k=UCSR0A_DATA),
+        I(M.LDS, rd=16, k=UDR0_DATA),
+    ])
+    usart = Usart(cpu)
+    usart.feed_bytes(b"\xfe")
+    cpu.run(10)
+    assert cpu.data.read_reg(17) & (1 << RXC_BIT)
+    assert cpu.data.read_reg(17) & (1 << UDRE_BIT)
+    assert cpu.data.read_reg(16) == 0xFE
+
+
+def test_usart_rx_empty_status():
+    cpu = build_cpu([I(M.LDS, rd=17, k=UCSR0A_DATA)])
+    Usart(cpu)
+    cpu.run(10)
+    assert not cpu.data.read_reg(17) & (1 << RXC_BIT)
+
+
+def test_usart_tx_collects_writes():
+    cpu = build_cpu([
+        I(M.LDI, rd=16, k=0x41),
+        I(M.STS, rr=16, k=UDR0_DATA),
+        I(M.LDI, rd=16, k=0x42),
+        I(M.STS, rr=16, k=UDR0_DATA),
+    ])
+    usart = Usart(cpu)
+    cpu.run(20)
+    assert usart.take_tx() == b"AB"
+    assert usart.take_tx() == b""  # drained
+
+
+def test_feed_line_records_toggles():
+    cpu = build_cpu([
+        I(M.LDI, rd=16, k=1 << FEED_BIT),
+        I(M.OUT, a=FEED_PORT, rr=16),
+        I(M.LDI, rd=16, k=0),
+        I(M.OUT, a=FEED_PORT, rr=16),
+        I(M.LDI, rd=16, k=1 << FEED_BIT),
+        I(M.OUT, a=FEED_PORT, rr=16),
+    ])
+    feed = FeedLine(cpu)
+    cpu.run(20)
+    assert len(feed.events) == 3
+    assert feed.last_feed_cycle is not None
+    assert feed.toggles_since(0) == 3
+
+
+def test_feed_line_ignores_non_toggle_writes():
+    cpu = build_cpu([
+        I(M.LDI, rd=16, k=1 << FEED_BIT),
+        I(M.OUT, a=FEED_PORT, rr=16),
+        I(M.OUT, a=FEED_PORT, rr=16),  # same level: no new event
+    ])
+    feed = FeedLine(cpu)
+    cpu.run(20)
+    assert len(feed.events) == 1
+
+
+def test_execution_trace_records_observables():
+    cpu = build_cpu([
+        I(M.LDI, rd=16, k=0x99),
+        I(M.STS, rr=16, k=0x0400),
+    ])
+    trace = ExecutionTrace()
+    trace.attach(cpu)
+    cpu.run(10)
+    assert (0x0400, 0x99) in trace.io_writes
+    assert trace.mnemonic_counts()[M.LDI] == 1
+
+
+def test_stack_snapshot_hexdump():
+    cpu = build_cpu([I(M.LDI, rd=16, k=0xAA), I(M.PUSH, rr=16)])
+    cpu.run(10)
+    snap = snapshot_stack(cpu, "after push", window=4)
+    assert snap.data[0] == 0xAA
+    dump = snap.hexdump()
+    assert "0xAA" in dump
+    assert dump.startswith("0x")

@@ -1,0 +1,192 @@
+"""Encoder/decoder roundtrip tests, including the hypothesis property
+``decode(encode(insn)) == insn`` over the full supported ISA subset."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.avr import Instruction, Mnemonic, decode, decode_at, encode, encode_bytes
+from repro.avr.decoder import needs_second_word
+from repro.errors import DecodeError, EncodeError
+
+# -- strategies --------------------------------------------------------
+
+reg = st.integers(0, 31)
+reg_high = st.integers(16, 31)
+reg_even = st.integers(0, 15).map(lambda i: i * 2)
+imm8 = st.integers(0, 255)
+io_addr = st.integers(0, 63)
+io_addr_low = st.integers(0, 31)
+bit3 = st.integers(0, 7)
+disp6 = st.integers(0, 63)
+addr16 = st.integers(0, 0xFFFF)
+addr22 = st.integers(0, (1 << 22) - 1)
+rel12 = st.integers(-2048, 2047)
+rel7 = st.integers(-64, 63)
+
+_RR_MNEMS = [
+    Mnemonic.ADD, Mnemonic.ADC, Mnemonic.SUB, Mnemonic.SBC, Mnemonic.AND,
+    Mnemonic.OR, Mnemonic.EOR, Mnemonic.MOV, Mnemonic.CP, Mnemonic.CPC,
+    Mnemonic.CPSE,
+]
+_IMM_MNEMS = [
+    Mnemonic.SUBI, Mnemonic.SBCI, Mnemonic.ANDI, Mnemonic.ORI,
+    Mnemonic.CPI, Mnemonic.LDI,
+]
+_ONE_OP_MNEMS = [
+    Mnemonic.COM, Mnemonic.NEG, Mnemonic.INC, Mnemonic.DEC, Mnemonic.SWAP,
+    Mnemonic.LSR, Mnemonic.ASR, Mnemonic.ROR,
+]
+_FIXED_MNEMS = [
+    Mnemonic.NOP, Mnemonic.RET, Mnemonic.RETI, Mnemonic.IJMP, Mnemonic.ICALL,
+    Mnemonic.WDR, Mnemonic.SLEEP, Mnemonic.BREAK, Mnemonic.LPM_R0,
+]
+_LD_MNEMS = [
+    Mnemonic.LD_X, Mnemonic.LD_X_INC, Mnemonic.LD_X_DEC, Mnemonic.LD_Y_INC,
+    Mnemonic.LD_Y_DEC, Mnemonic.LD_Z_INC, Mnemonic.LD_Z_DEC, Mnemonic.POP,
+    Mnemonic.LPM, Mnemonic.LPM_INC,
+]
+_ST_MNEMS = [
+    Mnemonic.ST_X, Mnemonic.ST_X_INC, Mnemonic.ST_X_DEC, Mnemonic.ST_Y_INC,
+    Mnemonic.ST_Y_DEC, Mnemonic.ST_Z_INC, Mnemonic.ST_Z_DEC, Mnemonic.PUSH,
+]
+
+
+def _rr(m):
+    return st.builds(lambda rd, rr: Instruction(m, rd=rd, rr=rr), reg, reg)
+
+
+def _imm(m):
+    return st.builds(lambda rd, k: Instruction(m, rd=rd, k=k), reg_high, imm8)
+
+
+instructions = st.one_of(
+    st.sampled_from(_FIXED_MNEMS).map(Instruction),
+    st.sampled_from(_RR_MNEMS).flatmap(_rr),
+    st.builds(lambda rd, rr: Instruction(Mnemonic.MUL, rd=rd, rr=rr), reg, reg),
+    st.builds(lambda rd, rr: Instruction(Mnemonic.MULS, rd=rd, rr=rr), reg_high, reg_high),
+    st.builds(
+        lambda rd, rr: Instruction(Mnemonic.MULSU, rd=rd, rr=rr),
+        st.integers(16, 23), st.integers(16, 23),
+    ),
+    st.sampled_from(_IMM_MNEMS).flatmap(_imm),
+    st.builds(lambda rd, rr: Instruction(Mnemonic.MOVW, rd=rd, rr=rr), reg_even, reg_even),
+    st.sampled_from(_ONE_OP_MNEMS).flatmap(
+        lambda m: st.builds(lambda rd: Instruction(m, rd=rd), reg)
+    ),
+    st.sampled_from(_LD_MNEMS).flatmap(
+        lambda m: st.builds(lambda rd: Instruction(m, rd=rd), reg)
+    ),
+    st.sampled_from(_ST_MNEMS).flatmap(
+        lambda m: st.builds(lambda rr: Instruction(m, rr=rr), reg)
+    ),
+    st.builds(lambda rd, q: Instruction(Mnemonic.LDD_Y, rd=rd, q=q), reg, disp6),
+    st.builds(lambda rd, q: Instruction(Mnemonic.LDD_Z, rd=rd, q=q), reg, disp6),
+    st.builds(lambda rr, q: Instruction(Mnemonic.STD_Y, rr=rr, q=q), reg, disp6),
+    st.builds(lambda rr, q: Instruction(Mnemonic.STD_Z, rr=rr, q=q), reg, disp6),
+    st.builds(lambda rd, k: Instruction(Mnemonic.LDS, rd=rd, k=k), reg, addr16),
+    st.builds(lambda rr, k: Instruction(Mnemonic.STS, rr=rr, k=k), reg, addr16),
+    st.builds(lambda k: Instruction(Mnemonic.JMP, k=k), addr22),
+    st.builds(lambda k: Instruction(Mnemonic.CALL, k=k), addr22),
+    st.builds(lambda k: Instruction(Mnemonic.RJMP, k=k), rel12),
+    st.builds(lambda k: Instruction(Mnemonic.RCALL, k=k), rel12),
+    st.builds(lambda k, b: Instruction(Mnemonic.BRBS, k=k, b=b), rel7, bit3),
+    st.builds(lambda k, b: Instruction(Mnemonic.BRBC, k=k, b=b), rel7, bit3),
+    st.builds(
+        lambda rd, k: Instruction(Mnemonic.ADIW, rd=rd, k=k),
+        st.sampled_from([24, 26, 28, 30]), disp6,
+    ),
+    st.builds(
+        lambda rd, k: Instruction(Mnemonic.SBIW, rd=rd, k=k),
+        st.sampled_from([24, 26, 28, 30]), disp6,
+    ),
+    st.builds(lambda rd, a: Instruction(Mnemonic.IN, rd=rd, a=a), reg, io_addr),
+    st.builds(lambda rr, a: Instruction(Mnemonic.OUT, rr=rr, a=a), reg, io_addr),
+    st.sampled_from([Mnemonic.SBI, Mnemonic.CBI, Mnemonic.SBIC, Mnemonic.SBIS]).flatmap(
+        lambda m: st.builds(lambda a, b: Instruction(m, a=a, b=b), io_addr_low, bit3)
+    ),
+    st.sampled_from([Mnemonic.BLD, Mnemonic.BST, Mnemonic.SBRC, Mnemonic.SBRS]).flatmap(
+        lambda m: st.builds(lambda rd, b: Instruction(m, rd=rd, b=b), reg, bit3)
+    ),
+    st.builds(lambda b: Instruction(Mnemonic.BSET, b=b), bit3),
+    st.builds(lambda b: Instruction(Mnemonic.BCLR, b=b), bit3),
+)
+
+
+@settings(max_examples=2000, deadline=None)
+@given(instructions)
+def test_roundtrip(insn):
+    words = encode(insn)
+    decoded = decode(words[0], words[1] if len(words) > 1 else None)
+    assert decoded == insn
+
+
+@settings(max_examples=500, deadline=None)
+@given(instructions)
+def test_encode_bytes_matches_words(insn):
+    raw = encode_bytes(insn)
+    assert len(raw) == insn.size_bytes
+    decoded, size = decode_at(raw, 0)
+    assert decoded == insn
+    assert size == len(raw)
+
+
+# -- directed encoding checks against the datasheet --------------------
+
+def test_known_encodings():
+    assert encode(Instruction(Mnemonic.RET)) == [0x9508]
+    assert encode(Instruction(Mnemonic.NOP)) == [0x0000]
+    # ldi r16, 0xFF -> 0xEF0F
+    assert encode(Instruction(Mnemonic.LDI, rd=16, k=0xFF)) == [0xEF0F]
+    # out 0x3e, r29  (SPH write used by stk_move)
+    word = encode(Instruction(Mnemonic.OUT, rr=29, a=0x3E))[0]
+    assert decode(word) == Instruction(Mnemonic.OUT, rr=29, a=0x3E)
+    # std Y+1, r5 used by write_mem_gadget
+    word = encode(Instruction(Mnemonic.STD_Y, rr=5, q=1))[0]
+    assert decode(word) == Instruction(Mnemonic.STD_Y, rr=5, q=1)
+    # pop r28 -> 0x91CF
+    assert encode(Instruction(Mnemonic.POP, rd=28)) == [0x91CF]
+    # push r28 -> 0x93CF
+    assert encode(Instruction(Mnemonic.PUSH, rr=28)) == [0x93CF]
+
+
+def test_jmp_call_wide_address():
+    target = 0x1B284 // 2  # write_mem_gadget byte address from the paper
+    words = encode(Instruction(Mnemonic.CALL, k=target))
+    assert len(words) == 2
+    assert needs_second_word(words[0])
+    assert decode(words[0], words[1]).k == target
+
+
+def test_two_word_size():
+    assert Instruction(Mnemonic.JMP, k=0).size_words == 2
+    assert Instruction(Mnemonic.LDS, rd=0, k=0).size_words == 2
+    assert Instruction(Mnemonic.ADD, rd=0, rr=0).size_words == 1
+
+
+# -- error handling -----------------------------------------------------
+
+def test_encode_rejects_bad_operands():
+    with pytest.raises(EncodeError):
+        encode(Instruction(Mnemonic.LDI, rd=5, k=1))  # rd must be >= 16
+    with pytest.raises(EncodeError):
+        encode(Instruction(Mnemonic.RJMP, k=5000))  # displacement too large
+    with pytest.raises(EncodeError):
+        encode(Instruction(Mnemonic.ADIW, rd=25, k=1))  # bad pair
+    with pytest.raises(EncodeError):
+        encode(Instruction(Mnemonic.MOVW, rd=1, rr=2))  # odd register
+    with pytest.raises(EncodeError):
+        encode(Instruction(Mnemonic.LDI, rd=16))  # missing immediate
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(DecodeError):
+        decode(0xFFFF)  # erased flash
+    with pytest.raises(DecodeError):
+        decode(0x9409 + 1 if False else 0x940B)  # reserved hole
+
+
+def test_decode_truncated_two_word():
+    words = encode(Instruction(Mnemonic.JMP, k=0x100))
+    with pytest.raises(DecodeError):
+        decode(words[0], None)

@@ -1,0 +1,117 @@
+"""Interrupt handling: dispatch, priority, I-flag gating, reti."""
+
+import pytest
+
+from repro.avr import AvrCpu, Instruction, Mnemonic, encode_stream
+
+I = Instruction
+M = Mnemonic
+
+
+def build(vector_targets, body):
+    """A tiny image: a 4-slot vector table of jmps, then the body."""
+    insns = []
+    for target in vector_targets:
+        insns.append(I(M.JMP, k=target))
+    insns.extend(body)
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream(insns))
+    cpu.reset()
+    return cpu
+
+
+def test_interrupt_dispatch_and_reti():
+    # vectors: slot 0 -> word 8 (main), slot 1 -> word 10 (isr)
+    code = encode_stream([
+        I(M.JMP, k=4),              # vector 0 (reset) -> main at word 4
+        I(M.JMP, k=9),              # vector 1 -> isr at word 9
+        I(M.BSET, b=7),             # word 4: sei
+        I(M.NOP),                   # 5
+        I(M.NOP),                   # 6
+        I(M.NOP),                   # 7
+        I(M.BREAK),                 # 8
+        I(M.INC, rd=20),            # word 9: isr body
+        I(M.RETI),                  # 10
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.step()  # reset vector jmp
+    cpu.step()  # sei
+    cpu.request_interrupt(1)
+    cpu.run(20)
+    assert cpu.data.read_reg(20) == 1
+    assert cpu.interrupts_serviced == 1
+    assert cpu.halted  # main resumed and reached break
+    assert cpu.data.sp == 0x21FF  # stack balanced after reti
+
+
+def test_interrupt_blocked_without_i_flag():
+    code = encode_stream([
+        I(M.JMP, k=4),             # vector 0
+        I(M.JMP, k=6),             # vector 1 -> isr
+        I(M.NOP),                  # word 4 (I flag stays clear)
+        I(M.BREAK),                # 5
+        I(M.INC, rd=20),           # 6: isr (never reached)
+        I(M.RETI),
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.request_interrupt(1)
+    cpu.run(20)
+    assert cpu.data.read_reg(20) == 0
+    assert cpu.interrupts_serviced == 0
+    assert cpu.pending_interrupts == [1]  # still latched
+
+
+def test_interrupt_priority_lowest_vector_first():
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream([I(M.NOP)] * 8))
+    cpu.reset()
+    cpu.sreg.i = True
+    cpu.request_interrupt(3)
+    cpu.request_interrupt(1)
+    cpu.step()
+    assert cpu.interrupts_serviced == 1
+    assert cpu.pc_bytes in (2 * 2 + 2, 4)  # jumped to vector 1 then stepped
+    assert cpu.pending_interrupts == [3]
+
+
+def test_duplicate_requests_coalesce():
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream([I(M.NOP)]))
+    cpu.reset()
+    cpu.request_interrupt(2)
+    cpu.request_interrupt(2)
+    assert cpu.pending_interrupts == [2]
+
+
+def test_isr_clears_i_flag_until_reti():
+    code = encode_stream([
+        I(M.JMP, k=4),            # vector 0
+        I(M.JMP, k=7),            # vector 1 -> isr
+        I(M.BSET, b=7),           # word 4: sei
+        I(M.NOP),                 # 5
+        I(M.BREAK),               # 6
+        I(M.IN, rd=21, a=0x3F),   # word 7: isr reads SREG
+        I(M.RETI),
+    ])
+    cpu = AvrCpu()
+    cpu.load_program(code)
+    cpu.reset()
+    cpu.step()
+    cpu.step()  # sei executed
+    cpu.request_interrupt(1)
+    cpu.run(20)
+    assert not cpu.data.read_reg(21) & 0x80  # I was clear inside the ISR
+    assert cpu.sreg.i  # restored by reti
+
+
+def test_negative_vector_rejected():
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream([I(M.NOP)]))
+    cpu.reset()
+    from repro.errors import CpuFault
+    with pytest.raises(CpuFault):
+        cpu.request_interrupt(-1)

@@ -1,0 +1,141 @@
+"""Memory model tests: Harvard separation, the single linear data space with
+mapped registers, hooks, EEPROM, and bounds checking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.avr import DataSpace, Eeprom, FlashMemory, RAMEND, SRAM_BASE, StatusRegister
+from repro.avr.iospace import SPH_DATA, SPL_DATA, SREG_DATA, io_to_data, data_to_io
+from repro.errors import MemoryAccessError
+
+
+def make_data():
+    return DataSpace(StatusRegister())
+
+
+def test_flash_erased_state_is_ff():
+    flash = FlashMemory()
+    assert flash.read_byte(0) == 0xFF
+    assert flash.read_word(0) == 0xFFFF
+
+
+def test_flash_load_and_read_word_little_endian():
+    flash = FlashMemory()
+    flash.load(bytes([0x34, 0x12, 0x78, 0x56]))
+    assert flash.read_word(0) == 0x1234
+    assert flash.read_word(1) == 0x5678
+
+
+def test_flash_bounds():
+    flash = FlashMemory()
+    with pytest.raises(MemoryAccessError):
+        flash.read_byte(flash.size)
+    with pytest.raises(MemoryAccessError):
+        flash.load(b"xx", flash.size - 1)
+
+
+def test_flash_erase_restores_ff():
+    flash = FlashMemory()
+    flash.load(b"\x01\x02")
+    flash.erase()
+    assert flash.read_byte(0) == 0xFF
+
+
+def test_registers_are_memory_mapped():
+    data = make_data()
+    data.write_reg(5, 0xAB)
+    assert data.read(5) == 0xAB
+    data.write(6, 0xCD)
+    assert data.read_reg(6) == 0xCD
+
+
+def test_register_pairs():
+    data = make_data()
+    data.write_reg_pair(28, 0x1234)  # Y
+    assert data.read_reg(28) == 0x34
+    assert data.read_reg(29) == 0x12
+    assert data.read_reg_pair(28) == 0x1234
+
+
+def test_sp_lives_at_5d_5e():
+    data = make_data()
+    data.sp = 0x21FF
+    assert data.read(SPL_DATA) == 0xFF
+    assert data.read(SPH_DATA) == 0x21
+    data.write(SPL_DATA, 0x00)
+    data.write(SPH_DATA, 0x20)
+    assert data.sp == 0x2000
+
+
+def test_sreg_backed_by_status_register():
+    sreg = StatusRegister()
+    data = DataSpace(sreg)
+    data.write(SREG_DATA, 0x03)
+    assert sreg.c and sreg.z
+    sreg.n = True
+    assert data.read(SREG_DATA) & 0x04
+
+
+def test_io_addressing_offset():
+    data = make_data()
+    data.write_io(0x05, 0x99)  # PORTB
+    assert data.read(0x25) == 0x99
+    assert data.read_io(0x05) == 0x99
+    assert io_to_data(0x05) == 0x25
+    assert data_to_io(0x25) == 0x05
+    with pytest.raises(ValueError):
+        io_to_data(0x40)
+    with pytest.raises(ValueError):
+        data_to_io(0x1000)
+
+
+def test_hooks_fire():
+    data = make_data()
+    seen = []
+    data.add_write_hook(0x300, lambda addr, val: seen.append((addr, val)))
+    data.add_read_hook(0x301, lambda addr: 0x42)
+    data.write(0x300, 7)
+    assert seen == [(0x300, 7)]
+    assert data.read(0x301) == 0x42
+
+
+def test_data_space_bounds():
+    data = make_data()
+    with pytest.raises(MemoryAccessError):
+        data.read(RAMEND + 1)
+    with pytest.raises(MemoryAccessError):
+        data.write(-1, 0)
+    with pytest.raises(MemoryAccessError):
+        data.read_block(RAMEND, 5)
+
+
+def test_block_read_write():
+    data = make_data()
+    data.write_block(SRAM_BASE, b"hello")
+    assert data.read_block(SRAM_BASE, 5) == b"hello"
+
+
+def test_eeprom_read_write_and_bounds():
+    ee = Eeprom()
+    assert ee.read(0) == 0xFF
+    ee.write(10, 0x5A)
+    assert ee.read(10) == 0x5A
+    with pytest.raises(MemoryAccessError):
+        ee.read(ee.size)
+    with pytest.raises(MemoryAccessError):
+        ee.write(ee.size, 0)
+
+
+@given(st.integers(0, RAMEND), st.integers(0, 255))
+def test_data_space_write_read_roundtrip(addr, value):
+    data = make_data()
+    data.write(addr, value)
+    assert data.read(addr) == value
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 1000))
+def test_flash_load_roundtrip(blob, offset):
+    flash = FlashMemory()
+    flash.load(blob, offset)
+    assert flash.dump(offset, len(blob)) == blob

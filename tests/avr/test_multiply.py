@@ -1,0 +1,88 @@
+"""MUL/MULS/MULSU semantics (result in r1:r0, C = bit 15, Z)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.avr import AvrCpu, Instruction, Mnemonic, encode_stream
+
+I = Instruction
+M = Mnemonic
+
+byte = st.integers(0, 255)
+
+
+def run_mul(mnemonic, a, b, rd=16, rr=17):
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream([I(mnemonic, rd=rd, rr=rr), I(M.BREAK)]))
+    cpu.reset()
+    cpu.data.write_reg(rd, a)
+    cpu.data.write_reg(rr, b)
+    cpu.run(5)
+    return cpu
+
+
+@given(byte, byte)
+def test_mul_unsigned(a, b):
+    cpu = run_mul(M.MUL, a, b)
+    product = a * b
+    assert cpu.data.read_reg(0) == product & 0xFF
+    assert cpu.data.read_reg(1) == (product >> 8) & 0xFF
+    assert cpu.sreg.c == bool(product & 0x8000)
+    assert cpu.sreg.z == (product == 0)
+
+
+@given(byte, byte)
+def test_muls_signed(a, b):
+    cpu = run_mul(M.MULS, a, b)
+    sa = a - 0x100 if a & 0x80 else a
+    sb = b - 0x100 if b & 0x80 else b
+    product = (sa * sb) & 0xFFFF
+    assert cpu.data.read_reg(0) == product & 0xFF
+    assert cpu.data.read_reg(1) == (product >> 8) & 0xFF
+
+
+@given(byte, byte)
+def test_mulsu_mixed(a, b):
+    cpu = run_mul(M.MULSU, a, b, rd=16, rr=17)
+    sa = a - 0x100 if a & 0x80 else a
+    product = (sa * b) & 0xFFFF
+    assert cpu.data.read_reg(0) == product & 0xFF
+    assert cpu.data.read_reg(1) == (product >> 8) & 0xFF
+
+
+def test_mul_known_values():
+    cpu = run_mul(M.MUL, 200, 100)
+    assert cpu.data.read_reg_pair(0) == 20000
+    cpu = run_mul(M.MULS, 0xFF, 0x02)  # -1 * 2 = -2
+    assert cpu.data.read_reg_pair(0) == 0xFFFE
+    assert cpu.sreg.c  # bit 15 set
+
+
+def test_mul_overwrites_zero_reg():
+    """MUL clobbers r1 (GCC's zero register) — callers must clr r1 after."""
+    cpu = run_mul(M.MUL, 255, 255)
+    assert cpu.data.read_reg(1) != 0
+
+
+def test_mul_via_parser():
+    from repro.asm import link, parse_program
+    from repro.asm.linker import MAVR_OPTIONS
+
+    image = link(parse_program("""
+.text
+.func main inline
+    ldi r24, 12
+    ldi r18, 11
+    mul r24, r18
+    sts 0x0400, r0
+    sts 0x0401, r1
+    clr r1
+    break
+.endfunc
+"""), MAVR_OPTIONS)
+    cpu = AvrCpu()
+    cpu.load_program(image.code)
+    cpu.reset()
+    cpu.run(100)
+    assert cpu.data.read(0x400) | (cpu.data.read(0x401) << 8) == 132
+    assert cpu.data.read_reg(1) == 0

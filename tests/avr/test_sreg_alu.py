@@ -1,0 +1,140 @@
+"""Status register packing and ALU flag semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.avr import StatusRegister
+from repro.avr import alu
+
+byte = st.integers(0, 255)
+
+
+@given(byte)
+def test_sreg_pack_unpack_roundtrip(value):
+    sreg = StatusRegister()
+    sreg.byte = value
+    assert sreg.byte == value
+
+
+def test_sreg_bit_access():
+    sreg = StatusRegister()
+    sreg.set_bit(1, True)  # Z
+    assert sreg.z
+    assert sreg.get_bit(1)
+    sreg.set_bit(1, False)
+    assert not sreg.z
+
+
+def test_sreg_copy_is_independent():
+    a = StatusRegister()
+    a.c = True
+    b = a.copy()
+    b.c = False
+    assert a.c and not b.c
+
+
+@given(byte, byte)
+def test_add_matches_reference(rd, rr):
+    sreg = StatusRegister()
+    result = alu.add(sreg, rd, rr)
+    assert result == (rd + rr) & 0xFF
+    assert sreg.c == (rd + rr > 0xFF)
+    assert sreg.z == (result == 0)
+    assert sreg.n == bool(result & 0x80)
+
+
+@given(byte, byte)
+def test_sub_matches_reference(rd, rr):
+    sreg = StatusRegister()
+    result = alu.sub(sreg, rd, rr)
+    assert result == (rd - rr) & 0xFF
+    assert sreg.c == (rd < rr)
+    assert sreg.z == (result == 0)
+
+
+def test_overflow_flag_add():
+    sreg = StatusRegister()
+    alu.add(sreg, 0x7F, 0x01)  # 127 + 1 overflows signed
+    assert sreg.v
+    assert sreg.n
+    assert not sreg.s  # S = N xor V
+
+
+def test_overflow_flag_sub():
+    sreg = StatusRegister()
+    alu.sub(sreg, 0x80, 0x01)  # -128 - 1 overflows signed
+    assert sreg.v
+
+
+def test_half_carry():
+    sreg = StatusRegister()
+    alu.add(sreg, 0x0F, 0x01)
+    assert sreg.h
+
+
+def test_sbc_keep_z_rule():
+    """SBC only clears Z (for multi-byte compares), never sets it."""
+    sreg = StatusRegister()
+    sreg.z = True
+    alu.sub(sreg, 5, 5, carry_in=False, keep_z=True)
+    assert sreg.z  # result 0 leaves Z as-is
+    alu.sub(sreg, 6, 5, carry_in=False, keep_z=True)
+    assert not sreg.z  # nonzero result clears it
+
+
+@given(byte)
+def test_com_neg(value):
+    sreg = StatusRegister()
+    assert alu.com(sreg, value) == (~value) & 0xFF
+    assert sreg.c
+    assert alu.neg(sreg, value) == (-value) & 0xFF
+
+
+@given(byte)
+def test_inc_dec_inverse(value):
+    sreg = StatusRegister()
+    assert alu.dec(sreg, alu.inc(sreg, value)) == value
+
+
+def test_inc_dec_overflow_values():
+    sreg = StatusRegister()
+    alu.inc(sreg, 0x7F)
+    assert sreg.v
+    alu.dec(sreg, 0x80)
+    assert sreg.v
+
+
+@given(byte)
+def test_lsr_shifts(value):
+    sreg = StatusRegister()
+    assert alu.lsr(sreg, value) == value >> 1
+    assert sreg.c == bool(value & 1)
+
+
+def test_asr_keeps_sign():
+    sreg = StatusRegister()
+    assert alu.asr(sreg, 0x81) == 0xC0
+    assert sreg.c
+
+
+def test_ror_rotates_through_carry():
+    sreg = StatusRegister()
+    sreg.c = True
+    assert alu.ror(sreg, 0x00) == 0x80
+    assert not sreg.c
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 63))
+def test_adiw_sbiw_roundtrip(pair, k):
+    sreg = StatusRegister()
+    up = alu.adiw(sreg, pair, k)
+    assert up == (pair + k) & 0xFFFF
+    down = alu.sbiw(sreg, up, k)
+    assert down == pair
+
+
+def test_adiw_carry():
+    sreg = StatusRegister()
+    alu.adiw(sreg, 0xFFFF, 1)
+    assert sreg.c
+    assert sreg.z

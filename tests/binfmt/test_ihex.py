@@ -1,0 +1,117 @@
+"""Intel HEX encode/decode, including >64K images and the symbol window."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.binfmt import (
+    SYMBOL_WINDOW_BASE,
+    decode,
+    decode_with_symbols,
+    encode,
+    encode_with_symbols,
+)
+from repro.errors import BinfmtError
+
+
+def test_simple_roundtrip():
+    chunks = {0: b"\x01\x02\x03\x04"}
+    assert decode(encode(chunks)) == chunks
+
+
+def test_multiple_chunks_roundtrip():
+    chunks = {0: b"abc", 0x100: b"def"}
+    assert decode(encode(chunks)) == chunks
+
+
+def test_adjacent_chunks_coalesce():
+    chunks = {0: b"ab", 2: b"cd"}
+    assert decode(encode(chunks)) == {0: b"abcd"}
+
+
+def test_above_64k_uses_extended_records():
+    chunks = {0x1B284: b"\xde\xad\xbe\xef"}  # write_mem_gadget address range
+    text = encode(chunks)
+    assert ":02000004" in text  # extended linear address record
+    assert decode(text) == chunks
+
+
+def test_record_crossing_64k_boundary():
+    chunks = {0xFFFC: bytes(range(8))}
+    decoded = decode(encode(chunks))
+    assert decoded == chunks
+
+
+def test_eof_required():
+    text = encode({0: b"ab"})
+    without_eof = "\n".join(line for line in text.splitlines() if ":00000001FF" not in line)
+    with pytest.raises(BinfmtError):
+        decode(without_eof)
+
+
+def test_checksum_rejected_on_corruption():
+    text = encode({0: b"\x01\x02\x03\x04"})
+    lines = text.splitlines()
+    # flip one payload hex digit in the first data record
+    broken = lines[0][:11] + ("0" if lines[0][11] != "0" else "1") + lines[0][12:]
+    with pytest.raises(BinfmtError):
+        decode("\n".join([broken] + lines[1:]))
+
+
+def test_bad_start_code():
+    with pytest.raises(BinfmtError):
+        decode("020000040000FA\n:00000001FF")
+
+
+def test_data_after_eof_rejected():
+    with pytest.raises(BinfmtError):
+        decode(":00000001FF\n:0100000041BE")
+
+
+def test_unsupported_record_type():
+    # record type 0x05 (start linear address) unsupported
+    with pytest.raises(BinfmtError):
+        decode(":04000005000000C037\n:00000001FF")
+
+
+@given(st.dictionaries(
+    st.integers(0, 0x3FFF0).map(lambda a: a * 16),
+    st.binary(min_size=1, max_size=64),
+    min_size=0, max_size=8,
+))
+def test_roundtrip_property(chunks):
+    decoded = decode(encode(chunks))
+    # decode coalesces; re-serialize both and compare flattened bytes
+    def flatten(mapping):
+        out = {}
+        for base, data in mapping.items():
+            for i, value in enumerate(data):
+                out[base + i] = value
+        return out
+    assert flatten(decoded) == flatten(chunks)
+
+
+def test_symbol_window_split():
+    code = bytes(range(32))
+    blob = b"SYMBOLBLOB"
+    text = encode_with_symbols(code, blob)
+    out_code, out_blob = decode_with_symbols(text)
+    assert out_code == code
+    assert out_blob == blob
+
+
+def test_symbol_window_base_above_flash():
+    assert SYMBOL_WINDOW_BASE > 256 * 1024
+
+
+def test_decode_with_symbols_requires_code():
+    text = encode({SYMBOL_WINDOW_BASE: b"onlysymbols"})
+    with pytest.raises(BinfmtError):
+        decode_with_symbols(text)
+
+
+def test_encode_record_size_bounds():
+    with pytest.raises(BinfmtError):
+        encode({0: b"x"}, record_size=0)
+    with pytest.raises(BinfmtError):
+        encode({0: b"x"}, record_size=300)

@@ -1,0 +1,48 @@
+"""Property test: the binary search in function_containing matches a
+reference linear scan for arbitrary tilings."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.binfmt import Symbol, SymbolTable
+
+
+@st.composite
+def tilings(draw):
+    count = draw(st.integers(1, 30))
+    start = draw(st.integers(0, 512).map(lambda v: v * 2))
+    sizes = draw(st.lists(st.integers(1, 64).map(lambda v: v * 2),
+                          min_size=count, max_size=count))
+    table = SymbolTable()
+    cursor = start
+    spans = []
+    for index, size in enumerate(sizes):
+        table.add(Symbol(f"f{index}", cursor, size))
+        spans.append((cursor, cursor + size))
+        cursor += size
+    return table, spans, start, cursor
+
+
+def reference_containing(spans, address):
+    for index, (lo, hi) in enumerate(spans):
+        if lo <= address < hi:
+            return index
+    return None
+
+
+@given(tilings(), st.integers(0, 5000))
+def test_function_containing_matches_linear_scan(tiling, address):
+    table, spans, _start, _end = tiling
+    expected = reference_containing(spans, address)
+    actual = table.function_containing(address)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual is not None
+        assert actual.name == f"f{expected}"
+
+
+@given(tilings())
+def test_tiling_validates(tiling):
+    table, _spans, start, end = tiling
+    table.validate_tiling(start, end)

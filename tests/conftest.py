@@ -1,0 +1,34 @@
+"""Shared fixtures: session-scoped firmware builds (linking is the slow part)."""
+
+import random
+
+import pytest
+
+from repro.asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
+from repro.core.patching import randomize_image
+from repro.firmware import TESTAPP, build_app
+
+
+@pytest.fixture(scope="session")
+def testapp():
+    """The small vulnerable app, MAVR toolchain (the randomizable build)."""
+    return build_app(TESTAPP, MAVR_OPTIONS, vulnerable=True)
+
+
+@pytest.fixture(scope="session")
+def testapp_stock():
+    """The same app under the stock toolchain (relax + call prologues)."""
+    return build_app(TESTAPP, STOCK_OPTIONS, vulnerable=True)
+
+
+@pytest.fixture(scope="session")
+def testapp_safe():
+    """The app with the MAVLink length check enabled (not exploitable)."""
+    return build_app(TESTAPP, MAVR_OPTIONS, vulnerable=False)
+
+
+@pytest.fixture(scope="session")
+def randomized_testapp(testapp):
+    """One fixed randomization of the test app (seed 1234)."""
+    image, permutation = randomize_image(testapp, random.Random(1234))
+    return image, permutation

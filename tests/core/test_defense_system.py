@@ -1,0 +1,171 @@
+"""The MAVR system: preprocessing, master processor, watchdog, policy,
+fuses, and the full attack-vs-defense experiment of §VII-A."""
+
+import pytest
+
+from repro.attack import StealthyAttack, Write3, variable_address
+from repro.core import (
+    EVERY_BOOT,
+    EVERY_TENTH_BOOT,
+    MavrSystem,
+    RandomizationPolicy,
+    ReadoutProtectedFlash,
+    WatchdogConfig,
+    load_preprocessed,
+    preprocess,
+    preprocess_report,
+)
+from repro.errors import DefenseError, FlashWearError, FuseViolationError
+from repro.hw import FLASH_ENDURANCE_CYCLES
+from repro.mavlink.messages import PARAM_SET
+from repro.uav import Autopilot, MaliciousGroundStation
+
+
+# -- preprocessing ----------------------------------------------------------
+
+def test_preprocess_roundtrip(testapp):
+    hex_text = preprocess(testapp)
+    restored = load_preprocessed(hex_text)
+    assert restored.code == testapp.code
+    assert restored.function_count() == testapp.function_count()
+    assert restored.funcptr_locations == testapp.funcptr_locations
+    assert restored.toolchain_tag == testapp.toolchain_tag
+
+
+def test_preprocess_report(testapp):
+    report = preprocess_report(testapp)
+    assert report.function_count == testapp.function_count()
+    assert report.funcptr_slots == len(testapp.funcptr_locations)
+    assert report.hex_bytes > report.text_bytes  # HEX is ASCII-expanded
+
+
+def test_preprocess_rejects_stock_build(testapp_stock):
+    with pytest.raises(DefenseError):
+        preprocess(testapp_stock)
+
+
+# -- policy -------------------------------------------------------------------
+
+def test_policy_every_boot():
+    assert EVERY_BOOT.should_randomize(0, False)
+    assert EVERY_BOOT.should_randomize(7, False)
+
+
+def test_policy_every_tenth():
+    assert EVERY_TENTH_BOOT.should_randomize(0, False)  # first boot always
+    assert not EVERY_TENTH_BOOT.should_randomize(3, False)
+    assert EVERY_TENTH_BOOT.should_randomize(10, False)
+    # a detected attack overrides the schedule
+    assert EVERY_TENTH_BOOT.should_randomize(3, True)
+
+
+def test_policy_lifetime_arithmetic():
+    assert EVERY_BOOT.flash_lifetime_boots() == FLASH_ENDURANCE_CYCLES
+    assert EVERY_TENTH_BOOT.flash_lifetime_boots() == FLASH_ENDURANCE_CYCLES * 10
+    days = EVERY_BOOT.flash_lifetime_days(boots_per_day=4)
+    assert days == FLASH_ENDURANCE_CYCLES / 4
+    with pytest.raises(ValueError):
+        EVERY_BOOT.flash_lifetime_days(0)
+    with pytest.raises(ValueError):
+        RandomizationPolicy(0)
+
+
+# -- fuses ---------------------------------------------------------------------
+
+def test_fuse_blocks_external_read(testapp):
+    autopilot = Autopilot(testapp)
+    protected = ReadoutProtectedFlash(autopilot.cpu.flash, locked=True)
+    with pytest.raises(FuseViolationError):
+        protected.external_read(0, 32)
+
+
+def test_fuse_chip_erase_unlocks_but_destroys(testapp):
+    autopilot = Autopilot(testapp)
+    protected = ReadoutProtectedFlash(autopilot.cpu.flash, locked=True)
+    protected.chip_erase()
+    assert not protected.locked
+    assert protected.external_read(0, 2) == b"\xff\xff"  # contents gone
+
+
+# -- the full system -----------------------------------------------------------
+
+@pytest.fixture()
+def protected_system(testapp):
+    system = MavrSystem(testapp, seed=2024)
+    system.boot()
+    return system
+
+
+def test_boot_randomizes_and_programs(protected_system, testapp):
+    report = protected_system.report()
+    assert report.boots == 1
+    assert report.randomizations == 1
+    assert report.flash_cycles_used == 1
+    assert report.last_startup_overhead_ms > 0
+    # the running image differs from the original
+    assert protected_system.running_image.code != testapp.code
+
+
+def test_protected_system_flies(protected_system):
+    detections = protected_system.run(50)
+    assert detections == 0
+    assert protected_system.autopilot.read_variable("loop_counter") > 0
+
+
+def test_replayed_attack_fails_and_is_detected(protected_system, testapp):
+    """§VII-A: craft against the unprotected binary, replay at MAVR."""
+    attack = StealthyAttack(testapp)
+    station = MaliciousGroundStation()
+    target = variable_address(testapp, "gyro_offset")
+    burst = station.exploit_burst(
+        PARAM_SET.msg_id, attack.attack_bytes([Write3(target, b"\x40\x00\x00")])
+    )
+    protected_system.run(10)
+    protected_system.autopilot.receive_bytes(burst)
+    protected_system.run(150, watch_every=5)
+    report = protected_system.report()
+    # no effect on the target...
+    assert protected_system.autopilot.read_variable("gyro_offset") == 0
+    # ...and the master noticed the failed attempt and re-randomized
+    assert report.attacks_detected >= 1
+    assert report.randomizations >= 2
+    # the system recovered in flight
+    assert protected_system.autopilot.status.value == "running"
+
+
+def test_rerandomization_changes_layout(protected_system):
+    first = protected_system.running_image.code
+    protected_system.master.boot(attack_detected=True)
+    second = protected_system.running_image.code
+    assert first != second
+
+
+def test_policy_skips_randomization_between_boots(testapp):
+    system = MavrSystem(testapp, policy=EVERY_TENTH_BOOT, seed=5)
+    system.boot()  # boot 0: randomizes
+    overhead = system.master.boot()  # boot 1: policy skips
+    assert overhead == 0.0
+    report = system.report()
+    assert report.boots == 2
+    assert report.randomizations == 1
+
+
+def test_flash_wear_budget(testapp):
+    system = MavrSystem(testapp, seed=6)
+    system.master.isp.endurance = 3
+    system.boot()
+    system.master.boot(attack_detected=True)
+    system.master.boot(attack_detected=True)
+    with pytest.raises(FlashWearError):
+        system.master.boot(attack_detected=True)
+
+
+def test_cost_report(protected_system):
+    cost = protected_system.report().cost
+    assert cost["extra_usd"] == 11.68
+    assert cost["increase_pct"] == 7.3
+
+
+def test_watchdog_config_window():
+    config = WatchdogConfig(expected_period_cycles=1000, missed_periods_threshold=3)
+    assert config.window_cycles == 3000

@@ -1,0 +1,85 @@
+"""Master processor / MavrSystem error paths and accounting details."""
+
+import pytest
+
+from repro.core import MavrSystem, MasterProcessor, WatchdogConfig
+from repro.errors import DefenseError
+from repro.uav import Autopilot
+
+
+def test_boot_without_deployment_fails(testapp):
+    autopilot = Autopilot(testapp)
+    master = MasterProcessor(autopilot)
+    with pytest.raises(DefenseError):
+        master.boot()
+
+
+def test_running_image_before_boot(testapp):
+    system = MavrSystem(testapp, seed=1)
+    with pytest.raises(RuntimeError):
+        _ = system.running_image
+
+
+def test_startup_overheads_accumulate(testapp):
+    system = MavrSystem(testapp, seed=1)
+    system.boot()
+    system.master.boot(attack_detected=True)
+    stats = system.master.stats
+    assert len(stats.startup_overheads_ms) == 2
+    assert all(ms > 0 for ms in stats.startup_overheads_ms)
+    assert stats.boots == 2
+
+
+def test_each_boot_gets_fresh_monitor(testapp):
+    system = MavrSystem(testapp, seed=2)
+    system.boot()
+    first_monitor = system.master.monitor
+    system.master.boot(attack_detected=True)
+    assert system.master.monitor is not first_monitor
+
+
+def test_deploy_after_deploy_reparses(testapp, testapp_safe):
+    from repro.core import preprocess
+
+    system = MavrSystem(testapp, seed=3)
+    system.boot()
+    first = system.running_image.code
+    # redeploy the safe build; next boot randomizes *it*
+    system.master.deploy(preprocess(testapp_safe))
+    system.master.boot(attack_detected=True)
+    assert system.running_image.code != first
+
+
+def test_watch_detects_crash_directly(testapp):
+    system = MavrSystem(testapp, seed=4)
+    system.boot()
+    system.run(5)
+    # force a hard crash
+    system.autopilot.cpu.pc = (system.running_image.size + 64) // 2
+    system.autopilot.tick()
+    assert system.master.watch()  # detected and recovered
+    assert system.autopilot.status.value == "running"
+    assert system.report().attacks_detected == 1
+
+
+def test_watchdog_silence_detection_via_master(testapp):
+    # an aggressive window that the normal loop satisfies easily
+    system = MavrSystem(
+        testapp, seed=5,
+        watchdog=WatchdogConfig(expected_period_cycles=50_000,
+                                missed_periods_threshold=2),
+    )
+    system.boot()
+    assert system.run(40) == 0  # healthy firmware never trips it
+
+
+def test_master_rng_is_isolated(testapp):
+    """Two systems with the same seed produce the same first layout."""
+    a = MavrSystem(testapp, seed=77)
+    b = MavrSystem(testapp, seed=77)
+    a.boot()
+    b.boot()
+    assert a.running_image.code == b.running_image.code
+    c = MavrSystem(testapp, seed=78)
+    c.boot()
+    assert c.running_image.code != a.running_image.code

@@ -1,0 +1,207 @@
+"""Randomization + patching: permutation structure, behavioural equivalence,
+pointer rewriting, and the toolchain constraints."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.linker import STOCK_OPTIONS
+from repro.core import (
+    check_randomizable,
+    generate_permutation,
+    layout_entropy_bits,
+    permutation_count,
+    randomize_image,
+    verify_patched,
+)
+from repro.core.patching import patch_image
+from repro.core.randomize import shuffled_symbol_table
+from repro.errors import DefenseError
+from repro.firmware import TESTAPP, build_app
+from repro.uav import Autopilot
+
+
+def test_permutation_is_complete(testapp):
+    permutation = generate_permutation(testapp, random.Random(0))
+    moves = permutation.moves
+    assert len(moves) == testapp.function_count()
+    # new addresses tile .text exactly
+    spans = sorted((m.new_address, m.size) for m in moves)
+    cursor = testapp.text_start
+    for address, size in spans:
+        assert address == cursor
+        cursor += size
+    assert cursor == testapp.text_end
+
+
+def test_permutation_address_translation(testapp):
+    permutation = generate_permutation(testapp, random.Random(0))
+    for move in permutation.moves:
+        assert permutation.new_address_of(move.old_address) == move.new_address
+        interior = move.old_address + min(4, move.size - 2)
+        assert (
+            permutation.new_address_of(interior)
+            == move.new_address + (interior - move.old_address)
+        )
+    assert permutation.new_address_of(testapp.text_start - 2) is None
+    assert permutation.new_address_of(testapp.text_end) is None
+
+
+def test_randomized_image_structure(randomized_testapp, testapp):
+    randomized, permutation = randomized_testapp
+    verify_patched(testapp, randomized, permutation)
+    assert randomized.size == testapp.size
+    # the function multiset is preserved (names and sizes)
+    old = sorted((s.name, s.size) for s in testapp.functions())
+    new = sorted((s.name, s.size) for s in randomized.functions())
+    assert old == new
+
+
+def test_randomization_moves_most_functions(testapp):
+    permutation = generate_permutation(testapp, random.Random(99))
+    assert permutation.identity_fraction < 0.2
+
+
+def test_behavioural_equivalence(randomized_testapp, testapp):
+    """The paper's implicit correctness claim: randomization must not
+    change what the firmware does — byte-identical telemetry."""
+    randomized, _permutation = randomized_testapp
+
+    def run(image, ticks=25):
+        autopilot = Autopilot(image)
+        transmitted = b""
+        for _ in range(ticks):
+            autopilot.tick()
+            transmitted += autopilot.transmitted_bytes()
+        return autopilot, transmitted
+
+    original_ap, original_tx = run(testapp)
+    randomized_ap, randomized_tx = run(randomized)
+    assert original_tx == randomized_tx
+    assert original_ap.read_variable("loop_counter") == randomized_ap.read_variable("loop_counter")
+    assert original_ap.cpu.data.sp == randomized_ap.cpu.data.sp
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(0, 2**31))
+def test_behavioural_equivalence_any_seed(seed):
+    """Equivalence must hold for every permutation, not a lucky one."""
+    from repro.asm.linker import MAVR_OPTIONS
+
+    image = build_app(TESTAPP, MAVR_OPTIONS)
+    randomized, _ = randomize_image(image, random.Random(seed))
+
+    def run(target, ticks=6):
+        autopilot = Autopilot(target)
+        transmitted = b""
+        for _ in range(ticks):
+            autopilot.tick()
+            transmitted += autopilot.transmitted_bytes()
+        return transmitted
+
+    assert run(image) == run(randomized)
+
+
+def test_funcptr_tables_stable_and_trampolines_retargeted(randomized_testapp, testapp):
+    """Pointer slots keep their trampoline addresses; the stubs' jmps
+    follow the moved functions instead."""
+    from repro.avr import Mnemonic, decode_at
+
+    randomized, permutation = randomized_testapp
+    assert randomized.funcptr_locations == testapp.funcptr_locations
+    for location in randomized.funcptr_locations:
+        old_word = testapp.read_funcptr(location)
+        new_word = randomized.read_funcptr(location)
+        assert old_word == new_word  # slot unchanged (points at a stub)
+        old_stub, _ = decode_at(testapp.code, old_word * 2)
+        new_stub, _ = decode_at(randomized.code, new_word * 2)
+        assert old_stub.mnemonic is Mnemonic.JMP
+        assert new_stub.mnemonic is Mnemonic.JMP
+        # the stub now jmps to the function's new home
+        assert permutation.new_address_of(old_stub.k * 2) == new_stub.k * 2
+        containing = randomized.symbols.function_containing(new_stub.k * 2)
+        assert containing is not None and containing.address == new_stub.k * 2
+
+
+def test_fixed_region_entry_patched(randomized_testapp, testapp):
+    """__init's `jmp main` must follow main to its new home."""
+    from repro.avr import decode_at, Mnemonic
+
+    randomized, _permutation = randomized_testapp
+    fixed_end = min(randomized.text_start, randomized.data_start)
+    main_word = randomized.symbols.get("main").word_address
+    offset = 0
+    found = False
+    while offset + 1 < fixed_end:
+        insn, size = decode_at(randomized.code, offset)
+        if insn.mnemonic is Mnemonic.JMP and insn.k == main_word:
+            found = True
+            break
+        offset += size
+    assert found
+
+
+def test_double_randomization(testapp):
+    """Randomizing a randomized image works (re-randomize on detection)."""
+    first, _p1 = randomize_image(testapp, random.Random(1))
+    second, _p2 = randomize_image(first, random.Random(2))
+    second.validate()
+
+    def run(image, ticks=6):
+        autopilot = Autopilot(image)
+        transmitted = b""
+        for _ in range(ticks):
+            autopilot.tick()
+            transmitted += autopilot.transmitted_bytes()
+        return transmitted
+
+    assert run(testapp) == run(second)
+
+
+def test_stock_toolchain_rejected(testapp_stock):
+    with pytest.raises(DefenseError):
+        check_randomizable(testapp_stock)
+
+
+def test_mavr_toolchain_accepted(testapp):
+    check_randomizable(testapp)  # no exception
+
+
+def test_permutation_math():
+    assert permutation_count(3) == 6
+    assert permutation_count(0) == 1
+    # log2(800!) ~ 6567 bits (paper §VIII-B)
+    assert abs(layout_entropy_bits(800) - 6567) < 10
+
+
+def test_patch_image_rejects_unmapped_pointer(testapp):
+    permutation = generate_permutation(testapp, random.Random(5))
+    broken = testapp.with_code(testapp.code)
+    broken.funcptr_locations = list(testapp.funcptr_locations)
+    code = bytearray(broken.code)
+    slot = broken.funcptr_locations[0]
+    # point into the data region: not a trampoline, not inside any block
+    bad_word = testapp.data_start // 2 + 2
+    code[slot] = bad_word & 0xFF
+    code[slot + 1] = (bad_word >> 8) & 0xFF
+    broken = broken.with_code(bytes(code))
+    from repro.errors import PatchError
+    with pytest.raises(PatchError):
+        patch_image(broken, permutation)
+
+
+def test_patch_image_leaves_trampoline_slots(testapp):
+    """Slots pointing into the fixed region are layout-stable."""
+    permutation = generate_permutation(testapp, random.Random(6))
+    patched = patch_image(testapp, permutation)
+    for location in testapp.funcptr_locations:
+        assert patched[location : location + 2] == testapp.code[location : location + 2]
+
+
+def test_shuffled_symbol_table_keeps_objects(testapp):
+    permutation = generate_permutation(testapp, random.Random(3))
+    table = shuffled_symbol_table(testapp, permutation)
+    assert len(table.objects()) == len(testapp.symbols.objects())
+    assert len(table.functions()) == len(testapp.symbols.functions())

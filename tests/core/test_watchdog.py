@@ -1,0 +1,79 @@
+"""Watchdog timing analysis in isolation."""
+
+from repro.avr import AvrCpu, FeedLine, Instruction, Mnemonic, encode_stream
+from repro.core import WatchdogConfig, WatchdogMonitor
+
+I = Instruction
+M = Mnemonic
+
+
+def feeding_cpu(toggles=5):
+    """A CPU that toggles the feed line ``toggles`` times, then stops."""
+    insns = []
+    level = 0
+    for _ in range(toggles):
+        level ^= 1
+        insns.append(I(M.LDI, rd=16, k=level))
+        insns.append(I(M.OUT, a=0x05, rr=16))
+        insns.extend([I(M.NOP)] * 20)  # spacing between feeds
+    insns.append(I(M.BREAK))
+    cpu = AvrCpu()
+    feed = FeedLine(cpu)
+    cpu.load_program(encode_stream(insns))
+    cpu.reset()
+    cpu.run(10_000)
+    return cpu, feed
+
+
+def test_alive_within_window():
+    cpu, feed = feeding_cpu()
+    config = WatchdogConfig(expected_period_cycles=100, missed_periods_threshold=4)
+    monitor = WatchdogMonitor(feed, config)
+    assert monitor.alive(cpu.cycles)
+
+
+def test_silence_detected():
+    cpu, feed = feeding_cpu()
+    config = WatchdogConfig(expected_period_cycles=10, missed_periods_threshold=2)
+    monitor = WatchdogMonitor(feed, config)
+    last = feed.last_feed_cycle
+    assert not monitor.alive(last + config.window_cycles + 1)
+    assert not monitor.check(last + config.window_cycles + 1)
+    assert monitor.alarms == 1
+
+
+def test_never_fed_grace_window():
+    cpu = AvrCpu()
+    feed = FeedLine(cpu)
+    config = WatchdogConfig(expected_period_cycles=100, missed_periods_threshold=4)
+    monitor = WatchdogMonitor(feed, config)
+    assert monitor.alive(10)  # inside the startup grace window
+    assert not monitor.alive(config.window_cycles + 1)
+
+
+def test_unexpected_boot_detection():
+    cpu = AvrCpu()
+    feed = FeedLine(cpu)
+    monitor = WatchdogMonitor(feed)
+    # one pulse: the legitimate startup announcement
+    feed._on_write(0x25, 0b10)
+    feed._on_write(0x25, 0b00)
+    assert not monitor.unexpected_boot()
+    # a second pulse: the application walked through the reset vector
+    feed._on_write(0x25, 0b10)
+    assert monitor.unexpected_boot()
+    assert not monitor.check(0)
+
+
+def test_observed_period():
+    cpu, feed = feeding_cpu(toggles=5)
+    monitor = WatchdogMonitor(feed)
+    period = monitor.observed_period()
+    assert period is not None
+    assert period > 0
+
+
+def test_observed_period_needs_two_events():
+    cpu = AvrCpu()
+    feed = FeedLine(cpu)
+    assert WatchdogMonitor(feed).observed_period() is None

@@ -1,0 +1,142 @@
+"""Hardware models: external flash, programming link timing, ISP wear,
+clock, and the cost model."""
+
+import math
+
+import pytest
+
+from repro.avr import FlashMemory
+from repro.errors import FlashWearError, HardwareError
+from repro.hw import (
+    BOOTLOADER_ENTRY_MS,
+    CostModel,
+    ExternalFlash,
+    FLASH_ENDURANCE_CYCLES,
+    FLASH_PAGE_SIZE,
+    IspProgrammer,
+    M95M02_SIZE,
+    PRODUCTION_LINK,
+    PROTOTYPE_LINK,
+    ProgrammingLink,
+    SimClock,
+)
+
+
+# -- clock ----------------------------------------------------------------
+
+def test_clock_advances():
+    clock = SimClock()
+    clock.advance_ms(5)
+    clock.advance_cycles(16_000)  # 1 ms at 16 MHz
+    assert math.isclose(clock.now_ms, 6.0)
+    with pytest.raises(ValueError):
+        clock.advance_ms(-1)
+
+
+# -- external flash ----------------------------------------------------------
+
+def test_external_flash_roundtrip():
+    chip = ExternalFlash()
+    chip.store(b"hello world")
+    assert chip.read(0, 5) == b"hello"
+    assert chip.read_all() == b"hello world"
+    assert chip.write_count == 1
+    assert chip.read_count == 2
+
+
+def test_external_flash_sized_like_app_processor():
+    assert M95M02_SIZE == 256 * 1024
+
+
+def test_external_flash_bounds():
+    chip = ExternalFlash(size=16)
+    with pytest.raises(HardwareError):
+        chip.store(bytes(17))
+    with pytest.raises(HardwareError):
+        chip.read(10, 10)
+
+
+def test_external_flash_erase():
+    chip = ExternalFlash(size=16)
+    chip.store(b"data")
+    chip.erase()
+    assert chip.read_all() == b""
+
+
+# -- programming link ----------------------------------------------------------
+
+def test_prototype_link_is_1152_bytes_per_100ms():
+    assert math.isclose(PROTOTYPE_LINK.bytes_per_ms, 11.52)
+
+
+def test_table2_timing_identity():
+    """MAVR code size / 11.52 B/ms reproduces the paper's milliseconds."""
+    assert math.isclose(PROTOTYPE_LINK.transfer_ms(221_294), 19209.2, abs_tol=0.5)
+    assert math.isclose(PROTOTYPE_LINK.transfer_ms(244_292), 21205.9, abs_tol=0.5)
+    assert math.isclose(PROTOTYPE_LINK.transfer_ms(177_556), 15412.8, abs_tol=0.5)
+
+
+def test_production_estimate_about_4s():
+    """Paper: 'a conservative estimate on a production PCB ... 4 seconds'."""
+    ms = PRODUCTION_LINK.programming_ms(221_294)
+    assert 3000 < ms < 5000
+
+
+def test_programming_overlap_model():
+    link = ProgrammingLink(baud=115_200, overlap_flash_writes=False)
+    overlapped = PROTOTYPE_LINK.programming_ms(10_000)
+    serialized = link.programming_ms(10_000)
+    assert serialized > overlapped
+
+
+def test_transfer_rejects_negative():
+    with pytest.raises(ValueError):
+        PROTOTYPE_LINK.transfer_ms(-1)
+
+
+# -- ISP programmer ---------------------------------------------------------------
+
+def test_isp_programs_flash():
+    flash = FlashMemory()
+    isp = IspProgrammer()
+    image = bytes(range(256)) * 5
+    elapsed = isp.program(flash, image)
+    assert flash.dump(0, len(image)) == image
+    assert elapsed > BOOTLOADER_ENTRY_MS
+    assert isp.stats.programming_cycles == 1
+    assert isp.stats.bytes_programmed == len(image)
+    assert math.isclose(isp.clock.now_ms, elapsed)
+
+
+def test_isp_wear_budget_enforced():
+    flash = FlashMemory()
+    isp = IspProgrammer(endurance=2)
+    isp.program(flash, b"\x00\x00")
+    isp.program(flash, b"\x00\x00")
+    assert isp.remaining_cycles == 0
+    with pytest.raises(FlashWearError):
+        isp.program(flash, b"\x00\x00")
+
+
+def test_isp_rejects_oversized_image():
+    flash = FlashMemory(size=1024)
+    isp = IspProgrammer()
+    with pytest.raises(HardwareError):
+        isp.program(flash, bytes(2048))
+
+
+def test_default_endurance_is_10k():
+    assert FLASH_ENDURANCE_CYCLES == 10_000
+
+
+def test_page_size():
+    assert FLASH_PAGE_SIZE == 256
+
+
+# -- cost model ----------------------------------------------------------------------
+
+def test_cost_model_matches_paper():
+    report = CostModel().report()
+    assert report["base_usd"] == 159.99
+    assert report["extra_usd"] == 11.68
+    assert report["increase_pct"] == 7.3

@@ -1,0 +1,187 @@
+"""Integration scenarios spanning the whole system.
+
+These tests exercise multi-module flows exactly as a user of the library
+would: source text to flying firmware, the complete attack-vs-defense
+experiment, the oracle falsification, the guessing campaign, and the
+software-only ablation.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import guessing_campaign, oracle_attack
+from repro.asm import MAVR_OPTIONS, link, parse_program
+from repro.attack import (
+    BasicAttack,
+    StealthyAttack,
+    TrampolineAttack,
+    Write3,
+    variable_address,
+)
+from repro.core import MavrSystem, SoftwareOnlyDefense, randomize_image
+from repro.mavlink.messages import PARAM_SET
+from repro.uav import Autopilot, AutopilotStatus, GroundStation, MaliciousGroundStation
+
+
+def test_source_to_execution_pipeline():
+    """Assembly text -> linked image -> simulated execution -> observable."""
+    source = """
+.entry main
+.text
+.func compute
+    ldi r24, 21
+    add r24, r24
+    sts result, r24
+.endfunc
+.func main inline
+    call compute
+    break
+.endfunc
+.data
+result: .space 1
+"""
+    image = link(parse_program(source), MAVR_OPTIONS)
+    autopilot = Autopilot(image)
+    autopilot.tick()
+    assert autopilot.read_variable("result") == 42
+
+
+def test_hex_roundtrip_preserves_executability(testapp):
+    """Image -> preprocessed HEX -> image -> runs identically."""
+    from repro.binfmt import FirmwareImage
+
+    restored = FirmwareImage.from_preprocessed_hex(testapp.to_preprocessed_hex())
+
+    def run(image, ticks=8):
+        autopilot = Autopilot(image)
+        transmitted = b""
+        for _ in range(ticks):
+            autopilot.tick()
+            transmitted += autopilot.transmitted_bytes()
+        return transmitted
+
+    assert run(testapp) == run(restored)
+
+
+def test_flash_blob_roundtrip_randomizable(testapp):
+    """Image -> compact flash container -> image -> randomize -> runs."""
+    from repro.binfmt import FirmwareImage
+
+    restored = FirmwareImage.from_flash_blob(testapp.to_flash_blob())
+    assert restored.code == testapp.code
+    assert restored.function_count() == testapp.function_count()
+    randomized, _permutation = randomize_image(restored, random.Random(3))
+    autopilot = Autopilot(randomized)
+    autopilot.run_ticks(8)
+    assert autopilot.status is AutopilotStatus.RUNNING
+
+
+def test_the_paper_experiment_end_to_end(testapp):
+    """§VII-A in one test: all three attacks beat the unprotected board;
+    the replayed stealthy attack loses to MAVR and is absorbed."""
+    # unprotected
+    v1 = BasicAttack(testapp).execute(Autopilot(testapp))
+    v2 = StealthyAttack(testapp).execute(Autopilot(testapp))
+    v3 = TrampolineAttack(testapp).execute(Autopilot(testapp))
+    assert v1.succeeded and not v1.stealthy
+    assert v2.succeeded and v2.stealthy
+    assert v3.succeeded and v3.stealthy
+
+    # protected
+    system = MavrSystem(testapp, seed=99)
+    system.boot()
+    system.run(10)
+    attack = StealthyAttack(testapp)
+    station = MaliciousGroundStation()
+    target = variable_address(testapp, "gyro_offset")
+    burst = station.exploit_burst(
+        PARAM_SET.msg_id, attack.attack_bytes([Write3(target, b"\x40\x00\x00")])
+    )
+    system.autopilot.receive_bytes(burst)
+    system.run(150, watch_every=5)
+    report = system.report()
+    assert system.autopilot.read_variable("gyro_offset") == 0
+    assert report.attacks_detected >= 1
+    assert system.autopilot.status is AutopilotStatus.RUNNING
+
+
+def test_oracle_attack_falsification(testapp):
+    """With the layout known, the randomized firmware is still exploitable:
+    MAVR's security is layout secrecy, not breakage."""
+    assert oracle_attack(testapp, seed=5)
+    assert oracle_attack(testapp, seed=17)
+
+
+def test_guessing_campaign_zero_effect(testapp):
+    result = guessing_campaign(testapp, attempts=3, seed=41)
+    assert result.attempts == 3
+    assert result.effects == 0
+    assert result.detections == result.attempts  # every failure noticed
+    assert result.still_flying
+    assert result.randomizations_consumed >= result.detections + 1
+
+
+def test_software_only_defense_weaknesses(testapp):
+    """§VIII-A: flash-time-only randomization crashes without recovery and
+    never rotates its permutation."""
+    defense = SoftwareOnlyDefense(testapp, seed=8)
+    layout_before = defense.image.code
+    defense.run(10)
+    assert defense.recovered_in_flight
+
+    # a failed attack: replay the unprotected-layout exploit
+    attack = StealthyAttack(testapp)
+    station = MaliciousGroundStation()
+    target = variable_address(testapp, "gyro_offset")
+    burst = station.exploit_burst(
+        PARAM_SET.msg_id, attack.attack_bytes([Write3(target, b"\x40\x00\x00")])
+    )
+    defense.autopilot.receive_bytes(burst)
+    status = defense.run(200)
+    # whether it crashed hard or silently rebooted, nothing re-randomized:
+    defense.power_cycle()
+    assert defense.image.code == layout_before  # same permutation forever
+    assert defense.stats.power_cycles_needed == 1
+
+
+def test_campaign_under_lazy_policy(testapp):
+    """Even with randomize-every-10-boots, a *detected* attack forces an
+    immediate re-randomization (policy override)."""
+    from repro.core import EVERY_TENTH_BOOT
+
+    system = MavrSystem(testapp, policy=EVERY_TENTH_BOOT, seed=12)
+    system.boot()
+    layout = system.running_image.code
+    attack = StealthyAttack(testapp)
+    station = MaliciousGroundStation()
+    target = variable_address(testapp, "gyro_offset")
+    burst = station.exploit_burst(
+        PARAM_SET.msg_id, attack.attack_bytes([Write3(target, b"\x40\x00\x00")])
+    )
+    system.run(10)
+    system.autopilot.receive_bytes(burst)
+    system.run(150, watch_every=5)
+    assert system.report().attacks_detected >= 1
+    assert system.running_image.code != layout  # rotated despite lazy policy
+
+
+def test_ground_station_cannot_distinguish_v2_from_noise(testapp):
+    """The stealth claim from the operator's viewpoint: the health metrics
+    of an attacked flight match a clean flight."""
+    def fly(attacked):
+        autopilot = Autopilot(testapp)
+        gcs = GroundStation()
+        for tick in range(60):
+            if attacked and tick == 20:
+                StealthyAttack(testapp).execute(
+                    autopilot, values=b"\x10\x00\x00", observe_ticks=0,
+                )
+            autopilot.tick()
+            gcs.ingest(autopilot.transmitted_bytes())
+        return gcs.health
+
+    clean = fly(False)
+    hit = fly(True)
+    assert not hit.consecutive_silent_polls
+    assert hit.malformed_bytes == clean.malformed_bytes == 0

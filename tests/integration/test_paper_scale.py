@@ -1,0 +1,61 @@
+"""Paper-scale integration: the full ArduPlane-class image through the
+attack and defense pipelines (everything else in the suite uses the small
+test app for speed)."""
+
+import random
+
+import pytest
+
+from repro.asm.linker import MAVR_OPTIONS
+from repro.attack import GadgetFinder, StealthyAttack
+from repro.core import randomize_image
+from repro.firmware import ARDUPLANE, build_app
+from repro.uav import Autopilot, AutopilotStatus
+
+
+@pytest.fixture(scope="module")
+def arduplane():
+    return build_app(ARDUPLANE, MAVR_OPTIONS)
+
+
+def test_arduplane_flies(arduplane):
+    autopilot = Autopilot(arduplane)
+    autopilot.run_ticks(10)
+    assert autopilot.status is AutopilotStatus.RUNNING
+    assert autopilot.read_variable("loop_counter") > 0
+
+
+def test_arduplane_stealthy_attack(arduplane):
+    autopilot = Autopilot(arduplane)
+    outcome = StealthyAttack(arduplane).execute(autopilot, values=b"\x40\x00\x00")
+    assert outcome.succeeded and outcome.stealthy
+    assert autopilot.read_variable("gyro_offset") == 0x40
+
+
+def test_arduplane_randomization_equivalence(arduplane):
+    randomized, permutation = randomize_image(arduplane, random.Random(2015))
+    assert permutation.identity_fraction < 0.01  # 917 blocks, ~none fixed
+
+    def run(image, ticks=8):
+        autopilot = Autopilot(image)
+        transmitted = b""
+        for _ in range(ticks):
+            autopilot.tick()
+            transmitted += autopilot.transmitted_bytes()
+        return transmitted
+
+    assert run(arduplane) == run(randomized)
+
+
+def test_arduplane_gadget_scale(arduplane):
+    count = GadgetFinder(arduplane).count()
+    assert 800 <= count <= 1400  # paper: 953
+
+
+def test_arduplane_image_invariants(arduplane):
+    arduplane.validate()
+    assert arduplane.function_count() == 917
+    assert arduplane.size == ARDUPLANE.stock_code_size - (
+        ARDUPLANE.stock_code_size - arduplane.size
+    )
+    assert arduplane.size < 256 * 1024

@@ -1,0 +1,77 @@
+"""CLI tool tests (direct main() invocation; builds are cached)."""
+
+import pytest
+
+from repro.tools import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_info(capsys, testapp):
+    code, out = run(capsys, "info", "testapp")
+    assert code == 0
+    assert "functions" in out
+    assert "60" in out
+
+
+def test_build(capsys, tmp_path):
+    out_file = tmp_path / "app.hex"
+    code, out = run(capsys, "build", "testapp", "--out", str(out_file))
+    assert code == 0
+    assert out_file.exists()
+    text = out_file.read_text()
+    assert text.startswith(":")
+    assert "wrote preprocessed HEX" in out
+
+
+def test_build_stock_toolchain(capsys):
+    code, out = run(capsys, "build", "testapp", "--toolchain", "stock")
+    assert code == 0
+    assert "mcall-prologues" in out
+
+
+def test_disasm_single_function(capsys):
+    code, out = run(capsys, "disasm", "testapp", "--function", "watchdog_feed")
+    assert code == 0
+    assert "<watchdog_feed>:" in out
+    assert "out 0x05" in out
+
+
+def test_gadgets(capsys):
+    code, out = run(capsys, "gadgets", "testapp")
+    assert code == 0
+    assert "stk_move" in out
+    assert "write_mem_gadget" in out
+    assert "out 0x3e, r29" in out
+
+
+def test_attack_v2(capsys):
+    code, out = run(capsys, "attack", "testapp", "--variant", "v2")
+    assert code == 0
+    assert "STEALTHY" in out
+
+
+def test_attack_v1(capsys):
+    code, out = run(capsys, "attack", "testapp", "--variant", "v1")
+    assert code == 0  # the write landed (even though the board crashed)
+    assert "crashed" in out
+
+
+def test_defend(capsys):
+    code, out = run(capsys, "defend", "testapp", "--attempts", "1", "--seed", "3")
+    assert code == 0
+    assert "UAV still flying" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["info", "nonesuch"])

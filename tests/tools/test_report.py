@@ -1,0 +1,21 @@
+"""The report subcommand."""
+
+from repro.tools import main
+
+
+def test_report_stdout(capsys, testapp):
+    code = main(["report"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "6567 bits" in out
+    assert "stealthy success" in out
+    assert "0 effects" in out
+
+
+def test_report_to_file(tmp_path, capsys, testapp):
+    target = tmp_path / "report.md"
+    code = main(["report", "--out", str(target)])
+    assert code == 0
+    text = target.read_text()
+    assert text.startswith("# MAVR reproduction report")
+    assert "hardware cost" in text

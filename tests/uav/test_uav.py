@@ -1,0 +1,228 @@
+"""UAV harness: autopilot lifecycle, sensors, flight model, ground station,
+mission bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.avr import AvrCpu
+from repro.firmware.hwmap import TELEMETRY_MARKER, TELEMETRY_TRAILER
+from repro.uav import (
+    Autopilot,
+    AutopilotStatus,
+    FlightModel,
+    GroundStation,
+    MaliciousGroundStation,
+    Mission,
+    SensorState,
+    SensorSuite,
+    SERVO_NEUTRAL,
+    Waypoint,
+    track_deviation,
+)
+
+
+# -- sensors ----------------------------------------------------------------
+
+def test_sensor_registers_reflect_state():
+    cpu = AvrCpu()
+    suite = SensorSuite(cpu)
+    suite.set_gyro(0x1234, -2, 0)
+    from repro.firmware.hwmap import GYRO_X_REG, GYRO_Y_REG
+    assert cpu.data.read(GYRO_X_REG) == 0x34
+    assert cpu.data.read(GYRO_X_REG + 1) == 0x12
+    # negative values are two's complement
+    assert cpu.data.read(GYRO_Y_REG) == 0xFE
+    assert cpu.data.read(GYRO_Y_REG + 1) == 0xFF
+
+
+def test_sensor_clamping():
+    cpu = AvrCpu()
+    suite = SensorSuite(cpu)
+    suite.set_gyro(10**9, 0, 0)
+    from repro.firmware.hwmap import GYRO_X_REG
+    value = cpu.data.read(GYRO_X_REG) | (cpu.data.read(GYRO_X_REG + 1) << 8)
+    assert value == 0x7FFF  # clamped to int16 max
+
+
+# -- flight model --------------------------------------------------------------
+
+def test_neutral_servo_flies_straight():
+    cpu = AvrCpu()
+    model = FlightModel(SensorSuite(cpu))
+    for _ in range(50):
+        model.step(SERVO_NEUTRAL)
+    assert abs(model.state.x) < 1e-6
+    assert model.state.y > 0  # moving north
+
+
+def test_deflected_servo_turns():
+    cpu = AvrCpu()
+    model = FlightModel(SensorSuite(cpu))
+    for _ in range(200):
+        model.step(SERVO_NEUTRAL + 40)
+    assert abs(model.state.heading_deg) > 1.0
+    assert abs(model.state.x) > 0.1
+
+
+def test_gyro_feedback_loop():
+    cpu = AvrCpu()
+    suite = SensorSuite(cpu)
+    model = FlightModel(suite)
+    model.step(SERVO_NEUTRAL + 10)
+    assert suite.state.gyro["x"] != 0.0
+
+
+def test_roll_is_limited():
+    cpu = AvrCpu()
+    model = FlightModel(SensorSuite(cpu))
+    for _ in range(1000):
+        model.step(0xFF)
+    assert model.state.roll_deg <= 60.0
+
+
+# -- autopilot harness ----------------------------------------------------------
+
+def test_autopilot_runs(testapp):
+    autopilot = Autopilot(testapp)
+    status = autopilot.run_ticks(10)
+    assert status is AutopilotStatus.RUNNING
+    assert autopilot.read_variable("loop_counter") > 0
+
+
+def test_autopilot_crash_freezes_servo(testapp):
+    autopilot = Autopilot(testapp)
+    autopilot.run_ticks(5)
+    # force a crash: jump the core into erased flash
+    autopilot.cpu.pc = (testapp.size + 64) // 2
+    autopilot.tick()
+    assert autopilot.status is AutopilotStatus.CRASHED
+    assert autopilot.crash is not None
+    servo = autopilot.servo_command
+    autopilot.tick()
+    assert autopilot.servo_command == servo  # frozen
+
+
+def test_autopilot_reflash_recovers(testapp):
+    autopilot = Autopilot(testapp)
+    autopilot.cpu.pc = (testapp.size + 64) // 2
+    autopilot.tick()
+    assert autopilot.status is AutopilotStatus.CRASHED
+    autopilot.reflash(testapp)
+    assert autopilot.status is AutopilotStatus.RUNNING
+    autopilot.run_ticks(3)
+    assert autopilot.status is AutopilotStatus.RUNNING
+
+
+def test_autopilot_variable_roundtrip(testapp):
+    autopilot = Autopilot(testapp)
+    autopilot.write_variable("nav_mode", 2)
+    assert autopilot.read_variable("nav_mode") == 2
+    with pytest.raises(ValueError):
+        autopilot.variable_address("main")  # not an SRAM variable
+
+
+def test_autopilot_flight_advances(testapp):
+    autopilot = Autopilot(testapp)
+    autopilot.run_ticks(20)
+    assert len(autopilot.flight.track) == 21
+
+
+# -- ground station ---------------------------------------------------------------
+
+def make_frame(gx=0, gy=0, gz=0):
+    def split(v):
+        v &= 0xFFFF
+        return [v & 0xFF, v >> 8]
+    return bytes([TELEMETRY_MARKER] + split(gx) + split(gy) + split(gz)
+                 + [TELEMETRY_TRAILER])
+
+
+def test_gcs_parses_frames():
+    gcs = GroundStation()
+    frames = gcs.ingest(make_frame(5, -3, 100))
+    assert len(frames) == 1
+    assert frames[0].gyro_x == 5
+    assert frames[0].gyro_y == -3
+    assert frames[0].gyro_z == 100
+
+
+def test_gcs_resyncs_after_noise():
+    gcs = GroundStation()
+    frames = gcs.ingest(b"\x00\x01\x02" + make_frame(1))
+    assert len(frames) == 1
+    assert gcs.health.malformed_bytes == 3
+
+
+def test_gcs_split_delivery():
+    gcs = GroundStation()
+    frame = make_frame(7)
+    assert gcs.ingest(frame[:3]) == []
+    assert len(gcs.ingest(frame[3:])) == 1
+
+
+def test_gcs_link_lost_alarm():
+    gcs = GroundStation()
+    gcs.ingest(make_frame())
+    assert not gcs.link_lost
+    for _ in range(GroundStation.SILENCE_ALARM_THRESHOLD):
+        gcs.ingest(b"")
+    assert gcs.link_lost
+
+
+def test_gcs_recovers_after_frames_return():
+    gcs = GroundStation()
+    for _ in range(GroundStation.SILENCE_ALARM_THRESHOLD):
+        gcs.ingest(b"")
+    assert gcs.link_lost
+    gcs.ingest(make_frame())
+    assert not gcs.link_lost
+
+
+def test_gcs_command_serialization():
+    from repro.mavlink import HEARTBEAT, Packet
+    gcs = GroundStation()
+    frame = gcs.command(
+        HEARTBEAT, custom_mode=0, type=6, autopilot=0, base_mode=0,
+        system_status=4, mavlink_version=3,
+    )
+    packet = Packet.from_bytes(frame)
+    assert packet.msgid == HEARTBEAT.msg_id
+
+
+def test_malicious_gcs_exploit_burst():
+    station = MaliciousGroundStation()
+    burst = station.exploit_burst(23, b"\xee" * 300)
+    assert burst[0] == 0xFE
+    assert burst[1] == 255  # capped length byte (the lie)
+    assert len(burst) == 306
+
+
+def test_gcs_sequence_numbers_wrap():
+    gcs = GroundStation()
+    for _ in range(256):
+        gcs.next_seq()
+    assert gcs.next_seq() == 0
+
+
+# -- mission --------------------------------------------------------------------
+
+def test_mission_progress():
+    mission = Mission([Waypoint(0, 100), Waypoint(0, 200)])
+    assert not mission.complete
+    assert not mission.update(0, 10)
+    assert mission.update(0, 90)  # within 25 m radius
+    assert mission.current == Waypoint(0, 200)
+    assert mission.update(5, 195)
+    assert mission.complete
+    assert mission.current is None
+
+
+def test_track_deviation_metrics():
+    reference = [(0.0, float(i)) for i in range(10)]
+    actual = [(3.0, float(i)) for i in range(10)]
+    stats = track_deviation(reference, actual)
+    assert math.isclose(stats["mean"], 3.0)
+    assert math.isclose(stats["max"], 3.0)
+    assert stats["points"] == 10
+    assert track_deviation([], [])["points"] == 0
