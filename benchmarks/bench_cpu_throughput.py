@@ -1,0 +1,113 @@
+"""Execution-engine throughput: predecoded (cached) vs interpreter (uncached).
+
+Every attack replay, MAVR boot, and brute-force campaign in this
+reproduction runs through :meth:`AvrCpu.run`, so simulator throughput is
+the budget everything else spends.  This bench measures instructions/sec
+for both engines on two workloads:
+
+* ``firmware`` — the testapp autopilot control loop (the realistic mix of
+  loads/stores, calls and branches every experiment executes), and
+* ``hot_loop`` — a synthetic ALU+branch loop (peak benefit of revisiting
+  cached decodes).
+
+Results land in ``BENCH_cpu_throughput.json`` at the repo root so later
+PRs have a perf trajectory to compare against.  The predecoded engine
+must stay at least 3x faster than the reference interpreter — that floor
+is asserted here, not just documented.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_cpu_throughput.py -q -s
+Scale the budget with REPRO_BENCH_INSTRUCTIONS (default 200000, ~2 s total).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.avr import AvrCpu, Instruction, Mnemonic, encode_stream
+from repro.uav import Autopilot
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cpu_throughput.json"
+ENGINES = ("interpreter", "predecoded")
+WARMUP_INSTRUCTIONS = 20_000
+SPEEDUP_FLOOR = 3.0
+
+I = Instruction
+M = Mnemonic
+
+
+def _instruction_budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "200000"))
+
+
+def _hot_loop_cpu(engine: str) -> AvrCpu:
+    """A five-instruction ALU loop that never exits (peak revisit rate)."""
+    cpu = AvrCpu(engine=engine)
+    cpu.load_program(encode_stream([
+        I(M.LDI, rd=16, k=0),
+        I(M.LDI, rd=17, k=1),
+        I(M.ADD, rd=16, rr=17),
+        I(M.EOR, rd=18, rr=16),
+        I(M.INC, rd=19),
+        I(M.DEC, rd=20),
+        I(M.RJMP, k=-5),  # back to the add
+    ]))
+    cpu.reset()
+    return cpu
+
+
+def _firmware_cpu(testapp, engine: str) -> AvrCpu:
+    return Autopilot(testapp, engine=engine).cpu
+
+
+def _measure(cpu: AvrCpu, instructions: int) -> float:
+    cpu.run(WARMUP_INSTRUCTIONS)  # fill the decode cache / warm the pyc paths
+    start = time.perf_counter()
+    executed = cpu.run(instructions)
+    elapsed = time.perf_counter() - start
+    assert executed == instructions, "workload halted before spending its budget"
+    return executed / elapsed
+
+
+def test_engine_throughput(benchmark, testapp):
+    budget = _instruction_budget()
+    results = {
+        "instructions_per_engine": budget,
+        "workloads": {},
+        "speedup": {},
+    }
+    for workload, make_cpu in (
+        ("firmware", lambda engine: _firmware_cpu(testapp, engine)),
+        ("hot_loop", _hot_loop_cpu),
+    ):
+        rates = {}
+        for engine in ENGINES:
+            rates[engine] = _measure(make_cpu(engine), budget)
+        results["workloads"][workload] = {
+            engine: round(rate) for engine, rate in rates.items()
+        }
+        results["speedup"][workload] = round(
+            rates["predecoded"] / rates["interpreter"], 2
+        )
+
+    # pytest-benchmark row: the cached engine on the realistic workload
+    benchmark.pedantic(
+        lambda: _firmware_cpu(testapp, "predecoded").run(budget),
+        rounds=1, iterations=1,
+    )
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\n{'workload':<10} {'interpreter':>14} {'predecoded':>14} {'speedup':>8}")
+    for workload, rates in results["workloads"].items():
+        print(
+            f"{workload:<10} {rates['interpreter']:>12,}/s "
+            f"{rates['predecoded']:>12,}/s "
+            f"{results['speedup'][workload]:>7.2f}x"
+        )
+    print(f"results written to {RESULTS_PATH}")
+
+    for workload, speedup in results["speedup"].items():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"predecoded engine is only {speedup:.2f}x faster than the "
+            f"interpreter on {workload}; the floor is {SPEEDUP_FLOOR}x"
+        )

@@ -8,12 +8,16 @@ Public surface:
 * :class:`Instruction` / :class:`Mnemonic` plus :func:`encode` /
   :func:`decode` — the supported ISA subset.
 * :class:`Usart`, :class:`FeedLine` — peripherals used by the firmware.
+* The execution engines (``predecoded`` decode-cache engine, default, and
+  the ``interpreter`` reference) with the lockstep differential helpers
+  :func:`run_lockstep` / :class:`CpuStateStream`.
 """
 
 from .cpu import AvrCpu, RETURN_ADDRESS_BYTES
 from .decoder import decode, decode_at, disassemble_range, iter_instructions
 from .devices import EepromController, FeedLine, Usart
 from .encoder import encode, encode_bytes, encode_stream
+from .engine import DEFAULT_ENGINE, ENGINES, InterpreterEngine, PredecodedEngine
 from .insn import CONTROL_FLOW, TWO_WORD, Instruction, Mnemonic
 from .memory import (
     DATA_SPACE_SIZE,
@@ -27,11 +31,25 @@ from .memory import (
     FlashMemory,
 )
 from .sreg import StatusRegister
-from .trace import ExecutionTrace, StackSnapshot, snapshot_stack
+from .trace import (
+    CpuStateStream,
+    ExecutionTrace,
+    StackSnapshot,
+    diff_state_streams,
+    run_lockstep,
+    snapshot_stack,
+)
 
 __all__ = [
     "AvrCpu",
     "RETURN_ADDRESS_BYTES",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "InterpreterEngine",
+    "PredecodedEngine",
+    "CpuStateStream",
+    "diff_state_streams",
+    "run_lockstep",
     "decode",
     "decode_at",
     "disassemble_range",

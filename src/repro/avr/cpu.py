@@ -12,6 +12,14 @@ Models the ATmega2560 as the paper uses it:
 * Executing an undecodable word, or walking out of the programmed image,
   raises :class:`IllegalExecutionError` — the "executing garbage" failure
   the MAVR watchdog detects.
+
+Instruction semantics live in the dispatch table of
+:mod:`repro.avr.engine` (one handler per mnemonic).  The core runs on one
+of two interchangeable engines: the ``predecoded`` engine (default; decode
+cache keyed on the flash generation counter, tight ``run()`` loop) or the
+``interpreter`` reference engine (decode at PC every step).  Both retire
+instructions through an identical sequence — see docs/PERFORMANCE.md and
+the lockstep harness in :mod:`repro.avr.trace`.
 """
 
 from __future__ import annotations
@@ -19,44 +27,13 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..errors import CpuFault, DecodeError, IllegalExecutionError, MemoryAccessError
-from . import alu
 from .decoder import decode, needs_second_word
+from .engine import DEFAULT_ENGINE, Halt, create_engine
 from .insn import Instruction, Mnemonic
-from .iospace import SREG_IO
 from .memory import RAMEND, DataSpace, Eeprom, FlashMemory
-from .sreg import BIT_C, BIT_Z, StatusRegister
+from .sreg import StatusRegister
 
 RETURN_ADDRESS_BYTES = 3
-
-# Approximate cycle costs (datasheet values for the common cases).
-_CYCLES = {
-    Mnemonic.RJMP: 2,
-    Mnemonic.RCALL: 4,
-    Mnemonic.JMP: 3,
-    Mnemonic.CALL: 5,
-    Mnemonic.IJMP: 2,
-    Mnemonic.ICALL: 4,
-    Mnemonic.RET: 5,
-    Mnemonic.RETI: 5,
-    Mnemonic.PUSH: 2,
-    Mnemonic.POP: 2,
-    Mnemonic.LDS: 2,
-    Mnemonic.STS: 2,
-    Mnemonic.ADIW: 2,
-    Mnemonic.SBIW: 2,
-    Mnemonic.MOVW: 1,
-    Mnemonic.LPM_R0: 3,
-    Mnemonic.LPM: 3,
-    Mnemonic.LPM_INC: 3,
-    Mnemonic.MUL: 2,
-    Mnemonic.MULS: 2,
-    Mnemonic.MULSU: 2,
-}
-_LOAD_STORE_CYCLES = 2
-
-
-class Halt(Exception):
-    """Raised internally when the core executes ``break`` (clean stop)."""
 
 
 class AvrCpu:
@@ -66,6 +43,7 @@ class AvrCpu:
         self,
         flash: Optional[FlashMemory] = None,
         clock_hz: int = 16_000_000,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.flash = flash if flash is not None else FlashMemory()
         self.sreg = StatusRegister()
@@ -86,6 +64,11 @@ class AvrCpu:
         # Limit of the programmed image in bytes; executing beyond it is a
         # crash even if erased flash (0xFFFF) happened to decode.
         self.code_limit: Optional[int] = None
+        self.engine = create_engine(engine, self)
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
 
     # -- setup -----------------------------------------------------------
 
@@ -139,7 +122,7 @@ class AvrCpu:
     # -- execution -------------------------------------------------------
 
     def fetch(self) -> Instruction:
-        """Fetch and decode at PC without executing."""
+        """Fetch and decode at PC without executing (always uncached)."""
         byte_addr = self.pc * 2
         if self.code_limit is not None and byte_addr >= self.code_limit:
             raise IllegalExecutionError(
@@ -184,16 +167,16 @@ class AvrCpu:
             raise CpuFault("core is halted", self.pc_bytes, self.cycles)
         if self.pending_interrupts and self.sreg.i:
             self._service_interrupt()
-        insn = self.fetch()
+        handler, insn, size_words, base_cycles = self.engine.fetch_entry()
         pc_before = self.pc
-        self.pc += insn.size_words
+        self.pc += size_words
         try:
-            self._execute(insn)
+            handler(self, insn)
         except Halt:
             self.halted = True
         except MemoryAccessError as exc:
             raise CpuFault(str(exc), pc_before * 2, self.cycles) from exc
-        self.cycles += _CYCLES.get(insn.mnemonic, self._default_cycles(insn))
+        self.cycles += base_cycles
         self.instructions_retired += 1
         for hook in self.trace_hooks:
             hook(self, pc_before * 2, insn)
@@ -204,208 +187,13 @@ class AvrCpu:
 
         Returns the number of instructions retired in this call.  Crash
         conditions propagate as :class:`IllegalExecutionError`/
-        :class:`CpuFault` for the watchdog layer to interpret.
+        :class:`CpuFault` for the watchdog layer to interpret.  The work
+        happens in the active engine's ``run`` loop; behaviour is
+        engine-independent by construction (and by the lockstep tests).
         """
-        executed = 0
-        while not self.halted and executed < max_instructions:
-            self.step()
-            executed += 1
-        return executed
+        return self.engine.run(max_instructions)
 
-    @staticmethod
-    def _default_cycles(insn: Instruction) -> int:
-        name = insn.mnemonic.value
-        if name.startswith(("ld", "st")):
-            return _LOAD_STORE_CYCLES
-        return 1
-
-    # -- instruction semantics ------------------------------------------
-
-    def _execute(self, insn: Instruction) -> None:
-        m = insn.mnemonic
-        d = self.data
-        s = self.sreg
-
-        if m is Mnemonic.NOP or m is Mnemonic.WDR or m is Mnemonic.SLEEP:
-            return
-        if m is Mnemonic.BREAK:
-            raise Halt()
-
-        if m is Mnemonic.MUL:
-            self._multiply(d.read_reg(insn.rd), d.read_reg(insn.rr),
-                           signed_d=False, signed_r=False)
-        elif m is Mnemonic.MULS:
-            self._multiply(d.read_reg(insn.rd), d.read_reg(insn.rr),
-                           signed_d=True, signed_r=True)
-        elif m is Mnemonic.MULSU:
-            self._multiply(d.read_reg(insn.rd), d.read_reg(insn.rr),
-                           signed_d=True, signed_r=False)
-        elif m is Mnemonic.MOV:
-            d.write_reg(insn.rd, d.read_reg(insn.rr))
-        elif m is Mnemonic.MOVW:
-            d.write_reg_pair(insn.rd, d.read_reg_pair(insn.rr))
-        elif m is Mnemonic.LDI:
-            d.write_reg(insn.rd, insn.k)
-
-        elif m is Mnemonic.ADD:
-            d.write_reg(insn.rd, alu.add(s, d.read_reg(insn.rd), d.read_reg(insn.rr)))
-        elif m is Mnemonic.ADC:
-            d.write_reg(
-                insn.rd, alu.add(s, d.read_reg(insn.rd), d.read_reg(insn.rr), s.c)
-            )
-        elif m is Mnemonic.SUB:
-            d.write_reg(insn.rd, alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr)))
-        elif m is Mnemonic.SBC:
-            d.write_reg(
-                insn.rd,
-                alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr), s.c, keep_z=True),
-            )
-        elif m is Mnemonic.SUBI:
-            d.write_reg(insn.rd, alu.sub(s, d.read_reg(insn.rd), insn.k))
-        elif m is Mnemonic.SBCI:
-            d.write_reg(
-                insn.rd, alu.sub(s, d.read_reg(insn.rd), insn.k, s.c, keep_z=True)
-            )
-        elif m is Mnemonic.AND:
-            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) & d.read_reg(insn.rr)))
-        elif m is Mnemonic.ANDI:
-            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) & insn.k))
-        elif m is Mnemonic.OR:
-            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) | d.read_reg(insn.rr)))
-        elif m is Mnemonic.ORI:
-            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) | insn.k))
-        elif m is Mnemonic.EOR:
-            d.write_reg(insn.rd, alu.logic(s, d.read_reg(insn.rd) ^ d.read_reg(insn.rr)))
-
-        elif m is Mnemonic.COM:
-            d.write_reg(insn.rd, alu.com(s, d.read_reg(insn.rd)))
-        elif m is Mnemonic.NEG:
-            d.write_reg(insn.rd, alu.neg(s, d.read_reg(insn.rd)))
-        elif m is Mnemonic.INC:
-            d.write_reg(insn.rd, alu.inc(s, d.read_reg(insn.rd)))
-        elif m is Mnemonic.DEC:
-            d.write_reg(insn.rd, alu.dec(s, d.read_reg(insn.rd)))
-        elif m is Mnemonic.SWAP:
-            value = d.read_reg(insn.rd)
-            d.write_reg(insn.rd, ((value << 4) | (value >> 4)) & 0xFF)
-        elif m is Mnemonic.LSR:
-            d.write_reg(insn.rd, alu.lsr(s, d.read_reg(insn.rd)))
-        elif m is Mnemonic.ASR:
-            d.write_reg(insn.rd, alu.asr(s, d.read_reg(insn.rd)))
-        elif m is Mnemonic.ROR:
-            d.write_reg(insn.rd, alu.ror(s, d.read_reg(insn.rd)))
-
-        elif m is Mnemonic.ADIW:
-            d.write_reg_pair(insn.rd, alu.adiw(s, d.read_reg_pair(insn.rd), insn.k))
-        elif m is Mnemonic.SBIW:
-            d.write_reg_pair(insn.rd, alu.sbiw(s, d.read_reg_pair(insn.rd), insn.k))
-
-        elif m is Mnemonic.CP:
-            alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr))
-        elif m is Mnemonic.CPC:
-            alu.sub(s, d.read_reg(insn.rd), d.read_reg(insn.rr), s.c, keep_z=True)
-        elif m is Mnemonic.CPI:
-            alu.sub(s, d.read_reg(insn.rd), insn.k)
-        elif m is Mnemonic.CPSE:
-            if d.read_reg(insn.rd) == d.read_reg(insn.rr):
-                self._skip_next()
-
-        elif m is Mnemonic.BRBS:
-            if s.get_bit(insn.b):
-                self.pc += insn.k
-                self.cycles += 1
-        elif m is Mnemonic.BRBC:
-            if not s.get_bit(insn.b):
-                self.pc += insn.k
-                self.cycles += 1
-
-        elif m is Mnemonic.RJMP:
-            self.pc += insn.k
-        elif m is Mnemonic.RCALL:
-            self.push_return_address(self.pc)
-            self.pc += insn.k
-        elif m is Mnemonic.JMP:
-            self.pc = insn.k
-        elif m is Mnemonic.CALL:
-            self.push_return_address(self.pc)
-            self.pc = insn.k
-        elif m is Mnemonic.IJMP:
-            self.pc = d.read_reg_pair(30)
-        elif m is Mnemonic.ICALL:
-            self.push_return_address(self.pc)
-            self.pc = d.read_reg_pair(30)
-        elif m is Mnemonic.RET or m is Mnemonic.RETI:
-            self.pc = self.pop_return_address()
-            if m is Mnemonic.RETI:
-                s.i = True
-
-        elif m is Mnemonic.PUSH:
-            self.push_byte(d.read_reg(insn.rr))
-        elif m is Mnemonic.POP:
-            d.write_reg(insn.rd, self.pop_byte())
-
-        elif m is Mnemonic.IN:
-            d.write_reg(insn.rd, s.byte if insn.a == SREG_IO else d.read_io(insn.a))
-        elif m is Mnemonic.OUT:
-            value = d.read_reg(insn.rr)
-            if insn.a == SREG_IO:
-                s.byte = value
-            else:
-                d.write_io(insn.a, value)
-        elif m is Mnemonic.SBI:
-            d.write_io(insn.a, d.read_io(insn.a) | (1 << insn.b))
-        elif m is Mnemonic.CBI:
-            d.write_io(insn.a, d.read_io(insn.a) & ~(1 << insn.b))
-        elif m is Mnemonic.SBIC:
-            if not d.read_io(insn.a) & (1 << insn.b):
-                self._skip_next()
-        elif m is Mnemonic.SBIS:
-            if d.read_io(insn.a) & (1 << insn.b):
-                self._skip_next()
-        elif m is Mnemonic.SBRC:
-            if not d.read_reg(insn.rd) & (1 << insn.b):
-                self._skip_next()
-        elif m is Mnemonic.SBRS:
-            if d.read_reg(insn.rd) & (1 << insn.b):
-                self._skip_next()
-        elif m is Mnemonic.BST:
-            s.t = bool(d.read_reg(insn.rd) & (1 << insn.b))
-        elif m is Mnemonic.BLD:
-            value = d.read_reg(insn.rd)
-            if s.t:
-                value |= 1 << insn.b
-            else:
-                value &= ~(1 << insn.b)
-            d.write_reg(insn.rd, value)
-
-        elif m is Mnemonic.LDS:
-            d.write_reg(insn.rd, d.read(insn.k))
-        elif m is Mnemonic.STS:
-            d.write(insn.k, d.read_reg(insn.rr))
-
-        elif m in _LD_POINTER:
-            self._load_store(insn, load=True)
-        elif m in _ST_POINTER:
-            self._load_store(insn, load=False)
-
-        elif m is Mnemonic.LPM_R0:
-            d.write_reg(0, self.flash.read_byte(d.read_reg_pair(30)))
-        elif m is Mnemonic.LPM:
-            d.write_reg(insn.rd, self.flash.read_byte(d.read_reg_pair(30)))
-        elif m is Mnemonic.LPM_INC:
-            z = d.read_reg_pair(30)
-            d.write_reg(insn.rd, self.flash.read_byte(z))
-            d.write_reg_pair(30, (z + 1) & 0xFFFF)
-
-        elif m is Mnemonic.BSET:
-            s.set_bit(insn.b, True)
-        elif m is Mnemonic.BCLR:
-            s.set_bit(insn.b, False)
-
-        else:  # pragma: no cover - decoder and this table are kept in sync
-            raise CpuFault(
-                f"unimplemented mnemonic {m.value}", self.pc_bytes, self.cycles
-            )
+    # -- handler helpers (shared instruction semantics) -------------------
 
     def _multiply(self, a: int, b: int, signed_d: bool, signed_r: bool) -> None:
         """MUL family: 16-bit product into r1:r0; C = bit 15, Z on zero."""
@@ -463,10 +251,3 @@ _POINTER_MODES = {
     Mnemonic.STD_Y: (28, False, False, True),
     Mnemonic.STD_Z: (30, False, False, True),
 }
-
-_LD_POINTER = frozenset(
-    m for m in _POINTER_MODES if m.value.startswith(("ld", "ldd"))
-)
-_ST_POINTER = frozenset(
-    m for m in _POINTER_MODES if m.value.startswith(("st", "std"))
-)

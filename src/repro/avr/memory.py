@@ -43,11 +43,25 @@ WriteHook = Callable[[int, int], None]
 
 
 class FlashMemory:
-    """Program memory: byte-addressed storage executed as 16-bit words."""
+    """Program memory: byte-addressed storage executed as 16-bit words.
+
+    Every mutation path (bulk :meth:`load`, :meth:`erase`, bootloader
+    :meth:`write_page`) bumps :attr:`generation`.  The predecoded execution
+    engine keys its decode cache on this counter, so any reprogramming —
+    ISP streaming, a MAVR re-randomization reflash, a self-write — makes
+    previously cached decodes unreachable.  Nothing else may mutate
+    ``_bytes``; new write paths must go through these methods (or call
+    :meth:`invalidate` themselves) to preserve the invariant.
+    """
 
     def __init__(self, size: int = FLASH_SIZE) -> None:
         self.size = size
         self._bytes = bytearray(b"\xff" * size)  # erased flash reads 0xFF
+        self.generation = 0
+
+    def invalidate(self) -> None:
+        """Mark the contents as changed (decode caches must be dropped)."""
+        self.generation += 1
 
     def load(self, image: bytes, offset: int = 0) -> None:
         """Program ``image`` starting at byte ``offset``."""
@@ -56,11 +70,12 @@ class FlashMemory:
                 f"flash image of {len(image)} bytes does not fit at offset {offset}"
             )
         self._bytes[offset : offset + len(image)] = image
+        self.invalidate()
 
     def erase(self) -> None:
         """Return the whole array to the erased state."""
-        for i in range(self.size):
-            self._bytes[i] = 0xFF
+        self._bytes[:] = b"\xff" * self.size
+        self.invalidate()
 
     def read_byte(self, address: int) -> int:
         if not 0 <= address < self.size:
@@ -79,6 +94,17 @@ class FlashMemory:
     def write_page(self, address: int, data: bytes) -> None:
         """Bootloader-style page write (no erase modelling beyond overwrite)."""
         self.load(data, address)
+
+    def write_word(self, word_address: int, value: int) -> None:
+        """SPM-style single-word self-write (little-endian)."""
+        byte_addr = word_address * 2
+        if not 0 <= byte_addr + 1 < self.size:
+            raise MemoryAccessError(
+                f"flash word write out of range: word 0x{word_address:05x}"
+            )
+        self._bytes[byte_addr] = value & 0xFF
+        self._bytes[byte_addr + 1] = (value >> 8) & 0xFF
+        self.invalidate()
 
     def dump(self, start: int = 0, length: Optional[int] = None) -> bytes:
         if length is None:

@@ -1,8 +1,14 @@
-"""Execution and stack tracing utilities.
+"""Execution and stack tracing utilities, plus the lockstep harness.
 
 Used by tests (behavioural-equivalence checks between original and
 randomized firmware) and by the Fig. 6 reproduction, which snapshots the
 stack at each stage of the stealthy attack.
+
+The lockstep half (:class:`CpuStateStream`, :func:`diff_state_streams`,
+:func:`run_lockstep`) is the differential contract for the execution
+engines: the predecoded engine is only allowed to exist because these
+helpers can show, instruction by instruction, that its PC/SP/SREG/cycle
+stream is identical to the reference interpreter's.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..errors import AvrError, LockstepDivergenceError
 from .cpu import AvrCpu
 from .insn import Instruction, Mnemonic
 
@@ -81,3 +88,102 @@ class ExecutionTrace:
         for _pc, insn in self.instructions:
             counts[insn.mnemonic] = counts.get(insn.mnemonic, 0) + 1
         return counts
+
+
+# -- engine differential harness -----------------------------------------
+
+# One retired instruction's architecturally visible state:
+# (pc of the retired insn in bytes, SP, SREG byte, cumulative cycles).
+RetiredState = Tuple[int, int, int, int]
+
+
+@dataclass
+class CpuStateStream:
+    """Records the architectural state after every retired instruction.
+
+    Attach one to each of two cores running the *same scenario* on
+    *different engines*, then :func:`diff_state_streams` the results: any
+    divergence in PC, SP, SREG or cycle accounting shows up at the exact
+    instruction where the engines parted ways.
+    """
+
+    states: List[RetiredState] = field(default_factory=list)
+    max_states: int = 5_000_000
+
+    def attach(self, cpu: AvrCpu) -> "CpuStateStream":
+        cpu.trace_hooks.append(self._on_retire)
+        return self
+
+    def _on_retire(self, cpu: AvrCpu, pc_bytes: int, insn: Instruction) -> None:
+        if len(self.states) < self.max_states:
+            self.states.append((pc_bytes, cpu.data.sp, cpu.sreg.byte, cpu.cycles))
+
+
+def diff_state_streams(
+    reference: CpuStateStream, subject: CpuStateStream
+) -> Optional[str]:
+    """First divergence between two recorded streams, or ``None`` if equal."""
+    a, b = reference.states, subject.states
+    for index, (ra, rb) in enumerate(zip(a, b)):
+        if ra != rb:
+            return (
+                f"step {index}: reference (pc, sp, sreg, cycles)={ra} "
+                f"!= subject {rb}"
+            )
+    if len(a) != len(b):
+        return f"stream lengths differ: reference {len(a)} != subject {len(b)}"
+    return None
+
+
+def run_lockstep(
+    reference: AvrCpu, subject: AvrCpu, max_instructions: int = 1_000_000
+) -> int:
+    """Step two cores in tandem, asserting identical state after each retire.
+
+    Both cores must be loaded with the same image and reset identically;
+    they normally differ only in execution engine.  Crashes count as
+    agreement when both cores raise the same error type with the same
+    message.  Returns the number of instructions retired by each core.
+    Raises :class:`~repro.errors.LockstepDivergenceError` on the first
+    mismatch.
+    """
+    executed = 0
+    while executed < max_instructions and not (reference.halted or subject.halted):
+        ref_error = sub_error = None
+        try:
+            reference.step()
+        except AvrError as exc:
+            ref_error = exc
+        try:
+            subject.step()
+        except AvrError as exc:
+            sub_error = exc
+        if (ref_error is None) != (sub_error is None) or (
+            ref_error is not None
+            and (type(ref_error), str(ref_error))
+            != (type(sub_error), str(sub_error))
+        ):
+            raise LockstepDivergenceError(
+                f"step {executed}: reference raised {ref_error!r}, "
+                f"subject raised {sub_error!r}"
+            )
+        if ref_error is not None:
+            return executed
+        executed += 1
+        mismatches = [
+            f"{name}: {ref_value} != {sub_value}"
+            for name, ref_value, sub_value in (
+                ("pc", reference.pc, subject.pc),
+                ("sp", reference.data.sp, subject.data.sp),
+                ("sreg", reference.sreg.byte, subject.sreg.byte),
+                ("cycles", reference.cycles, subject.cycles),
+                ("halted", reference.halted, subject.halted),
+            )
+            if ref_value != sub_value
+        ]
+        if mismatches:
+            raise LockstepDivergenceError(
+                f"step {executed - 1} ({reference.engine_name} vs "
+                f"{subject.engine_name}): " + "; ".join(mismatches)
+            )
+    return executed

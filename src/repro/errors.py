@@ -52,6 +52,14 @@ class CpuFault(AvrError):
         super().__init__(f"{message} (pc=0x{pc:05x}, cycle={cycles})")
 
 
+class LockstepDivergenceError(AvrError):
+    """Two execution engines disagreed on architectural state.
+
+    Raised by the differential harness in :mod:`repro.avr.trace`; if this
+    ever fires outside a test, an engine optimisation broke the
+    bit-for-bit equivalence contract (docs/PERFORMANCE.md)."""
+
+
 class AsmError(ReproError):
     """Base class for assembler / linker errors."""
 

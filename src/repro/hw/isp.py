@@ -28,6 +28,9 @@ class ProgrammingStats:
     bytes_programmed: int = 0
     total_programming_ms: float = 0.0
     last_programming_ms: float = 0.0
+    # Flash generation after the most recent programming pass; the CPU's
+    # predecoded engine invalidates its decode cache when this moves.
+    last_flash_generation: int = 0
 
 
 class IspProgrammer:
@@ -59,9 +62,13 @@ class IspProgrammer:
             raise HardwareError(
                 f"image of {len(image)} bytes exceeds flash size {flash.size}"
             )
+        # Both the erase and each page write bump ``flash.generation``, so
+        # any decode cache built against the previous image is dead the
+        # moment programming starts — never only when it finishes.
         flash.erase()
         for offset in range(0, len(image), FLASH_PAGE_SIZE):
             flash.write_page(offset, image[offset : offset + FLASH_PAGE_SIZE])
+        self.stats.last_flash_generation = flash.generation
         elapsed = BOOTLOADER_ENTRY_MS + self.link.programming_ms(len(image))
         self.clock.advance_ms(elapsed)
         self.stats.programming_cycles += 1

@@ -20,6 +20,7 @@ from typing import Optional
 
 from ..avr.cpu import AvrCpu
 from ..avr.devices import EepromController, FeedLine, Usart
+from ..avr.engine import DEFAULT_ENGINE
 from ..binfmt.image import FirmwareImage
 from ..binfmt.symtab import DATA_SPACE_FLAG
 from ..errors import AvrError
@@ -51,10 +52,14 @@ class Autopilot:
         image: FirmwareImage,
         sensor_state: Optional[SensorState] = None,
         instructions_per_tick: int = 4000,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.image = image
         self.instructions_per_tick = instructions_per_tick
-        self.cpu = AvrCpu()
+        # ``engine`` selects the CPU execution engine; the default
+        # predecoded engine makes large attack/defense sweeps fast, the
+        # "interpreter" reference exists for differential testing.
+        self.cpu = AvrCpu(engine=engine)
         self.usart = Usart(self.cpu)
         self.feed = FeedLine(self.cpu)
         self.eeprom_ctl = EepromController(self.cpu)
@@ -74,7 +79,13 @@ class Autopilot:
     # -- lifecycle --------------------------------------------------------
 
     def reflash(self, image: FirmwareImage) -> None:
-        """Program a new image and reset (what the MAVR master does)."""
+        """Program a new image and reset (what the MAVR master does).
+
+        Both the erase and the load bump the flash generation counter, so
+        the CPU's predecoded engine can never execute decodes cached from
+        the pre-randomization image (the stale-decode regression test
+        pins this down).
+        """
         self.image = image
         self.cpu.flash.erase()
         self.cpu.load_program(image.code)

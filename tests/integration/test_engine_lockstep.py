@@ -1,0 +1,122 @@
+"""Differential tests: predecoded engine vs reference interpreter on the
+paper's real scenarios.
+
+These are the acceptance gates of the execution-engine PR: the V2 stealthy
+attack and a full MAVR re-randomization boot must produce bit-for-bit
+identical PC/SP/SREG/cycle streams on both engines, trace hooks must fire
+with identical ``(pc, insn)`` sequences, and after the master detects a
+crash and re-randomizes, the next ``run()`` must execute the *new* image
+(the stale-decode regression).
+"""
+
+import random
+
+import pytest
+
+from repro.attack import BasicAttack, StealthyAttack
+from repro.avr import CpuStateStream, ExecutionTrace, diff_state_streams
+from repro.avr.decoder import decode_at
+from repro.core.master import MasterProcessor
+from repro.core.preprocess import preprocess
+from repro.firmware import build_testapp
+from repro.uav import Autopilot, AutopilotStatus
+
+ENGINES = ("interpreter", "predecoded")
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_testapp()
+
+
+def test_v2_stealthy_attack_lockstep(image):
+    """The paper's core scenario retires identically on both engines."""
+    streams = {}
+    outcomes = {}
+    for engine in ENGINES:
+        uav = Autopilot(image, engine=engine)
+        streams[engine] = CpuStateStream().attach(uav.cpu)
+        outcomes[engine] = StealthyAttack(image).execute(uav, values=b"\x40\x00\x00")
+    for engine in ENGINES:
+        assert outcomes[engine].succeeded and outcomes[engine].stealthy
+    divergence = diff_state_streams(streams["interpreter"], streams["predecoded"])
+    assert divergence is None, divergence
+    assert len(streams["predecoded"].states) > 10_000  # a real workload ran
+
+
+def test_mavr_rerandomization_boot_lockstep(image):
+    """Boot-time randomization + protected flight, engine-independent."""
+    streams = {}
+    for engine in ENGINES:
+        uav = Autopilot(image, engine=engine)
+        master = MasterProcessor(uav, rng=random.Random(2015))
+        master.deploy(preprocess(image))
+        master.boot(attack_detected=True)  # force a fresh permutation
+        assert master.stats.randomizations == 1
+        streams[engine] = CpuStateStream().attach(uav.cpu)
+        master.run(ticks=40)
+        assert uav.status is AutopilotStatus.RUNNING
+    divergence = diff_state_streams(streams["interpreter"], streams["predecoded"])
+    assert divergence is None, divergence
+    assert len(streams["predecoded"].states) > 10_000
+
+
+def test_trace_hook_parity_stealthy_scenario(image):
+    """trace_hooks fire with identical (pc, insn) sequences in cached and
+    uncached modes across the stealthy_attack_demo scenario."""
+    traces = {}
+    for engine in ENGINES:
+        uav = Autopilot(image, engine=engine)
+        trace = ExecutionTrace()
+        trace.attach(uav.cpu)
+        StealthyAttack(image).execute(uav, values=b"\x40\x00\x00")
+        traces[engine] = trace
+    a, b = traces["interpreter"], traces["predecoded"]
+    assert len(a.instructions) == len(b.instructions)
+    assert a.instructions == b.instructions
+    assert a.io_writes == b.io_writes
+
+
+def test_no_stale_decodes_after_crash_rerandomization(image):
+    """After the master detects a crash and re-randomizes, every retired
+    instruction must decode from the *new* image's bytes."""
+    uav = Autopilot(image, engine="predecoded")
+    master = MasterProcessor(uav, rng=random.Random(7))
+    master.deploy(preprocess(image))
+    master.boot(attack_detected=True)
+    first_image = master.current_image
+    uav.run_ticks(5)  # fill the decode cache with first-image decodes
+    generation_before = uav.cpu.flash.generation
+
+    # V1 smashes the stack and the board walks into garbage.
+    BasicAttack(image).execute(uav, values=b"\x11\x22\x33")
+    assert uav.status is AutopilotStatus.CRASHED
+    assert master.watch()  # detected -> reset + re-randomize
+    second_image = master.current_image
+    assert second_image.code != first_image.code
+    assert uav.cpu.flash.generation > generation_before
+
+    # Every instruction retired from now on must match a fresh decode of
+    # the new image at the same address — a stale cache entry from the
+    # first image would differ at the first permuted block.
+    checked = []
+
+    def assert_current_image(cpu, pc_bytes, insn):
+        expected, _size = decode_at(second_image.code, pc_bytes)
+        assert insn == expected, (
+            f"stale decode at 0x{pc_bytes:05x}: executed {insn}, "
+            f"image holds {expected}"
+        )
+        checked.append(pc_bytes)
+
+    uav.cpu.trace_hooks.append(assert_current_image)
+    uav.run_ticks(5)
+    assert uav.status is AutopilotStatus.RUNNING
+    assert len(checked) > 5_000
+    # and the new layout genuinely moved code: some addresses now hold
+    # different instructions than the first image did
+    moved = sum(
+        1 for pc in set(checked)
+        if decode_at(first_image.code, pc)[0] != decode_at(second_image.code, pc)[0]
+    )
+    assert moved > 0
