@@ -77,6 +77,20 @@ class FlashMemory:
         self._bytes[:] = b"\xff" * self.size
         self.invalidate()
 
+    def erase_page(self, address: int, length: int) -> None:
+        """Page-granular erase (bootloader SPM page-erase semantics).
+
+        The differential reflash path erases only the pages it is about
+        to rewrite, leaving the rest of the array — and its wear —
+        untouched.
+        """
+        if address < 0 or length < 0 or address + length > self.size:
+            raise MemoryAccessError(
+                f"page erase out of range: 0x{address:06x}+{length}"
+            )
+        self._bytes[address : address + length] = b"\xff" * length
+        self.invalidate()
+
     def read_byte(self, address: int) -> int:
         if not 0 <= address < self.size:
             raise MemoryAccessError(f"flash byte read out of range: 0x{address:06x}")

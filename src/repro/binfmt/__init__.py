@@ -10,9 +10,13 @@ from .ihex import (
     encode_with_symbols,
 )
 from .image import FirmwareImage
+from .relocindex import PatchSite, RelocationIndex, build_relocation_index
 from .symtab import Symbol, SymbolKind, SymbolTable
 
 __all__ = [
+    "PatchSite",
+    "RelocationIndex",
+    "build_relocation_index",
     "MiniElf",
     "Section",
     "PointerCandidate",

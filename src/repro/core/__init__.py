@@ -8,8 +8,18 @@ from .padding import (
     padded_entropy_bits,
     randomize_image_padded,
 )
-from .patching import patch_image, randomize_image, verify_patched
-from .policy import EVERY_BOOT, EVERY_TENTH_BOOT, RandomizationPolicy
+from .patching import (
+    patch_image,
+    patch_image_indexed,
+    randomize_image,
+    verify_patched,
+)
+from .policy import (
+    EVERY_BOOT,
+    EVERY_TENTH_BOOT,
+    RandomizationPolicy,
+    page_wear_fraction,
+)
 from .preprocess import (
     PreprocessReport,
     check_randomizable,
@@ -40,11 +50,13 @@ __all__ = [
     "MavrReport",
     "MavrSystem",
     "patch_image",
+    "patch_image_indexed",
     "randomize_image",
     "verify_patched",
     "EVERY_BOOT",
     "EVERY_TENTH_BOOT",
     "RandomizationPolicy",
+    "page_wear_fraction",
     "PreprocessReport",
     "check_randomizable",
     "load_preprocessed",

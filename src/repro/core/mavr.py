@@ -35,6 +35,10 @@ class MavrReport:
     flash_cycles_remaining: int
     last_startup_overhead_ms: float
     cost: dict
+    # differential-reflash pricing of the most recent programming pass
+    last_pages_written: int = 0
+    last_pages_skipped: int = 0
+    last_bytes_on_wire: int = 0
 
 
 class MavrSystem:
@@ -92,4 +96,7 @@ class MavrSystem:
             flash_cycles_remaining=self.master.isp.remaining_cycles,
             last_startup_overhead_ms=stats.last_startup_overhead_ms,
             cost=self.cost.report(),
+            last_pages_written=stats.last_pages_written,
+            last_pages_skipped=stats.last_pages_skipped,
+            last_bytes_on_wire=stats.last_bytes_on_wire,
         )

@@ -28,6 +28,7 @@ from ..avr.decoder import decode_at
 from ..avr.encoder import encode_bytes
 from ..avr.insn import Instruction, Mnemonic
 from ..binfmt.image import FirmwareImage
+from ..binfmt.relocindex import RelocationIndex
 from ..errors import DecodeError, PatchError
 from .randomize import Permutation, generate_permutation, shuffled_symbol_table
 
@@ -39,11 +40,23 @@ _ABSOLUTE = {M.CALL, M.JMP}
 
 
 def randomize_image(
-    image: FirmwareImage, rng: Optional[random.Random] = None
+    image: FirmwareImage,
+    rng: Optional[random.Random] = None,
+    use_index: bool = True,
 ) -> Tuple[FirmwareImage, Permutation]:
-    """Shuffle + patch: the master processor's whole software job."""
+    """Shuffle + patch: the master processor's whole software job.
+
+    When the image carries a valid relocation index (built once by the
+    preprocessor) the patch step is the decode-free indexed fixup;
+    otherwise it falls back to the legacy streaming patcher.  Both paths
+    produce byte-identical output for the same permutation.
+    """
     permutation = generate_permutation(image, rng)
-    new_code = patch_image(image, permutation)
+    index = image.reloc_index if use_index else None
+    if index is not None and index.matches(image):
+        new_code = patch_image_indexed(image, permutation, index)
+    else:
+        new_code = patch_image(image, permutation)
     new_symbols = shuffled_symbol_table(image, permutation)
     randomized = image.with_code(
         new_code, symbols=new_symbols, toolchain_tag=image.toolchain_tag
@@ -73,9 +86,97 @@ def patch_image(image: FirmwareImage, permutation: Permutation) -> bytes:
             move.old_address, move.new_address, move.size,
         )
 
-    # rewrite function pointers embedded in the data section.  Slots that
-    # point into the fixed region (trampoline stubs) stay as they are —
-    # the stubs' jmps were already retargeted by the fixed-region sweep.
+    _patch_funcptrs(image, permutation, new_code)
+    return bytes(new_code)
+
+
+def patch_image_indexed(
+    image: FirmwareImage,
+    permutation: Permutation,
+    index: Optional[RelocationIndex] = None,
+) -> bytes:
+    """Decode-free fixup pass: O(moves + patch-sites) instead of a full
+    instruction-stream decode.
+
+    The index was built from ``image``'s exact bytes (the preprocessor's
+    one-time sweep); applying it is block copies plus direct operand
+    rewrites at the recorded sites.  Output is byte-identical to
+    :func:`patch_image` for the same permutation — the differential test
+    suite pins this down across seeds and manifests.
+    """
+    index = index if index is not None else image.reloc_index
+    if index is None:
+        raise PatchError("image carries no relocation index")
+    if not index.matches(image):
+        raise PatchError(
+            "relocation index is stale (code bytes or text bounds changed)"
+        )
+    new_code = bytearray(image.code)
+    for move in permutation.moves:
+        block = image.code[move.old_address : move.old_address + move.size]
+        new_code[move.new_address : move.new_address + move.size] = block
+
+    fixed_end = min(image.text_start, image.data_start)
+    remap = permutation.new_address_of
+
+    def site_position(offset: int) -> int:
+        # the fixed region never moves; everything else sits in a block
+        if offset < fixed_end:
+            return offset
+        moved = remap(offset)
+        if moved is None:
+            raise PatchError(
+                f"indexed site 0x{offset:05x} is outside every function block"
+            )
+        return moved
+
+    for site in index.absolute_sites:
+        new_target = remap(site.target)
+        if new_target is None:
+            raise PatchError(
+                f"{site.mnemonic.value} at 0x{site.offset:05x} targets "
+                f"0x{site.target:05x}, which is inside .text but outside "
+                "every function block"
+            )
+        new_offset = site_position(site.offset)
+        patched = Instruction(site.mnemonic, k=new_target // 2)
+        new_code[new_offset : new_offset + 4] = encode_bytes(patched)
+
+    for site in index.relative_sites:
+        new_offset = site_position(site.offset)
+        if image.text_start <= site.target < image.text_end:
+            new_target = remap(site.target)
+            if new_target is None:
+                raise PatchError(
+                    f"{site.mnemonic.value} at 0x{site.offset:05x} escapes "
+                    "its block into unmapped .text"
+                )
+        else:
+            new_target = site.target  # fixed region does not move
+        displacement = (new_target - (new_offset + 2)) // 2
+        if not -2048 <= displacement <= 2047:
+            raise PatchError(
+                f"relaxed {site.mnemonic.value} at 0x{site.offset:05x} cannot "
+                f"reach 0x{new_target:05x} after randomization "
+                "(image must be built with --no-relax)"
+            )
+        patched = Instruction(site.mnemonic, k=displacement)
+        new_code[new_offset : new_offset + 2] = encode_bytes(patched)
+
+    _patch_funcptrs(image, permutation, new_code)
+    return bytes(new_code)
+
+
+def _patch_funcptrs(
+    image: FirmwareImage, permutation: Permutation, new_code: bytearray
+) -> None:
+    """Rewrite function pointers embedded in the data section.
+
+    Slots that point into the fixed region (trampoline stubs) stay as
+    they are — the stubs' jmps were already retargeted by the fixed-region
+    sweep.  Shared by the streaming and indexed patchers so their pointer
+    handling cannot drift apart.
+    """
     fixed_limit = min(image.text_start, image.data_start)
     for location in image.funcptr_locations:
         old_word = image.code[location] | (image.code[location + 1] << 8)
@@ -96,8 +197,6 @@ def patch_image(image: FirmwareImage, permutation: Permutation) -> bytes:
             )
         new_code[location] = new_word & 0xFF
         new_code[location + 1] = (new_word >> 8) & 0xFF
-
-    return bytes(new_code)
 
 
 def _patch_segment(

@@ -36,19 +36,51 @@ class RandomizationPolicy:
 
     # -- lifetime arithmetic (the §V-C tradeoff, used by the ablation bench)
 
-    def flash_lifetime_boots(self, endurance: int = FLASH_ENDURANCE_CYCLES) -> int:
-        """Boots until the endurance budget is exhausted (no attacks)."""
-        return endurance * self.randomize_every_boots
+    def flash_lifetime_boots(
+        self,
+        endurance: int = FLASH_ENDURANCE_CYCLES,
+        wear_per_randomization: float = 1.0,
+    ) -> int:
+        """Boots until the endurance budget is exhausted (no attacks).
+
+        ``wear_per_randomization`` prices one re-randomization in write
+        cycles.  The classic model charges a full cycle (1.0); with the
+        differential reflash the hottest page bounds the wear, so the
+        per-randomization cost shrinks to the fraction of pages actually
+        rewritten — see :func:`page_wear_fraction`.
+        """
+        if wear_per_randomization <= 0:
+            raise ValueError("wear_per_randomization must be positive")
+        return int(endurance / wear_per_randomization) * self.randomize_every_boots
 
     def flash_lifetime_days(
         self,
         boots_per_day: float,
         endurance: int = FLASH_ENDURANCE_CYCLES,
+        wear_per_randomization: float = 1.0,
     ) -> float:
         """Calendar lifetime under a given boot rate."""
         if boots_per_day <= 0:
             raise ValueError("boots_per_day must be positive")
-        return self.flash_lifetime_boots(endurance) / boots_per_day
+        return (
+            self.flash_lifetime_boots(endurance, wear_per_randomization)
+            / boots_per_day
+        )
+
+
+def page_wear_fraction(pages_written: int, pages_skipped: int) -> float:
+    """Wear cost of one differential reflash, in full-cycle units.
+
+    Flash endurance is physically per page; a pass that rewrites only a
+    fraction of the pages ages the array by at most that fraction (the
+    conservative per-pass accounting in :class:`~repro.hw.isp.
+    IspProgrammer` still charges a full cycle — this is the honest price
+    the ablation compares against).
+    """
+    total = pages_written + pages_skipped
+    if total <= 0:
+        return 1.0
+    return pages_written / total
 
 
 EVERY_BOOT = RandomizationPolicy(1)

@@ -5,12 +5,32 @@ streams the randomized binary page by page, and issues a final reset to
 start the program.  Every reprogramming costs one write cycle of the
 ATmega2560's embedded flash, which is rated for 10,000 cycles — the budget
 that drives the randomization-frequency policy (§V-C).
+
+Differential reflash
+--------------------
+
+A re-randomization rewrites only the bytes the shuffle actually moved or
+retargeted: the fixed vectors+init region, unmoved data pages, and blocks
+that happen to land on their old address are byte-identical to what the
+chip already holds.  The programmer keeps a per-page digest of the last
+image it wrote; when the flash provably still holds that image (same chip
+object, same :attr:`FlashMemory.generation`, same length), only changed
+pages are transferred and written — page-granular erase included — and
+:class:`ProgrammingStats` prices the pass in pages and wire bytes so the
+policy layer can reason about wear per page rather than per full image.
+
+The invariant that makes skipping safe: *a skipped page is byte-identical
+by digest to the page already in flash*, so the post-pass flash contents
+equal a full reprogram byte for byte.  Any foreign write to the flash
+(an SPM self-write, a debugger load) bumps ``generation`` and forces the
+next pass back to a full reprogram.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..errors import FlashWearError, HardwareError
 from .clock import SimClock
@@ -29,8 +49,28 @@ class ProgrammingStats:
     total_programming_ms: float = 0.0
     last_programming_ms: float = 0.0
     # Flash generation after the most recent programming pass; the CPU's
-    # predecoded engine invalidates its decode cache when this moves.
+    # predecoded engine invalidates its decode cache when this moves, and
+    # the differential path uses it to prove the chip still holds the
+    # image the page digests describe.
     last_flash_generation: int = 0
+    # page-granular pricing (differential reflash)
+    pages_written: int = 0
+    pages_skipped: int = 0
+    bytes_on_wire: int = 0
+    differential_passes: int = 0
+    last_pages_written: int = 0
+    last_pages_skipped: int = 0
+    last_bytes_on_wire: int = 0
+
+
+def _page_digests(image: bytes) -> List[bytes]:
+    """One 8-byte BLAKE2b digest per flash page of ``image``."""
+    return [
+        hashlib.blake2b(
+            image[offset : offset + FLASH_PAGE_SIZE], digest_size=8
+        ).digest()
+        for offset in range(0, len(image), FLASH_PAGE_SIZE)
+    ]
 
 
 class IspProgrammer:
@@ -46,36 +86,128 @@ class IspProgrammer:
         self.clock = clock if clock is not None else SimClock()
         self.endurance = endurance
         self.stats = ProgrammingStats()
+        self._last_flash = None
+        self._last_digests: Optional[List[bytes]] = None
+        self._last_image_len = 0
 
-    def program(self, flash, image: bytes) -> float:
+    def program(self, flash, image: bytes, force_full: bool = False) -> float:
         """Write ``image`` into ``flash`` (an :class:`~repro.avr.FlashMemory`).
 
         Returns the elapsed milliseconds and advances the clock.  Raises
         :class:`FlashWearError` once the endurance budget is exhausted.
+        Automatically programs differentially when the chip provably
+        still holds the previous image and the page diff is cheaper than
+        a full transfer; ``force_full=True`` disables the fast path.
         """
+        # size before wear: an oversized image is a build problem and must
+        # be reported as such even on an exhausted chip
+        if len(image) > flash.size:
+            raise HardwareError(
+                f"image of {len(image)} bytes exceeds flash size {flash.size}"
+            )
         if self.stats.programming_cycles >= self.endurance:
             raise FlashWearError(
                 f"application flash exhausted: {self.stats.programming_cycles} "
                 f"of {self.endurance} write cycles used"
             )
-        if len(image) > flash.size:
-            raise HardwareError(
-                f"image of {len(image)} bytes exceeds flash size {flash.size}"
+        digests = _page_digests(image)
+        changed = self._changed_pages(flash, image, digests, force_full)
+        if changed is None:
+            elapsed, wire, written, skipped = self._program_full(flash, image)
+            differential = False
+        else:
+            elapsed, wire, written, skipped = self._program_differential(
+                flash, image, changed
             )
+            differential = True
         # Both the erase and each page write bump ``flash.generation``, so
         # any decode cache built against the previous image is dead the
         # moment programming starts — never only when it finishes.
-        flash.erase()
-        for offset in range(0, len(image), FLASH_PAGE_SIZE):
-            flash.write_page(offset, image[offset : offset + FLASH_PAGE_SIZE])
         self.stats.last_flash_generation = flash.generation
-        elapsed = BOOTLOADER_ENTRY_MS + self.link.programming_ms(len(image))
+        self._last_flash = flash
+        self._last_digests = digests
+        self._last_image_len = len(image)
         self.clock.advance_ms(elapsed)
         self.stats.programming_cycles += 1
         self.stats.bytes_programmed += len(image)
         self.stats.total_programming_ms += elapsed
         self.stats.last_programming_ms = elapsed
+        self.stats.pages_written += written
+        self.stats.pages_skipped += skipped
+        self.stats.bytes_on_wire += wire
+        self.stats.last_pages_written = written
+        self.stats.last_pages_skipped = skipped
+        self.stats.last_bytes_on_wire = wire
+        if differential:
+            self.stats.differential_passes += 1
         return elapsed
+
+    # -- the two programming strategies ---------------------------------
+
+    def _changed_pages(
+        self, flash, image: bytes, digests: List[bytes], force_full: bool
+    ) -> Optional[List[int]]:
+        """Page indices to rewrite, or ``None`` when a full pass is needed.
+
+        The diff is only trusted when the chip still holds exactly the
+        image described by the stored digests: same flash object, no
+        generation movement since our last pass (foreign writes — SPM
+        self-writes, debugger loads — bump it), and an unchanged image
+        length (a length change would leave stale pages beyond the new
+        end).  Even then, a diff that would cost more wire bytes than the
+        sequential stream falls back to the full pass.
+        """
+        if (
+            force_full
+            or self._last_digests is None
+            or self._last_flash is not flash
+            or flash.generation != self.stats.last_flash_generation
+            or self._last_image_len != len(image)
+        ):
+            return None
+        changed = [
+            index
+            for index, digest in enumerate(digests)
+            if digest != self._last_digests[index]
+        ]
+        payload = sum(
+            len(image[index * FLASH_PAGE_SIZE : (index + 1) * FLASH_PAGE_SIZE])
+            for index in changed
+        )
+        if self.link.differential_wire_bytes(payload, len(changed)) >= len(image):
+            return None  # diff would not beat the sequential stream
+        return changed
+
+    def _program_full(self, flash, image: bytes):
+        flash.erase()
+        for offset in range(0, len(image), FLASH_PAGE_SIZE):
+            flash.write_page(offset, image[offset : offset + FLASH_PAGE_SIZE])
+        pages = (len(image) + FLASH_PAGE_SIZE - 1) // FLASH_PAGE_SIZE
+        elapsed = BOOTLOADER_ENTRY_MS + self.link.programming_ms(len(image))
+        return elapsed, len(image), pages, 0
+
+    def _program_differential(self, flash, image: bytes, changed: List[int]):
+        payload = 0
+        for index in changed:
+            start = index * FLASH_PAGE_SIZE
+            page = image[start : start + FLASH_PAGE_SIZE]
+            flash.erase_page(start, len(page))
+            flash.write_page(start, page)
+            payload += len(page)
+        total_pages = (len(image) + FLASH_PAGE_SIZE - 1) // FLASH_PAGE_SIZE
+        wire = self.link.differential_wire_bytes(payload, len(changed))
+        elapsed = BOOTLOADER_ENTRY_MS + self.link.differential_programming_ms(
+            payload, len(changed)
+        )
+        return elapsed, wire, len(changed), total_pages - len(changed)
+
+    # -- reporting -------------------------------------------------------
+
+    def estimate_full_ms(self, n_bytes: int) -> float:
+        """Timing-model dry run of a full reprogram: no flash writes, no
+        wear, no clock movement — what :meth:`MasterProcessor.
+        startup_overhead_ms` reports without burning a cycle."""
+        return BOOTLOADER_ENTRY_MS + self.link.programming_ms(n_bytes)
 
     @property
     def remaining_cycles(self) -> int:

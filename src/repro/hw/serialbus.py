@@ -26,6 +26,11 @@ PROTOTYPE_BAUD = 115_200
 FLASH_PAGE_SIZE = 256
 FLASH_PAGE_WRITE_MS = 4.5
 
+# A differential reflash addresses pages individually, so each page write
+# command carries framing the full sequential stream does not need: a
+# 3-byte load-address command plus a 1-byte write strobe (stk500v2-style).
+PAGE_COMMAND_OVERHEAD_BYTES = 4
+
 
 @dataclass(frozen=True)
 class ProgrammingLink:
@@ -59,6 +64,29 @@ class ProgrammingLink:
         """
         transfer = self.transfer_ms(n_bytes)
         writes = self.flash_write_ms(n_bytes)
+        if self.overlap_flash_writes:
+            return max(transfer, writes)
+        return transfer + writes
+
+    # -- differential (page-addressed) reprogramming --------------------
+
+    def differential_wire_bytes(self, page_payload_bytes: int, pages: int) -> int:
+        """Bytes on the wire to send ``pages`` individually addressed pages."""
+        return page_payload_bytes + pages * PAGE_COMMAND_OVERHEAD_BYTES
+
+    def differential_programming_ms(
+        self, page_payload_bytes: int, pages: int
+    ) -> float:
+        """Reprogramming time when only ``pages`` changed pages are sent.
+
+        Same overlap model as :meth:`programming_ms`: each page is erased
+        and rewritten while the next one streams in, so the wall time is
+        the larger of the wire time and the page-write time.
+        """
+        transfer = self.transfer_ms(
+            self.differential_wire_bytes(page_payload_bytes, pages)
+        )
+        writes = pages * FLASH_PAGE_WRITE_MS
         if self.overlap_flash_writes:
             return max(transfer, writes)
         return transfer + writes

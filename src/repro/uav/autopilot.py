@@ -94,6 +94,23 @@ class Autopilot:
         self.status = AutopilotStatus.RUNNING
         self.crash = None
 
+    def adopt_image(self, image: FirmwareImage) -> None:
+        """Reset onto an image the ISP link already programmed into flash.
+
+        The MAVR master streams the randomized binary straight into
+        ``cpu.flash`` through :class:`~repro.hw.isp.IspProgrammer` (which
+        may have written only the changed pages); this just updates the
+        host-side view and pulses reset.  Erasing + reloading here would
+        destroy the differential programmer's page accounting — use
+        :meth:`reflash` only when bypassing the ISP path entirely.
+        """
+        self.image = image
+        self.cpu.code_limit = len(image.code)  # what load_program would set
+        self.cpu.reset()
+        self.feed.clear()
+        self.status = AutopilotStatus.RUNNING
+        self.crash = None
+
     def reset(self) -> None:
         """Pulse the reset line without reprogramming."""
         self.cpu.reset()

@@ -73,6 +73,45 @@ def test_watchdog_silence_detection_via_master(testapp):
     assert system.run(40) == 0  # healthy firmware never trips it
 
 
+def test_startup_overhead_measurement_is_side_effect_free(testapp):
+    """Satellite fix: reporting a number must not burn a wear cycle or
+    inflate the boot/randomization counters."""
+    system = MavrSystem(testapp, seed=40)
+    system.boot()
+    before = (
+        system.master.stats.boots,
+        system.master.stats.randomizations,
+        system.master.isp.stats.programming_cycles,
+        system.master.isp.clock.now_ms,
+        system.running_image.code,
+    )
+    ms = system.master.startup_overhead_ms()
+    assert ms > 0
+    after = (
+        system.master.stats.boots,
+        system.master.stats.randomizations,
+        system.master.isp.stats.programming_cycles,
+        system.master.isp.clock.now_ms,
+        system.running_image.code,
+    )
+    assert after == before
+    # the dry-run model prices the same full transfer a first boot pays
+    assert abs(ms - system.master.stats.startup_overheads_ms[0]) / ms < 1e-9
+
+
+def test_remaining_cycles_exposed_through_master_stats(testapp):
+    system = MavrSystem(testapp, seed=41)
+    assert system.master.stats.flash_cycles_remaining is None  # not booted yet
+    system.boot()
+    stats = system.master.stats
+    assert stats.flash_cycles_remaining == system.master.isp.remaining_cycles
+    assert stats.last_pages_written > 0
+    system.master.boot(attack_detected=True)
+    assert system.master.stats.flash_cycles_remaining == (
+        system.master.isp.endurance - 2
+    )
+
+
 def test_master_rng_is_isolated(testapp):
     """Two systems with the same seed produce the same first layout."""
     a = MavrSystem(testapp, seed=77)

@@ -1,0 +1,134 @@
+"""Differential page reflash at the ISP level: digests, fallbacks, wear
+ordering, and the page-granular erase primitive."""
+
+import pytest
+
+from repro.avr.memory import FlashMemory
+from repro.errors import FlashWearError, HardwareError, MemoryAccessError
+from repro.hw.isp import IspProgrammer
+from repro.hw.serialbus import FLASH_PAGE_SIZE, PAGE_COMMAND_OVERHEAD_BYTES
+
+
+def _image(n_pages, fill=0xAB):
+    return bytes([fill]) * (FLASH_PAGE_SIZE * n_pages)
+
+
+def test_second_program_of_same_image_is_differential_noop():
+    flash = FlashMemory()
+    isp = IspProgrammer()
+    image = _image(4)
+    isp.program(flash, image)
+    assert isp.stats.last_pages_written == 4
+    isp.program(flash, image)
+    stats = isp.stats
+    assert stats.differential_passes == 1
+    assert stats.last_pages_written == 0
+    assert stats.last_pages_skipped == 4
+    assert stats.last_bytes_on_wire == 0
+    assert flash.dump(0, len(image)) == image
+
+
+def test_differential_rewrites_only_changed_pages():
+    flash = FlashMemory()
+    isp = IspProgrammer()
+    image = bytearray(_image(8))
+    isp.program(flash, bytes(image))
+    image[3 * FLASH_PAGE_SIZE] ^= 0xFF  # dirty exactly one page
+    isp.program(flash, bytes(image))
+    stats = isp.stats
+    assert stats.last_pages_written == 1
+    assert stats.last_pages_skipped == 7
+    assert stats.last_bytes_on_wire == FLASH_PAGE_SIZE + PAGE_COMMAND_OVERHEAD_BYTES
+    assert flash.dump(0, len(image)) == bytes(image)
+
+
+def test_differential_result_equals_full_reprogram():
+    """The page-diff invariant: skipped pages are byte-identical, so the
+    array ends up exactly as a from-scratch full program leaves it."""
+    first = bytes(range(256)) * 6
+    second = bytearray(first)
+    second[0] ^= 0x55
+    second[5 * FLASH_PAGE_SIZE + 17] ^= 0x77
+
+    flash_diff = FlashMemory()
+    isp_diff = IspProgrammer()
+    isp_diff.program(flash_diff, first)
+    isp_diff.program(flash_diff, bytes(second))
+    assert isp_diff.stats.differential_passes == 1
+
+    flash_full = FlashMemory()
+    IspProgrammer().program(flash_full, bytes(second))
+    assert flash_diff.dump() == flash_full.dump()
+
+
+def test_foreign_flash_write_forces_full_reprogram():
+    """An SPM self-write (V4-style persistence) bumps the generation, so
+    the stored digests no longer describe the chip: full fallback."""
+    flash = FlashMemory()
+    isp = IspProgrammer()
+    image = _image(4)
+    isp.program(flash, image)
+    flash.write_word(10, 0x1234)  # firmware self-modification
+    isp.program(flash, image)
+    assert isp.stats.differential_passes == 0
+    assert isp.stats.last_pages_written == 4
+    assert flash.dump(0, len(image)) == image
+
+
+def test_different_image_length_forces_full_reprogram():
+    flash = FlashMemory()
+    isp = IspProgrammer()
+    isp.program(flash, _image(4))
+    shorter = _image(2)
+    isp.program(flash, shorter)
+    assert isp.stats.differential_passes == 0
+    # the full pass chip-erased, so nothing of the longer image survives
+    assert flash.dump(0, 4 * FLASH_PAGE_SIZE) == shorter + b"\xff" * (
+        2 * FLASH_PAGE_SIZE
+    )
+
+
+def test_force_full_flag():
+    flash = FlashMemory()
+    isp = IspProgrammer()
+    image = _image(3)
+    isp.program(flash, image)
+    isp.program(flash, image, force_full=True)
+    assert isp.stats.differential_passes == 0
+    assert isp.stats.last_pages_written == 3
+
+
+def test_oversized_image_reported_before_wear():
+    """Satellite fix: the size check must precede the endurance check."""
+    flash = FlashMemory(size=1024)
+    isp = IspProgrammer(endurance=1)
+    isp.program(flash, b"\x00" * 1024)  # budget now exhausted
+    with pytest.raises(HardwareError) as excinfo:
+        isp.program(flash, bytes(2048))
+    assert not isinstance(excinfo.value, FlashWearError)
+    assert "exceeds flash size" in str(excinfo.value)
+    # a correctly sized image still trips the wear check
+    with pytest.raises(FlashWearError):
+        isp.program(flash, b"\x00" * 1024)
+
+
+def test_estimate_full_ms_is_side_effect_free():
+    isp = IspProgrammer()
+    before_clock = isp.clock.now_ms
+    ms = isp.estimate_full_ms(16 * 1024)
+    assert ms > 0
+    assert isp.clock.now_ms == before_clock
+    assert isp.stats.programming_cycles == 0
+
+
+def test_erase_page_is_page_granular_and_invalidates():
+    flash = FlashMemory()
+    flash.load(b"\xaa" * 1024)
+    generation = flash.generation
+    flash.erase_page(256, 256)
+    assert flash.generation == generation + 1
+    assert flash.dump(0, 256) == b"\xaa" * 256
+    assert flash.dump(256, 256) == b"\xff" * 256
+    assert flash.dump(512, 512) == b"\xaa" * 512
+    with pytest.raises(MemoryAccessError):
+        flash.erase_page(flash.size - 128, 256)
