@@ -1,0 +1,161 @@
+"""Telemetry overhead: the observability subsystem must be ~free when off.
+
+Three configurations run the same supervised-flight workload (a booted
+MAVR system ticking under master supervision):
+
+* ``baseline`` — a bare :class:`~repro.uav.Autopilot` tick loop, no master
+  and no telemetry anywhere: the pre-instrumentation cost of simply
+  executing the firmware.
+* ``off``      — :class:`~repro.core.MavrSystem` with its default
+  *disabled* telemetry (what every caller gets without opting in).
+* ``on``       — the same system with telemetry enabled and a JSONL event
+  sink attached.
+
+The disabled path is zero-cost per tick *by construction* — the engine
+retire loop is never touched and metrics publish pull-style at snapshot
+time — so the measured gap between ``baseline`` and ``off`` is master
+supervision (which predates telemetry) plus noise.  The asserted floors:
+
+* ``off`` loses at most 5% throughput against ``baseline``;
+* ``on``  loses at most 15%.
+
+A second workload times the boot/reflash cycle (where the enabled path
+does real work: spans, histograms, one event per reflashed page).
+
+Rounds are interleaved across configurations so thermal/scheduler drift
+hits all three equally; each configuration keeps its best round.
+
+Results land in ``BENCH_telemetry_overhead.json`` at the repo root.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_telemetry_overhead.py -q -s
+Scale with REPRO_BENCH_TICKS (default 150) / REPRO_BENCH_ROUNDS (default 3).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import MavrSystem
+from repro.telemetry import Telemetry
+from repro.uav import Autopilot
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry_overhead.json"
+OFF_OVERHEAD_MAX_PCT = 5.0
+ON_OVERHEAD_MAX_PCT = 15.0
+WARMUP_TICKS = 30
+
+
+def _ticks() -> int:
+    return int(os.environ.get("REPRO_BENCH_TICKS", "150"))
+
+
+def _rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+
+
+def _flight_configs(testapp, tmp_path):
+    """name -> (tick_fn, finalize_fn) over a warmed-up flight loop."""
+    autopilot = Autopilot(testapp)
+
+    system_off = MavrSystem(testapp, seed=11)
+    system_off.boot()
+
+    tel = Telemetry(enabled=True, jsonl_path=tmp_path / "bench_events.jsonl")
+    system_on = MavrSystem(testapp, seed=11, telemetry=tel)
+    system_on.boot()
+
+    def run_baseline(n):
+        for _ in range(n):
+            autopilot.tick()
+
+    return {
+        "baseline": run_baseline,
+        "off": lambda n: system_off.run(n, watch_every=10),
+        "on": lambda n: system_on.run(n, watch_every=10),
+    }, tel
+
+
+def _best_ticks_per_second(configs, ticks, rounds):
+    for run in configs.values():
+        run(WARMUP_TICKS)  # warm decode caches and pyc paths
+    best = {name: 0.0 for name in configs}
+    for _ in range(rounds):
+        for name, run in configs.items():  # interleaved: drift hits all
+            start = time.perf_counter()
+            run(ticks)
+            elapsed = time.perf_counter() - start
+            best[name] = max(best[name], ticks / elapsed)
+    return best
+
+
+def _overhead_pct(reference: float, measured: float) -> float:
+    return round((1.0 - measured / reference) * 100.0, 2)
+
+
+def _best_boot_ms(testapp, tmp_path, rounds):
+    """Host-time cost of one randomize+reflash boot, off vs on."""
+    system_off = MavrSystem(testapp, seed=23)
+    tel = Telemetry(enabled=True, jsonl_path=tmp_path / "bench_boot.jsonl")
+    system_on = MavrSystem(testapp, seed=23, telemetry=tel)
+    best = {"off": float("inf"), "on": float("inf")}
+    for system, name in ((system_off, "off"), (system_on, "on")):
+        system.boot()  # warm; first boot pays full-image programming
+    for _ in range(rounds):
+        for system, name in ((system_off, "off"), (system_on, "on")):
+            start = time.perf_counter()
+            system.boot()
+            best[name] = min(best[name], (time.perf_counter() - start) * 1000)
+    tel.close()
+    return best
+
+
+def test_telemetry_overhead(benchmark, testapp, tmp_path):
+    ticks, rounds = _ticks(), _rounds()
+    configs, tel = _flight_configs(testapp, tmp_path)
+    rates = _best_ticks_per_second(configs, ticks, rounds)
+    off_overhead = _overhead_pct(rates["baseline"], rates["off"])
+    on_overhead = _overhead_pct(rates["baseline"], rates["on"])
+    tel.close()
+
+    boot_ms = _best_boot_ms(testapp, tmp_path, rounds)
+
+    results = {
+        "ticks_per_round": ticks,
+        "rounds": rounds,
+        "flight": {
+            "ticks_per_second": {k: round(v) for k, v in rates.items()},
+            "off_overhead_pct": off_overhead,
+            "on_overhead_pct": on_overhead,
+        },
+        "reboot": {
+            "best_ms": {k: round(v, 2) for k, v in boot_ms.items()},
+            "on_overhead_pct": _overhead_pct(
+                1.0 / boot_ms["off"], 1.0 / boot_ms["on"]
+            ),
+        },
+        "floors": {
+            "off_max_pct": OFF_OVERHEAD_MAX_PCT,
+            "on_max_pct": ON_OVERHEAD_MAX_PCT,
+        },
+    }
+
+    # pytest-benchmark row: the telemetry-on flight loop
+    benchmark.pedantic(lambda: configs["on"](ticks), rounds=1, iterations=1)
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\n{'config':<10} {'ticks/s':>12} {'overhead':>9}")
+    for name in ("baseline", "off", "on"):
+        overhead = {"baseline": 0.0, "off": off_overhead, "on": on_overhead}[name]
+        print(f"{name:<10} {rates[name]:>10,.0f}/s {overhead:>8.2f}%")
+    print(f"reboot: off {boot_ms['off']:.1f} ms, on {boot_ms['on']:.1f} ms")
+    print(f"results written to {RESULTS_PATH}")
+
+    assert off_overhead <= OFF_OVERHEAD_MAX_PCT, (
+        f"disabled telemetry costs {off_overhead:.2f}% against the bare "
+        f"tick loop; the ceiling is {OFF_OVERHEAD_MAX_PCT}%"
+    )
+    assert on_overhead <= ON_OVERHEAD_MAX_PCT, (
+        f"enabled telemetry costs {on_overhead:.2f}%; "
+        f"the ceiling is {ON_OVERHEAD_MAX_PCT}%"
+    )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..telemetry import Telemetry
 from ..uav.autopilot import Autopilot, AutopilotStatus, CrashInfo
 from ..uav.groundstation import GroundStation
 
@@ -51,26 +52,37 @@ def deliver(
     observe_ticks: int = 30,
     watch_variables: Dict[str, int] = None,
     name: str = "attack",
+    telemetry: Optional[Telemetry] = None,
 ) -> AttackOutcome:
     """Run the full delivery protocol and observe the aftermath.
 
     ``watch_variables`` maps variable names to their expected *post-attack*
     values; only variables that actually hold those values afterwards are
-    reported in ``effects``.
+    reported in ``effects``.  With a telemetry handle, delivery and
+    outcome land in the registry (``attack.*`` counters) and the event
+    log (``attack.delivered`` / ``attack.outcome``).
     """
+    tel = telemetry if telemetry is not None else Telemetry()
+    tel.counter("attack.attempts", component="attack", attack=name).inc()
     for _ in range(warmup_ticks):
         autopilot.tick()
         gcs.ingest(autopilot.transmitted_bytes())
 
     total = 0
-    for frame in payload_frames:
-        autopilot.receive_bytes(frame)
-        total += len(frame)
-        for _ in range(between_ticks):
-            autopilot.tick()
-            gcs.ingest(autopilot.transmitted_bytes())
-        if autopilot.status is not AutopilotStatus.RUNNING:
-            break
+    with tel.span("attack.deliver", attack=name, frames=len(payload_frames)):
+        for frame in payload_frames:
+            autopilot.receive_bytes(frame)
+            total += len(frame)
+            tel.counter("attack.frames_sent", component="attack", attack=name).inc()
+            for _ in range(between_ticks):
+                autopilot.tick()
+                gcs.ingest(autopilot.transmitted_bytes())
+            if autopilot.status is not AutopilotStatus.RUNNING:
+                break
+        tel.counter(
+            "attack.bytes_delivered", component="attack", attack=name
+        ).inc(total)
+        tel.emit("attack.delivered", attack=name, bytes=total)
 
     frames_before_observe = gcs.health.frames_received
     for _ in range(observe_ticks):
@@ -83,7 +95,7 @@ def deliver(
         if actual == expected:
             effects[variable] = actual
 
-    return AttackOutcome(
+    outcome = AttackOutcome(
         name=name,
         delivered_bytes=total,
         status=autopilot.status,
@@ -92,3 +104,17 @@ def deliver(
         link_lost=gcs.link_lost,
         effects=effects,
     )
+    if outcome.succeeded:
+        tel.counter("attack.successes", component="attack", attack=name).inc()
+    if outcome.stealthy:
+        tel.counter("attack.stealthy", component="attack", attack=name).inc()
+    tel.emit(
+        "attack.outcome",
+        attack=name,
+        status=outcome.status,
+        succeeded=outcome.succeeded,
+        stealthy=outcome.stealthy,
+        link_lost=outcome.link_lost,
+        effects=effects,
+    )
+    return outcome

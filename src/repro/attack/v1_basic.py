@@ -37,10 +37,16 @@ GARBAGE_WORD = 0x1FFF8
 class BasicAttack:
     """Builds and delivers V1 payloads against one victim image."""
 
-    def __init__(self, image: FirmwareImage, facts: Optional[RuntimeFacts] = None) -> None:
+    def __init__(
+        self,
+        image: FirmwareImage,
+        facts: Optional[RuntimeFacts] = None,
+        telemetry=None,
+    ) -> None:
         self.image = image
         self.facts = facts if facts is not None else derive_runtime_facts(image)
         self.builder = ChainBuilder(image)
+        self.telemetry = telemetry
 
     def attack_bytes(self, target: int, values: bytes) -> bytes:
         """Everything after the MAVLink header in the exploit burst."""
@@ -78,4 +84,5 @@ class BasicAttack:
             observe_ticks=observe_ticks,
             watch_variables={target_variable: expected},
             name="rop-v1-basic",
+            telemetry=self.telemetry,
         )

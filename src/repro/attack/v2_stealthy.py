@@ -37,10 +37,16 @@ from .runtime_facts import RuntimeFacts, derive_runtime_facts, variable_address
 class StealthyAttack:
     """Builds and delivers clean-return payloads against one victim image."""
 
-    def __init__(self, image: FirmwareImage, facts: Optional[RuntimeFacts] = None) -> None:
+    def __init__(
+        self,
+        image: FirmwareImage,
+        facts: Optional[RuntimeFacts] = None,
+        telemetry=None,
+    ) -> None:
         self.image = image
         self.facts = facts if facts is not None else derive_runtime_facts(image)
         self.builder = ChainBuilder(image)
+        self.telemetry = telemetry
 
     # -- payload construction ------------------------------------------------
 
@@ -128,4 +134,5 @@ class StealthyAttack:
             observe_ticks=observe_ticks,
             watch_variables={target_variable: expected},
             name="rop-v2-stealthy",
+            telemetry=self.telemetry,
         )

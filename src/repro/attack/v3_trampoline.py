@@ -42,10 +42,12 @@ class TrampolineAttack:
         image: FirmwareImage,
         facts: Optional[RuntimeFacts] = None,
         staging_base: int = DEFAULT_STAGING_BASE,
+        telemetry=None,
     ) -> None:
         self.image = image
         self.facts = facts if facts is not None else derive_runtime_facts(image)
         self.staging_base = staging_base
+        self.telemetry = telemetry
         self.v2 = StealthyAttack(image, self.facts)
         self.builder = self.v2.builder
 
@@ -121,6 +123,7 @@ class TrampolineAttack:
             observe_ticks=observe_ticks,
             watch_variables=watch,
             name="rop-v3-trampoline",
+            telemetry=self.telemetry,
         )
 
     def demo_payload(self) -> List[Write3]:

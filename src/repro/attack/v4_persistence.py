@@ -76,9 +76,15 @@ def config_block_pairs(calibration: bytes) -> List[Tuple[int, int]]:
 class PersistenceAttack:
     """Plant a malicious EEPROM configuration via the trampoline."""
 
-    def __init__(self, image: FirmwareImage, facts: Optional[RuntimeFacts] = None) -> None:
+    def __init__(
+        self,
+        image: FirmwareImage,
+        facts: Optional[RuntimeFacts] = None,
+        telemetry=None,
+    ) -> None:
         self.image = image
-        self.trampoline = TrampolineAttack(image, facts)
+        self.telemetry = telemetry
+        self.trampoline = TrampolineAttack(image, facts, telemetry=telemetry)
 
     def execute(
         self,

@@ -52,6 +52,11 @@ class AvrCpu:
         self.pc = 0  # word address
         self.cycles = 0
         self.instructions_retired = 0
+        # Telemetry accumulators: ``reset()`` zeroes the per-boot counters,
+        # so work done before a reboot is banked here first (the snapshot
+        # collectors report lifetime = banked + current).
+        self.instructions_lifetime = 0
+        self.cycles_lifetime = 0
         self.clock_hz = clock_hz
         self.halted = False
         # Pending interrupt vector numbers (lowest number = highest
@@ -74,6 +79,8 @@ class AvrCpu:
 
     def reset(self) -> None:
         """Power-on reset: PC to vector 0, SP to RAMEND, flags cleared."""
+        self.instructions_lifetime += self.instructions_retired
+        self.cycles_lifetime += self.cycles
         self.pc = 0
         self.cycles = 0
         self.instructions_retired = 0

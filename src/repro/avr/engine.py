@@ -556,6 +556,11 @@ class PredecodedEngine:
         self._generation: Optional[int] = None
         self._cache: List[Optional[Entry]] = []
         self.rebuilds = 0  # number of cache (re)allocations, for tests/benchmarks
+        # Decode misses: every trip through ``_entry_at`` (cold cache slot
+        # or out-of-cache PC).  Cache hits are derived at snapshot time as
+        # ``instructions_retired - decode_misses`` — the hit path itself
+        # stays untouched, which keeps telemetry off the hot loop.
+        self.decode_misses = 0
 
     # -- cache maintenance ----------------------------------------------
 
@@ -570,6 +575,7 @@ class PredecodedEngine:
 
     def _entry_at(self, pc: int) -> Entry:
         """Decode one entry exactly as :meth:`AvrCpu.fetch` would."""
+        self.decode_misses += 1
         cpu = self.cpu
         byte_addr = pc * 2
         try:

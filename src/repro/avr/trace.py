@@ -13,6 +13,7 @@ stream is identical to the reference interpreter's.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -65,18 +66,34 @@ class ExecutionTrace:
     The *observable trace* (`io_writes`) — stores outside the register file
     and stack region — is the behavioural-equivalence criterion used to show
     randomized firmware behaves identically to the original.
+
+    Memory bounds: by default recording *stops* after ``max_instructions``
+    entries (keep-first semantics, what equivalence checks want).  Set
+    ``max_entries`` instead for ring-buffer mode: the trace keeps only the
+    most recent ``max_entries`` records (keep-last semantics), so a
+    long-running simulation can stay attached forever without growing.
     """
 
     record_instructions: bool = True
     instructions: List[Tuple[int, Instruction]] = field(default_factory=list)
     io_writes: List[Tuple[int, int]] = field(default_factory=list)
     max_instructions: int = 2_000_000
+    # ring-buffer mode: keep only the newest N entries (None = keep-first)
+    max_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None:
+            self.instructions = deque(self.instructions, maxlen=self.max_entries)
+            self.io_writes = deque(self.io_writes, maxlen=self.max_entries)
 
     def attach(self, cpu: AvrCpu) -> None:
         cpu.trace_hooks.append(self._on_retire)
 
     def _on_retire(self, cpu: AvrCpu, pc_bytes: int, insn: Instruction) -> None:
-        if self.record_instructions and len(self.instructions) < self.max_instructions:
+        if self.record_instructions and (
+            self.max_entries is not None
+            or len(self.instructions) < self.max_instructions
+        ):
             self.instructions.append((pc_bytes, insn))
         if insn.mnemonic is Mnemonic.STS:
             self.io_writes.append((insn.k, cpu.data.read(insn.k)))
@@ -105,17 +122,27 @@ class CpuStateStream:
     *different engines*, then :func:`diff_state_streams` the results: any
     divergence in PC, SP, SREG or cycle accounting shows up at the exact
     instruction where the engines parted ways.
+
+    ``max_states`` keeps the *first* N states (lockstep diffing wants the
+    earliest divergence); ``max_entries`` switches to a ring buffer that
+    keeps the *last* N — a bounded flight recorder for long simulations.
     """
 
     states: List[RetiredState] = field(default_factory=list)
     max_states: int = 5_000_000
+    # ring-buffer mode: keep only the newest N states (None = keep-first)
+    max_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None:
+            self.states = deque(self.states, maxlen=self.max_entries)
 
     def attach(self, cpu: AvrCpu) -> "CpuStateStream":
         cpu.trace_hooks.append(self._on_retire)
         return self
 
     def _on_retire(self, cpu: AvrCpu, pc_bytes: int, insn: Instruction) -> None:
-        if len(self.states) < self.max_states:
+        if self.max_entries is not None or len(self.states) < self.max_states:
             self.states.append((pc_bytes, cpu.data.sp, cpu.sreg.byte, cpu.cycles))
 
 
@@ -136,7 +163,10 @@ def diff_state_streams(
 
 
 def run_lockstep(
-    reference: AvrCpu, subject: AvrCpu, max_instructions: int = 1_000_000
+    reference: AvrCpu,
+    subject: AvrCpu,
+    max_instructions: int = 1_000_000,
+    telemetry=None,
 ) -> int:
     """Step two cores in tandem, asserting identical state after each retire.
 
@@ -145,8 +175,22 @@ def run_lockstep(
     agreement when both cores raise the same error type with the same
     message.  Returns the number of instructions retired by each core.
     Raises :class:`~repro.errors.LockstepDivergenceError` on the first
-    mismatch.
+    mismatch; when a :class:`~repro.telemetry.Telemetry` handle is given,
+    the divergence is also recorded as a ``lockstep.divergence`` event
+    before the raise.
     """
+
+    def _diverged(step: int, detail: str) -> LockstepDivergenceError:
+        if telemetry is not None:
+            telemetry.emit(
+                "lockstep.divergence",
+                step=step,
+                detail=detail,
+                reference_engine=reference.engine_name,
+                subject_engine=subject.engine_name,
+            )
+        return LockstepDivergenceError(detail)
+
     executed = 0
     while executed < max_instructions and not (reference.halted or subject.halted):
         ref_error = sub_error = None
@@ -163,9 +207,10 @@ def run_lockstep(
             and (type(ref_error), str(ref_error))
             != (type(sub_error), str(sub_error))
         ):
-            raise LockstepDivergenceError(
+            raise _diverged(
+                executed,
                 f"step {executed}: reference raised {ref_error!r}, "
-                f"subject raised {sub_error!r}"
+                f"subject raised {sub_error!r}",
             )
         if ref_error is not None:
             return executed
@@ -182,8 +227,9 @@ def run_lockstep(
             if ref_value != sub_value
         ]
         if mismatches:
-            raise LockstepDivergenceError(
+            raise _diverged(
+                executed - 1,
                 f"step {executed - 1} ({reference.engine_name} vs "
-                f"{subject.engine_name}): " + "; ".join(mismatches)
+                f"{subject.engine_name}): " + "; ".join(mismatches),
             )
     return executed

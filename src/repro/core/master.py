@@ -13,7 +13,6 @@ The ATmega1284P that owns the defense at runtime:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..binfmt.image import FirmwareImage
@@ -23,6 +22,7 @@ from ..hw.clock import SimClock
 from ..hw.flashchip import ExternalFlash
 from ..hw.isp import IspProgrammer
 from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
+from ..telemetry import CounterField, GaugeField, StatsView, Telemetry
 from ..uav.autopilot import Autopilot
 from .patching import randomize_image
 from .policy import RandomizationPolicy
@@ -31,22 +31,35 @@ from .randomize import Permutation
 from .watchdog import WatchdogConfig, WatchdogMonitor
 
 
-@dataclass
-class MasterStats:
-    """Defense-side accounting."""
+class MasterStats(StatsView):
+    """Defense-side accounting.
 
-    boots: int = 0
-    randomizations: int = 0
-    attacks_detected: int = 0
-    last_startup_overhead_ms: float = 0.0
-    startup_overheads_ms: List[float] = field(default_factory=list)
+    A telemetry view over the metrics registry: the cumulative fields are
+    monotonic counters (a decrement raises), the ``last_*`` fields are
+    gauges.  The public fields are unchanged from the original dataclass.
+    """
+
+    component = "master"
+
+    boots = CounterField("master.boots")
+    randomizations = CounterField("master.randomizations")
+    attacks_detected = CounterField("master.attacks_detected")
+    last_startup_overhead_ms = GaugeField(
+        "master.last_startup_overhead_ms", initial=0.0
+    )
     # mirrored from the ISP programmer after every boot so the policy
     # layer can throttle against the remaining endurance budget and price
     # re-randomization per page rather than per full image
-    flash_cycles_remaining: Optional[int] = None
-    last_pages_written: int = 0
-    last_pages_skipped: int = 0
-    last_bytes_on_wire: int = 0
+    flash_cycles_remaining = GaugeField(
+        "master.flash_cycles_remaining", initial=None
+    )
+    last_pages_written = GaugeField("master.last_pages_written")
+    last_pages_skipped = GaugeField("master.last_pages_skipped")
+    last_bytes_on_wire = GaugeField("master.last_bytes_on_wire")
+
+    def __init__(self, telemetry: Optional[Telemetry] = None, **labels) -> None:
+        super().__init__(telemetry, **labels)
+        self.startup_overheads_ms: List[float] = []
 
 
 class MasterProcessor:
@@ -59,19 +72,59 @@ class MasterProcessor:
         link: ProgrammingLink = PROTOTYPE_LINK,
         watchdog: WatchdogConfig = WatchdogConfig(),
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.autopilot = autopilot
         self.policy = policy
         self.clock = SimClock()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry.bind_clock(self.clock)
         self.external_flash = ExternalFlash()
-        self.isp = IspProgrammer(link, self.clock)
+        self.isp = IspProgrammer(link, self.clock, telemetry=self.telemetry)
         self.watchdog_config = watchdog
         self.rng = rng if rng is not None else random.Random()
-        self.stats = MasterStats()
+        self.stats = MasterStats(self.telemetry)
+        self._startup_hist = self.telemetry.registry.own_histogram(
+            "master.startup_overhead_ms", component="master"
+        )
         self.monitor = WatchdogMonitor(autopilot.feed, watchdog)
         self._original: Optional[FirmwareImage] = None
         self.current_image: Optional[FirmwareImage] = None
         self.last_permutation: Optional[Permutation] = None
+        self._register_cpu_collector()
+
+    def _register_cpu_collector(self) -> None:
+        """Publish engine/CPU counters by sampling at snapshot time.
+
+        Pull-style on purpose: the execution engine's retire loop stays
+        untouched, so the disabled-path overhead of telemetry on the
+        simulator's hottest path is exactly zero.
+        """
+        autopilot = self.autopilot
+        app = autopilot.image.name
+
+        def collect(registry) -> None:
+            cpu = autopilot.cpu
+            def sample(name: str, value) -> None:
+                registry.gauge(name, component="cpu", app=app).set(value)
+
+            retired_total = cpu.instructions_lifetime + cpu.instructions_retired
+            sample("cpu.instructions_retired", cpu.instructions_retired)
+            sample("cpu.instructions_lifetime", retired_total)
+            sample("cpu.cycles", cpu.cycles)
+            sample("cpu.cycles_lifetime", cpu.cycles_lifetime + cpu.cycles)
+            sample("cpu.interrupts_serviced", cpu.interrupts_serviced)
+            sample("flash.generation", cpu.flash.generation)
+            engine = cpu.engine
+            if hasattr(engine, "decode_misses"):
+                sample("engine.decode_misses", engine.decode_misses)
+                sample("engine.cache_rebuilds", engine.rebuilds)
+                sample(
+                    "engine.decode_cache_hits",
+                    max(retired_total - engine.decode_misses, 0),
+                )
+
+        self.telemetry.add_collector(collect)
 
     # -- deployment ---------------------------------------------------------
 
@@ -118,27 +171,41 @@ class MasterProcessor:
         wire, so a re-randomization costs a fraction of the Table II full
         transfer.
         """
-        original = self._original_image()
-        overhead_ms = 0.0
-        if self.policy.should_randomize(self.stats.boots, attack_detected):
-            randomized, permutation = randomize_image(original, self.rng)
-            overhead_ms = self.isp.program(self.autopilot.cpu.flash, randomized.code)
-            self.autopilot.adopt_image(randomized)
-            self.current_image = randomized
-            self.last_permutation = permutation
-            self.stats.randomizations += 1
-        else:
-            self.autopilot.reset()
-        self.stats.boots += 1
-        self.stats.last_startup_overhead_ms = overhead_ms
-        if overhead_ms:
-            self.stats.startup_overheads_ms.append(overhead_ms)
-        isp_stats = self.isp.stats
-        self.stats.flash_cycles_remaining = self.isp.remaining_cycles
-        self.stats.last_pages_written = isp_stats.last_pages_written
-        self.stats.last_pages_skipped = isp_stats.last_pages_skipped
-        self.stats.last_bytes_on_wire = isp_stats.last_bytes_on_wire
-        self.monitor = WatchdogMonitor(self.autopilot.feed, self.watchdog_config)
+        telemetry = self.telemetry
+        with telemetry.span("mavr.boot", attack_detected=attack_detected) as span:
+            original = self._original_image()
+            overhead_ms = 0.0
+            randomized_this_boot = self.policy.should_randomize(
+                self.stats.boots, attack_detected
+            )
+            if randomized_this_boot:
+                with telemetry.span("mavr.randomize"):
+                    randomized, permutation = randomize_image(original, self.rng)
+                with telemetry.span("mavr.reflash"):
+                    overhead_ms = self.isp.program(
+                        self.autopilot.cpu.flash, randomized.code
+                    )
+                self.autopilot.adopt_image(randomized)
+                self.current_image = randomized
+                self.last_permutation = permutation
+                self.stats.randomizations += 1
+            else:
+                self.autopilot.reset()
+            self.stats.boots += 1
+            self.stats.last_startup_overhead_ms = overhead_ms
+            if overhead_ms:
+                self.stats.startup_overheads_ms.append(overhead_ms)
+                self._startup_hist.observe(overhead_ms)
+            isp_stats = self.isp.stats
+            self.stats.flash_cycles_remaining = self.isp.remaining_cycles
+            self.stats.last_pages_written = isp_stats.last_pages_written
+            self.stats.last_pages_skipped = isp_stats.last_pages_skipped
+            self.stats.last_bytes_on_wire = isp_stats.last_bytes_on_wire
+            self.monitor = WatchdogMonitor(self.autopilot.feed, self.watchdog_config)
+            if span is not None:
+                span.attrs.update(
+                    randomized=randomized_this_boot, overhead_ms=overhead_ms
+                )
         return overhead_ms
 
     # -- runtime monitoring ------------------------------------------------------
@@ -149,21 +216,50 @@ class MasterProcessor:
         Returns True when a failed attack was detected and handled.
         """
         crashed = self.autopilot.status.value == "crashed"
-        silent = not self.monitor.check(self.autopilot.cpu.cycles)
+        now_cycles = self.autopilot.cpu.cycles
+        silent = not self.monitor.check(now_cycles)
         if crashed or silent:
+            telemetry = self.telemetry
+            if silent:
+                telemetry.emit(
+                    "watchdog.starved",
+                    now_cycles=now_cycles,
+                    last_feed_cycle=self.monitor.feed.last_feed_cycle,
+                    window_cycles=self.monitor.config.window_cycles,
+                )
+            if crashed and self.autopilot.crash is not None:
+                crash = self.autopilot.crash
+                telemetry.emit(
+                    "autopilot.crashed", reason=crash.reason,
+                    pc_bytes=crash.pc_bytes, cycle=crash.cycle,
+                )
+            telemetry.emit(
+                "attack.detected",
+                cause="crash" if crashed else "watchdog_silence",
+                boots=self.stats.boots,
+            )
             self.stats.attacks_detected += 1
-            self.boot(attack_detected=True)
+            with telemetry.span(
+                "mavr.rerandomize",
+                cause="crash" if crashed else "watchdog_silence",
+            ):
+                self.boot(attack_detected=True)
             return True
         return False
 
     def run(self, ticks: int, watch_every: int = 10) -> int:
         """Drive the autopilot with periodic monitoring; returns detections."""
         detections = 0
-        for tick_index in range(ticks):
-            self.autopilot.tick()
-            if (tick_index + 1) % watch_every == 0:
-                if self.watch():
-                    detections += 1
+        with self.telemetry.span(
+            "mavr.run", ticks=ticks, watch_every=watch_every
+        ) as span:
+            for tick_index in range(ticks):
+                self.autopilot.tick()
+                if (tick_index + 1) % watch_every == 0:
+                    if self.watch():
+                        detections += 1
+            if span is not None:
+                span.attrs["detections"] = detections
         return detections
 
     # -- reporting ----------------------------------------------------------------

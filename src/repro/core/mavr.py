@@ -15,6 +15,7 @@ from typing import Optional
 from ..binfmt.image import FirmwareImage
 from ..hw.board import CostModel
 from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
+from ..telemetry import Telemetry
 from ..uav.autopilot import Autopilot
 from ..uav.sensors import SensorState
 from .fuses import ReadoutProtectedFlash
@@ -52,9 +53,12 @@ class MavrSystem:
         watchdog: WatchdogConfig = WatchdogConfig(),
         seed: Optional[int] = None,
         sensor_state: Optional[SensorState] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         # host phase: preprocess and "upload" to the external flash
-        hex_text = preprocess(image)
+        with self.telemetry.span("mavr.preprocess", app=image.name):
+            hex_text = preprocess(image)
         self.autopilot = Autopilot(image, sensor_state)
         self.master = MasterProcessor(
             self.autopilot,
@@ -62,8 +66,10 @@ class MavrSystem:
             link=link,
             watchdog=watchdog,
             rng=random.Random(seed),
+            telemetry=self.telemetry,
         )
-        self.master.deploy(hex_text)
+        with self.telemetry.span("mavr.deploy", app=image.name):
+            self.master.deploy(hex_text)
         self.protected_flash = ReadoutProtectedFlash(
             self.autopilot.cpu.flash, locked=True
         )
@@ -85,6 +91,10 @@ class MavrSystem:
         if image is None:
             raise RuntimeError("system has not booted yet")
         return image
+
+    def snapshot(self) -> dict:
+        """Full telemetry snapshot (metrics + spans + events)."""
+        return self.telemetry.snapshot()
 
     def report(self) -> MavrReport:
         stats = self.master.stats

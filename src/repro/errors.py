@@ -110,3 +110,13 @@ class FlashWearError(DefenseError):
 
 class HardwareError(ReproError):
     """Simulated board-level failure (wiring, bootloader protocol)."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse: a counter decrement, a metric kind clash, or a
+    malformed instrument registration.
+
+    Counters rejecting decrements is a feature, not a convenience: a
+    stats field that silently went backwards (e.g. a reset in the reflash
+    accounting) is exactly the class of bug the monotonic contract turns
+    into a loud failure."""

@@ -29,10 +29,10 @@ next pass back to a full reprogram.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import FlashWearError, HardwareError
+from ..telemetry import CounterField, GaugeField, StatsView, Telemetry
 from .clock import SimClock
 from .serialbus import FLASH_PAGE_SIZE, ProgrammingLink, PROTOTYPE_LINK
 
@@ -40,27 +40,36 @@ FLASH_ENDURANCE_CYCLES = 10_000
 BOOTLOADER_ENTRY_MS = 50.0  # reset pulse + sync byte exchange
 
 
-@dataclass
-class ProgrammingStats:
-    """Accounting across the board's lifetime."""
+class ProgrammingStats(StatsView):
+    """Accounting across the board's lifetime.
 
-    programming_cycles: int = 0
-    bytes_programmed: int = 0
-    total_programming_ms: float = 0.0
-    last_programming_ms: float = 0.0
+    A telemetry view: every field is a registry instrument.  Cumulative
+    fields are monotonic counters — assigning a smaller value raises
+    :class:`~repro.errors.TelemetryError` — so a silent reset in the
+    reflash accounting can never pass unnoticed; ``last_*`` fields are
+    gauges (point-in-time readings of the most recent pass).
+    """
+
+    component = "isp"
+
+    programming_cycles = CounterField("isp.programming_cycles")
+    bytes_programmed = CounterField("isp.bytes_programmed")
+    total_programming_ms = CounterField("isp.total_programming_ms")
+    last_programming_ms = GaugeField("isp.last_programming_ms", initial=0.0)
     # Flash generation after the most recent programming pass; the CPU's
     # predecoded engine invalidates its decode cache when this moves, and
     # the differential path uses it to prove the chip still holds the
-    # image the page digests describe.
-    last_flash_generation: int = 0
+    # image the page digests describe.  A gauge (not a counter): a new
+    # flash chip object legitimately restarts its generation count.
+    last_flash_generation = GaugeField("isp.last_flash_generation")
     # page-granular pricing (differential reflash)
-    pages_written: int = 0
-    pages_skipped: int = 0
-    bytes_on_wire: int = 0
-    differential_passes: int = 0
-    last_pages_written: int = 0
-    last_pages_skipped: int = 0
-    last_bytes_on_wire: int = 0
+    pages_written = CounterField("isp.pages_written")
+    pages_skipped = CounterField("isp.pages_skipped")
+    bytes_on_wire = CounterField("isp.bytes_on_wire")
+    differential_passes = CounterField("isp.differential_passes")
+    last_pages_written = GaugeField("isp.last_pages_written")
+    last_pages_skipped = GaugeField("isp.last_pages_skipped")
+    last_bytes_on_wire = GaugeField("isp.last_bytes_on_wire")
 
 
 def _page_digests(image: bytes) -> List[bytes]:
@@ -81,11 +90,16 @@ class IspProgrammer:
         link: ProgrammingLink = PROTOTYPE_LINK,
         clock: Optional[SimClock] = None,
         endurance: int = FLASH_ENDURANCE_CYCLES,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.link = link
         self.clock = clock if clock is not None else SimClock()
         self.endurance = endurance
-        self.stats = ProgrammingStats()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.stats = ProgrammingStats(self.telemetry)
+        self._programming_ms_hist = self.telemetry.registry.own_histogram(
+            "isp.programming_ms", component="isp"
+        )
         self._last_flash = None
         self._last_digests: Optional[List[bytes]] = None
         self._last_image_len = 0
@@ -112,14 +126,21 @@ class IspProgrammer:
             )
         digests = _page_digests(image)
         changed = self._changed_pages(flash, image, digests, force_full)
-        if changed is None:
-            elapsed, wire, written, skipped = self._program_full(flash, image)
-            differential = False
-        else:
-            elapsed, wire, written, skipped = self._program_differential(
-                flash, image, changed
-            )
-            differential = True
+        with self.telemetry.span("isp.program", image_bytes=len(image)) as span:
+            if changed is None:
+                elapsed, wire, written, skipped = self._program_full(flash, image)
+                differential = False
+            else:
+                elapsed, wire, written, skipped = self._program_differential(
+                    flash, image, changed
+                )
+                differential = True
+            self.clock.advance_ms(elapsed)
+            if span is not None:
+                span.attrs.update(
+                    differential=differential, pages_written=written,
+                    pages_skipped=skipped, bytes_on_wire=wire,
+                )
         # Both the erase and each page write bump ``flash.generation``, so
         # any decode cache built against the previous image is dead the
         # moment programming starts — never only when it finishes.
@@ -127,7 +148,7 @@ class IspProgrammer:
         self._last_flash = flash
         self._last_digests = digests
         self._last_image_len = len(image)
-        self.clock.advance_ms(elapsed)
+        self._programming_ms_hist.observe(elapsed)
         self.stats.programming_cycles += 1
         self.stats.bytes_programmed += len(image)
         self.stats.total_programming_ms += elapsed
@@ -184,9 +205,14 @@ class IspProgrammer:
             flash.write_page(offset, image[offset : offset + FLASH_PAGE_SIZE])
         pages = (len(image) + FLASH_PAGE_SIZE - 1) // FLASH_PAGE_SIZE
         elapsed = BOOTLOADER_ENTRY_MS + self.link.programming_ms(len(image))
+        self.telemetry.emit(
+            "flash.reprogrammed", pages=pages, image_bytes=len(image),
+            generation=flash.generation,
+        )
         return elapsed, len(image), pages, 0
 
     def _program_differential(self, flash, image: bytes, changed: List[int]):
+        telemetry = self.telemetry
         payload = 0
         for index in changed:
             start = index * FLASH_PAGE_SIZE
@@ -194,6 +220,10 @@ class IspProgrammer:
             flash.erase_page(start, len(page))
             flash.write_page(start, page)
             payload += len(page)
+            telemetry.emit(
+                "flash.page_reflashed", page=index, offset=start,
+                size=len(page), generation=flash.generation,
+            )
         total_pages = (len(image) + FLASH_PAGE_SIZE - 1) // FLASH_PAGE_SIZE
         wire = self.link.differential_wire_bytes(payload, len(changed))
         elapsed = BOOTLOADER_ENTRY_MS + self.link.differential_programming_ms(

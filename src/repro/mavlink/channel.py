@@ -36,20 +36,36 @@ class LinkTiming:
 
 
 class SerialChannel:
-    """Bidirectional byte queue pair with accumulated transfer time."""
+    """Bidirectional byte queue pair with accumulated transfer time.
 
-    def __init__(self, timing: LinkTiming = LinkTiming()) -> None:
+    Wire-byte totals per direction are kept as plain attributes and, when
+    a :class:`~repro.telemetry.Telemetry` handle is given, published into
+    its registry as ``mavlink.channel.*`` gauges sampled at snapshot time.
+    """
+
+    def __init__(self, timing: LinkTiming = LinkTiming(), telemetry=None) -> None:
         self.timing = timing
         self._to_uav: Deque[int] = deque()
         self._to_gcs: Deque[int] = deque()
         self.elapsed_ms = 0.0
+        self.bytes_to_uav = 0
+        self.bytes_to_gcs = 0
+        if telemetry is not None:
+            telemetry.collect_object(
+                "mavlink.channel",
+                self,
+                ("bytes_to_uav", "bytes_to_gcs", "elapsed_ms"),
+                component="mavlink",
+            )
 
     def send_to_uav(self, data: bytes) -> None:
         self._to_uav.extend(data)
+        self.bytes_to_uav += len(data)
         self.elapsed_ms += self.timing.transfer_ms(len(data))
 
     def send_to_gcs(self, data: bytes) -> None:
         self._to_gcs.extend(data)
+        self.bytes_to_gcs += len(data)
         self.elapsed_ms += self.timing.transfer_ms(len(data))
 
     def drain_uav_side(self) -> bytes:

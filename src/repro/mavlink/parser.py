@@ -42,14 +42,30 @@ class ParserStats:
 
 
 class StreamParser:
-    """Incremental frame extractor over a raw byte stream."""
+    """Incremental frame extractor over a raw byte stream.
 
-    def __init__(self, length_check: bool = True) -> None:
+    When a :class:`~repro.telemetry.Telemetry` handle is given, the
+    parser's counters are published into its metrics registry as
+    ``mavlink.parser.*`` gauges — sampled at snapshot time (pull-style),
+    so the per-byte state machine pays nothing for the instrumentation.
+    """
+
+    def __init__(self, length_check: bool = True, telemetry=None) -> None:
         self.length_check = length_check
         self.stats = ParserStats()
         self._state = _State.IDLE
         self._buffer = bytearray()
         self._declared_length = 0
+        if telemetry is not None:
+            telemetry.collect_object(
+                "mavlink.parser",
+                self.stats,
+                (
+                    "frames_ok", "frames_bad_crc", "frames_unknown_type",
+                    "bytes_dropped", "oversized_frames",
+                ),
+                component="mavlink",
+            )
 
     def push(self, data: bytes) -> List[Packet]:
         """Feed bytes; return every complete packet they finish."""

@@ -1,0 +1,37 @@
+"""Unified telemetry: metrics registry, span tracing, structured events.
+
+See ``docs/OBSERVABILITY.md`` for the metric/span/event naming scheme and
+the JSONL wire format.  The subsystem is dependency-free and disabled by
+default; a disabled handle costs one boolean check per span/event site
+and exactly nothing in the CPU execution hot loop (engine counters are
+published by snapshot-time collectors, not per-retire hooks).
+"""
+
+from .events import EventLog, jsonable
+from .hub import SCHEMA_VERSION, Telemetry
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import Span, Tracer
+from .views import CounterField, GaugeField, StatsView
+
+__all__ = [
+    "Counter",
+    "CounterField",
+    "DEFAULT_BUCKETS_MS",
+    "EventLog",
+    "Gauge",
+    "GaugeField",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "Span",
+    "StatsView",
+    "Telemetry",
+    "Tracer",
+    "jsonable",
+]

@@ -1,0 +1,115 @@
+"""Structured event log: in-memory ring buffer plus optional JSONL sink.
+
+Events are discrete facts with a name and flat fields —
+``attack.detected``, ``watchdog.starved``, ``flash.page_reflashed``,
+``lockstep.divergence`` — as opposed to metrics (aggregates) and spans
+(durations).  Every event carries:
+
+* ``seq``   — monotonically increasing sequence number (total ordering,
+  survives ring-buffer eviction),
+* ``t_ms``  — simulated time from the bound :class:`~repro.hw.clock.
+  SimClock` (``None`` before a clock is bound),
+* ``event`` — the dotted event name,
+* the caller's keyword fields, verbatim.
+
+The JSONL sink writes one compact JSON object per line as events are
+emitted, so a crashed simulation still leaves a usable log behind.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+
+def jsonable(value):
+    """Best-effort conversion to JSON-serializable builtins.
+
+    Shared by the JSONL sink, the snapshot serializer and the CLI's
+    ``--json`` modes: dataclasses become dicts, enums their values,
+    bytes hex strings, and sets/tuples/deques lists.
+    """
+    import dataclasses
+    import enum
+    import math
+
+    if isinstance(value, enum.Enum):
+        return jsonable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset, deque)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    if isinstance(value, float):
+        if math.isinf(value) or math.isnan(value):
+            return None
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class EventLog:
+    """Append-only event stream with bounded memory."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._events: Deque[dict] = deque(maxlen=max_entries)
+        self._clock_ms: Optional[Callable[[], float]] = None
+        self._sink = None
+        self.sink_path: Optional[str] = None
+        self.seq = 0
+
+    def bind_clock(self, clock_ms: Optional[Callable[[], float]]) -> None:
+        self._clock_ms = clock_ms
+
+    # -- sink -------------------------------------------------------------
+
+    def open_jsonl(self, path) -> None:
+        self.close()
+        self.sink_path = str(path)
+        self._sink = open(path, "w", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, name: str, **fields) -> dict:
+        self.seq += 1
+        now = self._clock_ms() if self._clock_ms is not None else None
+        record = {
+            "seq": self.seq,
+            "t_ms": round(now, 6) if now is not None else None,
+            "event": name,
+        }
+        for key, value in fields.items():
+            record[key] = jsonable(value)
+        self._events.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._sink.flush()
+        return record
+
+    # -- inspection -------------------------------------------------------
+
+    def events(self, name: Optional[str] = None) -> List[dict]:
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e["event"] == name]
+
+    def names(self) -> List[str]:
+        """Event names in emission order (the causal-chain assertion API)."""
+        return [e["event"] for e in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)

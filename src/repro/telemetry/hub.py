@@ -1,0 +1,145 @@
+"""The :class:`Telemetry` facade: one handle over metrics, spans, events.
+
+Every instrumented component takes an optional ``telemetry`` argument.
+When none is given the component builds a private *disabled* instance:
+its metrics registry still works (stats views keep their monotonic
+contract), but spans and events are no-ops through a cached null context
+manager — the disabled path costs one attribute check.
+
+Enable telemetry by constructing one shared instance and passing it down
+the object graph::
+
+    tel = Telemetry(enabled=True, jsonl_path="out.jsonl")
+    system = MavrSystem(image, seed=7, telemetry=tel)
+    system.boot(); system.run(200)
+    snapshot = tel.snapshot()      # {"metrics": [...], "spans": [...], ...}
+
+``snapshot()`` runs the registered collectors (pull-style samplers over
+the CPU/engine/parser counters), so engine instruction counts appear in
+the output without the execution hot loop ever touching telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, Optional
+
+from .events import EventLog, jsonable
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+SCHEMA_VERSION = 1
+
+
+class _NullContext:
+    """Reusable no-op context manager for disabled spans."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Telemetry:
+    """Unified observability handle (metrics + tracing + event log)."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        labels: Optional[Dict[str, object]] = None,
+        jsonl_path=None,
+        max_events: int = 4096,
+        max_spans: int = 4096,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry(labels=labels)
+        self.events = EventLog(max_entries=max_events)
+        self.tracer = Tracer(event_log=self.events, max_spans=max_spans)
+        if jsonl_path is not None:
+            self.events.open_jsonl(jsonl_path)
+
+    # -- clock ------------------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Key spans/events to a :class:`~repro.hw.clock.SimClock` (or any
+        object with ``now_ms``, or a plain ``() -> float`` callable)."""
+        if clock is None:
+            fn: Optional[Callable[[], float]] = None
+        elif callable(clock) and not hasattr(clock, "now_ms"):
+            fn = clock
+        else:
+            fn = lambda: clock.now_ms
+        self.events.bind_clock(fn)
+        self.tracer.bind_clock(fn)
+
+    # -- spans and events (no-ops while disabled) -------------------------
+
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self.tracer.span(name, **attrs)
+
+    def emit(self, name: str, **fields) -> Optional[dict]:
+        if not self.enabled:
+            return None
+        return self.events.emit(name, **fields)
+
+    # -- metrics ----------------------------------------------------------
+
+    def counter(self, name: str, **labels):
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, buckets=None, **labels):
+        return self.registry.histogram(name, buckets=buckets, **labels)
+
+    def add_collector(self, fn) -> None:
+        self.registry.add_collector(fn)
+
+    def collect_object(
+        self, prefix: str, obj, fields: Iterable[str], **labels
+    ) -> None:
+        """Sample ``obj.<field>`` into gauges ``<prefix>.<field>`` at
+        snapshot time — the zero-hot-path-cost way to publish an existing
+        stats object (parser counters, channel byte totals) into the
+        registry."""
+        field_list = tuple(fields)
+
+        def _collect(registry: MetricsRegistry) -> None:
+            for field in field_list:
+                registry.gauge(f"{prefix}.{field}", **labels).set(
+                    getattr(obj, field)
+                )
+
+        self.registry.add_collector(_collect)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the whole subsystem to JSON-ready builtins."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "enabled": self.enabled,
+            "metrics": jsonable(self.registry.snapshot()),
+            "spans": [span.to_dict() for span in self.tracer.spans],
+            "span_tree": self.tracer.tree(),
+            "events": self.events.events(),
+        }
+
+    def write_snapshot(self, path) -> dict:
+        snapshot = self.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")
+        return snapshot
+
+    def close(self) -> None:
+        self.events.close()

@@ -1,0 +1,308 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Two publishing styles coexist, chosen by how hot the publishing code is:
+
+* **push** — call :meth:`Counter.inc` / :meth:`Gauge.set` /
+  :meth:`Histogram.observe` from code that already does bookkeeping
+  (master boots, ISP programming passes).  Counters are *monotonic by
+  contract*: any decrement — ``inc`` by a negative amount or ``set`` to a
+  smaller value — raises :class:`~repro.errors.TelemetryError`.  That
+  contract is what turns a silent stats-reset bug in the reflash path
+  into a loud test failure.
+* **pull** — register a *collector* with
+  :meth:`MetricsRegistry.add_collector`.  Collectors run only when a
+  snapshot is taken and sample cheap attributes (CPU instruction counts,
+  decode-cache statistics, parser counters) into gauges.  The execution
+  engine's retire loop is never touched, which is how the disabled-path
+  overhead stays at zero.
+
+Instruments are identified by ``(name, labels)``.  ``counter()`` /
+``gauge()`` / ``histogram()`` get-or-create shared instruments;
+``own_counter()`` / ``own_gauge()`` always create a private one (an
+``instance`` label is added on collision), which is what the stats-view
+dataclasses use so that two programmers never fight over one monotonic
+counter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import TelemetryError
+
+LabelsKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+# Default histogram buckets: millisecond timings from sub-ms page writes
+# up to multi-minute full transfers (upper bounds, plus +inf implicitly).
+DEFAULT_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0, 120_000.0,
+)
+
+
+def _labels_key(name: str, labels: Dict[str, object]) -> LabelsKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class Counter:
+    """Monotonically increasing value; decrements raise."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: Dict[str, object]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value: float = 0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot be incremented by {amount}"
+            )
+        self._value += amount
+
+    def set(self, value: float) -> None:
+        """Assign an absolute value; going backwards is an error.
+
+        This is what makes stats views monotonic-checked: the property
+        setter behind ``stats.programming_cycles += 1`` lands here, so a
+        silent reset (``stats.pages_written = 0`` mid-lifetime) raises
+        instead of quietly corrupting the wear accounting.
+        """
+        if value < self._value:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease from "
+                f"{self._value} to {value}"
+            )
+        self._value = value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "kind": self.kind,
+            "labels": self.labels, "value": self._value,
+        }
+
+
+class Gauge:
+    """Point-in-time value; free to move in both directions (or be unset)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(
+        self, name: str, labels: Dict[str, object],
+        initial: Optional[float] = 0,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value: Optional[float] = initial
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def set(self, value: Optional[float]) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value = (self._value or 0) + amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value = (self._value or 0) - amount
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "kind": self.kind,
+            "labels": self.labels, "value": self._value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket distribution with percentile estimation.
+
+    Buckets are upper bounds; observations above the last bound land in
+    the implicit +inf bucket.  Percentiles interpolate linearly inside
+    the bucket containing the requested rank — exact enough for latency
+    reporting without keeping every observation.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "labels", "bounds", "bucket_counts",
+        "count", "sum", "min", "max",
+    )
+
+    def __init__(
+        self, name: str, labels: Dict[str, object],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        bounds = tuple(sorted(buckets if buckets else DEFAULT_BUCKETS_MS))
+        if not bounds:
+            raise TelemetryError(f"histogram {name!r} needs at least one bucket")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Estimated value at percentile ``p`` (0..100)."""
+        if self.count == 0:
+            return None
+        if not 0 <= p <= 100:
+            raise TelemetryError(f"percentile {p} out of range 0..100")
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        lower = max(self.min, 0.0)
+        for index, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[index]
+            if cumulative + in_bucket >= rank and in_bucket:
+                fraction = (rank - cumulative) / in_bucket
+                width = bound - lower
+                return min(lower + fraction * width, self.max)
+            if in_bucket:
+                lower = bound
+            cumulative += in_bucket
+        return self.max  # +inf bucket: best estimate is the observed max
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "kind": self.kind, "labels": self.labels,
+            "count": self.count, "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": {
+                **{str(b): c for b, c in zip(self.bounds, self.bucket_counts)},
+                "+inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Holds instruments and snapshot-time collectors."""
+
+    def __init__(self, labels: Optional[Dict[str, object]] = None) -> None:
+        self.base_labels = dict(labels or {})
+        self._instruments: Dict[LabelsKey, object] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- get-or-create (shared) instruments -----------------------------
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        merged = {**self.base_labels, **labels}
+        key = _labels_key(name, merged)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = cls(name, merged, **kwargs)
+        elif not isinstance(instrument, cls):
+            raise TelemetryError(
+                f"metric {name!r} {merged} already registered as "
+                f"{instrument.kind}, not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Tuple[float, ...]] = None, **labels
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    # -- owned (per-instance) instruments --------------------------------
+
+    def _own(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        merged = {**self.base_labels, **labels}
+        key = _labels_key(name, merged)
+        instance = 0
+        while key in self._instruments:
+            instance += 1
+            merged = {**merged, "instance": instance}
+            key = _labels_key(name, merged)
+        instrument = self._instruments[key] = cls(name, merged, **kwargs)
+        return instrument
+
+    def own_counter(self, name: str, **labels) -> Counter:
+        return self._own(Counter, name, labels)
+
+    def own_gauge(self, name: str, initial: Optional[float] = 0, **labels) -> Gauge:
+        return self._own(Gauge, name, labels, initial=initial)
+
+    def own_histogram(
+        self, name: str, buckets: Optional[Tuple[float, ...]] = None, **labels
+    ) -> Histogram:
+        return self._own(Histogram, name, labels, buckets=buckets)
+
+    # -- collectors and snapshots ----------------------------------------
+
+    def add_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a sampler run at snapshot time (pull-style publishing)."""
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        for fn in self._collectors:
+            fn(self)
+
+    def snapshot(self) -> List[dict]:
+        """Run collectors, then serialize every instrument."""
+        self.collect()
+        return [
+            instrument.to_dict() for instrument in self._instruments.values()
+        ]
+
+    def find(self, name: str, **labels) -> List[object]:
+        """Instruments matching ``name`` whose labels include ``labels``."""
+        wanted = {k: str(v) for k, v in labels.items()}
+        return [
+            inst for inst in self._instruments.values()
+            if inst.name == name
+            and all(str(inst.labels.get(k)) == v for k, v in wanted.items())
+        ]
+
+    def value(self, name: str, **labels):
+        """Single matching instrument's value (None when absent)."""
+        matches = self.find(name, **labels)
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise TelemetryError(
+                f"metric {name!r} with labels {labels} is ambiguous "
+                f"({len(matches)} instruments)"
+            )
+        instrument = matches[0]
+        if isinstance(instrument, Histogram):
+            return instrument.count
+        return instrument.value

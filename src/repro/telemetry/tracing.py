@@ -1,0 +1,164 @@
+"""Span tracing: nested timed regions keyed to sim and host time.
+
+A span measures one named region — ``mavr.boot``, ``mavr.randomize``,
+``isp.program`` — with two clocks at once:
+
+* **sim time** from the bound :class:`~repro.hw.clock.SimClock` (what the
+  modeled hardware would measure: ISP transfer milliseconds, bootloader
+  entry, ...), and
+* **host time** from :func:`time.perf_counter` (what the simulation
+  actually costs to run — the number the ROADMAP's scaling work cares
+  about).
+
+Spans nest: the tracer keeps a stack per tracer instance, so a
+watchdog-triggered recovery shows up as one causal tree::
+
+    mavr.rerandomize
+      mavr.boot
+        mavr.randomize
+        mavr.reflash
+          isp.program
+
+Span starts and ends are also mirrored into the event log (``span.start``
+/ ``span.end`` events), which is what lets a single JSONL file replay the
+full interleaving of spans and discrete events.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Deque, Dict, List, Optional
+
+from .events import EventLog, jsonable
+
+
+class Span:
+    """One timed region; ``attrs`` may be extended while the span is open."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "depth", "attrs",
+        "start_sim_ms", "end_sim_ms", "start_host", "end_host",
+    )
+
+    def __init__(
+        self, name: str, span_id: int, parent_id: Optional[int],
+        depth: int, attrs: Dict[str, object],
+        start_sim_ms: Optional[float], start_host: float,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs = attrs
+        self.start_sim_ms = start_sim_ms
+        self.end_sim_ms: Optional[float] = None
+        self.start_host = start_host
+        self.end_host: Optional[float] = None
+
+    @property
+    def duration_sim_ms(self) -> Optional[float]:
+        if self.start_sim_ms is None or self.end_sim_ms is None:
+            return None
+        return self.end_sim_ms - self.start_sim_ms
+
+    @property
+    def duration_host_ms(self) -> Optional[float]:
+        if self.end_host is None:
+            return None
+        return (self.end_host - self.start_host) * 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_sim_ms": self.start_sim_ms,
+            "duration_sim_ms": self.duration_sim_ms,
+            "duration_host_ms": self.duration_host_ms,
+            "attrs": jsonable(self.attrs),
+        }
+
+
+class Tracer:
+    """Produces nested spans; finished spans land in a bounded buffer."""
+
+    def __init__(
+        self,
+        event_log: Optional[EventLog] = None,
+        max_spans: int = 4096,
+    ) -> None:
+        self.event_log = event_log
+        self.spans: Deque[Span] = deque(maxlen=max_spans)
+        self._stack: List[Span] = []
+        self._clock_ms: Optional[Callable[[], float]] = None
+        self._next_id = 1
+
+    def bind_clock(self, clock_ms: Optional[Callable[[], float]]) -> None:
+        self._clock_ms = clock_ms
+
+    def _now_sim(self) -> Optional[float]:
+        return self._clock_ms() if self._clock_ms is not None else None
+
+    @property
+    def active(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            depth=len(self._stack),
+            attrs=dict(attrs),
+            start_sim_ms=self._now_sim(),
+            start_host=time.perf_counter(),
+        )
+        self._next_id += 1
+        if self.event_log is not None:
+            self.event_log.emit(
+                "span.start", span=name, span_id=span.span_id,
+                parent_id=span.parent_id,
+            )
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end_host = time.perf_counter()
+            span.end_sim_ms = self._now_sim()
+            self.spans.append(span)
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "span.end", span=name, span_id=span.span_id,
+                    parent_id=span.parent_id,
+                    duration_sim_ms=span.duration_sim_ms,
+                    duration_host_ms=round(span.duration_host_ms, 6),
+                    **jsonable(span.attrs),
+                )
+
+    # -- inspection -------------------------------------------------------
+
+    def finished(self, name: Optional[str] = None) -> List[Span]:
+        if name is None:
+            return list(self.spans)
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def tree(self) -> List[dict]:
+        """Finished spans as a forest of ``{span, children}`` dicts."""
+        nodes = {s.span_id: {**s.to_dict(), "children": []} for s in self.spans}
+        roots: List[dict] = []
+        for span in self.spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id)
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots

@@ -1,0 +1,104 @@
+"""Stats views: dataclass-shaped objects backed by registry instruments.
+
+``MasterStats`` and ``ProgrammingStats`` predate the telemetry subsystem
+as plain dataclasses.  Their public fields are load-bearing (tests, the
+policy layer and the CLI read them), so instead of replacing them the
+fields become *descriptors over registry instruments*:
+
+* :class:`CounterField` — reads/writes a monotonic :class:`~repro.
+  telemetry.metrics.Counter`.  ``stats.pages_written += n`` goes through
+  the descriptor's setter into :meth:`Counter.set`, which rejects any
+  decrement — the monotonic check that catches silent stats-reset bugs
+  in the reflash path.
+* :class:`GaugeField` — reads/writes a :class:`~repro.telemetry.metrics.
+  Gauge` for ``last_*``-style point-in-time values.
+
+A view owns its instruments (``own_counter``/``own_gauge``): two
+programmers sharing one registry get distinct instruments (the second
+picks up an ``instance`` label) rather than fighting over one monotonic
+counter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .hub import Telemetry
+
+
+class CounterField:
+    """Monotonic int/float field stored in a registry Counter."""
+
+    def __init__(self, metric: str) -> None:
+        self.metric = metric
+        self.attr = ""
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.attr = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._instruments[self.attr].value
+
+    def __set__(self, obj, value) -> None:
+        obj._instruments[self.attr].set(value)
+
+
+class GaugeField:
+    """Point-in-time field stored in a registry Gauge."""
+
+    def __init__(self, metric: str, initial: Optional[float] = 0) -> None:
+        self.metric = metric
+        self.initial = initial
+        self.attr = ""
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.attr = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._instruments[self.attr].value
+
+    def __set__(self, obj, value) -> None:
+        obj._instruments[self.attr].set(value)
+
+
+class StatsView:
+    """Base class wiring declared fields to owned registry instruments."""
+
+    #: label attached to every instrument this view creates
+    component = "stats"
+
+    def __init__(
+        self, telemetry: Optional[Telemetry] = None, **labels
+    ) -> None:
+        # A view constructed without a telemetry handle still needs live
+        # instruments (the monotonic contract holds either way); it gets a
+        # private disabled instance.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        registry = self.telemetry.registry
+        merged = {"component": self.component, **labels}
+        self._instruments = {}
+        for klass in reversed(type(self).__mro__):
+            for name, field in vars(klass).items():
+                if isinstance(field, CounterField):
+                    self._instruments[name] = registry.own_counter(
+                        field.metric, **merged
+                    )
+                elif isinstance(field, GaugeField):
+                    self._instruments[name] = registry.own_gauge(
+                        field.metric, initial=field.initial, **merged
+                    )
+
+    def field_names(self):
+        return list(self._instruments)
+
+    def as_dict(self) -> dict:
+        """Plain ``{field: value}`` dict (what dataclasses.asdict gave)."""
+        return {name: getattr(self, name) for name in self._instruments}
+
+    def __repr__(self) -> str:  # dataclass-style repr, same field order
+        body = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({body})"

@@ -7,13 +7,21 @@ Commands mirror the workflows a user of the original system would have:
 * ``info``     — image statistics (sizes, regions, symbols).
 * ``disasm``   — disassemble an application or one function.
 * ``gadgets``  — gadget inventory with Fig. 4/5-style listings.
-* ``attack``   — run V1/V2/V3 against a simulated unprotected board.
+* ``attack``   — run V1/V2/V3 against a simulated unprotected board, or
+  (with ``--telemetry``) against a MAVR-protected board while recording
+  the full observability stream.
 * ``defend``   — run a guessing campaign against a MAVR-protected board.
+* ``telemetry``— boot a protected board, force a crash/recovery cycle,
+  and dump the metrics/span/event snapshot.
+
+``info`` and ``report`` accept ``--json`` for machine-readable output;
+both reuse the telemetry snapshot serializer (:func:`repro.telemetry.jsonable`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -59,6 +67,21 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_info(args: argparse.Namespace) -> int:
     image = _load(args)
+    if args.json:
+        from ..telemetry import jsonable
+
+        print(json.dumps(jsonable({
+            "name": image.name,
+            "toolchain": image.toolchain_tag,
+            "size_bytes": image.size,
+            "fixed_region": {"start": 0, "end": image.text_start},
+            "text": {"start": image.text_start, "end": image.text_end},
+            "data": {"start": image.data_start, "end": image.data_end},
+            "functions": image.function_count(),
+            "funcptr_slots": len(image.funcptr_locations),
+            "entry": image.entry_symbol,
+        }), indent=2))
+        return 0
     rows = [
         ("name", image.name),
         ("toolchain", image.toolchain_tag),
@@ -98,19 +121,8 @@ def _cmd_gadgets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_attack(args: argparse.Namespace) -> int:
-    image = _load(args)
-    if args.toolchain != "mavr":
-        print("note: attacks are normally demonstrated on the mavr build",
-              file=sys.stderr)
-    autopilot = Autopilot(image)
-    attack = {
-        "v1": lambda: BasicAttack(image).execute(autopilot),
-        "v2": lambda: StealthyAttack(image).execute(autopilot),
-        "v3": lambda: TrampolineAttack(image).execute(autopilot),
-    }[args.variant]
-    outcome = attack()
-    rows = [
+def _attack_outcome_rows(outcome) -> list:
+    return [
         ("attack", outcome.name),
         ("bytes delivered", str(outcome.delivered_bytes)),
         ("write landed", str(outcome.succeeded)),
@@ -119,8 +131,64 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         ("ground station alarm", str(outcome.link_lost)),
         ("verdict", "STEALTHY" if outcome.stealthy else "DETECTED/FAILED"),
     ]
-    print(format_table(("field", "value"), rows))
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    image = _load(args)
+    if args.toolchain != "mavr":
+        print("note: attacks are normally demonstrated on the mavr build",
+              file=sys.stderr)
+    if args.telemetry:
+        return _attack_with_telemetry(args, image)
+    autopilot = Autopilot(image)
+    attack = {
+        "v1": lambda: BasicAttack(image).execute(autopilot),
+        "v2": lambda: StealthyAttack(image).execute(autopilot),
+        "v3": lambda: TrampolineAttack(image).execute(autopilot),
+    }[args.variant]
+    outcome = attack()
+    print(format_table(("field", "value"), _attack_outcome_rows(outcome)))
     return 0 if outcome.succeeded else 1
+
+
+def _attack_with_telemetry(args: argparse.Namespace, image) -> int:
+    """Attack a MAVR-*protected* board with the full observability stream on.
+
+    The attacker aims at the original (pre-randomization) layout, so on the
+    protected board the payload lands wrong, crashes or starves the
+    application processor, and the master's detect/re-randomize cycle plays
+    out — all of it recorded to the JSONL event log and the metrics/span
+    snapshot written next to it.
+    """
+    from ..core import MavrSystem
+    from ..telemetry import Telemetry
+
+    tel = Telemetry(enabled=True)
+    tel.events.open_jsonl(args.telemetry)
+    try:
+        system = MavrSystem(image, seed=args.seed, telemetry=tel)
+        system.boot()
+        system.run(20)
+        attack_cls = {
+            "v1": BasicAttack, "v2": StealthyAttack, "v3": TrampolineAttack,
+        }[args.variant]
+        outcome = attack_cls(image, telemetry=tel).execute(system.autopilot)
+        # let the master observe the aftermath and recover if it must
+        system.run(150, watch_every=5)
+        report = system.report()
+        snapshot_path = args.telemetry + ".snapshot.json"
+        tel.write_snapshot(snapshot_path)
+    finally:
+        tel.close()
+    rows = _attack_outcome_rows(outcome) + [
+        ("defense detections", str(report.attacks_detected)),
+        ("re-randomizations", str(report.randomizations)),
+        ("event log", args.telemetry),
+        ("snapshot", snapshot_path),
+    ]
+    print(format_table(("field", "value"), rows,
+                       title=f"{args.variant} vs MAVR-protected {image.name}"))
+    return 0
 
 
 def _cmd_defend(args: argparse.Namespace) -> int:
@@ -138,10 +206,12 @@ def _cmd_defend(args: argparse.Namespace) -> int:
     return 0 if result.effects == 0 else 1
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    """Paper-vs-measured summary (Tables I-III need --full)."""
-    import math
+def _report_data(full: bool) -> dict:
+    """Gather the paper-vs-measured report as one plain data structure.
 
+    Shared by the markdown and ``--json`` renderings of ``report``; the
+    JSON path serializes this dict with the telemetry snapshot serializer.
+    """
     from ..analysis import entropy_report, estimate_for
     from ..hw import CostModel, PROTOTYPE_LINK
     from ..firmware import (
@@ -152,24 +222,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
         PAPER_STOCK_SIZES,
     )
 
-    lines = ["# MAVR reproduction report", ""]
-
-    if args.full:
+    data: dict = {}
+    if full:
         from ..core import MavrSystem
 
-        lines.append("## Table I/II/III (measured)")
-        rows = []
+        apps = []
         for manifest in ALL_APPS:
             stock = build_app(manifest, STOCK_OPTIONS)
             mavr = build_app(manifest, MAVR_OPTIONS)
             overhead = MavrSystem(mavr, seed=1).boot()
-            rows.append((
-                manifest.name,
-                f"{mavr.function_count()} (paper {PAPER_FUNCTION_COUNTS[manifest.name]})",
-                f"{stock.size} (paper {PAPER_STOCK_SIZES[manifest.name]})",
-                f"{mavr.size} (paper {PAPER_MAVR_SIZES[manifest.name]})",
-                f"{overhead:.0f} ms (paper {PAPER_STARTUP_MS[manifest.name]})",
-            ))
+            apps.append({
+                "app": manifest.name,
+                "functions": mavr.function_count(),
+                "functions_paper": PAPER_FUNCTION_COUNTS[manifest.name],
+                "stock_bytes": stock.size,
+                "stock_bytes_paper": PAPER_STOCK_SIZES[manifest.name],
+                "mavr_bytes": mavr.size,
+                "mavr_bytes_paper": PAPER_MAVR_SIZES[manifest.name],
+                "startup_ms": overhead,
+                "startup_ms_paper": PAPER_STARTUP_MS[manifest.name],
+            })
+        data["tables"] = apps
+
+    rover = entropy_report(800)
+    plane = estimate_for(917)
+    cost = CostModel().report()
+    data["analysis"] = {
+        "entropy_800_symbols_bits": rover.shuffle_bits,
+        "entropy_paper_bits": 6567,
+        "brute_force_917_fns_log10_layouts": plane.log10_layouts,
+        "transfer_rate_bytes_per_ms": PROTOTYPE_LINK.bytes_per_ms,
+        "hardware_cost": cost,
+    }
+
+    image = build_app(manifest_by_name("testapp"), MAVR_OPTIONS)
+    v2 = StealthyAttack(image).execute(Autopilot(image))
+    campaign = guessing_campaign(image, attempts=2, seed=1)
+    data["effectiveness"] = {
+        "v2_vs_unprotected_stealthy": v2.stealthy and v2.succeeded,
+        "campaign_attempts": campaign.attempts,
+        "campaign_effects": campaign.effects,
+        "campaign_detections": campaign.detections,
+        "uav_survived_campaign": campaign.still_flying,
+    }
+    return data
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Paper-vs-measured summary (Tables I-III need --full)."""
+    data = _report_data(args.full)
+
+    if args.json:
+        from ..telemetry import jsonable
+
+        text = json.dumps(jsonable(data), indent=2) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    lines = ["# MAVR reproduction report", ""]
+    if "tables" in data:
+        lines.append("## Table I/II/III (measured)")
+        rows = [
+            (
+                app["app"],
+                f"{app['functions']} (paper {app['functions_paper']})",
+                f"{app['stock_bytes']} (paper {app['stock_bytes_paper']})",
+                f"{app['mavr_bytes']} (paper {app['mavr_bytes_paper']})",
+                f"{app['startup_ms']:.0f} ms (paper {app['startup_ms_paper']})",
+            )
+            for app in data["tables"]
+        ]
         lines.append(format_table(
             ("app", "functions", "stock bytes", "MAVR bytes", "startup"),
             rows,
@@ -177,28 +304,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
         lines.append("")
 
     lines.append("## Analysis (closed form)")
-    rover = entropy_report(800)
-    plane = estimate_for(917)
-    cost = CostModel().report()
+    analysis = data["analysis"]
+    cost = analysis["hardware_cost"]
     lines.append(format_table(("metric", "value", "paper"), [
-        ("entropy, 800 symbols", f"{rover.shuffle_bits:.0f} bits", "6567 bits"),
-        ("brute force, 917 fns", f"~10^{plane.log10_layouts:.0f}", "~917!"),
-        ("transfer rate", f"{PROTOTYPE_LINK.bytes_per_ms:.2f} B/ms", "~11 B/ms"),
+        ("entropy, 800 symbols",
+         f"{analysis['entropy_800_symbols_bits']:.0f} bits", "6567 bits"),
+        ("brute force, 917 fns",
+         f"~10^{analysis['brute_force_917_fns_log10_layouts']:.0f}", "~917!"),
+        ("transfer rate",
+         f"{analysis['transfer_rate_bytes_per_ms']:.2f} B/ms", "~11 B/ms"),
         ("hardware cost", f"+${cost['extra_usd']} ({cost['increase_pct']}%)",
          "+$11.68 (7.3%)"),
     ]))
     lines.append("")
 
     lines.append("## Effectiveness (test application)")
-    image = build_app(manifest_by_name("testapp"), MAVR_OPTIONS)
-    v2 = StealthyAttack(image).execute(Autopilot(image))
-    campaign = guessing_campaign(image, attempts=2, seed=1)
+    eff = data["effectiveness"]
     lines.append(format_table(("experiment", "result"), [
-        ("V2 vs unprotected", "stealthy success" if v2.stealthy and v2.succeeded
-         else "FAILED"),
-        ("replay vs MAVR", f"{campaign.effects} effects / "
-         f"{campaign.detections} detections in {campaign.attempts} attempts"),
-        ("UAV survived campaign", str(campaign.still_flying)),
+        ("V2 vs unprotected",
+         "stealthy success" if eff["v2_vs_unprotected_stealthy"] else "FAILED"),
+        ("replay vs MAVR", f"{eff['campaign_effects']} effects / "
+         f"{eff['campaign_detections']} detections in "
+         f"{eff['campaign_attempts']} attempts"),
+        ("UAV survived campaign", str(eff["uav_survived_campaign"])),
     ]))
 
     text = "\n".join(lines) + "\n"
@@ -208,6 +336,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Boot a protected board, force one crash/recovery, dump the snapshot.
+
+    The forced wild jump plays the same scenario as the watchdog-recovery
+    integration test: the master notices the crashed (or silent) application
+    processor, re-randomizes, differentially reflashes, and reboots — so
+    the snapshot always contains the full causal chain (``watchdog.starved``
+    / ``attack.detected`` events, a nested ``mavr.rerandomize`` span, and
+    per-page ``flash.page_reflashed`` events) plus the CPU/ISP metrics.
+    """
+    from ..core import MavrSystem
+    from ..telemetry import Telemetry
+
+    image = _load(args)
+    tel = Telemetry(enabled=True)
+    if args.jsonl:
+        tel.events.open_jsonl(args.jsonl)
+    try:
+        system = MavrSystem(image, seed=args.seed, telemetry=tel)
+        system.boot()
+        system.run(args.ticks)
+        # force a wild jump into the middle of .text: guaranteed crash or
+        # watchdog starvation, which the master must detect and recover from
+        system.autopilot.cpu.pc = (system.running_image.size + 64) // 2
+        system.run(150, watch_every=5)
+        snapshot = tel.snapshot()
+        report = system.report()
+    finally:
+        tel.close()
+
+    if args.out:
+        from ..telemetry import jsonable
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(jsonable(snapshot), handle, indent=2)
+            handle.write("\n")
+
+    rows = [
+        ("boots", str(report.boots)),
+        ("re-randomizations", str(report.randomizations)),
+        ("attacks detected", str(report.attacks_detected)),
+        ("metrics", str(len(snapshot["metrics"]))),
+        ("spans", str(len(snapshot["spans"]))),
+        ("events", str(len(snapshot["events"]))),
+    ]
+    if args.jsonl:
+        rows.append(("event log", args.jsonl))
+    if args.out:
+        rows.append(("snapshot", args.out))
+    print(format_table(("field", "value"), rows,
+                       title=f"telemetry: crash/recovery on {image.name}"))
+    if not args.out and not args.jsonl:
+        from ..telemetry import jsonable
+
+        print(json.dumps(jsonable(snapshot), indent=2))
     return 0
 
 
@@ -225,6 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = subparsers.add_parser("info", help="image statistics")
     _add_app_argument(info)
+    info.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
     info.set_defaults(func=_cmd_info)
 
     disasm = subparsers.add_parser("disasm", help="disassemble")
@@ -239,6 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
     attack = subparsers.add_parser("attack", help="run an attack simulation")
     _add_app_argument(attack)
     attack.add_argument("--variant", choices=("v1", "v2", "v3"), default="v2")
+    attack.add_argument(
+        "--telemetry", metavar="PATH",
+        help="attack a MAVR-protected board instead, recording the event "
+             "log to PATH (JSONL) and the metrics/span snapshot to "
+             "PATH.snapshot.json",
+    )
+    attack.add_argument("--seed", type=int, default=1,
+                        help="randomization seed for --telemetry mode")
     attack.set_defaults(func=_cmd_attack)
 
     defend = subparsers.add_parser("defend", help="guessing campaign vs MAVR")
@@ -253,7 +449,23 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--full", action="store_true",
                         help="include Tables I-III at full application scale")
     report.add_argument("--out", help="write markdown here instead of stdout")
+    report.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
     report.set_defaults(func=_cmd_report)
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="crash/recovery demo on a protected board, dumping the snapshot",
+    )
+    _add_app_argument(telemetry)
+    telemetry.add_argument("--ticks", type=int, default=20,
+                           help="healthy flight ticks before the forced crash")
+    telemetry.add_argument("--seed", type=int, default=1)
+    telemetry.add_argument("--jsonl", metavar="PATH",
+                           help="also stream the event log here (JSONL)")
+    telemetry.add_argument("--out", metavar="PATH",
+                           help="write the snapshot JSON here")
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     return parser
 

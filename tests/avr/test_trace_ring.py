@@ -1,0 +1,56 @@
+"""Ring-buffer mode for ExecutionTrace / CpuStateStream (bounded memory)."""
+
+from repro.avr import AvrCpu, ExecutionTrace, Instruction, Mnemonic, encode_stream
+from repro.avr.trace import CpuStateStream
+
+I = Instruction
+M = Mnemonic
+
+
+def run_program(n_nops, **trace_kwargs):
+    cpu = AvrCpu()
+    cpu.load_program(encode_stream([I(M.NOP)] * n_nops + [I(M.BREAK)]))
+    cpu.reset()
+    trace = ExecutionTrace(**trace_kwargs)
+    trace.attach(cpu)
+    stream = CpuStateStream(
+        max_entries=trace_kwargs.get("max_entries")
+    ).attach(cpu)
+    cpu.run(n_nops + 5)
+    return trace, stream
+
+
+def test_default_mode_keeps_first():
+    trace, stream = run_program(10)
+    assert len(trace.instructions) == 11  # 10 nops + break
+    assert len(stream.states) == 11
+
+
+def test_max_instructions_caps_keep_first():
+    trace, _ = run_program(10, max_instructions=3)
+    assert len(trace.instructions) == 3
+    # the earliest retires survive (what equivalence checks want)
+    assert trace.instructions[0][0] == 0
+
+
+def test_ring_mode_keeps_last():
+    trace, stream = run_program(10, max_entries=4)
+    assert len(trace.instructions) == 4
+    assert len(stream.states) == 4
+    # the newest retires survive: the final entry is the BREAK at pc 10*2
+    assert trace.instructions[-1][1].mnemonic is M.BREAK
+    assert trace.instructions[0][0] > 0  # early entries were evicted
+    assert stream.states[-1][0] == 10 * 2
+
+
+def test_ring_mode_never_grows_past_cap():
+    trace, stream = run_program(50, max_entries=8)
+    assert len(trace.instructions) == 8
+    assert len(stream.states) == 8
+
+
+def test_ring_mode_mnemonic_counts_still_work():
+    trace, _ = run_program(10, max_entries=4)
+    counts = trace.mnemonic_counts()
+    assert counts[M.NOP] == 3
+    assert counts[M.BREAK] == 1

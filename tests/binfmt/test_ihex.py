@@ -1,7 +1,7 @@
 """Intel HEX encode/decode, including >64K images and the symbol window."""
 
 import pytest
-from hypothesis import given
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.binfmt import (
@@ -80,6 +80,10 @@ def test_unsupported_record_type():
     min_size=0, max_size=8,
 ))
 def test_roundtrip_property(chunks):
+    # overlapping chunks make the roundtrip ill-defined (last-writer-wins
+    # depends on record order); only non-overlapping maps are valid input
+    spans = sorted((base, base + len(data)) for base, data in chunks.items())
+    assume(all(end <= start for (_, end), (start, _) in zip(spans, spans[1:])))
     decoded = decode(encode(chunks))
     # decode coalesces; re-serialize both and compare flattened bytes
     def flatten(mapping):

@@ -1,0 +1,141 @@
+"""End-to-end observability: the full causal chain of a watchdog recovery.
+
+The scenario mirrors the paper's detection story: an attack leaves the
+application processor running but silent (the watchdog feed line stops
+toggling), the master's timing analysis starves, and the recovery —
+re-randomize, differentially reflash, reboot — plays out as one ordered
+stream of events and one nested span tree.
+"""
+
+import json
+
+import pytest
+
+from repro.avr.iospace import FEED_PORT, IO_TO_DATA_OFFSET
+from repro.core import MavrSystem
+from repro.telemetry import Telemetry
+
+
+def silence_feed_line(system):
+    """Model an attack that disables the watchdog-feed GPIO.
+
+    Replacing the feed-port write hook with a no-op keeps the firmware
+    running normally while the master sees nothing — genuine starvation,
+    not a crash.
+    """
+    system.autopilot.cpu.data.add_write_hook(
+        FEED_PORT + IO_TO_DATA_OFFSET, lambda _address, _value: None
+    )
+
+
+@pytest.fixture(scope="module")
+def recovered(testapp):
+    """One starved-and-recovered protected system plus its telemetry."""
+    tel = Telemetry(enabled=True)
+    system = MavrSystem(testapp, seed=103, telemetry=tel)
+    system.boot()
+    system.run(20)
+    silence_feed_line(system)
+    # window is 400k cycles at ~7k cycles/tick: starve within ~60 ticks,
+    # then let one watch() pass fire the recovery
+    detections = system.run(120, watch_every=30)
+    assert detections >= 1
+    # a little post-recovery flight so the rebooted core has retired work
+    system.run(10, watch_every=1000)
+    return system, tel
+
+
+def test_causal_event_order(recovered):
+    """watchdog.starved -> attack.detected -> mavr.rerandomize span
+    -> flash.page_reflashed, in that order, as one subsequence."""
+    _system, tel = recovered
+    sequence = []
+    for event in tel.events.events():
+        if event["event"] == "span.start" and event.get("span") == "mavr.rerandomize":
+            sequence.append("mavr.rerandomize")
+        elif event["event"] in (
+            "watchdog.starved", "attack.detected", "flash.page_reflashed",
+        ):
+            sequence.append(event["event"])
+    expected = [
+        "watchdog.starved", "attack.detected",
+        "mavr.rerandomize", "flash.page_reflashed",
+    ]
+    iterator = iter(sequence)
+    assert all(step in iterator for step in expected), (
+        f"causal chain {expected} not a subsequence of {sequence[:12]}"
+    )
+
+
+def test_starvation_event_fields(recovered):
+    _system, tel = recovered
+    starved = tel.events.events("watchdog.starved")[0]
+    assert starved["now_cycles"] - starved["last_feed_cycle"] > starved[
+        "window_cycles"
+    ]
+    detected = tel.events.events("attack.detected")[0]
+    assert detected["cause"] == "watchdog_silence"
+    assert detected["seq"] > starved["seq"]
+
+
+def test_rerandomize_span_is_a_causal_tree(recovered):
+    """The recovery is one nested tree: rerandomize > boot > randomize/reflash."""
+    _system, tel = recovered
+    rerandomize = tel.tracer.finished("mavr.rerandomize")[0]
+    boots = tel.tracer.children_of(rerandomize)
+    assert [s.name for s in boots] == ["mavr.boot"]
+    child_names = {s.name for s in tel.tracer.children_of(boots[0])}
+    assert {"mavr.randomize", "mavr.reflash"} <= child_names
+    reflash = [s for s in tel.tracer.children_of(boots[0])
+               if s.name == "mavr.reflash"][0]
+    program = tel.tracer.children_of(reflash)
+    assert [s.name for s in program] == ["isp.program"]
+    assert program[0].attrs["differential"] is True
+    assert program[0].duration_sim_ms > 0  # sim-time cost of the reflash
+
+
+def test_snapshot_covers_every_layer(recovered):
+    """CPU, engine, ISP and master metrics all land in one snapshot."""
+    system, tel = recovered
+    snapshot = system.snapshot()
+    values = {m["name"]: m["value"] for m in snapshot["metrics"]
+              if m["kind"] != "histogram"}
+    assert values["cpu.instructions_retired"] > 0
+    assert values["cpu.instructions_lifetime"] > values[
+        "cpu.instructions_retired"
+    ]  # lifetime survived the recovery reset
+    assert values["engine.decode_misses"] > 0
+    assert values["engine.decode_cache_hits"] > values["engine.decode_misses"]
+    assert values["isp.pages_written"] > 0
+    assert values["isp.bytes_on_wire"] > 0
+    assert values["master.attacks_detected"] >= 1
+    assert values["master.boots"] >= 2
+    json.dumps(snapshot)  # end-to-end serializable
+
+
+def test_stats_views_match_registry(recovered):
+    """The legacy stats objects and the registry are the same numbers."""
+    system, tel = recovered
+    assert tel.registry.value(
+        "master.boots", component="master"
+    ) == system.master.stats.boots
+    assert tel.registry.value(
+        "isp.pages_written", component="isp"
+    ) == system.master.isp.stats.pages_written
+
+
+def test_jsonl_log_replays_the_chain(testapp, tmp_path):
+    """The JSONL sink alone is enough to reconstruct the recovery."""
+    path = tmp_path / "events.jsonl"
+    tel = Telemetry(enabled=True, jsonl_path=path)
+    system = MavrSystem(testapp, seed=7, telemetry=tel)
+    system.boot()
+    system.run(20)
+    silence_feed_line(system)
+    system.run(120, watch_every=30)
+    tel.close()
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    names = [r["event"] for r in records]
+    assert "watchdog.starved" in names
+    assert "flash.page_reflashed" in names
+    assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)

@@ -1,0 +1,143 @@
+"""Metrics registry: monotonic counters, gauges, histograms, collectors."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("boots", component="master")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("boots")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_set_backwards_rejected(self):
+        """The monotonic contract: a silent stats reset must be loud."""
+        counter = MetricsRegistry().counter("pages_written")
+        counter.set(10)
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            counter.set(3)
+        assert counter.value == 10  # rejected write left no trace
+
+    def test_set_forwards_ok(self):
+        counter = MetricsRegistry().counter("cycles")
+        counter.set(7)
+        counter.set(7)  # equal is fine (idempotent republish)
+        counter.set(9)
+        assert counter.value == 9
+
+
+class TestGauge:
+    def test_moves_both_directions(self):
+        gauge = MetricsRegistry().gauge("flash_cycles_remaining")
+        gauge.set(10_000)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 9_998
+
+    def test_initial_none_supported(self):
+        registry = MetricsRegistry()
+        gauge = registry.own_gauge("remaining", initial=None)
+        assert gauge.value is None
+        gauge.set(5)
+        assert gauge.value == 5
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        hist = MetricsRegistry().histogram("ms")
+        for value in (1.0, 2.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 103.0
+        assert hist.min == 1.0
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(103.0 / 3)
+
+    def test_percentiles_ordered(self):
+        hist = MetricsRegistry().histogram("ms")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        p50, p90, p99 = (hist.percentile(p) for p in (50, 90, 99))
+        assert p50 <= p90 <= p99 <= hist.max
+
+    def test_empty_percentile_is_none(self):
+        hist = MetricsRegistry().histogram("ms")
+        assert hist.percentile(50) is None
+        assert hist.mean is None
+
+    def test_overflow_bucket(self):
+        hist = MetricsRegistry().histogram("ms", buckets=(1.0, 10.0))
+        hist.observe(99.0)  # beyond the last bound: +inf bucket
+        assert hist.bucket_counts[-1] == 1
+        assert hist.percentile(99) == 99.0  # falls back to observed max
+
+    def test_to_dict_shape(self):
+        hist = MetricsRegistry().histogram("ms", buckets=(5.0,))
+        hist.observe(1.0)
+        data = hist.to_dict()
+        assert data["kind"] == "histogram"
+        assert data["count"] == 1
+        assert data["buckets"] == {"5.0": 1, "+inf": 0}
+
+
+class TestRegistry:
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("frames", attack="v1")
+        b = registry.counter("frames", attack="v2")
+        assert a is not b
+        a.inc(3)
+        assert registry.value("frames", attack="v1") == 3
+        assert registry.value("frames", attack="v2") == 0
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", k=1) is registry.counter("x", k=1)
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("x")
+
+    def test_own_counter_never_shared(self):
+        """Two stats views must not fight over one monotonic counter."""
+        registry = MetricsRegistry()
+        a = registry.own_counter("isp.pages_written", component="isp")
+        b = registry.own_counter("isp.pages_written", component="isp")
+        assert a is not b
+        a.set(5)
+        b.set(2)  # would raise if they shared state
+        assert b.labels["instance"] == 1
+
+    def test_collector_runs_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        source = {"retired": 0}
+        registry.add_collector(
+            lambda reg: reg.gauge("cpu.retired").set(source["retired"])
+        )
+        source["retired"] = 42
+        names = {m["name"]: m["value"] for m in registry.snapshot()}
+        assert names["cpu.retired"] == 42
+
+    def test_value_ambiguity_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", attack="v1")
+        registry.counter("frames", attack="v2")
+        with pytest.raises(TelemetryError, match="ambiguous"):
+            registry.value("frames")
+        assert registry.value("missing") is None
+
+    def test_base_labels_merged(self):
+        registry = MetricsRegistry(labels={"run": "r1"})
+        counter = registry.counter("boots")
+        assert counter.labels == {"run": "r1"}

@@ -1,0 +1,186 @@
+"""Span tracing and the structured event log."""
+
+import json
+
+from repro.telemetry import EventLog, Telemetry, Tracer, jsonable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now_ms = 0.0
+
+
+class TestTracer:
+    def test_nesting_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+        assert tracer.children_of(outer) == [inner]
+
+    def test_tree_forest(self):
+        tracer = Tracer()
+        with tracer.span("boot"):
+            with tracer.span("randomize"):
+                pass
+            with tracer.span("reflash"):
+                pass
+        with tracer.span("run"):
+            pass
+        roots = tracer.tree()
+        assert [r["name"] for r in roots] == ["boot", "run"]
+        assert [c["name"] for c in roots[0]["children"]] == [
+            "randomize", "reflash",
+        ]
+
+    def test_dual_clocks(self):
+        clock = FakeClock()
+        tracer = Tracer()
+        tracer.bind_clock(lambda: clock.now_ms)
+        with tracer.span("isp.program") as span:
+            clock.now_ms += 250.0
+        assert span.duration_sim_ms == 250.0
+        assert span.duration_host_ms >= 0.0
+
+    def test_span_events_mirrored(self):
+        log = EventLog()
+        tracer = Tracer(event_log=log)
+        with tracer.span("mavr.boot", app="testapp") as span:
+            span.attrs["randomized"] = True
+        assert log.names() == ["span.start", "span.end"]
+        end = log.events("span.end")[0]
+        assert end["span"] == "mavr.boot"
+        assert end["randomized"] is True  # attrs set mid-span are captured
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.active is None
+        assert tracer.finished("boom")[0].end_host is not None
+
+
+class TestEventLog:
+    def test_seq_and_order(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b", n=1)
+        assert log.names() == ["a", "b"]
+        assert [e["seq"] for e in log.events()] == [1, 2]
+
+    def test_ring_buffer_keeps_last(self):
+        log = EventLog(max_entries=3)
+        for index in range(10):
+            log.emit("tick", n=index)
+        assert len(log) == 3
+        assert [e["n"] for e in log.events()] == [7, 8, 9]
+        assert log.events()[-1]["seq"] == 10  # seq survives eviction
+
+    def test_clock_stamps_t_ms(self):
+        clock = FakeClock()
+        log = EventLog()
+        assert log.emit("before")["t_ms"] is None
+        log.bind_clock(lambda: clock.now_ms)
+        clock.now_ms = 12.5
+        assert log.emit("after")["t_ms"] == 12.5
+
+    def test_jsonl_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        log.open_jsonl(path)
+        log.emit("flash.page_reflashed", page=3, data=b"\x01\x02")
+        log.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["event"] == "flash.page_reflashed"
+        assert record["page"] == 3
+        assert record["data"] == "0102"  # bytes serialized as hex
+
+    def test_filter_by_name(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert len(log.events("a")) == 2
+
+
+class TestJsonable:
+    def test_edge_cases(self):
+        import enum
+        import math
+        from dataclasses import dataclass
+
+        class Color(enum.Enum):
+            RED = "red"
+
+        @dataclass
+        class Point:
+            x: int
+            raw: bytes
+
+        assert jsonable(Color.RED) == "red"
+        assert jsonable(Point(1, b"\xff")) == {"x": 1, "raw": "ff"}
+        assert jsonable(math.inf) is None
+        assert jsonable(math.nan) is None
+        assert jsonable({1: (2, 3)}) == {"1": [2, 3]}
+        assert jsonable({"s": {4}}) == {"s": [4]}
+
+
+class TestTelemetryFacade:
+    def test_disabled_is_inert(self):
+        tel = Telemetry()
+        assert tel.emit("x") is None
+        with tel.span("y") as span:
+            assert span is None
+        assert len(tel.events) == 0
+        assert tel.tracer.finished() == []
+
+    def test_disabled_metrics_still_live(self):
+        """The monotonic contract holds even with telemetry off."""
+        tel = Telemetry()
+        tel.counter("boots").inc()
+        assert tel.registry.value("boots") == 1
+
+    def test_enabled_snapshot_shape(self):
+        tel = Telemetry(enabled=True)
+        tel.counter("boots").inc()
+        with tel.span("mavr.boot"):
+            tel.emit("attack.detected", cause="crash")
+        snapshot = tel.snapshot()
+        assert snapshot["schema"] == 1
+        assert snapshot["enabled"] is True
+        assert {m["name"] for m in snapshot["metrics"]} == {"boots"}
+        assert [s["name"] for s in snapshot["spans"]] == ["mavr.boot"]
+        assert snapshot["span_tree"][0]["name"] == "mavr.boot"
+        assert "attack.detected" in [e["event"] for e in snapshot["events"]]
+        json.dumps(snapshot)  # fully serializable
+
+    def test_bind_clock_accepts_simclock_like(self):
+        tel = Telemetry(enabled=True)
+        tel.bind_clock(FakeClock())
+        assert tel.emit("x")["t_ms"] == 0.0
+
+    def test_write_snapshot(self, tmp_path):
+        path = tmp_path / "snap.json"
+        tel = Telemetry(enabled=True)
+        tel.emit("x")
+        tel.write_snapshot(path)
+        assert json.loads(path.read_text())["enabled"] is True
+
+    def test_collect_object(self):
+        class Stats:
+            frames_ok = 7
+
+        tel = Telemetry()
+        tel.collect_object("mavlink.parser", Stats(), ("frames_ok",),
+                           component="mavlink")
+        tel.registry.collect()  # samplers run at snapshot/collect time
+        assert tel.registry.value(
+            "mavlink.parser.frames_ok", component="mavlink"
+        ) == 7

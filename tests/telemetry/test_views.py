@@ -1,0 +1,92 @@
+"""Stats views: dataclass-shaped fields backed by registry instruments."""
+
+import pytest
+
+from repro.core.master import MasterStats
+from repro.errors import TelemetryError
+from repro.hw.isp import ProgrammingStats
+from repro.telemetry import CounterField, GaugeField, StatsView, Telemetry
+
+
+class _DemoStats(StatsView):
+    component = "demo"
+
+    hits = CounterField("demo.hits")
+    level = GaugeField("demo.level", initial=None)
+
+
+class TestStatsView:
+    def test_fields_read_write(self):
+        stats = _DemoStats()
+        assert stats.hits == 0
+        assert stats.level is None
+        stats.hits += 3
+        stats.level = 9
+        assert stats.hits == 3
+        assert stats.level == 9
+
+    def test_counter_field_rejects_decrement(self):
+        stats = _DemoStats()
+        stats.hits = 5
+        with pytest.raises(TelemetryError):
+            stats.hits -= 1
+        with pytest.raises(TelemetryError):
+            stats.hits = 0
+        assert stats.hits == 5
+
+    def test_gauge_field_moves_freely(self):
+        stats = _DemoStats()
+        stats.level = 10
+        stats.level = 3  # gauges may go backwards
+        assert stats.level == 3
+
+    def test_instruments_published_with_component_label(self):
+        tel = Telemetry()
+        stats = _DemoStats(tel)
+        stats.hits += 1
+        assert tel.registry.value("demo.hits", component="demo") == 1
+
+    def test_two_views_do_not_share_counters(self):
+        tel = Telemetry()
+        a = _DemoStats(tel)
+        b = _DemoStats(tel)
+        a.hits = 5
+        b.hits = 2  # would raise if the monotonic counter were shared
+        assert (a.hits, b.hits) == (5, 2)
+
+    def test_as_dict_and_repr(self):
+        stats = _DemoStats()
+        stats.hits += 2
+        assert stats.as_dict() == {"hits": 2, "level": None}
+        assert repr(stats) == "_DemoStats(hits=2, level=None)"
+
+
+class TestRealViews:
+    """The converted MasterStats / ProgrammingStats keep their contract."""
+
+    def test_master_stats_fields(self):
+        stats = MasterStats()
+        assert stats.boots == 0
+        assert stats.flash_cycles_remaining is None  # unset until first boot
+        stats.boots += 1
+        stats.attacks_detected += 1
+        stats.last_startup_overhead_ms = 123.4
+        assert (stats.boots, stats.attacks_detected) == (1, 1)
+        with pytest.raises(TelemetryError):
+            stats.boots = 0  # monotonic-checked
+
+    def test_master_stats_keeps_python_list_field(self):
+        stats = MasterStats()
+        stats.startup_overheads_ms.append(5.0)
+        assert stats.startup_overheads_ms == [5.0]
+
+    def test_programming_stats_monotonic(self):
+        stats = ProgrammingStats()
+        stats.pages_written += 4
+        stats.bytes_on_wire += 1024
+        with pytest.raises(TelemetryError):
+            stats.pages_written -= 1
+        # last_* fields are gauges: per-pass values may shrink
+        stats.last_pages_written = 4
+        stats.last_pages_written = 1
+        assert stats.last_pages_written == 1

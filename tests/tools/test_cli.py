@@ -75,3 +75,55 @@ def test_parser_requires_command():
 def test_parser_rejects_unknown_app():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["info", "nonesuch"])
+
+
+def test_info_json(capsys):
+    import json
+
+    code, out = run(capsys, "info", "testapp", "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["name"] == "testapp"
+    assert data["functions"] == 60
+    assert data["text"]["end"] > data["text"]["start"]
+
+
+def test_report_json(capsys):
+    import json
+
+    code, out = run(capsys, "report", "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["analysis"]["entropy_paper_bits"] == 6567
+    assert data["effectiveness"]["v2_vs_unprotected_stealthy"] is True
+    assert "tables" not in data  # needs --full
+
+
+def test_attack_with_telemetry(capsys, tmp_path):
+    import json
+
+    log = tmp_path / "attack.jsonl"
+    code, out = run(capsys, "attack", "testapp", "--telemetry", str(log))
+    assert code == 0
+    assert "MAVR-protected" in out
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    names = {r["event"] for r in records}
+    assert "attack.outcome" in names
+    snapshot = json.loads((tmp_path / "attack.jsonl.snapshot.json").read_text())
+    metric_names = {m["name"] for m in snapshot["metrics"]}
+    assert "cpu.instructions_retired" in metric_names
+    assert "isp.bytes_on_wire" in metric_names
+    assert any(s["name"].startswith("mavr.") and s["parent_id"] is not None
+               for s in snapshot["spans"])  # at least one nested mavr.* span
+
+
+def test_telemetry_command(capsys, tmp_path):
+    import json
+
+    snap = tmp_path / "snap.json"
+    code, out = run(capsys, "telemetry", "testapp", "--out", str(snap))
+    assert code == 0
+    assert "attacks detected" in out
+    data = json.loads(snap.read_text())
+    assert data["schema"] == 1
+    assert any(e["event"] == "attack.detected" for e in data["events"])
