@@ -1,22 +1,28 @@
-"""Execution-engine throughput: predecoded (cached) vs interpreter (uncached).
+"""Execution-engine throughput: interpreter vs predecoded vs blocks.
 
 Every attack replay, MAVR boot, and brute-force campaign in this
 reproduction runs through :meth:`AvrCpu.run`, so simulator throughput is
 the budget everything else spends.  This bench measures instructions/sec
-for both engines on two workloads:
+for all three engines on two workloads:
 
 * ``firmware`` — the testapp autopilot control loop (the realistic mix of
   loads/stores, calls and branches every experiment executes), and
-* ``hot_loop`` — a synthetic ALU+branch loop (peak benefit of revisiting
-  cached decodes).
+* ``hot_loop`` — a synthetic straight-line ALU body plus a backwards jump
+  (peak benefit: the decode cache revisits one address range and the
+  block engine fuses the whole body into a single superblock).  The body
+  is deliberately built from *cheap* handlers — the engines share every
+  handler, so a lightweight mix isolates exactly what they differ on:
+  per-retire bookkeeping.
 
 Results land in ``BENCH_cpu_throughput.json`` at the repo root so later
-PRs have a perf trajectory to compare against.  The predecoded engine
-must stay at least 3x faster than the reference interpreter — that floor
-is asserted here, not just documented.
+PRs have a perf trajectory to compare against.  Floors are asserted here,
+not just documented:
+
+* predecoded >= 3x interpreter on both workloads (the PR 1 contract), and
+* blocks >= 1.4x predecoded and >= 6x interpreter on hot_loop.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_cpu_throughput.py -q -s
-Scale the budget with REPRO_BENCH_INSTRUCTIONS (default 200000, ~2 s total).
+Scale the budget with REPRO_BENCH_INSTRUCTIONS (default 200000, ~3 s total).
 """
 
 import json
@@ -28,9 +34,15 @@ from repro.avr import AvrCpu, Instruction, Mnemonic, encode_stream
 from repro.uav import Autopilot
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cpu_throughput.json"
-ENGINES = ("interpreter", "predecoded")
+ENGINES = ("interpreter", "predecoded", "blocks")
 WARMUP_INSTRUCTIONS = 20_000
-SPEEDUP_FLOOR = 3.0
+
+# (numerator engine, denominator engine) -> {workload: floor}
+SPEEDUP_FLOORS = {
+    ("predecoded", "interpreter"): {"firmware": 3.0, "hot_loop": 3.0},
+    ("blocks", "predecoded"): {"hot_loop": 1.4},
+    ("blocks", "interpreter"): {"hot_loop": 6.0},
+}
 
 I = Instruction
 M = Mnemonic
@@ -41,17 +53,29 @@ def _instruction_budget() -> int:
 
 
 def _hot_loop_cpu(engine: str) -> AvrCpu:
-    """A five-instruction ALU loop that never exits (peak revisit rate)."""
-    cpu = AvrCpu(engine=engine)
-    cpu.load_program(encode_stream([
-        I(M.LDI, rd=16, k=0),
-        I(M.LDI, rd=17, k=1),
+    """A 15-instruction straight-line ALU loop that never exits.
+
+    One fused superblock per iteration (well under the fuse cap), mixing
+    immediates, register moves, flag-setting ALU ops and bit transfers.
+    """
+    body = [
+        I(M.LDI, rd=16, k=1),
+        I(M.LDI, rd=17, k=2),
+        I(M.MOV, rd=18, rr=16),
+        I(M.MOV, rd=19, rr=17),
         I(M.ADD, rd=16, rr=17),
-        I(M.EOR, rd=18, rr=16),
-        I(M.INC, rd=19),
-        I(M.DEC, rd=20),
-        I(M.RJMP, k=-5),  # back to the add
-    ]))
+        I(M.EOR, rd=22, rr=16),
+        I(M.MOV, rd=23, rr=22),
+        I(M.SWAP, rd=24),
+        I(M.INC, rd=20),
+        I(M.MOV, rd=21, rr=20),
+        I(M.LDI, rd=25, k=7),
+        I(M.MOV, rd=26, rr=25),
+        I(M.BST, rd=16, b=0),
+        I(M.BLD, rd=27, b=1),
+    ]
+    cpu = AvrCpu(engine=engine)
+    cpu.load_program(encode_stream(body + [I(M.RJMP, k=-(len(body) + 1))]))
     cpu.reset()
     return cpu
 
@@ -61,7 +85,7 @@ def _firmware_cpu(testapp, engine: str) -> AvrCpu:
 
 
 def _measure(cpu: AvrCpu, instructions: int) -> float:
-    cpu.run(WARMUP_INSTRUCTIONS)  # fill the decode cache / warm the pyc paths
+    cpu.run(WARMUP_INSTRUCTIONS)  # fill the decode/block caches, warm pyc paths
     start = time.perf_counter()
     executed = cpu.run(instructions)
     elapsed = time.perf_counter() - start
@@ -86,28 +110,34 @@ def test_engine_throughput(benchmark, testapp):
         results["workloads"][workload] = {
             engine: round(rate) for engine, rate in rates.items()
         }
-        results["speedup"][workload] = round(
-            rates["predecoded"] / rates["interpreter"], 2
-        )
+        results["speedup"][workload] = {
+            f"{fast}_vs_{slow}": round(rates[fast] / rates[slow], 2)
+            for fast, slow in (
+                ("predecoded", "interpreter"),
+                ("blocks", "predecoded"),
+                ("blocks", "interpreter"),
+            )
+        }
 
-    # pytest-benchmark row: the cached engine on the realistic workload
+    # pytest-benchmark row: the default engine on the realistic workload
     benchmark.pedantic(
         lambda: _firmware_cpu(testapp, "predecoded").run(budget),
         rounds=1, iterations=1,
     )
 
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"\n{'workload':<10} {'interpreter':>14} {'predecoded':>14} {'speedup':>8}")
+    header = " ".join(f"{engine:>14}" for engine in ENGINES)
+    print(f"\n{'workload':<10} {header}")
     for workload, rates in results["workloads"].items():
-        print(
-            f"{workload:<10} {rates['interpreter']:>12,}/s "
-            f"{rates['predecoded']:>12,}/s "
-            f"{results['speedup'][workload]:>7.2f}x"
-        )
+        row = " ".join(f"{rates[engine]:>12,}/s" for engine in ENGINES)
+        print(f"{workload:<10} {row}")
+        print(f"{'':>10} speedups: {results['speedup'][workload]}")
     print(f"results written to {RESULTS_PATH}")
 
-    for workload, speedup in results["speedup"].items():
-        assert speedup >= SPEEDUP_FLOOR, (
-            f"predecoded engine is only {speedup:.2f}x faster than the "
-            f"interpreter on {workload}; the floor is {SPEEDUP_FLOOR}x"
-        )
+    for (fast, slow), floors in SPEEDUP_FLOORS.items():
+        for workload, floor in floors.items():
+            speedup = results["speedup"][workload][f"{fast}_vs_{slow}"]
+            assert speedup >= floor, (
+                f"{fast} engine is only {speedup:.2f}x faster than "
+                f"{slow} on {workload}; the floor is {floor}x"
+            )

@@ -1,0 +1,272 @@
+"""Basic-block superblock engine: fuse straight-line decodes, hoist the
+per-instruction preamble to block boundaries.
+
+The predecoded engine removed decode cost from the hot loop but still pays
+the full retire preamble — pending-interrupt check, flash-generation
+compare, code-limit check, cycle/instruction accounting — on **every**
+instruction.  :class:`BlockEngine` fuses consecutive predecoded entries
+into *superblocks* and pays that preamble **once per block**: inside a
+block, handlers execute back-to-back with nothing between them, and
+cycles/instruction counters are accumulated from precomputed block totals.
+
+Fusion rules (a block's last instruction is its *terminator*):
+
+* control flow (``rjmp``/``rcall``/``jmp``/``call``/``ijmp``/``icall``/
+  ``ret``/``reti``, conditional branches, and the skip instructions
+  ``cpse``/``sbic``/``sbis``/``sbrc``/``sbrs``) — the only handlers that
+  read or write PC;
+* anything that can reach a data-space **write hook** (``st*``/``sts``/
+  ``std``, ``out``, ``sbi``, ``cbi``, ``push``) — write hooks are how
+  peripherals timestamp events against ``cpu.cycles``, request
+  interrupts, and how SPM-style self-writes reach flash, so they must
+  only run at a point where the architectural counters are exact;
+* ``sei`` (``bset`` of the I flag) — the one non-terminator way the
+  global interrupt enable could turn on mid-block;
+* ``break``/``sleep``; and
+* a fixed fuse cap (:data:`FUSE_CAP`) as a backstop.
+
+Interrupt-latency model: interrupts latch at any time but are serviced
+only at block boundaries, which bounds service latency at ``FUSE_CAP``
+instructions.  In practice the terminator set makes the latency *exact*:
+``(pending and SREG.I)`` cannot become true mid-block, because every
+instruction that can set I or request an interrupt (via a write hook)
+ends its block — so the next boundary is exactly where the
+per-instruction engines would have serviced it.  When any trace hook
+(:class:`~repro.avr.trace.CpuStateStream`, lockstep harness, execution
+traces) is attached, the engine transparently degrades to the inherited
+per-instruction loop, so hook streams and ``run_lockstep`` parity stay
+bit-exact by construction.
+
+Correctness invariants shared with the predecoded engine:
+
+* block caches are keyed by ``FlashMemory.generation`` exactly like the
+  per-word decode entries — a MAVR reflash or SPM self-write can never
+  execute a stale fused block;
+* blocks are keyed by their **entry word address**: jumping into the
+  second word of a ``call`` (the misaligned-execution property the ROP
+  gadget finder exploits) starts a *new* block fused from that address,
+  never a reuse of the aligned one;
+* ``run(n)`` retires exactly ``n`` instructions (or fewer on halt): when
+  the remaining budget is smaller than the next block, the tail retires
+  through the per-instruction path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CpuFault, IllegalExecutionError, MemoryAccessError
+from .engine import Entry, Halt, PredecodedEngine, retire_preamble
+from .insn import CONTROL_FLOW, Instruction, Mnemonic
+
+# Fixed fusion cap: backstop for pathological straight-line runs, and the
+# documented upper bound of the interrupt-service latency model.
+FUSE_CAP = 32
+
+_SREG_I_BIT = 7
+
+# Every mnemonic whose handler can invoke a data-space *write* hook:
+# stores (st/sts/std), I/O writes (out/sbi/cbi) and stack pushes (a push
+# with a relocated SP — the stk_move gadget — can land on hooked I/O).
+WRITE_CAPABLE = frozenset(
+    {m for m in Mnemonic if m.value.startswith("st")}
+    | {Mnemonic.OUT, Mnemonic.SBI, Mnemonic.CBI, Mnemonic.PUSH}
+)
+
+# Terminators by mnemonic alone; `bset I` terminates too but depends on
+# the operand, so it is special-cased during fusion.
+TERMINATORS = frozenset(
+    CONTROL_FLOW | WRITE_CAPABLE | {Mnemonic.BREAK, Mnemonic.SLEEP}
+)
+
+
+class Superblock:
+    """One fused run of straight-line code starting at ``start`` (words).
+
+    ``body`` holds every instruction but the terminator as bare
+    ``(handler, insn)`` pairs — nothing else runs between them.
+    ``body_meta`` mirrors ``body`` with ``(next_pc, pc_bytes,
+    cycles_before)`` per slot, used only on the cold fault path to
+    reconstruct exact per-instruction state.  The terminator is kept
+    unpacked in ``last_*`` fields because it is the only instruction that
+    needs PC set before it runs.
+    """
+
+    __slots__ = (
+        "start",
+        "body",
+        "body_meta",
+        "body_cycles",
+        "last_handler",
+        "last_insn",
+        "last_next_pc",
+        "last_base_cycles",
+        "last_pc_bytes",
+        "count",
+    )
+
+    def __init__(self, start: int, entries: List[Tuple[int, Entry]]) -> None:
+        self.start = start
+        last_pc, (last_handler, last_insn, last_size, last_base) = entries[-1]
+        body = []
+        meta = []
+        cycles = 0
+        for pc, (handler, insn, size, base) in entries[:-1]:
+            body.append((handler, insn))
+            meta.append((pc + size, pc * 2, cycles))
+            cycles += base
+        self.body = tuple(body)
+        self.body_meta = tuple(meta)
+        self.body_cycles = cycles
+        self.last_handler = last_handler
+        self.last_insn = last_insn
+        self.last_next_pc = last_pc + last_size
+        self.last_base_cycles = last_base
+        self.last_pc_bytes = last_pc * 2
+        self.count = len(entries)
+
+
+class BlockEngine(PredecodedEngine):
+    """Superblock engine: per-instruction semantics, per-block overhead."""
+
+    name = "blocks"
+
+    def __init__(self, cpu) -> None:
+        super().__init__(cpu)
+        self._blocks: Dict[int, Superblock] = {}
+        # telemetry accumulators, sampled pull-style at snapshot time
+        self.blocks_built = 0
+        self.blocks_entered = 0
+        self.fusion_lengths: List[int] = []  # append-only build log
+
+    # -- cache maintenance ----------------------------------------------
+
+    def _sync_cache(self):
+        # Blocks are fused from decode entries, so they share the decode
+        # cache's validity rule: drop everything when flash changed.  The
+        # dict is cleared in place so hot-loop locals stay bound to it.
+        if self.cpu.flash.generation != self._generation:
+            self._blocks.clear()
+        return super()._sync_cache()
+
+    # -- fusion ----------------------------------------------------------
+
+    def _fetch_for_fusion(self, pc: int) -> Entry:
+        """One decode entry, through the shared per-word cache."""
+        cache = self._cache
+        if 0 <= pc < len(cache):
+            entry = cache[pc]
+            if entry is None:
+                entry = cache[pc] = self._entry_at(pc)
+            return entry
+        return self._entry_at(pc)
+
+    def _build_block(self, start_pc: int) -> Superblock:
+        """Fuse a superblock beginning at ``start_pc``.
+
+        The first entry's decode/limit errors propagate — they are exactly
+        what the per-instruction engines would raise at this PC.  Errors on
+        *later* words just stop fusion: the offending address becomes its
+        own (unbuildable) block entry and raises the identical error when
+        the PC actually reaches it.
+        """
+        cpu = self.cpu
+        limit = cpu.code_limit
+        entries: List[Tuple[int, Entry]] = []
+        pc = start_pc
+        while True:
+            if entries:
+                if limit is not None and pc * 2 >= limit:
+                    break
+                try:
+                    entry = self._fetch_for_fusion(pc)
+                except IllegalExecutionError:
+                    break
+            else:
+                entry = self._fetch_for_fusion(pc)
+            entries.append((pc, entry))
+            insn = entry[1]
+            pc += entry[2]
+            mnemonic = insn.mnemonic
+            if (
+                mnemonic in TERMINATORS
+                or (mnemonic is Mnemonic.BSET and insn.b == _SREG_I_BIT)
+                or len(entries) >= FUSE_CAP
+            ):
+                break
+        block = Superblock(start_pc, entries)
+        self.blocks_built += 1
+        self.fusion_lengths.append(block.count)
+        return block
+
+    # -- execution --------------------------------------------------------
+
+    def _raise_body_fault(
+        self, block: Superblock, handler, insn: Instruction, exc: MemoryAccessError
+    ) -> None:
+        """Rebuild exact per-instruction state for a fault inside a body.
+
+        Each body slot holds a distinct ``Instruction`` object (one decode
+        per word address), so an identity scan pins the faulting slot.
+        """
+        cpu = self.cpu
+        index = 0
+        for index, (slot_handler, slot_insn) in enumerate(block.body):
+            if slot_handler is handler and slot_insn is insn:
+                break
+        next_pc, pc_bytes, cycles_before = block.body_meta[index]
+        cpu.pc = next_pc
+        cpu.cycles += cycles_before
+        cpu.instructions_retired += index
+        raise CpuFault(str(exc), pc_bytes, cpu.cycles) from exc
+
+    def run(self, max_instructions: int) -> int:
+        """Retire whole superblocks; fall back per-instruction when needed."""
+        cpu = self.cpu
+        flash = cpu.flash
+        self._sync_cache()
+        blocks = self._blocks
+        get_block = blocks.get
+        build = self._build_block
+        preamble = retire_preamble
+        per_instruction = PredecodedEngine.run
+        executed = 0
+        while not cpu.halted and executed < max_instructions:
+            if cpu.trace_hooks:
+                # exact-latency fallback: a trace/lockstep hook is watching,
+                # so retire one instruction at a time with hooks firing
+                return executed + per_instruction(self, max_instructions - executed)
+            pc = preamble(cpu)
+            if flash.generation != self._generation:
+                self._sync_cache()
+            block = get_block(pc)
+            limit = cpu.code_limit
+            if block is None or (limit is not None and block.last_pc_bytes >= limit):
+                # cold address, or the image limit shrank under a cached
+                # block — refuse (re-fuse) rather than run past the limit
+                block = blocks[pc] = build(pc)
+            count = block.count
+            if count > max_instructions - executed:
+                # budget tail: retire exactly the remaining instructions
+                executed += per_instruction(self, max_instructions - executed)
+                continue
+            body = block.body
+            try:
+                for handler, insn in body:
+                    handler(cpu, insn)
+            except MemoryAccessError as exc:
+                self._raise_body_fault(block, handler, insn, exc)
+            cpu.cycles += block.body_cycles
+            cpu.pc = block.last_next_pc
+            try:
+                block.last_handler(cpu, block.last_insn)
+            except Halt:
+                cpu.halted = True
+            except MemoryAccessError as exc:
+                cpu.instructions_retired += count - 1
+                raise CpuFault(str(exc), block.last_pc_bytes, cpu.cycles) from exc
+            cpu.cycles += block.last_base_cycles
+            cpu.instructions_retired += count
+            executed += count
+            self.blocks_entered += 1
+        return executed

@@ -15,11 +15,13 @@ Models the ATmega2560 as the paper uses it:
 
 Instruction semantics live in the dispatch table of
 :mod:`repro.avr.engine` (one handler per mnemonic).  The core runs on one
-of two interchangeable engines: the ``predecoded`` engine (default; decode
-cache keyed on the flash generation counter, tight ``run()`` loop) or the
-``interpreter`` reference engine (decode at PC every step).  Both retire
-instructions through an identical sequence — see docs/PERFORMANCE.md and
-the lockstep harness in :mod:`repro.avr.trace`.
+of three interchangeable engines: the ``predecoded`` engine (default;
+decode cache keyed on the flash generation counter, tight ``run()`` loop),
+the ``blocks`` superblock engine (fused straight-line runs, preamble paid
+per block — :mod:`repro.avr.blocks`), or the ``interpreter`` reference
+engine (decode at PC every step).  All retire instructions through an
+identical sequence — see docs/PERFORMANCE.md and the lockstep harness in
+:mod:`repro.avr.trace`.
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ from typing import Callable, List, Optional
 
 from ..errors import CpuFault, DecodeError, IllegalExecutionError, MemoryAccessError
 from .decoder import decode, needs_second_word
-from .engine import DEFAULT_ENGINE, Halt, create_engine
+from .engine import DEFAULT_ENGINE, Halt, create_engine, retire_preamble
 from .insn import Instruction, Mnemonic
 from .memory import RAMEND, DataSpace, Eeprom, FlashMemory
 from .sreg import StatusRegister
@@ -172,8 +174,7 @@ class AvrCpu:
         """Execute exactly one instruction; returns it."""
         if self.halted:
             raise CpuFault("core is halted", self.pc_bytes, self.cycles)
-        if self.pending_interrupts and self.sreg.i:
-            self._service_interrupt()
+        retire_preamble(self)
         handler, insn, size_words, base_cycles = self.engine.fetch_entry()
         pc_before = self.pc
         self.pc += size_words

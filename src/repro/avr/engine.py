@@ -1,6 +1,6 @@
 """Execution engines: how the core turns flash words into state changes.
 
-Two engines share one set of instruction semantics (the dispatch table
+Three engines share one set of instruction semantics (the dispatch table
 ``HANDLERS``, one handler per :class:`~repro.avr.insn.Mnemonic`):
 
 * :class:`InterpreterEngine` — the reference engine: decode the word at PC
@@ -10,11 +10,17 @@ Two engines share one set of instruction semantics (the dispatch table
   **once per flash generation** into a ``(handler, insn, size, cycles)``
   entry; revisits index straight into the entry table, and ``run()`` is a
   tight loop over cached entries.
+* :class:`~repro.avr.blocks.BlockEngine` — the superblock engine: fuses
+  consecutive predecoded entries into straight-line blocks and hoists the
+  per-instruction retire preamble to block boundaries (see
+  :mod:`repro.avr.blocks` for the fusion rules and latency model).
 
-Both engines retire instructions through exactly the same sequence as
+All engines retire instructions through exactly the same sequence as
 :meth:`AvrCpu.step`: pending-interrupt service, code-limit check, execute,
-cycle accounting, trace hooks.  The differential harness in
-:mod:`repro.avr.trace` exists to keep that claim honest.
+cycle accounting, trace hooks.  The shared prefix of that sequence lives
+in :func:`retire_preamble` so the contract exists in one place; the
+differential harness in :mod:`repro.avr.trace` exists to keep the claim
+honest.
 
 Correctness invariant (see docs/PERFORMANCE.md): a cache entry is only
 valid for the flash generation it was decoded from.
@@ -50,6 +56,33 @@ Entry = Tuple[Handler, Instruction, int, int]
 
 class Halt(Exception):
     """Raised internally when the core executes ``break`` (clean stop)."""
+
+
+# -- shared retire preamble ----------------------------------------------
+
+
+def _out_of_image_error(byte_addr: int, limit: int) -> IllegalExecutionError:
+    return IllegalExecutionError(
+        f"PC 0x{byte_addr:05x} is beyond the programmed image "
+        f"(limit 0x{limit:05x})"
+    )
+
+
+def retire_preamble(cpu: "AvrCpu") -> int:
+    """The common prefix of every retire: service interrupts, check limit.
+
+    Returns the (possibly interrupt-redirected) PC to fetch from.  This is
+    the single definition of the preamble shared by :meth:`AvrCpu.step`
+    and every engine ``run()`` loop — the per-instruction engines pay it
+    once per instruction, the block engine once per superblock.
+    """
+    if cpu.pending_interrupts and cpu.sreg.i:
+        cpu._service_interrupt()
+    pc = cpu.pc
+    limit = cpu.code_limit
+    if limit is not None and pc * 2 >= limit:
+        raise _out_of_image_error(pc * 2, limit)
+    return pc
 
 
 # -- cycle model ---------------------------------------------------------
@@ -526,22 +559,27 @@ class InterpreterEngine:
 
     def __init__(self, cpu: "AvrCpu") -> None:
         self.cpu = cpu
+        # dispatch tables hoisted once, so fetch_entry pays two dict
+        # indexes instead of two module-global lookups plus two indexes
+        self._handlers = HANDLERS
+        self._cycles = CYCLES_BY_MNEMONIC
 
     def fetch_entry(self) -> Entry:
         insn = self.cpu.fetch()
         mnemonic = insn.mnemonic
         return (
-            HANDLERS[mnemonic],
+            self._handlers[mnemonic],
             insn,
             insn.size_words,
-            CYCLES_BY_MNEMONIC[mnemonic],
+            self._cycles[mnemonic],
         )
 
     def run(self, max_instructions: int) -> int:
         cpu = self.cpu
+        step = cpu.step  # bound once, not re-resolved per iteration
         executed = 0
         while not cpu.halted and executed < max_instructions:
-            cpu.step()
+            step()
             executed += 1
         return executed
 
@@ -607,10 +645,7 @@ class PredecodedEngine:
         byte_addr = pc * 2
         limit = cpu.code_limit
         if limit is not None and byte_addr >= limit:
-            raise IllegalExecutionError(
-                f"PC 0x{byte_addr:05x} is beyond the programmed image "
-                f"(limit 0x{limit:05x})"
-            )
+            raise _out_of_image_error(byte_addr, limit)
         cache = self._sync_cache()
         if 0 <= pc < len(cache):
             entry = cache[pc]
@@ -626,20 +661,11 @@ class PredecodedEngine:
         cache = self._sync_cache()
         cache_len = len(cache)
         hooks = cpu.trace_hooks
-        service = cpu._service_interrupt
-        sreg = cpu.sreg
+        preamble = retire_preamble
         entry_at = self._entry_at
         executed = 0
         while not cpu.halted and executed < max_instructions:
-            if cpu.pending_interrupts and sreg.i:
-                service()
-            pc = cpu.pc
-            limit = cpu.code_limit
-            if limit is not None and pc * 2 >= limit:
-                raise IllegalExecutionError(
-                    f"PC 0x{pc * 2:05x} is beyond the programmed image "
-                    f"(limit 0x{limit:05x})"
-                )
+            pc = preamble(cpu)
             if flash.generation != self._generation:
                 cache = self._sync_cache()
                 cache_len = len(cache)
@@ -684,3 +710,10 @@ def create_engine(name: str, cpu: "AvrCpu"):
             f"unknown execution engine {name!r}; choose from {sorted(ENGINES)}"
         ) from None
     return factory(cpu)
+
+
+# The superblock engine subclasses PredecodedEngine, so it lives in its
+# own module and registers itself here after the base classes exist.
+from .blocks import BlockEngine  # noqa: E402  (import cycle: blocks needs the tables above)
+
+ENGINES[BlockEngine.name] = BlockEngine

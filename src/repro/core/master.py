@@ -102,6 +102,9 @@ class MasterProcessor:
         """
         autopilot = self.autopilot
         app = autopilot.image.name
+        # cursor into BlockEngine.fusion_lengths: builds already folded
+        # into the histogram are not re-observed at the next snapshot
+        fusion_cursor = [0]
 
         def collect(registry) -> None:
             cpu = autopilot.cpu
@@ -123,6 +126,21 @@ class MasterProcessor:
                     "engine.decode_cache_hits",
                     max(retired_total - engine.decode_misses, 0),
                 )
+            if hasattr(engine, "blocks_built"):
+                sample("avr.blocks.built", engine.blocks_built)
+                sample("avr.blocks.entered", engine.blocks_entered)
+                lengths = engine.fusion_lengths
+                fresh = lengths[fusion_cursor[0]:]
+                if fresh:
+                    histogram = registry.histogram(
+                        "avr.blocks.fusion_length",
+                        buckets=(1, 2, 4, 8, 16, 24, 32),
+                        component="cpu",
+                        app=app,
+                    )
+                    for length in fresh:
+                        histogram.observe(length)
+                    fusion_cursor[0] = len(lengths)
 
         self.telemetry.add_collector(collect)
 

@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from ..avr.engine import DEFAULT_ENGINE
 from ..binfmt.image import FirmwareImage
 from ..hw.board import CostModel
 from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
@@ -54,12 +55,13 @@ class MavrSystem:
         seed: Optional[int] = None,
         sensor_state: Optional[SensorState] = None,
         telemetry: Optional[Telemetry] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         # host phase: preprocess and "upload" to the external flash
         with self.telemetry.span("mavr.preprocess", app=image.name):
             hex_text = preprocess(image)
-        self.autopilot = Autopilot(image, sensor_state)
+        self.autopilot = Autopilot(image, sensor_state, engine=engine)
         self.master = MasterProcessor(
             self.autopilot,
             policy=policy,

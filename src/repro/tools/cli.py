@@ -29,10 +29,19 @@ from ..analysis import format_table, guessing_campaign
 from ..asm import disassemble_image
 from ..asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
 from ..attack import BasicAttack, GadgetFinder, StealthyAttack, TrampolineAttack
+from ..avr.engine import DEFAULT_ENGINE, ENGINES
 from ..firmware import build_app, manifest_by_name
 from ..uav import Autopilot
 
 _TOOLCHAINS = {"stock": STOCK_OPTIONS, "mavr": MAVR_OPTIONS}
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=tuple(ENGINES), default=DEFAULT_ENGINE,
+        help="execution engine for the application processor "
+             f"(default: {DEFAULT_ENGINE})",
+    )
 
 
 def _add_app_argument(parser: argparse.ArgumentParser) -> None:
@@ -140,7 +149,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if args.telemetry:
         return _attack_with_telemetry(args, image)
-    autopilot = Autopilot(image)
+    autopilot = Autopilot(image, engine=args.engine)
     attack = {
         "v1": lambda: BasicAttack(image).execute(autopilot),
         "v2": lambda: StealthyAttack(image).execute(autopilot),
@@ -166,7 +175,8 @@ def _attack_with_telemetry(args: argparse.Namespace, image) -> int:
     tel = Telemetry(enabled=True)
     tel.events.open_jsonl(args.telemetry)
     try:
-        system = MavrSystem(image, seed=args.seed, telemetry=tel)
+        system = MavrSystem(image, seed=args.seed, telemetry=tel,
+                            engine=args.engine)
         system.boot()
         system.run(20)
         attack_cls = {
@@ -357,7 +367,8 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.jsonl:
         tel.events.open_jsonl(args.jsonl)
     try:
-        system = MavrSystem(image, seed=args.seed, telemetry=tel)
+        system = MavrSystem(image, seed=args.seed, telemetry=tel,
+                            engine=args.engine)
         system.boot()
         system.run(args.ticks)
         # force a wild jump into the middle of .text: guaranteed crash or
@@ -435,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--seed", type=int, default=1,
                         help="randomization seed for --telemetry mode")
+    _add_engine_argument(attack)
     attack.set_defaults(func=_cmd_attack)
 
     defend = subparsers.add_parser("defend", help="guessing campaign vs MAVR")
@@ -465,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also stream the event log here (JSONL)")
     telemetry.add_argument("--out", metavar="PATH",
                            help="write the snapshot JSON here")
+    _add_engine_argument(telemetry)
     telemetry.set_defaults(func=_cmd_telemetry)
 
     return parser

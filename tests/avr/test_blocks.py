@@ -1,0 +1,393 @@
+"""Unit coverage for the superblock engine (:mod:`repro.avr.blocks`).
+
+The contract under test: fused execution is *observably identical* to
+per-instruction retirement — interrupts serviced at the exact same points
+with correct vector priority, identical crashes with identical fault
+state, no stale block ever executed after a flash write — while the
+fusion machinery itself (terminators, cap, misaligned entries, budget
+tails, hook degradation) behaves as documented.
+"""
+
+import pytest
+
+from repro.avr import (
+    AvrCpu,
+    BlockEngine,
+    CpuStateStream,
+    Instruction,
+    Mnemonic,
+    diff_state_streams,
+    encode,
+    encode_stream,
+)
+from repro.avr.blocks import FUSE_CAP, TERMINATORS, WRITE_CAPABLE
+from repro.avr.engine import ENGINES
+from repro.errors import CpuFault, IllegalExecutionError
+
+I = Instruction
+M = Mnemonic
+
+HOOK_ADDR = 0x0300  # an ordinary SRAM byte, hooked like a peripheral register
+
+
+def _cpu(program, engine="blocks", setup=None):
+    cpu = AvrCpu(engine=engine)
+    cpu.load_program(encode_stream(program))
+    cpu.reset()
+    if setup:
+        setup(cpu)
+    return cpu
+
+
+def _state(cpu):
+    return (
+        cpu.pc,
+        cpu.data.sp,
+        cpu.sreg.byte,
+        cpu.cycles,
+        cpu.instructions_retired,
+        cpu.halted,
+        bytes(cpu.data.read_reg(r) for r in range(32)),
+    )
+
+
+def _hot_loop(body_len=6):
+    body = [I(M.INC, rd=16 + (i % 4)) for i in range(body_len)]
+    return body + [I(M.RJMP, k=-(body_len + 1))]
+
+
+# -- registry / construction ---------------------------------------------
+
+
+def test_blocks_engine_registered_and_selectable():
+    assert ENGINES["blocks"] is BlockEngine
+    cpu = AvrCpu(engine="blocks")
+    assert cpu.engine_name == "blocks"
+    assert isinstance(cpu.engine, BlockEngine)
+
+
+def test_terminator_set_covers_every_write_capable_mnemonic():
+    # every store/out/sbi/cbi/push mnemonic must end a block: write hooks
+    # (peripherals, interrupt requests, SPM self-writes) may only fire at
+    # a boundary where the architectural counters are exact
+    for mnemonic in WRITE_CAPABLE:
+        assert mnemonic in TERMINATORS, mnemonic
+
+
+# -- fusion rules ---------------------------------------------------------
+
+
+def test_straight_line_loop_fuses_once_and_is_reused():
+    cpu = _cpu(_hot_loop(6))  # 6 INCs + RJMP = one 7-instruction block
+    engine = cpu.engine
+    executed = cpu.run(70)
+    assert executed == 70
+    assert engine.fusion_lengths == [7]
+    assert engine.blocks_built == 1
+    assert engine.blocks_entered == 10
+
+
+def test_fuse_cap_bounds_block_length():
+    body = [I(M.INC, rd=16) for _ in range(FUSE_CAP + 8)]
+    cpu = _cpu(body + [I(M.RJMP, k=-(len(body) + 1))])
+    cpu.run(len(body) + 1)
+    assert cpu.engine.fusion_lengths[0] == FUSE_CAP
+
+
+def test_stores_and_sei_terminate_blocks():
+    program = [
+        I(M.INC, rd=16),
+        I(M.STS, k=HOOK_ADDR, rr=16),  # store -> terminator
+        I(M.INC, rd=17),
+        I(M.BSET, b=7),                # sei -> terminator
+        I(M.INC, rd=18),
+        I(M.BREAK),
+    ]
+    cpu = _cpu(program)
+    cpu.run(100)
+    assert cpu.halted
+    # [inc, sts] [inc, sei] [inc, break]
+    assert cpu.engine.fusion_lengths == [2, 2, 2]
+
+
+def test_bclr_of_i_flag_does_not_terminate():
+    # cli *clears* I — it can only delay servicing, never enable it
+    # mid-block, so it fuses like any other flag instruction
+    program = [I(M.BCLR, b=7), I(M.INC, rd=16), I(M.BREAK)]
+    cpu = _cpu(program)
+    cpu.run(10)
+    assert cpu.engine.fusion_lengths == [3]
+
+
+# -- interrupt latency ----------------------------------------------------
+
+
+def _interrupt_program():
+    """A store whose write hook latches vectors 3 then 2 mid-execution.
+
+    Vector 2's handler loads a marker; vector 3's handler *copies* it —
+    so the copy observes the marker iff vector 2 (the lower number,
+    higher priority) was serviced first.
+    """
+    return [
+        I(M.JMP, k=8),                    # vector 0 -> main
+        I(M.NOP), I(M.NOP),               # words 2-3 (vector slot padding)
+        I(M.LDI, rd=20, k=1),             # vector 2 handler (word 4)
+        I(M.RETI),
+        I(M.MOV, rd=21, rr=20),           # vector 3 handler (word 6)
+        I(M.RETI),
+        I(M.BSET, b=7),                   # main (word 8): sei
+        I(M.LDI, rd=26, k=HOOK_ADDR & 0xFF),
+        I(M.LDI, rd=27, k=HOOK_ADDR >> 8),
+        I(M.ST_X, rr=0),                  # hook latches both interrupts
+        I(M.INC, rd=16), I(M.INC, rd=16), I(M.INC, rd=16),
+        I(M.INC, rd=16), I(M.INC, rd=16), I(M.INC, rd=16),
+        I(M.BREAK),
+    ]
+
+
+def _arm_interrupt_hook(cpu):
+    def hook(address, value):
+        cpu.request_interrupt(3)
+        cpu.request_interrupt(2)
+        return None
+
+    cpu.data.add_write_hook(HOOK_ADDR, hook)
+
+
+def test_interrupt_latched_mid_block_serviced_at_boundary_with_priority():
+    states = {}
+    for engine in ("interpreter", "blocks"):
+        cpu = _cpu(_interrupt_program(), engine=engine,
+                   setup=_arm_interrupt_hook)
+        cpu.run(100)
+        assert cpu.halted
+        assert cpu.interrupts_serviced == 2
+        # vector 2 before vector 3: the copy in vector 3's handler saw
+        # the marker vector 2's handler loaded
+        assert cpu.data.read_reg(20) == 1
+        assert cpu.data.read_reg(21) == 1
+        states[engine] = _state(cpu)
+    # exact-latency: fused execution serviced at the very same points,
+    # so cycles/PC/SP/registers agree bit for bit
+    assert states["blocks"] == states["interpreter"]
+
+
+def test_interrupt_latency_stays_bounded_inside_long_straight_line_runs():
+    """Even a cap-length block delays service by at most FUSE_CAP retires."""
+    filler = [I(M.INC, rd=16) for _ in range(FUSE_CAP * 2)]
+    program = [
+        I(M.JMP, k=8),
+        I(M.NOP), I(M.NOP),
+        I(M.LDI, rd=20, k=1),             # vector 2 handler
+        I(M.RETI),
+        I(M.NOP), I(M.NOP),
+        I(M.BSET, b=7),                   # main (word 8)
+        *filler,
+        I(M.BREAK),
+    ]
+    cpu = _cpu(program)
+    cpu.request_interrupt(2)
+    # sei ends its own block, so the pending interrupt is serviced at the
+    # first boundary after it — before a single filler instruction runs
+    cpu.run(3)
+    assert cpu.interrupts_serviced == 1
+    assert cpu.data.read_reg(20) == 1
+
+
+# -- generation fence -----------------------------------------------------
+
+
+def test_spm_write_mid_run_invalidates_cached_blocks():
+    """A store hook rewrites an already-fused instruction word; the stale
+    block must never execute again (the paper's reflash safety rule)."""
+    new_word = encode(I(M.LDI, rd=16, k=99))[0]
+    program = [
+        I(M.LDI, rd=26, k=HOOK_ADDR & 0xFF),   # word 0
+        I(M.LDI, rd=27, k=HOOK_ADDR >> 8),     # word 1
+        I(M.ST_X, rr=0),                       # word 2: hook may reflash
+        I(M.INC, rd=16),                       # word 3: the rewrite target
+        I(M.BREAK),                            # word 4
+    ]
+    states = {}
+    for engine in ("interpreter", "blocks"):
+        cpu = _cpu(program, engine=engine)
+        armed = [False]
+
+        def hook(address, value, cpu=cpu, armed=armed):
+            if armed[0]:
+                cpu.flash.write_word(3, new_word)
+            return None
+
+        cpu.data.add_write_hook(HOOK_ADDR, hook)
+        # first pass, hook disarmed: caches the block holding `inc r16`
+        cpu.run(100)
+        assert cpu.halted and cpu.data.read_reg(16) == 1
+        if engine == "blocks":
+            assert 3 in cpu.engine._blocks
+        # second pass: the store rewrites word 3 under the cached block
+        armed[0] = True
+        cpu.reset()
+        cpu.run(100)
+        assert cpu.halted
+        # stale block would have executed `inc` (r16 == 2); the fence
+        # forces a re-fuse and the new `ldi r16, 99` runs instead
+        assert cpu.data.read_reg(16) == 99
+        states[engine] = _state(cpu)
+    assert states["blocks"] == states["interpreter"]
+
+
+# -- misaligned entry (the ROP gadget property) ---------------------------
+
+
+def test_misaligned_entry_starts_its_own_block():
+    # `call 0` encodes as 0x940e 0x0000 and word 0x0000 is a `nop`:
+    # entering at word 1 must fuse a fresh [nop, break] block, exactly
+    # how the gadget finder's misaligned gadgets execute
+    raw = encode_stream([I(M.CALL, k=0), I(M.BREAK)])
+    states = {}
+    for engine in ("interpreter", "blocks"):
+        cpu = AvrCpu(engine=engine)
+        cpu.load_program(raw)
+        cpu.reset()
+        cpu.run(3)  # aligned: three recursive `call 0`s
+        assert cpu.instructions_retired == 3
+        cpu.pc = 1  # jump into the second word of the call
+        cpu.run(10)
+        assert cpu.halted
+        states[engine] = _state(cpu)
+    assert states["blocks"] == states["interpreter"]
+
+    cpu = AvrCpu(engine="blocks")
+    cpu.load_program(raw)
+    cpu.reset()
+    cpu.run(3)
+    blocks = cpu.engine._blocks
+    assert blocks[0].count == 1          # [call] — control flow terminates
+    cpu.pc = 1
+    cpu.run(10)
+    assert blocks[1].count == 2          # [nop, break] fused from word 1
+    assert cpu.engine.blocks_built == 2
+
+
+# -- budget exactness -----------------------------------------------------
+
+
+def test_run_budget_is_exact_even_mid_block():
+    for budget in (1, 2, 6, 7, 13, 37):
+        reference = _cpu(_hot_loop(6), engine="interpreter")
+        subject = _cpu(_hot_loop(6), engine="blocks")
+        assert reference.run(budget) == budget
+        assert subject.run(budget) == budget
+        assert _state(subject) == _state(reference), budget
+
+
+# -- trace hooks degrade to exact per-instruction retirement --------------
+
+
+def test_trace_hooks_force_per_instruction_fallback():
+    reference = _cpu(_interrupt_program(), engine="interpreter",
+                     setup=_arm_interrupt_hook)
+    subject = _cpu(_interrupt_program(), engine="blocks",
+                   setup=_arm_interrupt_hook)
+    ref_stream = CpuStateStream().attach(reference)
+    sub_stream = CpuStateStream().attach(subject)
+    reference.run(100)
+    subject.run(100)
+    assert subject.halted
+    divergence = diff_state_streams(ref_stream, sub_stream)
+    assert divergence is None, divergence
+    # the fused fast path never ran while a hook was attached
+    assert subject.engine.blocks_entered == 0
+
+
+def test_fusion_resumes_after_hooks_detach():
+    cpu = _cpu(_hot_loop(6))
+    stream = CpuStateStream().attach(cpu)
+    cpu.run(14)
+    assert cpu.engine.blocks_entered == 0
+    cpu.trace_hooks.remove(stream._on_retire)
+    cpu.run(14)
+    assert cpu.engine.blocks_entered > 0
+
+
+# -- crash parity ---------------------------------------------------------
+
+
+def test_out_of_image_and_undecodable_crash_parity():
+    for raw in (b"\xff\xff", encode_stream([I(M.NOP)])):
+        errors = []
+        for engine in ("interpreter", "predecoded", "blocks"):
+            cpu = AvrCpu(engine=engine)
+            cpu.load_program(raw)
+            cpu.reset()
+            with pytest.raises(IllegalExecutionError) as excinfo:
+                cpu.run(10)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1] == errors[2]
+
+
+def test_mid_block_body_fault_reconstructs_exact_state():
+    # `lds` reads out of the data space mid-body; fault address, cycle
+    # count and retire count must match per-instruction execution
+    program = [
+        I(M.LDI, rd=16, k=5),          # word 0
+        I(M.LDS, rd=17, k=0xBEEF),     # words 1-2: out-of-range read
+        I(M.INC, rd=16),
+        I(M.BREAK),
+    ]
+    faults = {}
+    for engine in ("interpreter", "blocks"):
+        cpu = _cpu(program, engine=engine)
+        with pytest.raises(CpuFault) as excinfo:
+            cpu.run(10)
+        fault = excinfo.value
+        faults[engine] = (str(fault), fault.pc, fault.cycles,
+                          cpu.pc, cpu.cycles, cpu.instructions_retired)
+    assert faults["blocks"] == faults["interpreter"]
+    assert faults["blocks"][1] == 2  # byte address of the faulting lds
+
+
+def test_block_cache_metrics_reach_the_telemetry_snapshot(testapp):
+    """avr.blocks.* gauges + the fusion-length histogram are sampled
+    pull-style at snapshot time when the protected board runs on blocks."""
+    from repro.core import MavrSystem
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry(enabled=True)
+    system = MavrSystem(testapp, seed=7, telemetry=tel, engine="blocks")
+    system.boot()
+    system.run(5)
+    engine = system.autopilot.cpu.engine
+    assert engine.blocks_entered > 0
+
+    registry = tel.registry
+    registry.snapshot()  # collectors are pull-style: sample now
+    built = registry.value("avr.blocks.built", component="cpu")
+    entered = registry.value("avr.blocks.entered", component="cpu")
+    assert built == engine.blocks_built > 0
+    assert entered == engine.blocks_entered > built  # blocks are reused
+    [histogram] = registry.find("avr.blocks.fusion_length", component="cpu")
+    assert histogram.count == engine.blocks_built
+    assert 1 <= histogram.min and histogram.max <= FUSE_CAP
+    # a second snapshot must not re-observe builds already folded in
+    registry.snapshot()
+    assert histogram.count == engine.blocks_built
+
+
+def test_terminator_fault_reconstructs_exact_state():
+    # the block's *last* handler faults: st through X at an invalid address
+    program = [
+        I(M.LDI, rd=26, k=0xFF),
+        I(M.LDI, rd=27, k=0xFF),
+        I(M.ST_X, rr=0),
+    ]
+    faults = {}
+    for engine in ("interpreter", "blocks"):
+        cpu = _cpu(program, engine=engine)
+        with pytest.raises(CpuFault) as excinfo:
+            cpu.run(10)
+        fault = excinfo.value
+        faults[engine] = (str(fault), fault.pc, fault.cycles,
+                          cpu.pc, cpu.cycles, cpu.instructions_retired)
+    assert faults["blocks"] == faults["interpreter"]

@@ -1,12 +1,18 @@
-"""Differential tests: predecoded engine vs reference interpreter on the
-paper's real scenarios.
+"""Differential tests: predecoded + block engines vs the reference
+interpreter on the paper's real scenarios.
 
-These are the acceptance gates of the execution-engine PR: the V2 stealthy
-attack and a full MAVR re-randomization boot must produce bit-for-bit
-identical PC/SP/SREG/cycle streams on both engines, trace hooks must fire
-with identical ``(pc, insn)`` sequences, and after the master detects a
-crash and re-randomizes, the next ``run()`` must execute the *new* image
-(the stale-decode regression).
+These are the acceptance gates of the execution-engine PRs: the V2
+stealthy attack and a full MAVR re-randomization boot must produce
+bit-for-bit identical PC/SP/SREG/cycle streams on all three engines,
+trace hooks must fire with identical ``(pc, insn)`` sequences, and after
+the master detects a crash and re-randomizes, the next ``run()`` must
+execute the *new* image (the stale-decode regression).
+
+The block engine is exercised twice per scenario: with a
+``CpuStateStream`` attached (which transparently degrades it to exact
+per-instruction retirement — that path must stay bit-exact) and with no
+hooks at all (the fused fast path — end states and attack outcomes must
+still match the reference exactly).
 """
 
 import random
@@ -21,7 +27,8 @@ from repro.core.preprocess import preprocess
 from repro.firmware import build_testapp
 from repro.uav import Autopilot, AutopilotStatus
 
-ENGINES = ("interpreter", "predecoded")
+ENGINES = ("interpreter", "predecoded", "blocks")
+REFERENCE = "interpreter"
 
 
 @pytest.fixture(scope="module")
@@ -39,9 +46,10 @@ def test_v2_stealthy_attack_lockstep(image):
         outcomes[engine] = StealthyAttack(image).execute(uav, values=b"\x40\x00\x00")
     for engine in ENGINES:
         assert outcomes[engine].succeeded and outcomes[engine].stealthy
-    divergence = diff_state_streams(streams["interpreter"], streams["predecoded"])
-    assert divergence is None, divergence
-    assert len(streams["predecoded"].states) > 10_000  # a real workload ran
+    for engine in ENGINES[1:]:
+        divergence = diff_state_streams(streams[REFERENCE], streams[engine])
+        assert divergence is None, f"{engine}: {divergence}"
+        assert len(streams[engine].states) > 10_000  # a real workload ran
 
 
 def test_mavr_rerandomization_boot_lockstep(image):
@@ -56,9 +64,10 @@ def test_mavr_rerandomization_boot_lockstep(image):
         streams[engine] = CpuStateStream().attach(uav.cpu)
         master.run(ticks=40)
         assert uav.status is AutopilotStatus.RUNNING
-    divergence = diff_state_streams(streams["interpreter"], streams["predecoded"])
-    assert divergence is None, divergence
-    assert len(streams["predecoded"].states) > 10_000
+    for engine in ENGINES[1:]:
+        divergence = diff_state_streams(streams[REFERENCE], streams[engine])
+        assert divergence is None, f"{engine}: {divergence}"
+        assert len(streams[engine].states) > 10_000
 
 
 def test_trace_hook_parity_stealthy_scenario(image):
@@ -71,10 +80,12 @@ def test_trace_hook_parity_stealthy_scenario(image):
         trace.attach(uav.cpu)
         StealthyAttack(image).execute(uav, values=b"\x40\x00\x00")
         traces[engine] = trace
-    a, b = traces["interpreter"], traces["predecoded"]
-    assert len(a.instructions) == len(b.instructions)
-    assert a.instructions == b.instructions
-    assert a.io_writes == b.io_writes
+    reference = traces[REFERENCE]
+    for engine in ENGINES[1:]:
+        trace = traces[engine]
+        assert len(reference.instructions) == len(trace.instructions)
+        assert reference.instructions == trace.instructions
+        assert reference.io_writes == trace.io_writes
 
 
 def test_no_stale_decodes_after_crash_rerandomization(image):
@@ -120,3 +131,51 @@ def test_no_stale_decodes_after_crash_rerandomization(image):
         if decode_at(first_image.code, pc)[0] != decode_at(second_image.code, pc)[0]
     )
     assert moved > 0
+
+
+# -- block-engine fast path (no hooks attached, superblocks actually fuse) --
+
+
+def _architectural_state(cpu):
+    return {
+        "pc": cpu.pc,
+        "sp": cpu.data.sp,
+        "sreg": cpu.sreg.byte,
+        "cycles": cpu.cycles,
+        "retired": cpu.instructions_retired,
+        "regs": bytes(cpu.data.read_reg(r) for r in range(32)),
+    }
+
+
+def test_v2_attack_identical_outcome_on_fused_fast_path(image):
+    """The V2 stealthy attack, end to end, with *no* hooks attached: the
+    block engine executes fused superblocks the whole way and must still
+    produce an identical AttackOutcome and identical architectural state."""
+    outcomes = {}
+    states = {}
+    entered = {}
+    for engine in ENGINES:
+        uav = Autopilot(image, engine=engine)
+        outcomes[engine] = StealthyAttack(image).execute(uav)
+        states[engine] = _architectural_state(uav.cpu)
+        entered[engine] = getattr(uav.cpu.engine, "blocks_entered", 0)
+    assert entered["blocks"] > 1_000  # the fused path genuinely ran
+    for engine in ENGINES[1:]:
+        assert outcomes[engine] == outcomes[REFERENCE], engine
+        assert states[engine] == states[REFERENCE], engine
+
+
+def test_mavr_boot_identical_end_state_on_fused_fast_path(image):
+    """Boot-time randomization + protected flight without any stream
+    attached: cycle totals and registers at the run boundary must agree."""
+    states = {}
+    for engine in ENGINES:
+        uav = Autopilot(image, engine=engine)
+        master = MasterProcessor(uav, rng=random.Random(2015))
+        master.deploy(preprocess(image))
+        master.boot(attack_detected=True)
+        master.run(ticks=40)
+        assert uav.status is AutopilotStatus.RUNNING
+        states[engine] = _architectural_state(uav.cpu)
+    for engine in ENGINES[1:]:
+        assert states[engine] == states[REFERENCE], engine
