@@ -1,0 +1,116 @@
+"""Campaign throughput: scenarios/sec at jobs ∈ {1, 2, 4}.
+
+The workload is the paper's §VII-A guessing campaign expressed as
+scenario specs — one freshly randomized protected board per attempt —
+fanned out by :class:`repro.sim.CampaignRunner`.  Scenarios are
+CPU-bound and independent, so throughput should scale with workers until
+the machine runs out of cores.
+
+Asserted floor: 4 jobs beat 1 job by >=1.5x wall-clock — only enforced
+when the machine actually has >=2 usable cores (the CI runners do; a
+single-core box records the numbers without asserting).  The aggregates
+are also asserted bit-identical across all job counts, so the speedup is
+never bought with a determinism regression.
+
+Results land in ``BENCH_campaign_throughput.json`` at the repo root.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_campaign_throughput.py -q -s
+Scale with REPRO_BENCH_SCENARIOS (default 8).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.sim import CampaignRunner, ScenarioSpec, derive_seed
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_campaign_throughput.json"
+)
+JOB_LEVELS = (1, 2, 4)
+SPEEDUP_FLOOR = 1.5
+BASE_SEED = 2024
+
+
+def _scenario_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCENARIOS", "8"))
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _specs(count):
+    return [
+        ScenarioSpec(
+            app="testapp",
+            seed=derive_seed(BASE_SEED, index, "board"),
+            attack="guess",
+            attack_seed=derive_seed(BASE_SEED, index, "attack"),
+            label=f"bench-{index}",
+        )
+        for index in range(count)
+    ]
+
+
+def test_campaign_throughput(benchmark):
+    count = _scenario_count()
+    specs = _specs(count)
+    cores = _usable_cores()
+
+    wall, rate, aggregates = {}, {}, {}
+    for jobs in JOB_LEVELS:
+        runner = CampaignRunner(jobs=jobs)
+        start = time.perf_counter()
+        report = runner.run(specs)
+        elapsed = time.perf_counter() - start
+        wall[jobs] = elapsed
+        rate[jobs] = count / elapsed
+        aggregates[jobs] = report.aggregates
+        assert report.aggregates["errors"] == 0
+
+    # the parallel speedup must never be bought with nondeterminism
+    for jobs in JOB_LEVELS[1:]:
+        assert aggregates[jobs] == aggregates[1], (
+            f"aggregates diverged between jobs=1 and jobs={jobs}"
+        )
+
+    speedup_at_4 = wall[1] / wall[4]
+    results = {
+        "scenarios": count,
+        "usable_cores": cores,
+        "wall_s": {str(j): round(wall[j], 3) for j in JOB_LEVELS},
+        "scenarios_per_second": {str(j): round(rate[j], 3) for j in JOB_LEVELS},
+        "speedup_vs_serial": {
+            str(j): round(wall[1] / wall[j], 3) for j in JOB_LEVELS
+        },
+        "floor": {
+            "speedup_at_4_jobs": SPEEDUP_FLOOR,
+            "enforced": cores >= 2,
+        },
+    }
+
+    # pytest-benchmark row: one serial scenario batch
+    benchmark.pedantic(
+        lambda: CampaignRunner(jobs=1).run(specs[:1]), rounds=1, iterations=1
+    )
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\n{'jobs':>4} {'wall':>9} {'scen/s':>8} {'speedup':>8}")
+    for jobs in JOB_LEVELS:
+        print(f"{jobs:>4} {wall[jobs]:>8.2f}s {rate[jobs]:>8.2f} "
+              f"{wall[1] / wall[jobs]:>7.2f}x")
+    print(f"usable cores: {cores}; results written to {RESULTS_PATH}")
+
+    if cores >= 2:
+        assert speedup_at_4 >= SPEEDUP_FLOOR, (
+            f"4 jobs only {speedup_at_4:.2f}x faster than serial on "
+            f"{cores} cores; the floor is {SPEEDUP_FLOOR}x"
+        )
+    else:
+        print(f"single-core machine: {SPEEDUP_FLOOR}x floor recorded, "
+              f"not enforced (speedup {speedup_at_4:.2f}x)")

@@ -12,23 +12,24 @@ simulated hardware:
   against *wrong* layout guesses at a MAVR system.  Measures effect rate
   (expected: zero at any feasible number of attempts) and the defense's
   detection/recovery behaviour.
+
+Both are thin folds over the :mod:`repro.sim` scenario layer: every
+attempt is one :class:`~repro.sim.ScenarioSpec` played by
+:func:`~repro.sim.run_scenario`, so ``guessing_campaign(...,
+parallelism=4)`` fans the same specs over a process pool and produces
+bit-identical aggregates to the serial path.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
-from ..attack.chain import Write3
-from ..attack.runtime_facts import derive_runtime_facts
-from ..attack.v2_stealthy import StealthyAttack
 from ..binfmt.image import FirmwareImage
-from ..core.mavr import MavrSystem
-from ..core.patching import randomize_image
-from ..mavlink.messages import PARAM_SET
-from ..uav.autopilot import Autopilot
-from ..uav.groundstation import MaliciousGroundStation
+from ..sim import CampaignRunner, ScenarioSpec
+
+_SEED_SPACE = 2**31
 
 
 @dataclass
@@ -62,13 +63,49 @@ def oracle_attack(
     leaks, i.e. MAVR's security rests entirely on layout secrecy (which
     the readout fuse enforces).
     """
-    randomized, _permutation = randomize_image(image, random.Random(seed))
-    autopilot = Autopilot(randomized)
-    autopilot.debug_symbols = image.symbols  # host-side SRAM map
-    outcome = StealthyAttack(randomized).execute(
-        autopilot, target_variable=target_variable, values=values
+    from ..sim import run_scenario
+
+    spec = ScenarioSpec(
+        image_hex=image.to_preprocessed_hex(),
+        protected=False,
+        attack="oracle",
+        attack_seed=seed,
+        target_variable=target_variable,
+        values=values,
+        observe_ticks=30,
+        label="oracle",
     )
-    return outcome.succeeded and outcome.stealthy
+    result = run_scenario(spec)
+    return result.succeeded and result.stealthy
+
+
+def campaign_specs(
+    image: FirmwareImage,
+    attempts: int = 5,
+    seed: int = 0,
+    target_variable: str = "gyro_offset",
+) -> List[ScenarioSpec]:
+    """The guessing campaign as data: one spec per attempt.
+
+    Every attempt faces a *freshly randomized* board — faithful to the
+    paper's model, where each failed attempt triggers re-randomization, so
+    attempts are independent draws from the layout space.  Board and
+    attacker seeds are drawn from one ``random.Random(seed)`` stream up
+    front, which is what lets serial and parallel runs execute the exact
+    same spec list.
+    """
+    rng = random.Random(seed)
+    return [
+        ScenarioSpec(
+            image_hex=image.to_preprocessed_hex(),
+            seed=rng.randrange(_SEED_SPACE),
+            attack="guess",
+            attack_seed=rng.randrange(_SEED_SPACE),
+            target_variable=target_variable,
+            label=f"guess-{index}",
+        )
+        for index in range(attempts)
+    ]
 
 
 def guessing_campaign(
@@ -76,48 +113,26 @@ def guessing_campaign(
     attempts: int = 5,
     seed: int = 0,
     target_variable: str = "gyro_offset",
+    parallelism: int = 1,
 ) -> CampaignResult:
-    """Replay wrong-layout exploits at a MAVR-protected system.
+    """Replay wrong-layout exploits at MAVR-protected systems.
 
     Each attempt builds a V2 exploit against a *guessed* randomization of
     the original binary (the attacker can generate candidate layouts —
     they have the unprotected image — they just cannot know which one is
     live).  The exploit is delivered, the defense observes, and the
-    campaign records what happened.
+    campaign records what happened.  ``parallelism`` > 1 fans attempts
+    over a process pool; aggregates are bit-identical to the serial path.
     """
-    rng = random.Random(seed)
-    system = MavrSystem(image, seed=rng.randrange(2**31))
-    system.boot()
-    system.run(10)
-    station = MaliciousGroundStation()
-    result = CampaignResult()
-    baseline = system.autopilot.read_variable(target_variable)
-
-    from ..attack.runtime_facts import variable_address
-
-    target = variable_address(image, target_variable)
-    facts = derive_runtime_facts(image)  # stack geometry is layout-invariant
-
-    for _ in range(attempts):
-        result.attempts += 1
-        # the attacker's guess: randomize their own copy and aim there
-        guess, _perm = randomize_image(image, random.Random(rng.randrange(2**31)))
-        exploit = StealthyAttack(guess, facts)
-        burst = station.exploit_burst(
-            PARAM_SET.msg_id,
-            exploit.attack_bytes([Write3(target, b"\x40\x00\x00")]),
-        )
-        detections_before = system.report().attacks_detected
-        system.autopilot.receive_bytes(burst)
-        system.run(150, watch_every=5)
-        if system.autopilot.read_variable(target_variable) != baseline:
+    specs = campaign_specs(image, attempts, seed, target_variable)
+    report = CampaignRunner(jobs=parallelism).run(specs)
+    result = CampaignResult(attempts=len(specs))
+    for scenario in report.results:
+        if scenario.effect:
             result.effects += 1
-        detected = system.report().attacks_detected > detections_before
-        result.per_attempt_detected.append(detected)
-        if detected:
+        result.per_attempt_detected.append(scenario.detected)
+        if scenario.detected:
             result.detections += 1
-
-    report = system.report()
-    result.randomizations_consumed = report.randomizations
-    result.still_flying = system.autopilot.status.value == "running"
+        result.randomizations_consumed += scenario.randomizations
+        result.still_flying = result.still_flying and scenario.still_flying
     return result

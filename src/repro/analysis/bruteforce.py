@@ -85,26 +85,55 @@ def estimate_for(function_count: int) -> BruteForceEstimate:
 
 # -- Monte Carlo ------------------------------------------------------------
 
+#: parallel sweeps always split into this many chunks, regardless of the
+#: worker count, so the estimate depends only on the rng seed — running
+#: with ``parallelism=1`` and ``parallelism=4`` gives the same mean
+_SWEEP_CHUNKS = 8
+
+
 def simulate_fixed_layout(
-    layouts: int, trials: int, rng: Optional[random.Random] = None
+    layouts: int, trials: int, rng: Optional[random.Random] = None,
+    parallelism: int = 1,
 ) -> float:
     """Mean attempts guessing a fixed secret without replacement."""
     rng = rng if rng is not None else random.Random()
+    if parallelism > 1:
+        return _parallel_sweep(_fixed_chunk, layouts, trials, rng, parallelism)
+    return _fixed_chunk((layouts, trials, rng, None)) / trials
+
+
+def simulate_mavr(
+    layouts: int, trials: int, rng: Optional[random.Random] = None,
+    max_attempts: int = 10_000_000,
+    parallelism: int = 1,
+) -> float:
+    """Mean attempts when the secret is redrawn after every failure."""
+    rng = rng if rng is not None else random.Random()
+    if parallelism > 1:
+        return _parallel_sweep(
+            _mavr_chunk, layouts, trials, rng, parallelism,
+            max_attempts=max_attempts,
+        )
+    return _mavr_chunk((layouts, trials, rng, max_attempts)) / trials
+
+
+def _fixed_chunk(payload) -> int:
+    """Total attempts over one chunk of fixed-layout trials."""
+    layouts, trials, rng, _ = payload
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
     total = 0
     for _ in range(trials):
         secret = rng.randrange(layouts)
         candidates = list(range(layouts))
         rng.shuffle(candidates)
         total += candidates.index(secret) + 1
-    return total / trials
+    return total
 
 
-def simulate_mavr(
-    layouts: int, trials: int, rng: Optional[random.Random] = None,
-    max_attempts: int = 10_000_000,
-) -> float:
-    """Mean attempts when the secret is redrawn after every failure."""
-    rng = rng if rng is not None else random.Random()
+def _mavr_chunk(payload) -> int:
+    """Total attempts over one chunk of re-randomizing trials."""
+    layouts, trials, rng, max_attempts = payload
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
     total = 0
     for _ in range(trials):
         attempts = 0
@@ -115,4 +144,32 @@ def simulate_mavr(
             if rng.randrange(layouts) == rng.randrange(layouts):
                 break
         total += attempts
-    return total / trials
+    return total
+
+
+def _parallel_sweep(
+    chunk_fn, layouts: int, trials: int, rng: random.Random,
+    parallelism: int, max_attempts: int = 10_000_000,
+) -> float:
+    """Fan a Monte-Carlo sweep over the shared process-pool primitive.
+
+    Chunk seeds are drawn from ``rng`` up front, so a given seed always
+    yields the same estimate at any worker count; a chunk failure
+    surfaces as the pool's error placeholder and raises here.
+    """
+    from ..sim import PoolTaskError, map_indexed
+
+    base = trials // _SWEEP_CHUNKS
+    sizes = [
+        base + (1 if index < trials % _SWEEP_CHUNKS else 0)
+        for index in range(_SWEEP_CHUNKS)
+    ]
+    payloads = [
+        (layouts, size, rng.randrange(2**31), max_attempts)
+        for size in sizes if size
+    ]
+    totals = map_indexed(chunk_fn, payloads, jobs=parallelism)
+    for item in totals:
+        if isinstance(item, PoolTaskError):
+            raise RuntimeError(f"sweep chunk failed: {item.message}")
+    return sum(totals) / trials

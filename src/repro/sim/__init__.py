@@ -1,0 +1,43 @@
+"""Scenario layer: the single way to stand up and drive simulated boards.
+
+The paper's evaluation (§VII) is campaign-shaped — many attack attempts
+against many randomized boards.  This package turns one such experiment
+into data (:class:`ScenarioSpec`), runs it (:func:`run_scenario` /
+:class:`Board`), and fans lists of them out over a process pool
+(:class:`CampaignRunner`) with deterministic per-spec seed derivation,
+per-task timeouts, retry-once-on-worker-death, an ordered JSONL result
+sink, and cross-process telemetry snapshot merging.
+
+Everything above this layer — ``repro.analysis`` campaigns, the CLI's
+``attack``/``defend``/``campaign``/``telemetry`` commands, the
+integration-test fixtures and the throughput benchmarks — constructs
+boards only through here.  See ``docs/SCENARIOS.md`` for the spec
+schema, the runner semantics and the determinism contract.
+"""
+
+from .campaign import CampaignReport, CampaignRunner, aggregate_results
+from .pool import PoolTaskError, map_indexed
+from .scenario import (
+    ATTACK_VARIANTS,
+    Board,
+    ScenarioResult,
+    ScenarioSpec,
+    derive_seed,
+    load_spec_image,
+    run_scenario,
+)
+
+__all__ = [
+    "ATTACK_VARIANTS",
+    "Board",
+    "CampaignReport",
+    "CampaignRunner",
+    "PoolTaskError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "aggregate_results",
+    "derive_seed",
+    "load_spec_image",
+    "map_indexed",
+    "run_scenario",
+]

@@ -1,0 +1,195 @@
+"""Campaign runner: fan a list of scenario specs out over a process pool.
+
+The runner owns everything around :func:`~repro.sim.scenario.run_scenario`
+that the hand-wired drivers used to re-implement:
+
+* **deterministic fan-out** — specs are numbered; a worker computes the
+  result of spec *i* from spec *i* alone, so the ordered result list is
+  bit-identical at any ``jobs`` level (see ``docs/SCENARIOS.md`` for the
+  full determinism contract),
+* **per-task timeout** — enforced inside the worker (`SIGALRM`), the only
+  place a CPU-bound simulation can be interrupted,
+* **retry-once-on-worker-death** — a killed worker breaks the pool; its
+  unfinished specs run once more in a fresh pool, and a second death
+  degrades to an ``error`` result instead of losing the campaign,
+* **ordered JSONL sink** — one record per spec, in spec order, each a
+  deterministic function of its spec,
+* **cross-process telemetry merging** — workers return snapshots, the
+  parent folds them with :meth:`repro.telemetry.Telemetry.merge`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..telemetry import Telemetry, jsonable
+from .pool import PoolTaskError, _TaskTimeout, call_with_timeout, in_worker, map_indexed
+from .scenario import ScenarioResult, ScenarioSpec, run_scenario
+
+
+def aggregate_results(results: Sequence[ScenarioResult]) -> dict:
+    """Deterministic campaign aggregates (no timing, no process identity)."""
+    attacks = sum(1 for r in results if r.spec.attack is not None)
+    effects = sum(1 for r in results if r.effect)
+    detections = sum(1 for r in results if r.detected)
+    errors = sum(1 for r in results if r.outcome in ("error", "timeout"))
+    by_outcome: dict = {}
+    for result in results:
+        by_outcome[result.outcome] = by_outcome.get(result.outcome, 0) + 1
+    return {
+        "scenarios": len(results),
+        "attacks": attacks,
+        "effects": effects,
+        "detections": detections,
+        "stealthy": sum(1 for r in results if r.stealthy),
+        "crashed": sum(1 for r in results if r.status == "crashed"),
+        "still_flying": sum(1 for r in results if r.still_flying),
+        "boots": sum(r.boots for r in results),
+        "randomizations": sum(r.randomizations for r in results),
+        "attacks_detected": sum(r.attacks_detected for r in results),
+        "errors": errors,
+        "effect_rate": effects / attacks if attacks else 0.0,
+        "detection_rate": detections / attacks if attacks else 0.0,
+        "by_outcome": dict(sorted(by_outcome.items())),
+    }
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced, results in spec order."""
+
+    results: List[ScenarioResult]
+    aggregates: dict
+    merged_snapshot: Optional[dict] = None
+    # non-deterministic diagnostics (wall time, retry counts); kept out of
+    # the JSONL records so those stay bit-identical across runs
+    runner: dict = field(default_factory=dict)
+
+    def records(self) -> List[dict]:
+        return [result.to_record() for result in self.results]
+
+
+def _campaign_worker(payload) -> ScenarioResult:
+    """Run one (index, spec, timeout) task; module-level for pickling."""
+    index, spec, timeout_s = payload
+    _maybe_die_for_test(spec)
+    try:
+        return call_with_timeout(
+            lambda p: run_scenario(p[1], index=p[0]), (index, spec), timeout_s
+        )
+    except _TaskTimeout:
+        return _placeholder(index, spec, "timeout", f"exceeded {timeout_s}s")
+
+
+def _maybe_die_for_test(spec: ScenarioSpec) -> None:
+    """Worker-crash injection for the retry tests.
+
+    Only ever fires inside a pool worker: the first worker to see the
+    spec creates the marker file and dies without cleanup (the closest
+    simulation of an OOM-kill), the retry finds the marker and proceeds.
+    """
+    if spec.worker_fault_marker is None or not in_worker():
+        return
+    if not os.path.exists(spec.worker_fault_marker):
+        with open(spec.worker_fault_marker, "w", encoding="ascii") as handle:
+            handle.write("died-once\n")
+        os._exit(42)
+
+
+def _placeholder(
+    index: int, spec: ScenarioSpec, outcome: str, message: str,
+    retried: bool = False,
+) -> ScenarioResult:
+    return ScenarioResult(
+        index=index,
+        spec=spec,
+        outcome=outcome,
+        effect=False,
+        detected=False,
+        stealthy=False,
+        succeeded=False,
+        status="unknown",
+        error=message + (" (after one retry)" if retried else ""),
+    )
+
+
+class CampaignRunner:
+    """Runs spec lists; serial (``jobs=1``) and parallel paths share all
+    scenario code, differing only in where :func:`run_scenario` executes."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout_s: Optional[float] = None,
+        jsonl_path=None,
+        retry_worker_death: bool = True,
+    ) -> None:
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.jsonl_path = jsonl_path
+        self.retry_worker_death = retry_worker_death
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
+        specs = list(specs)
+        started = time.perf_counter()
+        raw = map_indexed(
+            _campaign_worker,
+            [(index, spec, self.timeout_s) for index, spec in enumerate(specs)],
+            jobs=self.jobs,
+            retry_worker_death=self.retry_worker_death,
+        )
+        results: List[ScenarioResult] = []
+        worker_deaths = 0
+        for index, item in enumerate(raw):
+            if isinstance(item, PoolTaskError):
+                if item.kind == "worker_death":
+                    worker_deaths += 1
+                results.append(
+                    _placeholder(
+                        index, specs[index], "error", item.message,
+                        retried=item.retried,
+                    )
+                )
+            else:
+                results.append(item)
+
+        snapshots = [r.snapshot for r in results if r.snapshot is not None]
+        report = CampaignReport(
+            results=results,
+            aggregates=aggregate_results(results),
+            merged_snapshot=Telemetry.merge(snapshots) if snapshots else None,
+            runner={
+                "jobs": self.jobs,
+                "wall_s": time.perf_counter() - started,
+                "worker_deaths": worker_deaths,
+                "timeout_s": self.timeout_s,
+            },
+        )
+        if self.jsonl_path is not None:
+            self.write_jsonl(report)
+        return report
+
+    def write_jsonl(self, report: CampaignReport) -> None:
+        """One record per spec, in spec order, plus a trailing aggregate.
+
+        Records are deterministic functions of their specs; the trailing
+        ``campaign.aggregates`` line carries only deterministic sums, so
+        the whole file is bit-identical between serial and parallel runs
+        of the same spec list.
+        """
+        with open(self.jsonl_path, "w", encoding="utf-8") as handle:
+            for record in report.records():
+                handle.write(
+                    json.dumps(jsonable(record), separators=(",", ":")) + "\n"
+                )
+            handle.write(
+                json.dumps(
+                    {"campaign.aggregates": jsonable(report.aggregates)},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )

@@ -1,0 +1,491 @@
+"""Declarative board scenarios: spec -> lifecycle -> structured result.
+
+A :class:`ScenarioSpec` describes one complete experiment — which
+application, which execution engine, protected or not, which attack
+variant with which parameters, and the tick/step budget.  It is a frozen
+dataclass of plain builtins, so it pickles across process boundaries and
+serializes into campaign JSONL records verbatim.
+
+:class:`Board` owns construction: it is the only place in the codebase
+that wires an :class:`~repro.uav.autopilot.Autopilot` or
+:class:`~repro.core.mavr.MavrSystem` together with a
+:class:`~repro.telemetry.Telemetry` handle from a spec.  Higher layers
+(analysis campaigns, the CLI, integration fixtures, benchmarks) never
+call those constructors directly.
+
+:func:`run_scenario` plays a spec end to end and returns a
+:class:`ScenarioResult` whose fields are deterministic functions of the
+spec — no wall-clock time, no process identity — which is what makes
+serial and parallel campaign runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..avr.engine import DEFAULT_ENGINE
+from ..binfmt.image import FirmwareImage
+from ..telemetry import Telemetry, jsonable
+
+#: attack variants a spec may name (``None`` = fly clean)
+ATTACK_VARIANTS = ("v1", "v2", "v3", "guess", "oracle")
+
+_SEED_SPACE = 2**31
+
+
+def derive_seed(base_seed: int, index: int, stream: str = "") -> int:
+    """Deterministic per-spec seed: stable across processes and sessions.
+
+    Python's builtin ``hash`` is randomized per interpreter, so campaign
+    workers derive sub-seeds with BLAKE2b over ``(base_seed, index,
+    stream)`` instead.  The same arguments always yield the same seed,
+    which is the foundation of the serial-vs-parallel determinism
+    contract.
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}:{index}:{stream}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % _SEED_SPACE
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment, as data.
+
+    The app is named (rebuilt from the deterministic manifest cache in
+    each worker process) or carried inline as preprocessed HEX
+    (``image_hex``, for images that exist only in the parent — e.g. a
+    test fixture).  Everything else is an override over the defaults the
+    hand-wired drivers used to repeat.
+    """
+
+    # -- firmware ---------------------------------------------------------
+    app: str = "testapp"
+    toolchain: str = "mavr"
+    vulnerable: bool = True
+    image_hex: Optional[str] = None  # overrides the named build when given
+
+    # -- board ------------------------------------------------------------
+    protected: bool = True           # MAVR system vs bare autopilot
+    engine: str = DEFAULT_ENGINE
+    seed: int = 1                    # board-side randomization seed
+    randomize_every_boots: int = 1   # RandomizationPolicy override
+    watchdog_period_cycles: int = 100_000
+    watchdog_missed_periods: int = 4
+    link_baud: Optional[int] = None  # ProgrammingLink override
+
+    # -- attack -----------------------------------------------------------
+    attack: Optional[str] = None     # one of ATTACK_VARIANTS, or None
+    attack_seed: int = 0             # layout seed for guess/oracle attackers
+    target_variable: str = "gyro_offset"
+    values: bytes = b"\x40\x00\x00"
+
+    # -- budget -----------------------------------------------------------
+    warmup_ticks: int = 10
+    observe_ticks: int = 150
+    watch_every: int = 5
+
+    # -- faults and observability ----------------------------------------
+    fault: Optional[str] = None      # "wild_jump" | "silence"
+    telemetry: bool = False
+    label: str = ""
+    # test-only: path of a marker file; a campaign *worker* seeing no
+    # marker creates it and dies hard (simulating a worker crash), the
+    # retry sees the marker and proceeds.  Ignored outside worker
+    # processes so serial runs stay safe.
+    worker_fault_marker: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.attack is not None and self.attack not in ATTACK_VARIANTS:
+            raise ValueError(
+                f"unknown attack variant {self.attack!r}; "
+                f"expected one of {ATTACK_VARIANTS}"
+            )
+        if self.fault not in (None, "wild_jump", "silence"):
+            raise ValueError(f"unknown fault {self.fault!r}")
+        if self.attack == "oracle" and self.protected:
+            raise ValueError("the oracle attacker targets an unprotected board")
+
+    def to_record(self) -> dict:
+        """JSON-ready spec (bytes become hex via the shared serializer)."""
+        record = jsonable(self)
+        record.pop("image_hex", None)  # bulky and binary-equivalent to app
+        record.pop("worker_fault_marker", None)
+        return record
+
+
+_IMAGE_CACHE: Dict[str, FirmwareImage] = {}
+
+
+def load_spec_image(spec: ScenarioSpec) -> FirmwareImage:
+    """Resolve the spec's firmware image (cached per process).
+
+    Named apps go through :func:`repro.firmware.build_app`'s own cache;
+    inline images are decoded from the preprocessed HEX once per distinct
+    payload.  Serial and parallel campaign paths both resolve through
+    here, so every run sees byte-identical firmware.
+    """
+    if spec.image_hex is not None:
+        key = hashlib.blake2b(
+            spec.image_hex.encode("ascii"), digest_size=16
+        ).hexdigest()
+        image = _IMAGE_CACHE.get(key)
+        if image is None:
+            image = _IMAGE_CACHE[key] = FirmwareImage.from_preprocessed_hex(
+                spec.image_hex
+            )
+        return image
+    from ..asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
+    from ..firmware import build_app, manifest_by_name
+
+    options = {"stock": STOCK_OPTIONS, "mavr": MAVR_OPTIONS}[spec.toolchain]
+    return build_app(
+        manifest_by_name(spec.app), options, vulnerable=spec.vulnerable
+    )
+
+
+class Board:
+    """Lifecycle object owning one simulated board built from a spec.
+
+    For a protected spec this wires ``Autopilot`` + ``MasterProcessor``
+    inside a :class:`~repro.core.mavr.MavrSystem` with the spec's policy,
+    watchdog and link overrides; for an unprotected spec it is a bare
+    ``Autopilot``.  Either way there is exactly one ``Telemetry`` handle,
+    created here (or passed in by a caller who wants the JSONL sink open
+    before boot).
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        telemetry: Optional[Telemetry] = None,
+        image: Optional[FirmwareImage] = None,
+    ) -> None:
+        from ..core import MavrSystem, RandomizationPolicy, WatchdogConfig
+        from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
+        from ..uav.autopilot import Autopilot
+
+        self.spec = spec
+        self.image = image if image is not None else load_spec_image(spec)
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(enabled=spec.telemetry)
+        )
+        if spec.protected:
+            link = (
+                ProgrammingLink(baud=spec.link_baud)
+                if spec.link_baud is not None else PROTOTYPE_LINK
+            )
+            self.system: Optional[MavrSystem] = MavrSystem(
+                self.image,
+                policy=RandomizationPolicy(spec.randomize_every_boots),
+                link=link,
+                watchdog=WatchdogConfig(
+                    expected_period_cycles=spec.watchdog_period_cycles,
+                    missed_periods_threshold=spec.watchdog_missed_periods,
+                ),
+                seed=spec.seed,
+                telemetry=self.telemetry,
+                engine=spec.engine,
+            )
+            self.autopilot = self.system.autopilot
+        else:
+            self.system = None
+            self.autopilot = Autopilot(self.image, engine=spec.engine)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def boot(self) -> float:
+        """Power on; returns the startup overhead in ms (0 when bare)."""
+        if self.system is not None:
+            return self.system.boot()
+        return 0.0
+
+    def run(self, ticks: int, watch_every: Optional[int] = None) -> int:
+        """Fly for ``ticks``; returns the master's detection count (0 bare)."""
+        if self.system is not None:
+            return self.system.run(
+                ticks, watch_every if watch_every is not None else 10
+            )
+        self.autopilot.run_ticks(ticks)
+        return 0
+
+    def inject_fault(self) -> None:
+        """Apply the spec's fault to the live board.
+
+        * ``wild_jump`` — point the PC into the middle of ``.text``:
+          guaranteed crash or watchdog starvation.
+        * ``silence`` — no-op the watchdog-feed GPIO write hook: the
+          firmware keeps flying but the master hears nothing (genuine
+          starvation, not a crash).
+        """
+        if self.spec.fault is None:
+            return
+        if self.spec.fault == "wild_jump":
+            running = (
+                self.system.running_image if self.system is not None else self.image
+            )
+            self.autopilot.cpu.pc = (running.size + 64) // 2
+        elif self.spec.fault == "silence":
+            from ..avr.iospace import FEED_PORT, IO_TO_DATA_OFFSET
+
+            self.autopilot.cpu.data.add_write_hook(
+                FEED_PORT + IO_TO_DATA_OFFSET, lambda _address, _value: None
+            )
+
+    # -- observation ------------------------------------------------------
+
+    def report(self):
+        """The MAVR defense report, or None for an unprotected board."""
+        return self.system.report() if self.system is not None else None
+
+    def read_target(self) -> int:
+        return self.autopilot.read_variable(self.spec.target_variable)
+
+
+@dataclass
+class ScenarioResult:
+    """What happened when one spec was played out.
+
+    Every field is a deterministic function of the spec: results carry
+    no wall-clock time and no process identity, so the JSONL record of a
+    scenario is byte-identical whether it ran serially, in a worker, or
+    on a retry.  (The in-memory ``snapshot`` holds dual-clock spans and
+    is therefore excluded from :meth:`to_record`.)
+    """
+
+    index: int
+    spec: ScenarioSpec
+    outcome: str                      # clean|stealthy|landed|deflected|crashed|halted|error
+    effect: bool
+    detected: bool
+    stealthy: bool
+    succeeded: bool
+    status: str                       # autopilot status after the run
+    crash: Optional[dict] = None
+    delivered_bytes: int = 0
+    link_lost: bool = False
+    telemetry_frames_after: int = 0
+    boots: int = 0
+    randomizations: int = 0
+    attacks_detected: int = 0
+    startup_overhead_ms: float = 0.0
+    events: List[dict] = field(default_factory=list)
+    snapshot: Optional[dict] = None
+    error: Optional[str] = None
+
+    @property
+    def still_flying(self) -> bool:
+        return self.status == "running"
+
+    def to_record(self) -> dict:
+        """Deterministic JSON-ready record for the campaign JSONL sink."""
+        record = {
+            "index": self.index,
+            "label": self.spec.label,
+            "spec": self.spec.to_record(),
+            "outcome": self.outcome,
+            "effect": self.effect,
+            "detected": self.detected,
+            "stealthy": self.stealthy,
+            "succeeded": self.succeeded,
+            "status": self.status,
+            "crash": jsonable(self.crash),
+            "delivered_bytes": self.delivered_bytes,
+            "link_lost": self.link_lost,
+            "telemetry_frames_after": self.telemetry_frames_after,
+            "boots": self.boots,
+            "randomizations": self.randomizations,
+            "attacks_detected": self.attacks_detected,
+            "error": self.error,
+        }
+        return record
+
+
+def _classify(
+    spec: ScenarioSpec, *, effect: bool, detected: bool, stealthy: bool,
+    status: str,
+) -> str:
+    if spec.attack is None:
+        if status == "running":
+            return "clean"
+        return status
+    if effect:
+        return "stealthy" if stealthy else "landed"
+    if detected:
+        return "deflected"
+    return status if status != "running" else "no_effect"
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    index: int = 0,
+    telemetry: Optional[Telemetry] = None,
+) -> ScenarioResult:
+    """Play one spec end to end: build, boot, attack/fault, observe.
+
+    The protocol mirrors the paper's experiment loop: boot (randomizing
+    per policy when protected), fly ``warmup_ticks``, deliver the attack
+    or inject the fault, then fly ``observe_ticks`` with the master
+    watching every ``watch_every`` ticks, and read the outcome off the
+    board.
+    """
+    board, base = _build_board(spec, telemetry)
+    overhead_ms = board.boot()
+    board.run(spec.warmup_ticks)
+    baseline = board.read_target()
+    detections_before = _detections(board)
+
+    delivered = 0
+    attack_outcome = None
+    observe_done = False
+    if spec.attack in ("v1", "v2", "v3"):
+        attack_outcome = _run_variant_attack(spec, board, base)
+        delivered = attack_outcome.delivered_bytes
+        # on a bare board the attack's own delivery protocol already
+        # observed the aftermath; a protected board defers observation to
+        # the master-supervised run below
+        observe_done = not spec.protected
+    elif spec.attack == "guess":
+        delivered = _deliver_guess(spec, board, base)
+    elif spec.attack == "oracle":
+        attack_outcome = _run_oracle_attack(spec, board, base)
+        observe_done = True
+    board.inject_fault()
+    if not observe_done:
+        board.run(spec.observe_ticks, spec.watch_every)
+
+    status = board.autopilot.status.value
+    effect = board.read_target() != baseline
+    detected = _detections(board) > detections_before
+    if attack_outcome is not None:
+        effect = effect or attack_outcome.succeeded
+    stealthy = (
+        attack_outcome.stealthy if attack_outcome is not None
+        else (effect and status == "running" and not detected)
+    )
+    crash = jsonable(board.autopilot.crash) if board.autopilot.crash else None
+
+    report = board.report()
+    result = ScenarioResult(
+        index=index,
+        spec=spec,
+        outcome=_classify(
+            spec, effect=effect, detected=detected, stealthy=stealthy,
+            status=status,
+        ),
+        effect=effect,
+        detected=detected,
+        stealthy=stealthy,
+        succeeded=attack_outcome.succeeded if attack_outcome else effect,
+        status=status,
+        crash=crash,
+        delivered_bytes=delivered,
+        link_lost=attack_outcome.link_lost if attack_outcome else False,
+        telemetry_frames_after=(
+            attack_outcome.telemetry_frames_after if attack_outcome else 0
+        ),
+        boots=report.boots if report else 1,
+        randomizations=report.randomizations if report else 0,
+        attacks_detected=report.attacks_detected if report else 0,
+        startup_overhead_ms=overhead_ms,
+    )
+    if board.telemetry.enabled:
+        result.events = board.telemetry.events.events()
+        result.snapshot = board.telemetry.snapshot()
+    return result
+
+
+# -- scenario internals -----------------------------------------------------
+
+def _build_board(spec: ScenarioSpec, telemetry: Optional[Telemetry]):
+    """Build the board, applying attack-specific image transforms.
+
+    The oracle attacker flies a board running a *randomized* image whose
+    layout it fully knows (the situation the readout fuse prevents); all
+    other scenarios run the spec's image as built.
+    Returns ``(board, base_image)`` — base is what attackers statically
+    analyze (the paper's threat model: the unprotected public binary).
+    """
+    base = load_spec_image(spec)
+    if spec.attack == "oracle":
+        from ..core import randomize_image
+
+        randomized, _permutation = randomize_image(
+            base, random.Random(spec.attack_seed)
+        )
+        board = Board(spec, telemetry, image=randomized)
+        # host-side SRAM map: randomization never moves data
+        board.autopilot.debug_symbols = base.symbols
+        return board, base
+    return Board(spec, telemetry), base
+
+
+def _detections(board: Board) -> int:
+    report = board.report()
+    return report.attacks_detected if report else 0
+
+
+def _attack_class(variant: str):
+    from ..attack import BasicAttack, StealthyAttack, TrampolineAttack
+
+    return {"v1": BasicAttack, "v2": StealthyAttack, "v3": TrampolineAttack}[
+        variant
+    ]
+
+
+def _run_variant_attack(spec: ScenarioSpec, board: Board, base: FirmwareImage):
+    """V1/V2/V3 built against the base (pre-randomization) layout.
+
+    Against an unprotected board this is the paper's §IV demonstration;
+    against a protected board the same payload lands wrong and the
+    master's detect/re-randomize cycle plays out during the observe run.
+    """
+    cls = _attack_class(spec.attack)
+    attack = cls(base, telemetry=board.telemetry)
+    kwargs = {
+        "observe_ticks": 0 if spec.protected else spec.observe_ticks
+    }
+    if spec.attack in ("v1", "v2"):
+        kwargs.update(
+            target_variable=spec.target_variable, values=spec.values
+        )
+    return attack.execute(board.autopilot, **kwargs)
+
+
+def _deliver_guess(spec: ScenarioSpec, board: Board, base: FirmwareImage) -> int:
+    """One wrong-layout replay: the §VII-A1 guessing attacker.
+
+    The attacker randomizes their own copy of the public binary
+    (``attack_seed``), builds a V2 exploit against that guess, and aims
+    at the base layout's SRAM address (stack geometry and the data space
+    are layout-invariant; the code layout is the secret).
+    """
+    from ..attack import StealthyAttack, Write3, derive_runtime_facts, variable_address
+    from ..core import randomize_image
+    from ..mavlink.messages import PARAM_SET
+    from ..uav.groundstation import MaliciousGroundStation
+
+    guess, _permutation = randomize_image(base, random.Random(spec.attack_seed))
+    facts = derive_runtime_facts(base)  # stack geometry is layout-invariant
+    exploit = StealthyAttack(guess, facts)
+    target = variable_address(base, spec.target_variable)
+    burst = MaliciousGroundStation().exploit_burst(
+        PARAM_SET.msg_id, exploit.attack_bytes([Write3(target, spec.values)])
+    )
+    board.autopilot.receive_bytes(burst)
+    return len(burst)
+
+
+def _run_oracle_attack(spec: ScenarioSpec, board: Board, base: FirmwareImage):
+    """Full-knowledge attacker vs the randomized image it knows."""
+    from ..attack import StealthyAttack
+
+    return StealthyAttack(board.image, telemetry=board.telemetry).execute(
+        board.autopilot,
+        target_variable=spec.target_variable,
+        values=spec.values,
+        observe_ticks=spec.observe_ticks,
+    )

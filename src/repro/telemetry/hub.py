@@ -22,10 +22,12 @@ the output without the execution hot loop ever touching telemetry.
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, Iterable, Optional
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..errors import TelemetryError
 from .events import EventLog, jsonable
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .tracing import Tracer
 
 SCHEMA_VERSION = 1
@@ -143,3 +145,133 @@ class Telemetry:
 
     def close(self) -> None:
         self.events.close()
+
+    # -- merging -----------------------------------------------------------
+
+    @staticmethod
+    def merge(snapshots: Sequence[dict]) -> dict:
+        """Fold several :meth:`snapshot` dicts into one.
+
+        Used by the campaign runner to combine per-worker telemetry, but
+        standalone-useful for any sharded run.  Semantics per instrument
+        kind:
+
+        * **counters** are summed — and stay monotonic: a negative
+          contribution raises :class:`TelemetryError`,
+        * **gauges** are last-write-wins in snapshot order (point-in-time
+          values have no meaningful sum),
+        * **histograms** require identical bucket bounds; counts, sums and
+          extrema merge and the percentiles are re-estimated from the
+          merged buckets,
+        * **events** are concatenated and re-sorted by sim time (then by
+          source snapshot and sequence number, so ordering is total),
+        * **spans** are concatenated in snapshot order.
+        """
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise TelemetryError("cannot merge zero snapshots")
+        for snapshot in snapshots:
+            if snapshot.get("schema") != SCHEMA_VERSION:
+                raise TelemetryError(
+                    f"cannot merge snapshot with schema "
+                    f"{snapshot.get('schema')!r} (expected {SCHEMA_VERSION})"
+                )
+        events: List[dict] = []
+        for source, snapshot in enumerate(snapshots):
+            for event in snapshot.get("events", ()):
+                events.append({**event, "source": source})
+        events.sort(
+            key=lambda e: (
+                e["t_ms"] is not None,   # clockless events first
+                e["t_ms"] or 0.0,
+                e["source"],
+                e["seq"],
+            )
+        )
+        return {
+            "schema": SCHEMA_VERSION,
+            "enabled": any(s.get("enabled") for s in snapshots),
+            "sources": len(snapshots),
+            "metrics": _merge_metrics(snapshots),
+            "spans": [
+                span for s in snapshots for span in s.get("spans", ())
+            ],
+            "span_tree": [
+                node for s in snapshots for node in s.get("span_tree", ())
+            ],
+            "events": events,
+        }
+
+
+def _metric_key(metric: dict):
+    return (
+        metric["name"],
+        metric["kind"],
+        tuple(sorted((k, str(v)) for k, v in metric.get("labels", {}).items())),
+    )
+
+
+def _merge_metrics(snapshots: Sequence[dict]) -> List[dict]:
+    merged: Dict[tuple, dict] = {}
+    for snapshot in snapshots:
+        for metric in snapshot.get("metrics", ()):
+            key = _metric_key(metric)
+            if key not in merged:
+                merged[key] = dict(metric)
+                if metric["kind"] == "histogram":
+                    merged[key]["buckets"] = dict(metric["buckets"])
+                _check_counter(metric)
+                continue
+            into = merged[key]
+            if metric["kind"] == "counter":
+                _check_counter(metric)
+                into["value"] += metric["value"]
+            elif metric["kind"] == "gauge":
+                into["value"] = metric["value"]   # last write wins
+            elif metric["kind"] == "histogram":
+                _merge_histogram(into, metric)
+            else:
+                raise TelemetryError(
+                    f"cannot merge metric kind {metric['kind']!r}"
+                )
+    return list(merged.values())
+
+
+def _check_counter(metric: dict) -> None:
+    if metric["kind"] == "counter" and metric["value"] < 0:
+        raise TelemetryError(
+            f"counter {metric['name']!r} has negative value "
+            f"{metric['value']}; refusing to merge"
+        )
+
+
+def _merge_histogram(into: dict, metric: dict) -> None:
+    if set(into["buckets"]) != set(metric["buckets"]):
+        raise TelemetryError(
+            f"histogram {metric['name']!r} bucket bounds differ between "
+            f"snapshots; cannot merge"
+        )
+    for bound, count in metric["buckets"].items():
+        into["buckets"][bound] += count
+    into["count"] += metric["count"]
+    into["sum"] += metric["sum"]
+    for field, pick in (("min", min), ("max", max)):
+        values = [v for v in (into[field], metric[field]) if v is not None]
+        into[field] = pick(values) if values else None
+    # re-estimate mean/percentiles from the merged buckets by rebuilding
+    # the instrument the distribution came from
+    pairs = sorted((float(key), key) for key in into["buckets"] if key != "+inf")
+    rebuilt = Histogram(
+        into["name"], into.get("labels", {}),
+        buckets=tuple(bound for bound, _ in pairs),
+    )
+    rebuilt.bucket_counts = [
+        into["buckets"][key] for _, key in pairs
+    ] + [into["buckets"]["+inf"]]
+    rebuilt.count = into["count"]
+    rebuilt.sum = into["sum"]
+    rebuilt.min = into["min"] if into["min"] is not None else math.inf
+    rebuilt.max = into["max"] if into["max"] is not None else -math.inf
+    into["mean"] = rebuilt.mean
+    for p in (50, 90, 99):
+        into[f"p{p}"] = rebuilt.percentile(p)

@@ -7,15 +7,20 @@ Commands mirror the workflows a user of the original system would have:
 * ``info``     — image statistics (sizes, regions, symbols).
 * ``disasm``   — disassemble an application or one function.
 * ``gadgets``  — gadget inventory with Fig. 4/5-style listings.
-* ``attack``   — run V1/V2/V3 against a simulated unprotected board, or
-  (with ``--telemetry``) against a MAVR-protected board while recording
-  the full observability stream.
-* ``defend``   — run a guessing campaign against a MAVR-protected board.
+* ``attack``   — run V1/V2/V3 against a simulated board — unprotected by
+  default, MAVR-protected with ``--protected`` — optionally recording the
+  full observability stream (``--telemetry out.jsonl``) in either mode.
+* ``defend``   — run a guessing campaign against MAVR-protected boards
+  (``--jobs`` fans attempts over a process pool).
+* ``campaign`` — fan N attack scenarios over a process pool and print the
+  aggregate outcome table (or ``--json`` / ``--jsonl``).
 * ``telemetry``— boot a protected board, force a crash/recovery cycle,
   and dump the metrics/span/event snapshot.
 
-``info`` and ``report`` accept ``--json`` for machine-readable output;
-both reuse the telemetry snapshot serializer (:func:`repro.telemetry.jsonable`).
+Board construction goes exclusively through :mod:`repro.sim` — the CLI
+never wires an ``Autopilot``/``MavrSystem`` by hand.  ``info`` and
+``report`` accept ``--json`` for machine-readable output; both reuse the
+telemetry snapshot serializer (:func:`repro.telemetry.jsonable`).
 """
 
 from __future__ import annotations
@@ -28,10 +33,17 @@ from typing import List, Optional
 from ..analysis import format_table, guessing_campaign
 from ..asm import disassemble_image
 from ..asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
-from ..attack import BasicAttack, GadgetFinder, StealthyAttack, TrampolineAttack
+from ..attack import GadgetFinder
 from ..avr.engine import DEFAULT_ENGINE, ENGINES
 from ..firmware import build_app, manifest_by_name
-from ..uav import Autopilot
+from ..sim import (
+    ATTACK_VARIANTS,
+    Board,
+    CampaignRunner,
+    ScenarioSpec,
+    derive_seed,
+    run_scenario,
+)
 
 _TOOLCHAINS = {"stock": STOCK_OPTIONS, "mavr": MAVR_OPTIONS}
 
@@ -130,80 +142,98 @@ def _cmd_gadgets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _attack_outcome_rows(outcome) -> list:
+def _attack_result_rows(result) -> list:
     return [
-        ("attack", outcome.name),
-        ("bytes delivered", str(outcome.delivered_bytes)),
-        ("write landed", str(outcome.succeeded)),
-        ("board status", outcome.status.value),
-        ("telemetry after", f"{outcome.telemetry_frames_after} frames"),
-        ("ground station alarm", str(outcome.link_lost)),
-        ("verdict", "STEALTHY" if outcome.stealthy else "DETECTED/FAILED"),
+        ("attack", result.spec.attack),
+        ("bytes delivered", str(result.delivered_bytes)),
+        ("write landed", str(result.succeeded)),
+        ("board status", result.status),
+        ("telemetry after", f"{result.telemetry_frames_after} frames"),
+        ("ground station alarm", str(result.link_lost)),
+        ("verdict", "STEALTHY" if result.stealthy else "DETECTED/FAILED"),
     ]
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    image = _load(args)
+    """One scenario, protected or not — a single code path for both.
+
+    Against a bare board the attack's own delivery protocol observes the
+    aftermath (the paper's §IV demonstration); with ``--protected`` the
+    payload lands on a randomized layout and the master's
+    detect/re-randomize cycle plays out under supervision.  Either way
+    ``--telemetry PATH`` streams the event log to PATH and writes the
+    metrics/span snapshot next to it.
+    """
     if args.toolchain != "mavr":
         print("note: attacks are normally demonstrated on the mavr build",
               file=sys.stderr)
+    spec = ScenarioSpec(
+        app=args.app,
+        toolchain=args.toolchain,
+        protected=args.protected,
+        engine=args.engine,
+        seed=args.seed,
+        attack=args.variant,
+        warmup_ticks=20 if args.protected else 10,
+        observe_ticks=150 if args.protected else 30,
+        watch_every=5,
+        telemetry=bool(args.telemetry),
+    )
+    telemetry = None
     if args.telemetry:
-        return _attack_with_telemetry(args, image)
-    autopilot = Autopilot(image, engine=args.engine)
-    attack = {
-        "v1": lambda: BasicAttack(image).execute(autopilot),
-        "v2": lambda: StealthyAttack(image).execute(autopilot),
-        "v3": lambda: TrampolineAttack(image).execute(autopilot),
-    }[args.variant]
-    outcome = attack()
-    print(format_table(("field", "value"), _attack_outcome_rows(outcome)))
-    return 0 if outcome.succeeded else 1
+        from ..telemetry import Telemetry
 
-
-def _attack_with_telemetry(args: argparse.Namespace, image) -> int:
-    """Attack a MAVR-*protected* board with the full observability stream on.
-
-    The attacker aims at the original (pre-randomization) layout, so on the
-    protected board the payload lands wrong, crashes or starves the
-    application processor, and the master's detect/re-randomize cycle plays
-    out — all of it recorded to the JSONL event log and the metrics/span
-    snapshot written next to it.
-    """
-    from ..core import MavrSystem
-    from ..telemetry import Telemetry
-
-    tel = Telemetry(enabled=True)
-    tel.events.open_jsonl(args.telemetry)
+        telemetry = Telemetry(enabled=True, jsonl_path=args.telemetry)
     try:
-        system = MavrSystem(image, seed=args.seed, telemetry=tel,
-                            engine=args.engine)
-        system.boot()
-        system.run(20)
-        attack_cls = {
-            "v1": BasicAttack, "v2": StealthyAttack, "v3": TrampolineAttack,
-        }[args.variant]
-        outcome = attack_cls(image, telemetry=tel).execute(system.autopilot)
-        # let the master observe the aftermath and recover if it must
-        system.run(150, watch_every=5)
-        report = system.report()
-        snapshot_path = args.telemetry + ".snapshot.json"
-        tel.write_snapshot(snapshot_path)
+        result = run_scenario(spec, telemetry=telemetry)
+        snapshot_path = None
+        if telemetry is not None:
+            snapshot_path = args.telemetry + ".snapshot.json"
+            telemetry.write_snapshot(snapshot_path)
     finally:
-        tel.close()
-    rows = _attack_outcome_rows(outcome) + [
-        ("defense detections", str(report.attacks_detected)),
-        ("re-randomizations", str(report.randomizations)),
-        ("event log", args.telemetry),
-        ("snapshot", snapshot_path),
-    ]
-    print(format_table(("field", "value"), rows,
-                       title=f"{args.variant} vs MAVR-protected {image.name}"))
-    return 0
+        if telemetry is not None:
+            telemetry.close()
+
+    rows = _attack_result_rows(result)
+    if args.protected:
+        rows += [
+            ("defense detections", str(result.attacks_detected)),
+            ("re-randomizations", str(result.randomizations)),
+        ]
+    if snapshot_path is not None:
+        rows += [("event log", args.telemetry), ("snapshot", snapshot_path)]
+    board_kind = "MAVR-protected" if args.protected else "unprotected"
+    print(format_table(
+        ("field", "value"), rows,
+        title=f"{args.variant} vs {board_kind} {args.app}",
+    ))
+    # unprotected: the attack should land; protected: it should not
+    if args.protected:
+        return 0 if not result.effect else 1
+    return 0 if result.succeeded else 1
+
+
+def _campaign_result_dict(result) -> dict:
+    return {
+        "attempts": result.attempts,
+        "effects": result.effects,
+        "detections": result.detections,
+        "effect_rate": result.effect_rate,
+        "detection_rate": result.detection_rate,
+        "randomizations_consumed": result.randomizations_consumed,
+        "still_flying": result.still_flying,
+        "per_attempt_detected": result.per_attempt_detected,
+    }
 
 
 def _cmd_defend(args: argparse.Namespace) -> int:
     image = _load(args)
-    result = guessing_campaign(image, attempts=args.attempts, seed=args.seed)
+    result = guessing_campaign(
+        image, attempts=args.attempts, seed=args.seed, parallelism=args.jobs
+    )
+    if args.json:
+        print(json.dumps(_campaign_result_dict(result), indent=2))
+        return 0 if result.effects == 0 else 1
     rows = [
         ("attempts", str(result.attempts)),
         ("exploit effects", str(result.effects)),
@@ -214,6 +244,57 @@ def _cmd_defend(args: argparse.Namespace) -> int:
     print(format_table(("field", "value"), rows,
                        title="guessing campaign vs MAVR"))
     return 0 if result.effects == 0 else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Fan ``-n`` attack scenarios over a process pool and aggregate.
+
+    Every scenario gets its own board seed and attacker seed derived from
+    ``--seed`` (BLAKE2b, stable across processes), so the same invocation
+    always produces the same aggregates and JSONL records at any
+    ``--jobs`` level.
+    """
+    specs = [
+        ScenarioSpec(
+            app=args.app,
+            toolchain=args.toolchain,
+            engine=args.engine,
+            seed=derive_seed(args.seed, index, "board"),
+            attack=args.attack,
+            attack_seed=derive_seed(args.seed, index, "attack"),
+            label=f"{args.attack}-{index}",
+            worker_fault_marker=args.inject_worker_fault,
+        )
+        for index in range(args.count)
+    ]
+    runner = CampaignRunner(
+        jobs=args.jobs, timeout_s=args.timeout, jsonl_path=args.jsonl
+    )
+    report = runner.run(specs)
+    aggregates = report.aggregates
+    if args.json:
+        from ..telemetry import jsonable
+
+        print(json.dumps(jsonable({
+            "app": args.app,
+            "attack": args.attack,
+            "seed": args.seed,
+            "aggregates": aggregates,
+            "runner": report.runner,
+        }), indent=2))
+    else:
+        rows = [(key, str(value)) for key, value in aggregates.items()
+                if key != "by_outcome"]
+        rows += [(f"outcome[{name}]", str(count))
+                 for name, count in aggregates["by_outcome"].items()]
+        print(format_table(
+            ("field", "value"), rows,
+            title=f"{args.attack} campaign vs MAVR-protected {args.app} "
+                  f"({args.jobs} jobs)",
+        ))
+        if args.jsonl:
+            print(f"wrote per-scenario records to {args.jsonl}")
+    return 0 if aggregates["effects"] == 0 and aggregates["errors"] == 0 else 1
 
 
 def _report_data(full: bool) -> dict:
@@ -234,13 +315,15 @@ def _report_data(full: bool) -> dict:
 
     data: dict = {}
     if full:
-        from ..core import MavrSystem
-
         apps = []
         for manifest in ALL_APPS:
             stock = build_app(manifest, STOCK_OPTIONS)
             mavr = build_app(manifest, MAVR_OPTIONS)
-            overhead = MavrSystem(mavr, seed=1).boot()
+            board = Board(
+                ScenarioSpec(app=manifest.name, toolchain="mavr", seed=1),
+                image=mavr,
+            )
+            overhead = board.boot()
             apps.append({
                 "app": manifest.name,
                 "functions": mavr.function_count(),
@@ -266,7 +349,9 @@ def _report_data(full: bool) -> dict:
     }
 
     image = build_app(manifest_by_name("testapp"), MAVR_OPTIONS)
-    v2 = StealthyAttack(image).execute(Autopilot(image))
+    v2 = run_scenario(ScenarioSpec(
+        app="testapp", protected=False, attack="v2", observe_ticks=30,
+    ))
     campaign = guessing_campaign(image, attempts=2, seed=1)
     data["effectiveness"] = {
         "v2_vs_unprotected_stealthy": v2.stealthy and v2.succeeded,
@@ -359,24 +444,28 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     / ``attack.detected`` events, a nested ``mavr.rerandomize`` span, and
     per-page ``flash.page_reflashed`` events) plus the CPU/ISP metrics.
     """
-    from ..core import MavrSystem
     from ..telemetry import Telemetry
 
-    image = _load(args)
-    tel = Telemetry(enabled=True)
-    if args.jsonl:
-        tel.events.open_jsonl(args.jsonl)
+    spec = ScenarioSpec(
+        app=args.app,
+        toolchain=args.toolchain,
+        engine=args.engine,
+        seed=args.seed,
+        warmup_ticks=args.ticks,
+        observe_ticks=150,
+        watch_every=5,
+        fault="wild_jump",
+        telemetry=True,
+    )
+    tel = Telemetry(enabled=True, jsonl_path=args.jsonl)
     try:
-        system = MavrSystem(image, seed=args.seed, telemetry=tel,
-                            engine=args.engine)
-        system.boot()
-        system.run(args.ticks)
-        # force a wild jump into the middle of .text: guaranteed crash or
-        # watchdog starvation, which the master must detect and recover from
-        system.autopilot.cpu.pc = (system.running_image.size + 64) // 2
-        system.run(150, watch_every=5)
+        board = Board(spec, telemetry=tel)
+        board.boot()
+        board.run(spec.warmup_ticks)
+        board.inject_fault()
+        board.run(spec.observe_ticks, spec.watch_every)
         snapshot = tel.snapshot()
-        report = system.report()
+        report = board.report()
     finally:
         tel.close()
 
@@ -400,7 +489,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.out:
         rows.append(("snapshot", args.out))
     print(format_table(("field", "value"), rows,
-                       title=f"telemetry: crash/recovery on {image.name}"))
+                       title=f"telemetry: crash/recovery on {args.app}"))
     if not args.out and not args.jsonl:
         from ..telemetry import jsonable
 
@@ -439,13 +528,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_app_argument(attack)
     attack.add_argument("--variant", choices=("v1", "v2", "v3"), default="v2")
     attack.add_argument(
+        "--protected", action="store_true",
+        help="attack a MAVR-protected board instead of a bare autopilot",
+    )
+    attack.add_argument(
         "--telemetry", metavar="PATH",
-        help="attack a MAVR-protected board instead, recording the event "
-             "log to PATH (JSONL) and the metrics/span snapshot to "
-             "PATH.snapshot.json",
+        help="record the event log to PATH (JSONL) and the metrics/span "
+             "snapshot to PATH.snapshot.json (works for both board kinds)",
     )
     attack.add_argument("--seed", type=int, default=1,
-                        help="randomization seed for --telemetry mode")
+                        help="board randomization seed (--protected)")
     _add_engine_argument(attack)
     attack.set_defaults(func=_cmd_attack)
 
@@ -453,7 +545,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_app_argument(defend)
     defend.add_argument("--attempts", type=int, default=3)
     defend.add_argument("--seed", type=int, default=0)
+    defend.add_argument("--jobs", type=int, default=1,
+                        help="process-pool workers (1 = run inline)")
+    defend.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
     defend.set_defaults(func=_cmd_defend)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="fan N attack scenarios over a process pool and aggregate",
+    )
+    campaign.add_argument(
+        "--app",
+        choices=("testapp", "arduplane", "arducopter", "ardurover"),
+        default="testapp", help="application under attack",
+    )
+    campaign.add_argument(
+        "--toolchain", choices=tuple(_TOOLCHAINS), default="mavr",
+        help="toolchain flag set (default: mavr, the randomizable build)",
+    )
+    campaign.add_argument(
+        "--attack", choices=tuple(v for v in ATTACK_VARIANTS if v != "oracle"),
+        default="guess", help="attack variant every scenario runs",
+    )
+    campaign.add_argument("-n", "--count", type=int, default=10,
+                          help="number of scenarios")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="process-pool workers (1 = run inline)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="base seed; per-scenario seeds are derived")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-scenario timeout in seconds (workers only)")
+    campaign.add_argument("--json", action="store_true",
+                          help="machine-readable JSON output")
+    campaign.add_argument("--jsonl", metavar="PATH",
+                          help="write one record per scenario to PATH")
+    campaign.add_argument("--inject-worker-fault", metavar="PATH",
+                          help=argparse.SUPPRESS)  # test-only crash injection
+    _add_engine_argument(campaign)
+    campaign.set_defaults(func=_cmd_campaign)
 
     report = subparsers.add_parser(
         "report", help="paper-vs-measured reproduction summary"

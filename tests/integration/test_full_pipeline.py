@@ -3,7 +3,8 @@
 These tests exercise multi-module flows exactly as a user of the library
 would: source text to flying firmware, the complete attack-vs-defense
 experiment, the oracle falsification, the guessing campaign, and the
-software-only ablation.
+software-only ablation.  Every protected board is stood up through the
+:mod:`repro.sim` scenario layer.
 """
 
 import random
@@ -12,15 +13,10 @@ import pytest
 
 from repro.analysis import guessing_campaign, oracle_attack
 from repro.asm import MAVR_OPTIONS, link, parse_program
-from repro.attack import (
-    BasicAttack,
-    StealthyAttack,
-    TrampolineAttack,
-    Write3,
-    variable_address,
-)
-from repro.core import MavrSystem, SoftwareOnlyDefense, randomize_image
+from repro.attack import StealthyAttack, Write3, variable_address
+from repro.core import SoftwareOnlyDefense, randomize_image
 from repro.mavlink.messages import PARAM_SET
+from repro.sim import Board, ScenarioSpec, run_scenario
 from repro.uav import Autopilot, AutopilotStatus, GroundStation, MaliciousGroundStation
 
 
@@ -81,29 +77,27 @@ def test_the_paper_experiment_end_to_end(testapp):
     """§VII-A in one test: all three attacks beat the unprotected board;
     the replayed stealthy attack loses to MAVR and is absorbed."""
     # unprotected
-    v1 = BasicAttack(testapp).execute(Autopilot(testapp))
-    v2 = StealthyAttack(testapp).execute(Autopilot(testapp))
-    v3 = TrampolineAttack(testapp).execute(Autopilot(testapp))
+    def unprotected(variant):
+        return run_scenario(ScenarioSpec(
+            app="testapp", protected=False, attack=variant, observe_ticks=30,
+        ))
+
+    v1, v2, v3 = unprotected("v1"), unprotected("v2"), unprotected("v3")
     assert v1.succeeded and not v1.stealthy
     assert v2.succeeded and v2.stealthy
     assert v3.succeeded and v3.stealthy
 
-    # protected
-    system = MavrSystem(testapp, seed=99)
-    system.boot()
-    system.run(10)
-    attack = StealthyAttack(testapp)
-    station = MaliciousGroundStation()
-    target = variable_address(testapp, "gyro_offset")
-    burst = station.exploit_burst(
-        PARAM_SET.msg_id, attack.attack_bytes([Write3(target, b"\x40\x00\x00")])
-    )
-    system.autopilot.receive_bytes(burst)
-    system.run(150, watch_every=5)
-    report = system.report()
-    assert system.autopilot.read_variable("gyro_offset") == 0
-    assert report.attacks_detected >= 1
-    assert system.autopilot.status is AutopilotStatus.RUNNING
+    # protected: the same stealthy payload, aimed at the original layout,
+    # lands wrong on the randomized board and is detected and absorbed
+    protected = run_scenario(ScenarioSpec(
+        app="testapp", seed=99, attack="v2",
+        warmup_ticks=10, observe_ticks=150, watch_every=5,
+    ))
+    assert not protected.effect
+    assert protected.detected
+    assert protected.attacks_detected >= 1
+    assert protected.still_flying
+    assert protected.outcome == "deflected"
 
 
 def test_oracle_attack_falsification(testapp):
@@ -148,22 +142,23 @@ def test_software_only_defense_weaknesses(testapp):
 def test_campaign_under_lazy_policy(testapp):
     """Even with randomize-every-10-boots, a *detected* attack forces an
     immediate re-randomization (policy override)."""
-    from repro.core import EVERY_TENTH_BOOT
-
-    system = MavrSystem(testapp, policy=EVERY_TENTH_BOOT, seed=12)
-    system.boot()
-    layout = system.running_image.code
+    board = Board(ScenarioSpec(
+        app="testapp", seed=12, randomize_every_boots=10,
+    ))
+    board.boot()
+    layout = board.system.running_image.code
     attack = StealthyAttack(testapp)
     station = MaliciousGroundStation()
     target = variable_address(testapp, "gyro_offset")
     burst = station.exploit_burst(
         PARAM_SET.msg_id, attack.attack_bytes([Write3(target, b"\x40\x00\x00")])
     )
-    system.run(10)
-    system.autopilot.receive_bytes(burst)
-    system.run(150, watch_every=5)
-    assert system.report().attacks_detected >= 1
-    assert system.running_image.code != layout  # rotated despite lazy policy
+    board.run(10)
+    board.autopilot.receive_bytes(burst)
+    board.run(150, watch_every=5)
+    assert board.report().attacks_detected >= 1
+    # rotated despite the lazy policy
+    assert board.system.running_image.code != layout
 
 
 def test_ground_station_cannot_distinguish_v2_from_noise(testapp):

@@ -5,44 +5,46 @@ application processor running but silent (the watchdog feed line stops
 toggling), the master's timing analysis starves, and the recovery —
 re-randomize, differentially reflash, reboot — plays out as one ordered
 stream of events and one nested span tree.
+
+Boards are stood up through the :mod:`repro.sim` scenario layer; the
+``silence`` fault is the spec-level form of the disabled feed line.
 """
 
 import json
 
 import pytest
 
-from repro.avr.iospace import FEED_PORT, IO_TO_DATA_OFFSET
-from repro.core import MavrSystem
+from repro.sim import Board, ScenarioSpec
 from repro.telemetry import Telemetry
 
-
-def silence_feed_line(system):
-    """Model an attack that disables the watchdog-feed GPIO.
-
-    Replacing the feed-port write hook with a no-op keeps the firmware
-    running normally while the master sees nothing — genuine starvation,
-    not a crash.
-    """
-    system.autopilot.cpu.data.add_write_hook(
-        FEED_PORT + IO_TO_DATA_OFFSET, lambda _address, _value: None
-    )
+SILENCE_SPEC = ScenarioSpec(
+    app="testapp",
+    seed=103,
+    fault="silence",
+    telemetry=True,
+    warmup_ticks=20,
+    # window is 400k cycles at ~7k cycles/tick: starve within ~60 ticks,
+    # then let one watch() pass fire the recovery
+    observe_ticks=120,
+    watch_every=30,
+)
 
 
 @pytest.fixture(scope="module")
 def recovered(testapp):
     """One starved-and-recovered protected system plus its telemetry."""
     tel = Telemetry(enabled=True)
-    system = MavrSystem(testapp, seed=103, telemetry=tel)
-    system.boot()
-    system.run(20)
-    silence_feed_line(system)
-    # window is 400k cycles at ~7k cycles/tick: starve within ~60 ticks,
-    # then let one watch() pass fire the recovery
-    detections = system.run(120, watch_every=30)
+    board = Board(SILENCE_SPEC, telemetry=tel)
+    board.boot()
+    board.run(SILENCE_SPEC.warmup_ticks)
+    board.inject_fault()
+    detections = board.run(
+        SILENCE_SPEC.observe_ticks, SILENCE_SPEC.watch_every
+    )
     assert detections >= 1
     # a little post-recovery flight so the rebooted core has retired work
-    system.run(10, watch_every=1000)
-    return system, tel
+    board.run(10, watch_every=1000)
+    return board.system, tel
 
 
 def test_causal_event_order(recovered):
@@ -128,11 +130,15 @@ def test_jsonl_log_replays_the_chain(testapp, tmp_path):
     """The JSONL sink alone is enough to reconstruct the recovery."""
     path = tmp_path / "events.jsonl"
     tel = Telemetry(enabled=True, jsonl_path=path)
-    system = MavrSystem(testapp, seed=7, telemetry=tel)
-    system.boot()
-    system.run(20)
-    silence_feed_line(system)
-    system.run(120, watch_every=30)
+    spec = ScenarioSpec(
+        app="testapp", seed=7, fault="silence", telemetry=True,
+        warmup_ticks=20, observe_ticks=120, watch_every=30,
+    )
+    board = Board(spec, telemetry=tel)
+    board.boot()
+    board.run(spec.warmup_ticks)
+    board.inject_fault()
+    board.run(spec.observe_ticks, spec.watch_every)
     tel.close()
     records = [json.loads(line) for line in path.read_text().splitlines()]
     names = [r["event"] for r in records]

@@ -1,0 +1,176 @@
+"""CampaignRunner: determinism contract, pool failure semantics, sinks.
+
+The determinism suite is the acceptance test for the whole scenario
+layer: the same spec list must yield identical aggregates and identical
+JSONL bytes whether it runs inline, across 4 workers, or twice in a row.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.attack_sim import campaign_specs, guessing_campaign
+from repro.sim import (
+    CampaignRunner,
+    PoolTaskError,
+    ScenarioSpec,
+    aggregate_results,
+    derive_seed,
+    map_indexed,
+    run_scenario,
+)
+
+
+def specs_for(n, base_seed=99, telemetry=False, **overrides):
+    return [
+        ScenarioSpec(
+            app="testapp",
+            seed=derive_seed(base_seed, index, "board"),
+            attack="guess",
+            attack_seed=derive_seed(base_seed, index, "attack"),
+            telemetry=telemetry,
+            label=f"g{index}",
+            **overrides,
+        )
+        for index in range(n)
+    ]
+
+
+# -- determinism contract ----------------------------------------------------
+
+def test_serial_vs_parallel_bit_identical(tmp_path):
+    specs = specs_for(4, telemetry=True)
+    serial_path = tmp_path / "serial.jsonl"
+    parallel_path = tmp_path / "parallel.jsonl"
+    serial = CampaignRunner(jobs=1, jsonl_path=serial_path).run(specs)
+    parallel = CampaignRunner(jobs=4, jsonl_path=parallel_path).run(specs)
+    assert serial.aggregates == parallel.aggregates
+    assert serial.records() == parallel.records()
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+    # runner diagnostics are the non-deterministic part, by design
+    assert serial.runner["jobs"] == 1 and parallel.runner["jobs"] == 4
+
+
+def test_repeated_parallel_runs_identical(tmp_path):
+    specs = specs_for(3)
+    first_path = tmp_path / "first.jsonl"
+    second_path = tmp_path / "second.jsonl"
+    first = CampaignRunner(jobs=4, jsonl_path=first_path).run(specs)
+    second = CampaignRunner(jobs=4, jsonl_path=second_path).run(specs)
+    assert first.aggregates == second.aggregates
+    assert first_path.read_bytes() == second_path.read_bytes()
+
+
+def test_guessing_campaign_parallelism_bit_identical(testapp):
+    serial = guessing_campaign(testapp, attempts=3, seed=41)
+    parallel = guessing_campaign(testapp, attempts=3, seed=41, parallelism=4)
+    assert (serial.attempts, serial.effects, serial.detections,
+            serial.randomizations_consumed, serial.still_flying,
+            serial.per_attempt_detected) == (
+        parallel.attempts, parallel.effects, parallel.detections,
+        parallel.randomizations_consumed, parallel.still_flying,
+        parallel.per_attempt_detected)
+
+
+def test_campaign_specs_are_stable(testapp):
+    assert campaign_specs(testapp, 3, seed=8) == campaign_specs(testapp, 3, seed=8)
+    assert campaign_specs(testapp, 3, seed=8) != campaign_specs(testapp, 3, seed=9)
+
+
+# -- aggregates and sinks ----------------------------------------------------
+
+def test_jsonl_sink_layout(tmp_path):
+    specs = specs_for(2)
+    path = tmp_path / "out.jsonl"
+    report = CampaignRunner(jobs=1, jsonl_path=path).run(specs)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 3  # one per spec + trailing aggregates
+    assert [line["index"] for line in lines[:-1]] == [0, 1]
+    assert lines[-1]["campaign.aggregates"] == report.aggregates
+    for line in lines[:-1]:
+        assert line["spec"]["app"] == "testapp"
+        assert "wall_s" not in line
+
+
+def test_aggregates_shape():
+    results = [run_scenario(spec, index=i) for i, spec in enumerate(specs_for(2))]
+    aggregates = aggregate_results(results)
+    assert aggregates["scenarios"] == 2
+    assert aggregates["attacks"] == 2
+    assert aggregates["effects"] == 0
+    assert aggregates["detections"] == 2
+    assert aggregates["detection_rate"] == 1.0
+    assert aggregates["by_outcome"] == {"deflected": 2}
+    assert aggregates["errors"] == 0
+
+
+def test_merged_snapshot_spans_all_scenarios():
+    specs = specs_for(2, telemetry=True)
+    report = CampaignRunner(jobs=2).run(specs)
+    merged = report.merged_snapshot
+    assert merged is not None
+    assert merged["sources"] == 2
+    detected = [e for e in merged["events"] if e["event"] == "attack.detected"]
+    assert len(detected) == 2
+    assert {e["source"] for e in detected} == {0, 1}
+
+
+# -- failure semantics -------------------------------------------------------
+
+def test_worker_crash_is_retried_and_recovers(tmp_path):
+    marker = tmp_path / "crash.marker"
+    specs = specs_for(2, worker_fault_marker=str(marker))
+    report = CampaignRunner(jobs=2).run(specs)
+    assert marker.exists()  # a worker really did die mid-campaign
+    assert report.aggregates["errors"] == 0
+    assert report.aggregates["detections"] == 2
+    assert report.runner["worker_deaths"] == 0  # retry cleared them
+
+
+def test_worker_crash_without_retry_reports_partial_results(tmp_path):
+    marker = tmp_path / "crash.marker"
+    specs = specs_for(3)[:2] + [
+        ScenarioSpec(app="testapp", attack="guess",
+                     worker_fault_marker=str(marker), label="doomed")
+    ]
+    report = CampaignRunner(jobs=2, retry_worker_death=False).run(specs)
+    assert marker.exists()
+    # every spec still has an ordered slot; the dead ones carry errors
+    assert len(report.results) == 3
+    assert report.aggregates["errors"] >= 1
+    errored = [r for r in report.results if r.outcome == "error"]
+    assert all(r.status == "unknown" and r.error for r in errored)
+    assert report.runner["worker_deaths"] >= 1
+
+
+def test_worker_fault_marker_is_inert_inline(tmp_path):
+    marker = tmp_path / "never.marker"
+    spec = ScenarioSpec(app="testapp", attack="guess",
+                        worker_fault_marker=str(marker))
+    report = CampaignRunner(jobs=1).run([spec])
+    assert not marker.exists()  # only pool workers honor the marker
+    assert report.aggregates["errors"] == 0
+
+
+def test_task_exception_becomes_error_result_not_crash():
+    bad = ScenarioSpec(app="nonesuch", attack="guess", label="broken")
+    good = specs_for(1)[0]
+    report = CampaignRunner(jobs=1).run([bad, good])
+    assert report.results[0].outcome == "error"
+    assert "nonesuch" in report.results[0].error
+    assert report.results[1].outcome == "deflected"
+    assert report.aggregates["errors"] == 1
+
+
+def test_map_indexed_orders_and_wraps_exceptions():
+    def square(x):
+        if x == 2:
+            raise ValueError("boom")
+        return x * x
+
+    # inline path
+    results = map_indexed(square, [1, 2, 3], jobs=1)
+    assert results[0] == 1 and results[2] == 9
+    assert isinstance(results[1], PoolTaskError)
+    assert results[1].kind == "exception"
+    assert "boom" in results[1].message

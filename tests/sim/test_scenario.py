@@ -1,0 +1,147 @@
+"""ScenarioSpec / Board / run_scenario unit behaviour."""
+
+import pytest
+
+from repro.sim import (
+    ATTACK_VARIANTS,
+    Board,
+    ScenarioSpec,
+    derive_seed,
+    load_spec_image,
+    run_scenario,
+)
+
+
+# -- seeds -------------------------------------------------------------------
+
+def test_derive_seed_is_stable_and_stream_separated():
+    assert derive_seed(42, 3) == derive_seed(42, 3)
+    assert derive_seed(42, 3, "board") != derive_seed(42, 3, "attack")
+    assert derive_seed(42, 3) != derive_seed(42, 4)
+    assert 0 <= derive_seed(0, 0) < 2**31
+
+
+def test_derive_seed_survives_process_boundary():
+    """The derivation must not depend on per-interpreter hash state."""
+    import subprocess
+    import sys
+
+    out = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.sim import derive_seed; print(derive_seed(42, 3, 'x'))"],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+    )
+    assert int(out.stdout) == derive_seed(42, 3, "x")
+
+
+# -- spec validation ---------------------------------------------------------
+
+def test_spec_rejects_unknown_attack_and_fault():
+    with pytest.raises(ValueError):
+        ScenarioSpec(attack="v9")
+    with pytest.raises(ValueError):
+        ScenarioSpec(fault="gremlins")
+
+
+def test_spec_rejects_protected_oracle():
+    with pytest.raises(ValueError):
+        ScenarioSpec(attack="oracle", protected=True)
+    ScenarioSpec(attack="oracle", protected=False)  # fine
+
+
+def test_spec_record_omits_bulk_and_test_fields(testapp):
+    spec = ScenarioSpec(
+        image_hex=testapp.to_preprocessed_hex(),
+        worker_fault_marker="/tmp/marker",
+        attack="v2",
+    )
+    record = spec.to_record()
+    assert "image_hex" not in record
+    assert "worker_fault_marker" not in record
+    assert record["attack"] == "v2"
+    assert record["values"] == "400000"  # bytes serialize as hex
+
+
+def test_spec_image_roundtrip_preserves_symbols(testapp):
+    spec = ScenarioSpec(image_hex=testapp.to_preprocessed_hex())
+    image = load_spec_image(spec)
+    assert [(s.name, s.address) for s in image.symbols] == [
+        (s.name, s.address) for s in testapp.symbols
+    ]
+    assert load_spec_image(spec) is image  # per-process cache
+
+
+# -- board lifecycle ---------------------------------------------------------
+
+def test_board_protected_vs_bare():
+    protected = Board(ScenarioSpec(app="testapp", seed=5))
+    assert protected.system is not None
+    assert protected.boot() > 0  # randomize+reflash costs startup time
+    bare = Board(ScenarioSpec(app="testapp", protected=False))
+    assert bare.system is None
+    assert bare.boot() == 0.0
+    assert bare.report() is None
+
+
+def test_board_policy_and_watchdog_overrides():
+    board = Board(ScenarioSpec(
+        app="testapp", seed=5,
+        randomize_every_boots=10,
+        watchdog_period_cycles=50_000,
+        watchdog_missed_periods=2,
+    ))
+    assert board.system.master.policy.randomize_every_boots == 10
+    assert board.system.master.watchdog_config.expected_period_cycles == 50_000
+    assert board.system.master.watchdog_config.missed_periods_threshold == 2
+
+
+# -- scenarios ---------------------------------------------------------------
+
+def test_clean_scenario_flies(testapp):
+    result = run_scenario(ScenarioSpec(app="testapp", seed=3, observe_ticks=20))
+    assert result.outcome == "clean"
+    assert result.still_flying
+    assert not result.effect and not result.detected
+    assert result.boots == 1
+    assert result.error is None
+
+
+def test_v2_vs_unprotected_is_stealthy():
+    result = run_scenario(ScenarioSpec(
+        app="testapp", protected=False, attack="v2", observe_ticks=30,
+    ))
+    assert result.outcome == "stealthy"
+    assert result.succeeded and result.stealthy and result.effect
+    assert result.delivered_bytes > 0
+
+
+def test_guess_vs_protected_is_deflected():
+    result = run_scenario(ScenarioSpec(
+        app="testapp", seed=11, attack="guess", attack_seed=7,
+    ))
+    assert result.outcome == "deflected"
+    assert result.detected and not result.effect
+    assert result.randomizations >= 2  # boot + post-detection recovery
+
+
+def test_wild_jump_fault_is_detected_and_recovered(testapp):
+    result = run_scenario(ScenarioSpec(
+        app="testapp", seed=9, fault="wild_jump",
+        warmup_ticks=10, observe_ticks=150, watch_every=5,
+    ))
+    assert result.attacks_detected >= 1
+    assert result.boots >= 2  # master rebooted the application processor
+    assert result.still_flying
+
+
+def test_result_record_is_deterministic_and_snapshot_free(testapp):
+    spec = ScenarioSpec(app="testapp", seed=4, attack="guess", telemetry=True)
+    first = run_scenario(spec, index=2)
+    second = run_scenario(spec, index=2)
+    assert first.snapshot is not None and first.events
+    record = first.to_record()
+    assert record == second.to_record()
+    assert "snapshot" not in record and "events" not in record
+    assert "startup_overhead_ms" not in record  # wall-clock adjacent
+    assert record["index"] == 2

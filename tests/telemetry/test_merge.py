@@ -1,0 +1,112 @@
+"""Telemetry.merge: folding per-worker snapshots into one."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Telemetry
+
+
+def make_snapshot(counter=0, gauge=None, hist=(), events=(), clock=None):
+    tel = Telemetry(enabled=True)
+    if clock is not None:
+        tel.bind_clock(clock)
+    if counter:
+        tel.counter("boots").inc(counter)
+    if gauge is not None:
+        tel.gauge("altitude").set(gauge)
+    for value in hist:
+        tel.histogram("latency", buckets=(1.0, 10.0, 100.0)).observe(value)
+    for name in events:
+        tel.emit(name)
+    return tel.snapshot()
+
+
+def find(snapshot, name):
+    return next(m for m in snapshot["metrics"] if m["name"] == name)
+
+
+def test_counters_sum():
+    merged = Telemetry.merge([make_snapshot(counter=3), make_snapshot(counter=4)])
+    assert find(merged, "boots")["value"] == 7
+
+
+def test_gauges_last_write_wins():
+    merged = Telemetry.merge([make_snapshot(gauge=120.0), make_snapshot(gauge=80.0)])
+    assert find(merged, "altitude")["value"] == 80.0
+
+
+def test_histograms_merge_buckets_and_stats():
+    merged = Telemetry.merge([
+        make_snapshot(hist=[0.5, 5.0]),
+        make_snapshot(hist=[50.0, 500.0]),
+    ])
+    hist = find(merged, "latency")
+    assert hist["count"] == 4
+    assert hist["sum"] == pytest.approx(555.5)
+    assert hist["min"] == 0.5
+    assert hist["max"] == 500.0
+    assert hist["buckets"] == {"1.0": 1, "10.0": 1, "100.0": 1, "+inf": 1}
+    # percentiles re-estimated from the merged distribution
+    assert hist["p50"] is not None
+    assert hist["p99"] <= 500.0
+
+
+def test_histogram_matches_single_instance_observing_everything():
+    """Merging two halves equals one instrument that saw all observations."""
+    merged = Telemetry.merge([
+        make_snapshot(hist=[0.5, 5.0]),
+        make_snapshot(hist=[50.0, 500.0]),
+    ])
+    whole = make_snapshot(hist=[0.5, 5.0, 50.0, 500.0])
+    for key in ("count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+                "buckets"):
+        assert find(merged, "latency")[key] == find(whole, "latency")[key]
+
+
+def test_histogram_bucket_mismatch_raises():
+    uneven = make_snapshot(hist=[1.0])
+    other = Telemetry(enabled=True)
+    other.histogram("latency", buckets=(2.0, 4.0)).observe(1.0)
+    with pytest.raises(TelemetryError):
+        Telemetry.merge([uneven, other.snapshot()])
+
+
+def test_negative_counter_refused():
+    bad = make_snapshot(counter=1)
+    for metric in bad["metrics"]:
+        metric["value"] = -5
+    with pytest.raises(TelemetryError):
+        Telemetry.merge([bad, make_snapshot(counter=1)])
+
+
+def test_events_resorted_by_sim_time():
+    late = make_snapshot(events=["b"], clock=lambda: 200.0)
+    early = make_snapshot(events=["a"], clock=lambda: 100.0)
+    merged = Telemetry.merge([late, early])
+    assert [e["event"] for e in merged["events"]] == ["a", "b"]
+    assert [e["t_ms"] for e in merged["events"]] == [100.0, 200.0]
+    # each event remembers which snapshot it came from
+    assert [e["source"] for e in merged["events"]] == [1, 0]
+
+
+def test_event_order_total_for_equal_times():
+    first = make_snapshot(events=["a1", "a2"], clock=lambda: 50.0)
+    second = make_snapshot(events=["b1"], clock=lambda: 50.0)
+    merged = Telemetry.merge([first, second])
+    assert [e["event"] for e in merged["events"]] == ["a1", "a2", "b1"]
+
+
+def test_schema_mismatch_and_empty_input_raise():
+    snapshot = make_snapshot(counter=1)
+    with pytest.raises(TelemetryError):
+        Telemetry.merge([])
+    snapshot["schema"] = 99
+    with pytest.raises(TelemetryError):
+        Telemetry.merge([snapshot])
+
+
+def test_merge_preserves_schema_and_counts_sources():
+    merged = Telemetry.merge([make_snapshot(counter=1), make_snapshot(counter=1)])
+    assert merged["schema"] == 1
+    assert merged["enabled"] is True
+    assert merged["sources"] == 2

@@ -103,7 +103,9 @@ def test_attack_with_telemetry(capsys, tmp_path):
     import json
 
     log = tmp_path / "attack.jsonl"
-    code, out = run(capsys, "attack", "testapp", "--telemetry", str(log))
+    code, out = run(
+        capsys, "attack", "testapp", "--protected", "--telemetry", str(log)
+    )
     assert code == 0
     assert "MAVR-protected" in out
     records = [json.loads(line) for line in log.read_text().splitlines()]
@@ -115,6 +117,79 @@ def test_attack_with_telemetry(capsys, tmp_path):
     assert "isp.bytes_on_wire" in metric_names
     assert any(s["name"].startswith("mavr.") and s["parent_id"] is not None
                for s in snapshot["spans"])  # at least one nested mavr.* span
+
+
+def test_defend_json(capsys):
+    import json
+
+    code, out = run(capsys, "defend", "testapp", "--attempts", "1",
+                    "--seed", "3", "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["attempts"] == 1
+    assert data["effects"] == 0
+    assert data["detections"] == 1
+    assert data["still_flying"] is True
+    assert data["per_attempt_detected"] == [True]
+    assert data["detection_rate"] == 1.0
+
+
+def test_defend_jobs_matches_serial(capsys):
+    import json
+
+    code_serial, out_serial = run(
+        capsys, "defend", "testapp", "--attempts", "2", "--seed", "5", "--json"
+    )
+    code_jobs, out_jobs = run(
+        capsys, "defend", "testapp", "--attempts", "2", "--seed", "5",
+        "--jobs", "2", "--json",
+    )
+    assert code_serial == code_jobs == 0
+    assert json.loads(out_serial) == json.loads(out_jobs)
+
+
+def test_campaign_json_schema(capsys, tmp_path):
+    import json
+
+    records_path = tmp_path / "records.jsonl"
+    code, out = run(capsys, "campaign", "--app", "testapp", "--attack",
+                    "guess", "-n", "2", "--seed", "7", "--json",
+                    "--jsonl", str(records_path))
+    assert code == 0
+    data = json.loads(out)
+    assert data["app"] == "testapp"
+    assert data["attack"] == "guess"
+    aggregates = data["aggregates"]
+    assert aggregates["scenarios"] == 2
+    assert aggregates["effects"] == 0
+    assert aggregates["detections"] == 2
+    assert aggregates["errors"] == 0
+    assert aggregates["by_outcome"] == {"deflected": 2}
+    assert data["runner"]["jobs"] == 1
+    lines = [json.loads(line) for line in records_path.read_text().splitlines()]
+    assert [line.get("index") for line in lines[:-1]] == [0, 1]
+    assert lines[-1]["campaign.aggregates"] == aggregates
+
+
+def test_campaign_table_output(capsys):
+    code, out = run(capsys, "campaign", "--app", "testapp", "-n", "1")
+    assert code == 0
+    assert "campaign vs MAVR-protected testapp" in out
+    assert "outcome[deflected]" in out
+
+
+def test_campaign_worker_crash_retries(capsys, tmp_path):
+    import json
+
+    marker = tmp_path / "crash.marker"
+    code, out = run(capsys, "campaign", "--app", "testapp", "-n", "2",
+                    "--jobs", "2", "--seed", "7", "--json",
+                    "--inject-worker-fault", str(marker))
+    assert marker.exists()  # a pool worker genuinely died mid-run
+    assert code == 0  # ...and the retry recovered every scenario
+    data = json.loads(out)
+    assert data["aggregates"]["errors"] == 0
+    assert data["aggregates"]["scenarios"] == 2
 
 
 def test_telemetry_command(capsys, tmp_path):
