@@ -2,6 +2,12 @@
 full-system attack campaigns."""
 
 from .attack_sim import CampaignResult, guessing_campaign, oracle_attack
+from .defense_matrix import (
+    build_matrix,
+    format_matrix_table,
+    matrix_summary_lines,
+    measure_backend,
+)
 from .bruteforce import (
     BruteForceEstimate,
     estimate_for,
@@ -13,6 +19,7 @@ from .bruteforce import (
     success_probability_at,
 )
 from .entropy import (
+    backend_entropy_bits,
     EntropyReport,
     compare_defenses,
     entropy_report,
@@ -35,6 +42,10 @@ __all__ = [
     "CampaignResult",
     "guessing_campaign",
     "oracle_attack",
+    "build_matrix",
+    "format_matrix_table",
+    "matrix_summary_lines",
+    "measure_backend",
     "BruteForceEstimate",
     "estimate_for",
     "expected_attempts_fixed_layout",
@@ -45,6 +56,7 @@ __all__ = [
     "success_probability_at",
     "EntropyReport",
     "compare_defenses",
+    "backend_entropy_bits",
     "entropy_report",
     "image_entropy_bits",
     "padding_entropy_bits",

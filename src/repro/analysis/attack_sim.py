@@ -84,6 +84,7 @@ def campaign_specs(
     attempts: int = 5,
     seed: int = 0,
     target_variable: str = "gyro_offset",
+    defense: str = "mavr",
 ) -> List[ScenarioSpec]:
     """The guessing campaign as data: one spec per attempt.
 
@@ -99,6 +100,7 @@ def campaign_specs(
         ScenarioSpec(
             image_hex=image.to_preprocessed_hex(),
             seed=rng.randrange(_SEED_SPACE),
+            defense=defense,
             attack="guess",
             attack_seed=rng.randrange(_SEED_SPACE),
             target_variable=target_variable,
@@ -114,6 +116,7 @@ def guessing_campaign(
     seed: int = 0,
     target_variable: str = "gyro_offset",
     parallelism: int = 1,
+    defense: str = "mavr",
 ) -> CampaignResult:
     """Replay wrong-layout exploits at MAVR-protected systems.
 
@@ -124,7 +127,7 @@ def guessing_campaign(
     campaign records what happened.  ``parallelism`` > 1 fans attempts
     over a process pool; aggregates are bit-identical to the serial path.
     """
-    specs = campaign_specs(image, attempts, seed, target_variable)
+    specs = campaign_specs(image, attempts, seed, target_variable, defense)
     report = CampaignRunner(jobs=parallelism).run(specs)
     result = CampaignResult(attempts=len(specs))
     for scenario in report.results:

@@ -1,0 +1,166 @@
+"""Defense comparison matrix: every backend priced on the same scale.
+
+One row per (application, backend) with the five numbers the tradeoff
+discussion needs:
+
+* **entropy_bits** — the layout space an attacker must guess through,
+* **gadget_survival** — fraction of gadget addresses a diversification
+  leaves intact (1.0 = the layout is public),
+* **startup_overhead_ms** — the install boot, full ISP transfer included,
+* **recovery_latency_ms** — detection-to-flying-again on the simulated
+  clock (differential reflash for the diversifying backends, an in-place
+  context restore for ctomp),
+* **recovery_pages_written** — flash pages rewritten by that recovery
+  (the wear story: ctomp's whole point is that this is zero).
+
+Everything runs on the simulated clock with seeded RNGs, so the matrix is
+bit-identical across runs — ``BENCH_defense_matrix.json`` and the table in
+``docs/DEFENSES.md`` can be diffed mechanically (the doc-drift suite does).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..binfmt.image import FirmwareImage
+from ..core.defenses import DEFENSE_BACKENDS, create_backend
+from ..core.mavr import MavrSystem
+from .gadget_survival import (
+    attack_survival_rate,
+    mean_survival_fraction,
+    measure_survival,
+)
+
+#: column order of the markdown table (keys into a backend's metric dict)
+MATRIX_COLUMNS = (
+    ("layout_units", "units"),
+    ("entropy_bits", "entropy (bits)"),
+    ("gadget_survival", "gadget survival"),
+    ("startup_overhead_ms", "startup (ms)"),
+    ("recovery_latency_ms", "recovery (ms)"),
+    ("recovery_pages_written", "pages/recovery"),
+)
+
+
+def measure_backend(
+    name: str,
+    image: FirmwareImage,
+    trials: int = 3,
+    seed: int = 2024,
+    observe_ticks: int = 20,
+) -> Dict[str, float]:
+    """Price one backend on one application.
+
+    The static metrics (entropy, survival) come from a standalone backend
+    instance; the lifecycle metrics come from a full board: install boot,
+    a healthy flight, a wild-jump fault, and the recovery the watchdog
+    pass triggers.
+    """
+    probe = create_backend(name)
+    entropy = probe.entropy_bits(image)
+    samples = measure_survival(
+        image, trials=trials, rng=random.Random(seed), diversify=probe.diversify
+    )
+
+    system = MavrSystem(image, seed=seed, defense=name)
+    startup_ms = system.boot()
+    system.run(observe_ticks, watch_every=5)
+    isp = system.master.isp.stats
+    pages_before = isp.pages_written
+    cycles_before = isp.programming_cycles
+    # the paper's failure mode: a hijacked control transfer into nowhere
+    system.autopilot.cpu.pc = (system.running_image.size + 64) // 2
+    system.run(10, watch_every=5)
+    report = system.report()
+    if report.attacks_detected != 1:
+        raise RuntimeError(
+            f"{name} on {image.name}: expected exactly one detection, "
+            f"got {report.attacks_detected}"
+        )
+    return {
+        "layout_units": _layout_units(probe, image),
+        "entropy_bits": round(entropy, 1),
+        "gadget_survival": round(mean_survival_fraction(samples), 4),
+        "attack_pair_survival": round(attack_survival_rate(samples), 4),
+        "startup_overhead_ms": round(startup_ms, 2),
+        "recovery_latency_ms": round(report.last_startup_overhead_ms, 2),
+        "recovery_pages_written": isp.pages_written - pages_before,
+        "recovery_flash_cycles": isp.programming_cycles - cycles_before,
+        "still_flying": report.defense_stats is not None
+        and system.autopilot.status.value == "running",
+    }
+
+
+def _layout_units(backend, image: FirmwareImage) -> int:
+    """How many independently placeable units the backend shuffles."""
+    if backend.name == "daedalus":
+        return backend.split(image).function_count()
+    if backend.name == "ctomp":
+        return 0
+    return image.function_count()
+
+
+def build_matrix(
+    apps: Dict[str, FirmwareImage], trials: int = 3, seed: int = 2024
+) -> dict:
+    """The full (app x backend) matrix as one JSON-serializable dict."""
+    matrix = {"trials": trials, "seed": seed, "apps": {}}
+    for app_name, image in sorted(apps.items()):
+        matrix["apps"][app_name] = {
+            "functions": image.function_count(),
+            "code_bytes": len(image.code),
+            "backends": {
+                backend: measure_backend(backend, image, trials, seed)
+                for backend in DEFENSE_BACKENDS
+            },
+        }
+    return matrix
+
+
+def format_matrix_table(matrix: dict) -> str:
+    """Render the matrix as the markdown table ``docs/DEFENSES.md`` embeds.
+
+    The doc-drift suite re-renders the committed JSON through this exact
+    function and diffs it against the doc, so the formatting here is the
+    single source of truth for the published numbers.
+    """
+    headers = ["app", "backend"] + [label for _, label in MATRIX_COLUMNS]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for app_name, app in matrix["apps"].items():
+        for backend in DEFENSE_BACKENDS:
+            metrics = app["backends"][backend]
+            cells = [app_name, backend] + [
+                _format_cell(key, metrics[key]) for key, _ in MATRIX_COLUMNS
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _format_cell(key: str, value) -> str:
+    if key == "entropy_bits":
+        return str(int(round(value)))
+    if key == "gadget_survival":
+        return f"{value:.4f}"
+    if key.endswith("_ms"):
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+def matrix_summary_lines(matrix: dict) -> List[str]:
+    """Human-readable one-liners for the bench's console output."""
+    lines = []
+    for app_name, app in matrix["apps"].items():
+        for backend in DEFENSE_BACKENDS:
+            m = app["backends"][backend]
+            lines.append(
+                f"{app_name:>10} / {backend:<8} "
+                f"entropy {int(round(m['entropy_bits'])):>6} bits, "
+                f"survival {m['gadget_survival']:.4f}, "
+                f"recovery {m['recovery_latency_ms']:>9.2f} ms, "
+                f"{m['recovery_pages_written']:>4} pages"
+            )
+    return lines

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..attack.gadgets import GadgetFinder
 from ..binfmt.image import FirmwareImage
@@ -40,16 +40,23 @@ def measure_survival(
     trials: int = 10,
     rng: Optional[random.Random] = None,
     probe_limit: int = 200,
+    diversify: Optional[Callable] = None,
 ) -> List[SurvivalSample]:
-    """Randomize ``trials`` times and measure address survival."""
+    """Diversify ``trials`` times and measure address survival.
+
+    ``diversify`` is any ``(image, rng) -> (image, layout)`` callable — a
+    :meth:`~repro.core.defenses.DefenseBackend.diversify` bound method
+    measures a specific backend; the default is MAVR's function shuffle.
+    """
     rng = rng if rng is not None else random.Random()
+    diversify = diversify if diversify is not None else randomize_image
     finder = GadgetFinder(image)
     gadgets = finder.gadgets()[:probe_limit]
     stk = finder.find_stk_move()
     write_mem = finder.find_write_mem()
     samples: List[SurvivalSample] = []
     for _ in range(trials):
-        randomized, _permutation = randomize_image(image, rng)
+        randomized, _layout = diversify(image, rng)
         surviving = 0
         for gadget in gadgets:
             start, end = gadget.address, gadget.ret_address + 2

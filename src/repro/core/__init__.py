@@ -1,5 +1,18 @@
-"""MAVR defense: preprocessing, randomization, patching, master processor."""
+"""The defense layer: preprocessing, randomization, patching, the master
+processor, and the pluggable backends (mavr / daedalus / ctomp) that give
+it its diversify-and-recover behavior.  ``MavrSystem`` is the facade that
+wires a whole protected board; ``DEFENSE_BACKENDS`` lists the schemes it
+accepts."""
 
+from .defenses import (
+    DEFENSE_BACKENDS,
+    CtompBackend,
+    DaedalusBackend,
+    DefenseBackend,
+    DefenseStats,
+    MavrBackend,
+    create_backend,
+)
 from .fuses import ReadoutProtectedFlash
 from .master import MasterProcessor, MasterStats
 from .mavr import MavrReport, MavrSystem
@@ -36,9 +49,28 @@ from .randomize import (
     permutation_count,
     shuffled_symbol_table,
 )
+from .splitting import (
+    SplitReport,
+    function_cut_offsets,
+    split_image_blocks,
+    split_report,
+    split_symbol_table,
+)
 from .watchdog import WatchdogConfig, WatchdogMonitor
 
 __all__ = [
+    "DEFENSE_BACKENDS",
+    "CtompBackend",
+    "DaedalusBackend",
+    "DefenseBackend",
+    "DefenseStats",
+    "MavrBackend",
+    "create_backend",
+    "SplitReport",
+    "function_cut_offsets",
+    "split_image_blocks",
+    "split_report",
+    "split_symbol_table",
     "generate_padded_permutation",
     "padded_entropy_bits",
     "randomize_image_padded",

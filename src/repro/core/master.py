@@ -24,9 +24,8 @@ from ..hw.isp import IspProgrammer
 from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
 from ..telemetry import CounterField, GaugeField, StatsView, Telemetry
 from ..uav.autopilot import Autopilot
-from .patching import randomize_image
+from .defenses import DefenseBackend, MavrBackend
 from .policy import RandomizationPolicy
-from .preprocess import check_randomizable
 from .randomize import Permutation
 from .watchdog import WatchdogConfig, WatchdogMonitor
 
@@ -73,12 +72,16 @@ class MasterProcessor:
         watchdog: WatchdogConfig = WatchdogConfig(),
         rng: Optional[random.Random] = None,
         telemetry: Optional[Telemetry] = None,
+        backend: Optional[DefenseBackend] = None,
     ) -> None:
         self.autopilot = autopilot
         self.policy = policy
         self.clock = SimClock()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.telemetry.bind_clock(self.clock)
+        self.backend = (backend if backend is not None else MavrBackend()).bind(
+            self.telemetry
+        )
         self.external_flash = ExternalFlash()
         self.isp = IspProgrammer(link, self.clock, telemetry=self.telemetry)
         self.watchdog_config = watchdog
@@ -170,8 +173,8 @@ class MasterProcessor:
             if not blob:
                 raise DefenseError("no application deployed on the external flash")
             image = FirmwareImage.from_flash_blob(blob)
-            check_randomizable(image)
-            if image.reloc_index is None:
+            self.backend.check_deployable(image)
+            if image.reloc_index is None and self.backend.requires_randomizable:
                 # legacy deployment (or an index squeezed off the chip):
                 # pay the full-stream decode once per deployment, in RAM
                 image.reloc_index = build_relocation_index(image)
@@ -193,12 +196,20 @@ class MasterProcessor:
         with telemetry.span("mavr.boot", attack_detected=attack_detected) as span:
             original = self._original_image()
             overhead_ms = 0.0
-            randomized_this_boot = self.policy.should_randomize(
-                self.stats.boots, attack_detected
-            )
-            if randomized_this_boot:
+            randomized_this_boot = False
+            if attack_detected and not self.backend.reflashes_on_detection:
+                # zero-reflash recovery: the backend repairs the running
+                # core in place, no page crosses the ISP link
+                with telemetry.span("mavr.recover", backend=self.backend.name):
+                    overhead_ms = self.backend.recover(self)
+            elif self.backend.should_diversify(
+                self.policy, self.stats.boots, attack_detected
+            ):
+                randomized_this_boot = True
                 with telemetry.span("mavr.randomize"):
-                    randomized, permutation = randomize_image(original, self.rng)
+                    randomized, permutation = self.backend.diversify(
+                        original, self.rng
+                    )
                 with telemetry.span("mavr.reflash"):
                     overhead_ms = self.isp.program(
                         self.autopilot.cpu.flash, randomized.code
@@ -229,14 +240,20 @@ class MasterProcessor:
     # -- runtime monitoring ------------------------------------------------------
 
     def watch(self) -> bool:
-        """One monitoring pass; on a detected failure, reset + re-randomize.
+        """One monitoring pass; on a detected failure, recover per backend.
 
-        Returns True when a failed attack was detected and handled.
+        Detection is the union of a crashed core, watchdog silence, and
+        the backend's own integrity probe.  Recovery is the backend's
+        call: re-diversify + reflash (mavr/daedalus) or an in-place
+        context restore (ctomp).  Healthy passes give the backend a
+        checkpointing opportunity.  Returns True when a failure was
+        detected and handled.
         """
         crashed = self.autopilot.status.value == "crashed"
         now_cycles = self.autopilot.cpu.cycles
         silent = not self.monitor.check(now_cycles)
-        if crashed or silent:
+        corrupted = not (crashed or silent) and self.backend.check(self)
+        if crashed or silent or corrupted:
             telemetry = self.telemetry
             if silent:
                 telemetry.emit(
@@ -251,18 +268,17 @@ class MasterProcessor:
                     "autopilot.crashed", reason=crash.reason,
                     pc_bytes=crash.pc_bytes, cycle=crash.cycle,
                 )
-            telemetry.emit(
-                "attack.detected",
-                cause="crash" if crashed else "watchdog_silence",
-                boots=self.stats.boots,
+            cause = (
+                "crash" if crashed
+                else "watchdog_silence" if silent
+                else "integrity"
             )
+            telemetry.emit("attack.detected", cause=cause, boots=self.stats.boots)
             self.stats.attacks_detected += 1
-            with telemetry.span(
-                "mavr.rerandomize",
-                cause="crash" if crashed else "watchdog_silence",
-            ):
+            with telemetry.span("mavr.rerandomize", cause=cause):
                 self.boot(attack_detected=True)
             return True
+        self.backend.observe_healthy(self)
         return False
 
     def run(self, ticks: int, watch_every: int = 10) -> int:

@@ -9,8 +9,8 @@ host-side preprocessing entry point.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from ..avr.engine import DEFAULT_ENGINE
 from ..binfmt.image import FirmwareImage
@@ -19,10 +19,10 @@ from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
 from ..telemetry import Telemetry
 from ..uav.autopilot import Autopilot
 from ..uav.sensors import SensorState
+from .defenses import DefenseBackend, create_backend
 from .fuses import ReadoutProtectedFlash
 from .master import MasterProcessor
 from .policy import RandomizationPolicy
-from .preprocess import preprocess
 from .watchdog import WatchdogConfig
 
 
@@ -41,10 +41,21 @@ class MavrReport:
     last_pages_written: int = 0
     last_pages_skipped: int = 0
     last_bytes_on_wire: int = 0
+    # which defense backend ran, and its own accounting
+    defense: str = "mavr"
+    defense_stats: dict = field(default_factory=dict)
 
 
 class MavrSystem:
-    """A UAV protected by MAVR."""
+    """A UAV protected by a pluggable defense backend (MAVR by default).
+
+    ``defense`` selects the mitigation scheme — a name from
+    :data:`~repro.core.defenses.DEFENSE_BACKENDS` or a ready-made
+    :class:`~repro.core.defenses.DefenseBackend` instance.  The board
+    wiring (master processor, external flash, ISP link, readout fuse) is
+    identical for every backend; only the prepare/diversify/recover
+    hooks differ.
+    """
 
     def __init__(
         self,
@@ -56,11 +67,15 @@ class MavrSystem:
         sensor_state: Optional[SensorState] = None,
         telemetry: Optional[Telemetry] = None,
         engine: str = DEFAULT_ENGINE,
+        defense: Union[str, DefenseBackend] = "mavr",
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.defense = (
+            create_backend(defense) if isinstance(defense, str) else defense
+        )
         # host phase: preprocess and "upload" to the external flash
         with self.telemetry.span("mavr.preprocess", app=image.name):
-            hex_text = preprocess(image)
+            hex_text = self.defense.preprocess(image)
         self.autopilot = Autopilot(image, sensor_state, engine=engine)
         self.master = MasterProcessor(
             self.autopilot,
@@ -69,6 +84,7 @@ class MavrSystem:
             watchdog=watchdog,
             rng=random.Random(seed),
             telemetry=self.telemetry,
+            backend=self.defense,
         )
         with self.telemetry.span("mavr.deploy", app=image.name):
             self.master.deploy(hex_text)
@@ -111,4 +127,6 @@ class MavrSystem:
             last_pages_written=stats.last_pages_written,
             last_pages_skipped=stats.last_pages_skipped,
             last_bytes_on_wire=stats.last_bytes_on_wire,
+            defense=self.defense.name,
+            defense_stats=self.defense.stats.as_dict(),
         )

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from ..avr.engine import DEFAULT_ENGINE
 from ..binfmt.image import FirmwareImage
+from ..core.defenses import DEFENSE_BACKENDS
 from ..telemetry import Telemetry, jsonable
 
 #: attack variants a spec may name (``None`` = fly clean)
@@ -69,7 +70,8 @@ class ScenarioSpec:
     image_hex: Optional[str] = None  # overrides the named build when given
 
     # -- board ------------------------------------------------------------
-    protected: bool = True           # MAVR system vs bare autopilot
+    protected: bool = True           # defended system vs bare autopilot
+    defense: str = "mavr"            # backend name (DEFENSE_BACKENDS)
     engine: str = DEFAULT_ENGINE
     seed: int = 1                    # board-side randomization seed
     randomize_every_boots: int = 1   # RandomizationPolicy override
@@ -99,6 +101,11 @@ class ScenarioSpec:
     worker_fault_marker: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.defense not in DEFENSE_BACKENDS:
+            raise ValueError(
+                f"unknown defense backend {self.defense!r}; "
+                f"expected one of {DEFENSE_BACKENDS}"
+            )
         if self.attack is not None and self.attack not in ATTACK_VARIANTS:
             raise ValueError(
                 f"unknown attack variant {self.attack!r}; "
@@ -189,6 +196,7 @@ class Board:
                 seed=spec.seed,
                 telemetry=self.telemetry,
                 engine=spec.engine,
+                defense=spec.defense,
             )
             self.autopilot = self.system.autopilot
         else:

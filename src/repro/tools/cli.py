@@ -8,10 +8,13 @@ Commands mirror the workflows a user of the original system would have:
 * ``disasm``   — disassemble an application or one function.
 * ``gadgets``  — gadget inventory with Fig. 4/5-style listings.
 * ``attack``   — run V1/V2/V3 against a simulated board — unprotected by
-  default, MAVR-protected with ``--protected`` — optionally recording the
+  default, defended with ``--protected`` — optionally recording the
   full observability stream (``--telemetry out.jsonl``) in either mode.
-* ``defend``   — run a guessing campaign against MAVR-protected boards
+* ``defend``   — run a guessing campaign against protected boards
   (``--jobs`` fans attempts over a process pool).
+* ``attack``/``defend``/``campaign`` take ``--defense
+  {mavr,daedalus,ctomp}`` to pick the mitigation backend protecting the
+  board (``docs/DEFENSES.md``); the default is the paper's ``mavr``.
 * ``campaign`` — fan N attack scenarios over a process pool and print the
   aggregate outcome table (or ``--json`` / ``--jsonl``).
 * ``telemetry``— boot a protected board, force a crash/recovery cycle,
@@ -35,6 +38,7 @@ from ..asm import disassemble_image
 from ..asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
 from ..attack import GadgetFinder
 from ..avr.engine import DEFAULT_ENGINE, ENGINES
+from ..core.defenses import DEFENSE_BACKENDS
 from ..firmware import build_app, manifest_by_name
 from ..sim import (
     ATTACK_VARIANTS,
@@ -53,6 +57,13 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         "--engine", choices=tuple(ENGINES), default=DEFAULT_ENGINE,
         help="execution engine for the application processor "
              f"(default: {DEFAULT_ENGINE})",
+    )
+
+
+def _add_defense_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--defense", choices=DEFENSE_BACKENDS, default="mavr",
+        help="defense backend protecting the board (default: mavr)",
     )
 
 
@@ -171,6 +182,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         app=args.app,
         toolchain=args.toolchain,
         protected=args.protected,
+        defense=args.defense,
         engine=args.engine,
         seed=args.seed,
         attack=args.variant,
@@ -202,7 +214,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         ]
     if snapshot_path is not None:
         rows += [("event log", args.telemetry), ("snapshot", snapshot_path)]
-    board_kind = "MAVR-protected" if args.protected else "unprotected"
+    board_kind = f"{args.defense}-protected" if args.protected else "unprotected"
     print(format_table(
         ("field", "value"), rows,
         title=f"{args.variant} vs {board_kind} {args.app}",
@@ -229,7 +241,8 @@ def _campaign_result_dict(result) -> dict:
 def _cmd_defend(args: argparse.Namespace) -> int:
     image = _load(args)
     result = guessing_campaign(
-        image, attempts=args.attempts, seed=args.seed, parallelism=args.jobs
+        image, attempts=args.attempts, seed=args.seed, parallelism=args.jobs,
+        defense=args.defense,
     )
     if args.json:
         print(json.dumps(_campaign_result_dict(result), indent=2))
@@ -258,6 +271,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         ScenarioSpec(
             app=args.app,
             toolchain=args.toolchain,
+            defense=args.defense,
             engine=args.engine,
             seed=derive_seed(args.seed, index, "board"),
             attack=args.attack,
@@ -289,7 +303,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                  for name, count in aggregates["by_outcome"].items()]
         print(format_table(
             ("field", "value"), rows,
-            title=f"{args.attack} campaign vs MAVR-protected {args.app} "
+            title=f"{args.attack} campaign vs {args.defense}-protected {args.app} "
                   f"({args.jobs} jobs)",
         ))
         if args.jsonl:
@@ -529,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--variant", choices=("v1", "v2", "v3"), default="v2")
     attack.add_argument(
         "--protected", action="store_true",
-        help="attack a MAVR-protected board instead of a bare autopilot",
+        help="attack a defended board instead of a bare autopilot",
     )
     attack.add_argument(
         "--telemetry", metavar="PATH",
@@ -538,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--seed", type=int, default=1,
                         help="board randomization seed (--protected)")
+    _add_defense_argument(attack)
     _add_engine_argument(attack)
     attack.set_defaults(func=_cmd_attack)
 
@@ -549,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="process-pool workers (1 = run inline)")
     defend.add_argument("--json", action="store_true",
                         help="machine-readable JSON output")
+    _add_defense_argument(defend)
     defend.set_defaults(func=_cmd_defend)
 
     campaign = subparsers.add_parser(
@@ -582,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write one record per scenario to PATH")
     campaign.add_argument("--inject-worker-fault", metavar="PATH",
                           help=argparse.SUPPRESS)  # test-only crash injection
+    _add_defense_argument(campaign)
     _add_engine_argument(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 

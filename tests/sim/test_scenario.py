@@ -50,6 +50,25 @@ def test_spec_rejects_protected_oracle():
     ScenarioSpec(attack="oracle", protected=False)  # fine
 
 
+def test_spec_validates_defense_backend():
+    with pytest.raises(ValueError):
+        ScenarioSpec(defense="aslr")
+    for name in ("mavr", "daedalus", "ctomp"):
+        assert ScenarioSpec(defense=name).defense == name
+
+
+def test_board_wires_selected_defense(testapp):
+    spec = ScenarioSpec(
+        image_hex=testapp.to_preprocessed_hex(), defense="ctomp",
+        fault="wild_jump", observe_ticks=30,
+    )
+    result = run_scenario(spec)
+    assert result.detected
+    assert result.still_flying
+    # ctomp recovery never reflashes: one programming pass (the install)
+    assert result.randomizations == 1
+
+
 def test_spec_record_omits_bulk_and_test_fields(testapp):
     spec = ScenarioSpec(
         image_hex=testapp.to_preprocessed_hex(),

@@ -67,6 +67,52 @@ def test_defend(capsys):
     assert "UAV still flying" in out
 
 
+def test_attack_protected_with_defense_backend(capsys):
+    # ctomp has no layout secrecy: the V2 payload built against the
+    # public layout lands (the tradeoff docs/DEFENSES.md documents)
+    code, out = run(
+        capsys, "attack", "testapp", "--variant", "v2",
+        "--protected", "--defense", "ctomp",
+    )
+    import re
+
+    assert code == 1
+    assert "ctomp-protected" in out
+    assert re.search(r"write landed\s*\|\s*True", out)
+
+
+def test_attack_protected_mavr_stops_v2(capsys):
+    code, out = run(
+        capsys, "attack", "testapp", "--variant", "v2",
+        "--protected", "--defense", "mavr",
+    )
+    assert code == 0
+    assert "mavr-protected" in out
+
+
+def test_defend_with_defense_backend(capsys):
+    code, out = run(
+        capsys, "defend", "testapp", "--attempts", "1", "--seed", "3",
+        "--defense", "daedalus",
+    )
+    assert code == 0
+    assert "UAV still flying" in out
+
+
+def test_parser_defaults_to_mavr_defense():
+    for argv in (
+        ["attack", "testapp"],
+        ["defend", "testapp"],
+        ["campaign", "--app", "testapp"],
+    ):
+        assert build_parser().parse_args(argv).defense == "mavr"
+
+
+def test_parser_rejects_unknown_defense():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["attack", "testapp", "--defense", "aslr"])
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
@@ -107,7 +153,7 @@ def test_attack_with_telemetry(capsys, tmp_path):
         capsys, "attack", "testapp", "--protected", "--telemetry", str(log)
     )
     assert code == 0
-    assert "MAVR-protected" in out
+    assert "mavr-protected" in out
     records = [json.loads(line) for line in log.read_text().splitlines()]
     names = {r["event"] for r in records}
     assert "attack.outcome" in names
@@ -174,7 +220,7 @@ def test_campaign_json_schema(capsys, tmp_path):
 def test_campaign_table_output(capsys):
     code, out = run(capsys, "campaign", "--app", "testapp", "-n", "1")
     assert code == 0
-    assert "campaign vs MAVR-protected testapp" in out
+    assert "campaign vs mavr-protected testapp" in out
     assert "outcome[deflected]" in out
 
 
