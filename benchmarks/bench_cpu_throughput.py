@@ -1,9 +1,9 @@
-"""Execution-engine throughput: interpreter vs predecoded vs blocks.
+"""Execution-engine throughput: interpreter vs predecoded vs blocks vs compiled.
 
 Every attack replay, MAVR boot, and brute-force campaign in this
 reproduction runs through :meth:`AvrCpu.run`, so simulator throughput is
 the budget everything else spends.  This bench measures instructions/sec
-for all three engines on two workloads:
+for all four engines on two workloads:
 
 * ``firmware`` — the testapp autopilot control loop (the realistic mix of
   loads/stores, calls and branches every experiment executes), and
@@ -18,8 +18,11 @@ Results land in ``BENCH_cpu_throughput.json`` at the repo root so later
 PRs have a perf trajectory to compare against.  Floors are asserted here,
 not just documented:
 
-* predecoded >= 3x interpreter on both workloads (the PR 1 contract), and
-* blocks >= 1.4x predecoded and >= 6x interpreter on hot_loop.
+* predecoded >= 3x interpreter on both workloads (the PR 1 contract),
+* blocks >= 1.4x predecoded and >= 6x interpreter on hot_loop, and
+* compiled >= 3x blocks on hot_loop and >= 1.5x blocks on firmware
+  (the PR 7 contract: exec-generated block bodies remove the per-
+  instruction handler call the blocks engine still pays).
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_cpu_throughput.py -q -s
 Scale the budget with REPRO_BENCH_INSTRUCTIONS (default 200000, ~3 s total).
@@ -34,7 +37,7 @@ from repro.avr import AvrCpu, Instruction, Mnemonic, encode_stream
 from repro.uav import Autopilot
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cpu_throughput.json"
-ENGINES = ("interpreter", "predecoded", "blocks")
+ENGINES = ("interpreter", "predecoded", "blocks", "compiled")
 WARMUP_INSTRUCTIONS = 20_000
 
 # (numerator engine, denominator engine) -> {workload: floor}
@@ -42,6 +45,7 @@ SPEEDUP_FLOORS = {
     ("predecoded", "interpreter"): {"firmware": 3.0, "hot_loop": 3.0},
     ("blocks", "predecoded"): {"hot_loop": 1.4},
     ("blocks", "interpreter"): {"hot_loop": 6.0},
+    ("compiled", "blocks"): {"hot_loop": 3.0, "firmware": 1.5},
 }
 
 I = Instruction
@@ -116,6 +120,8 @@ def test_engine_throughput(benchmark, testapp):
                 ("predecoded", "interpreter"),
                 ("blocks", "predecoded"),
                 ("blocks", "interpreter"),
+                ("compiled", "blocks"),
+                ("compiled", "interpreter"),
             )
         }
 

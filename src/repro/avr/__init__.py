@@ -8,10 +8,10 @@ Public surface:
 * :class:`Instruction` / :class:`Mnemonic` plus :func:`encode` /
   :func:`decode` — the supported ISA subset.
 * :class:`Usart`, :class:`FeedLine` — peripherals used by the firmware.
-* The execution engines (``predecoded`` decode-cache engine, default; the
-  ``blocks`` superblock engine; and the ``interpreter`` reference) with
-  the lockstep differential helpers :func:`run_lockstep` /
-  :class:`CpuStateStream`.
+* The execution engines (``predecoded`` decode-cache engine, default;
+  the ``blocks`` superblock engine; the ``compiled`` exec-specialized
+  engine; and the ``interpreter`` reference) with the lockstep
+  differential helpers :func:`run_lockstep` / :class:`CpuStateStream`.
 """
 
 from .cpu import AvrCpu, RETURN_ADDRESS_BYTES
@@ -20,9 +20,11 @@ from .devices import EepromController, FeedLine, Usart
 from .encoder import encode, encode_bytes, encode_stream
 from .engine import DEFAULT_ENGINE, ENGINES, InterpreterEngine, PredecodedEngine
 
-# imported after .engine: BlockEngine registers itself at the bottom of
-# engine.py, so .engine must finish executing before .blocks is entered
+# imported after .engine: BlockEngine and CompiledEngine register
+# themselves at the bottom of engine.py, so .engine must finish executing
+# before .blocks / .compiled are entered
 from .blocks import BlockEngine
+from .compiled import CompiledEngine
 from .insn import CONTROL_FLOW, TWO_WORD, Instruction, Mnemonic
 from .memory import (
     DATA_SPACE_SIZE,
@@ -53,6 +55,7 @@ __all__ = [
     "InterpreterEngine",
     "PredecodedEngine",
     "BlockEngine",
+    "CompiledEngine",
     "CpuStateStream",
     "diff_state_streams",
     "run_lockstep",

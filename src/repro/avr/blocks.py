@@ -74,10 +74,18 @@ WRITE_CAPABLE = frozenset(
 )
 
 # Terminators by mnemonic alone; `bset I` terminates too but depends on
-# the operand, so it is special-cased during fusion.
+# the operand, so it is special-cased in :func:`is_terminator`.
 TERMINATORS = frozenset(
     CONTROL_FLOW | WRITE_CAPABLE | {Mnemonic.BREAK, Mnemonic.SLEEP}
 )
+
+
+def is_terminator(insn: Instruction) -> bool:
+    """Whether ``insn`` ends a superblock (shared by blocks and compiled)."""
+    mnemonic = insn.mnemonic
+    return mnemonic in TERMINATORS or (
+        mnemonic is Mnemonic.BSET and insn.b == _SREG_I_BIT
+    )
 
 
 class Superblock:
@@ -187,12 +195,7 @@ class BlockEngine(PredecodedEngine):
             entries.append((pc, entry))
             insn = entry[1]
             pc += entry[2]
-            mnemonic = insn.mnemonic
-            if (
-                mnemonic in TERMINATORS
-                or (mnemonic is Mnemonic.BSET and insn.b == _SREG_I_BIT)
-                or len(entries) >= FUSE_CAP
-            ):
+            if is_terminator(insn) or len(entries) >= FUSE_CAP:
                 break
         block = Superblock(start_pc, entries)
         self.blocks_built += 1
@@ -219,6 +222,33 @@ class BlockEngine(PredecodedEngine):
         cpu.cycles += cycles_before
         cpu.instructions_retired += index
         raise CpuFault(str(exc), pc_bytes, cpu.cycles) from exc
+
+    def _execute_block(self, block: Superblock) -> None:
+        """Retire one fused block through the per-slot handler path.
+
+        This is the reusable form of the body of :meth:`run`'s loop — the
+        compiled engine executes not-yet-compiled (or budget-capped) blocks
+        through it so both engines share one definition of the block retire
+        sequence.  ``run`` keeps its own inlined copy because the extra
+        method call per block is measurable on the hot loop.
+        """
+        cpu = self.cpu
+        try:
+            for handler, insn in block.body:
+                handler(cpu, insn)
+        except MemoryAccessError as exc:
+            self._raise_body_fault(block, handler, insn, exc)
+        cpu.cycles += block.body_cycles
+        cpu.pc = block.last_next_pc
+        try:
+            block.last_handler(cpu, block.last_insn)
+        except Halt:
+            cpu.halted = True
+        except MemoryAccessError as exc:
+            cpu.instructions_retired += block.count - 1
+            raise CpuFault(str(exc), block.last_pc_bytes, cpu.cycles) from exc
+        cpu.cycles += block.last_base_cycles
+        cpu.instructions_retired += block.count
 
     def run(self, max_instructions: int) -> int:
         """Retire whole superblocks; fall back per-instruction when needed."""

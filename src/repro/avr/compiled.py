@@ -1,0 +1,891 @@
+"""Compiled superblock engine: exec-generated specialized block bodies.
+
+The blocks engine hoisted the retire preamble to block boundaries but
+still pays a Python function call per instruction inside every fused
+body.  :class:`CompiledEngine` removes that last per-instruction cost:
+for each :class:`~repro.avr.blocks.Superblock` it generates Python source
+that *inlines* the fused instructions — handler bodies specialized on the
+decoded operands, immediates folded as constants, the register file and
+SREG flags held in locals, dead flag computations elided where a later
+instruction in the block overwrites them before any read — and
+``compile()``/``exec()``s it into one callable per block.
+
+Specialization rules:
+
+* **Registers as locals.**  General registers are memory-mapped plain
+  bytes (``DataSpace._bytes[0..31]``, no hooks), so inside a block they
+  are loaded lazily into locals and written back (dirty ones only) at
+  the block's end — or before any instruction that could observe or
+  mutate the register file out-of-line (a *callout*, below).
+* **Flags as locals.**  SREG flags live in 0/1-valued locals with the
+  exact :mod:`repro.avr.alu` formulas inlined.  A backward liveness pass
+  over the block elides every flag computation that a later instruction
+  overwrites before any possible read (callouts and the terminator
+  conservatively read everything; S forces N and V because S = N xor V).
+* **Callouts.**  Instructions whose handlers can fault, reach a data-
+  space read hook, or touch non-register state (``lds``, ``ld``/``ldd``,
+  ``pop``, ``in``, ``lpm``) run through their existing ``HANDLERS``
+  entry, bracketed by a flush of every dirty local before and a full
+  reload after — so partial-effect and fault semantics are the
+  handlers', byte for byte.  Stores and control flow never appear in a
+  body (they terminate blocks, see :mod:`repro.avr.blocks`).
+* **Terminators.**  ``rjmp``/``jmp``/``ijmp``/conditional branches/
+  ``sei``/``sleep`` are inlined with the final PC and the whole block's
+  cycle/instruction accounting folded into constants; everything else
+  (calls, returns, stores, skips, ``break``) goes through its handler at
+  a point where the architectural counters are exact — identical to the
+  blocks engine's sequence.
+
+Correctness envelope (all inherited from :class:`BlockEngine` and pinned
+by the 4-engine lockstep harness):
+
+* compiled callables are cached per ``FlashMemory.generation`` and the
+  cache is **evicted** (cleared, not just invalidated) on any flash
+  write, so reflash/SPM can neither execute stale code nor grow memory;
+* a mid-block fault reconstructs the exact per-instruction
+  :class:`~repro.errors.CpuFault` (pc/cycles/retired) via the block's
+  ``body_meta``, like the blocks engine's cold fault path;
+* interrupts latch any time and are serviced at block boundaries — the
+  same exact-latency argument as the blocks engine, since the terminator
+  set is identical;
+* any attached trace hook degrades execution to the per-instruction
+  predecoded loop, checked every iteration.
+
+Compile budget: scenarios that thrash flash generations (SPM loops, MAVR
+re-randomization storms) would otherwise pay codegen over and over for
+blocks that run once.  Two guards: a block is only compiled on its
+*second* entry within a generation (:attr:`CompiledEngine.WARM_THRESHOLD`),
+and each generation gets a wall-clock compile budget
+(:attr:`CompiledEngine.COMPILE_BUDGET_S`) after which new blocks simply
+run through the shared blocks-engine path — bit-identical, just slower.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import CpuFault, MemoryAccessError
+from .blocks import BlockEngine, Superblock
+from .engine import HANDLERS, Halt, PredecodedEngine, _out_of_image_error
+from .insn import Instruction, Mnemonic
+
+_SREG_I_BIT = 7
+
+# SREG bit index -> StatusRegister attribute / flag-local suffix.
+_FLAG_ATTR = ("c", "z", "n", "v", "s", "h", "t", "i")
+_ALL_FLAGS = frozenset(_FLAG_ATTR)
+
+
+class CompiledBodyFault(Exception):
+    """Internal carrier: a callout inside a compiled body faulted.
+
+    ``index`` is the body slot (``-1`` for the terminator); ``exc`` is the
+    original :class:`MemoryAccessError`.  The engine translates it into
+    the exact per-instruction :class:`CpuFault` using ``body_meta``.
+    """
+
+    def __init__(self, index: int, exc: MemoryAccessError) -> None:
+        super().__init__(index)
+        self.index = index
+        self.exc = exc
+
+
+# -- flag read/write sets (must match the emitters below) -----------------
+
+_ARITH_FLAGS = frozenset("cznvsh")
+_LOGIC_FLAGS = frozenset("znvs")
+_SHIFT_FLAGS = frozenset("cznvs")
+
+_FLAG_WRITES: Dict[Mnemonic, FrozenSet[str]] = {
+    Mnemonic.ADD: _ARITH_FLAGS,
+    Mnemonic.ADC: _ARITH_FLAGS,
+    Mnemonic.SUB: _ARITH_FLAGS,
+    Mnemonic.SBC: _ARITH_FLAGS,
+    Mnemonic.SUBI: _ARITH_FLAGS,
+    Mnemonic.SBCI: _ARITH_FLAGS,
+    Mnemonic.CP: _ARITH_FLAGS,
+    Mnemonic.CPC: _ARITH_FLAGS,
+    Mnemonic.CPI: _ARITH_FLAGS,
+    Mnemonic.NEG: _ARITH_FLAGS,
+    Mnemonic.AND: _LOGIC_FLAGS,
+    Mnemonic.ANDI: _LOGIC_FLAGS,
+    Mnemonic.OR: _LOGIC_FLAGS,
+    Mnemonic.ORI: _LOGIC_FLAGS,
+    Mnemonic.EOR: _LOGIC_FLAGS,
+    Mnemonic.COM: frozenset("cznvs"),
+    Mnemonic.INC: _LOGIC_FLAGS,
+    Mnemonic.DEC: _LOGIC_FLAGS,
+    Mnemonic.LSR: _SHIFT_FLAGS,
+    Mnemonic.ASR: _SHIFT_FLAGS,
+    Mnemonic.ROR: _SHIFT_FLAGS,
+    Mnemonic.ADIW: _SHIFT_FLAGS,
+    Mnemonic.SBIW: _SHIFT_FLAGS,
+    Mnemonic.MUL: frozenset("cz"),
+    Mnemonic.MULS: frozenset("cz"),
+    Mnemonic.MULSU: frozenset("cz"),
+    Mnemonic.BST: frozenset("t"),
+}
+
+_FLAG_READS: Dict[Mnemonic, FrozenSet[str]] = {
+    Mnemonic.ADC: frozenset("c"),
+    Mnemonic.SBC: frozenset("cz"),
+    Mnemonic.SBCI: frozenset("cz"),
+    Mnemonic.CPC: frozenset("cz"),
+    Mnemonic.ROR: frozenset("c"),
+    Mnemonic.BLD: frozenset("t"),
+}
+
+
+def _flag_rw(insn: Instruction) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """(reads, writes) for a body slot's flag liveness bookkeeping."""
+    mnemonic = insn.mnemonic
+    if mnemonic is Mnemonic.BSET or mnemonic is Mnemonic.BCLR:
+        return frozenset(), frozenset(_FLAG_ATTR[insn.b])
+    return (
+        _FLAG_READS.get(mnemonic, frozenset()),
+        _FLAG_WRITES.get(mnemonic, frozenset()),
+    )
+
+
+# -- source generation ----------------------------------------------------
+
+
+class _Gen:
+    """Accumulates specialized source lines for one superblock.
+
+    Tracks which registers/flags are live in locals so loads happen
+    lazily, writebacks happen once, and callouts see a fully
+    architectural machine.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._loaded_regs: set = set()
+        self._dirty_regs: set = set()
+        self._loaded_flags: set = set()
+        self._dirty_flags: set = set()
+
+    def raw(self, line: str) -> None:
+        self.lines.append(line)
+
+    # registers ----------------------------------------------------------
+
+    def reg(self, index: int) -> str:
+        name = f"r{index}"
+        if index not in self._loaded_regs:
+            self.raw(f"{name} = buf[{index}]")
+            self._loaded_regs.add(index)
+        return name
+
+    def assign(self, index: int, expr: str) -> None:
+        """Overwrite a register local (no load needed for a pure write)."""
+        self._loaded_regs.add(index)
+        self._dirty_regs.add(index)
+        self.raw(f"r{index} = {expr}")
+
+    # flags --------------------------------------------------------------
+
+    def flag(self, name: str) -> str:
+        local = "f" + name
+        if name not in self._loaded_flags:
+            self.raw(f"{local} = s.{name}")
+            self._loaded_flags.add(name)
+        return local
+
+    def setflag(self, name: str, expr: str) -> None:
+        self._loaded_flags.add(name)
+        self._dirty_flags.add(name)
+        self.raw(f"f{name} = {expr}")
+
+    def mark_flag_dirty(self, name: str) -> None:
+        self._dirty_flags.add(name)
+
+    # synchronization ----------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every dirty local back to the architectural machine."""
+        for index in sorted(self._dirty_regs):
+            self.raw(f"buf[{index}] = r{index}")
+        self._dirty_regs.clear()
+        for name in _FLAG_ATTR:
+            if name in self._dirty_flags:
+                # 0/1 ints are architecturally equivalent to the bools the
+                # handlers store: every consumer packs via `byte` (shifts)
+                # or compares with ==, and 1 == True in Python.
+                self.raw(f"s.{name} = f{name}")
+        self._dirty_flags.clear()
+
+    def invalidate(self) -> None:
+        """Forget every local: a callout may have changed anything."""
+        self._loaded_regs.clear()
+        self._dirty_regs.clear()
+        self._loaded_flags.clear()
+        self._dirty_flags.clear()
+
+
+# Each emitter appends the specialized source for one instruction.
+# ``live`` is the set of flags whose values can still be read after this
+# slot — only those get computed (S implies N and V, applied by caller).
+Emitter = Callable[[_Gen, Instruction, FrozenSet[str]], None]
+
+
+def _nzs8(g: _Gen, live: FrozenSet[str]) -> None:
+    """N/Z/S from the 8-bit ``_r``; assumes fv is set when S is live."""
+    if "n" in live:
+        g.setflag("n", "_r >> 7")
+    if "z" in live:
+        g.setflag("z", "_r == 0")
+    if "s" in live:
+        g.setflag("s", "fn ^ fv")
+
+
+def _e_nop(g: _Gen, insn: Instruction, live: FrozenSet[str]) -> None:
+    pass
+
+
+def _e_ldi(g, insn, live):
+    g.assign(insn.rd, str(insn.k))
+
+
+def _e_mov(g, insn, live):
+    g.assign(insn.rd, g.reg(insn.rr))
+
+
+def _e_movw(g, insn, live):
+    lo = g.reg(insn.rr)
+    hi = g.reg(insn.rr + 1)
+    g.assign(insn.rd, lo)
+    g.assign(insn.rd + 1, hi)
+
+
+def _e_swap(g, insn, live):
+    a = g.reg(insn.rd)
+    g.assign(insn.rd, f"(({a} << 4) | ({a} >> 4)) & 255")
+
+
+def _add_like(g, insn, live, carry: bool) -> None:
+    a = g.reg(insn.rd)
+    b = g.reg(insn.rr)
+    tail = f" + {g.flag('c')}" if carry else ""
+    g.raw(f"_s = {a} + {b}{tail}")
+    g.raw("_r = _s & 255")
+    if "h" in live:
+        g.setflag("h", f"((({a} & 15) + ({b} & 15){tail}) >> 4) & 1")
+    if "c" in live:
+        g.setflag("c", "_s >> 8")
+    if "v" in live:
+        g.setflag("v", f"(~({a} ^ {b}) & ({a} ^ _r) & 128) >> 7")
+    _nzs8(g, live)
+    g.assign(insn.rd, "_r")
+
+
+def _e_add(g, insn, live):
+    _add_like(g, insn, live, carry=False)
+
+
+def _e_adc(g, insn, live):
+    _add_like(g, insn, live, carry=True)
+
+
+def _sub_like(
+    g, insn, live, *, imm: bool, carry: bool, keep_z: bool, store: bool
+) -> None:
+    a = g.reg(insn.rd)
+    b = str(insn.k) if imm else g.reg(insn.rr)
+    tail = f" - {g.flag('c')}" if carry else ""
+    if keep_z and "z" in live:
+        g.flag("z")  # ensure loaded before the conditional clear below
+    g.raw(f"_s = {a} - {b}{tail}")
+    g.raw("_r = _s & 255")
+    if "h" in live:
+        g.setflag("h", f"((({a} & 15) - ({b} & 15){tail}) >> 4) & 1")
+    if "c" in live:
+        g.setflag("c", "_s < 0")
+    if "v" in live:
+        g.setflag("v", f"(({a} ^ {b}) & ({a} ^ _r) & 128) >> 7")
+    if "n" in live:
+        g.setflag("n", "_r >> 7")
+    if "z" in live:
+        if keep_z:
+            g.raw("if _r:")
+            g.raw("    fz = 0")
+            g.mark_flag_dirty("z")
+        else:
+            g.setflag("z", "_r == 0")
+    if "s" in live:
+        g.setflag("s", "fn ^ fv")
+    if store:
+        g.assign(insn.rd, "_r")
+
+
+def _e_sub(g, insn, live):
+    _sub_like(g, insn, live, imm=False, carry=False, keep_z=False, store=True)
+
+
+def _e_sbc(g, insn, live):
+    _sub_like(g, insn, live, imm=False, carry=True, keep_z=True, store=True)
+
+
+def _e_subi(g, insn, live):
+    _sub_like(g, insn, live, imm=True, carry=False, keep_z=False, store=True)
+
+
+def _e_sbci(g, insn, live):
+    _sub_like(g, insn, live, imm=True, carry=True, keep_z=True, store=True)
+
+
+def _e_cp(g, insn, live):
+    _sub_like(g, insn, live, imm=False, carry=False, keep_z=False, store=False)
+
+
+def _e_cpc(g, insn, live):
+    _sub_like(g, insn, live, imm=False, carry=True, keep_z=True, store=False)
+
+
+def _e_cpi(g, insn, live):
+    _sub_like(g, insn, live, imm=True, carry=False, keep_z=False, store=False)
+
+
+def _logic_like(g, insn, live, expr: str) -> None:
+    g.raw(f"_r = {expr}")
+    if "v" in live:
+        g.setflag("v", "0")
+    if "n" in live:
+        g.setflag("n", "_r >> 7")
+    if "z" in live:
+        g.setflag("z", "_r == 0")
+    if "s" in live:
+        g.setflag("s", "fn")  # V is 0, so S = N
+    g.assign(insn.rd, "_r")
+
+
+def _e_and(g, insn, live):
+    _logic_like(g, insn, live, f"{g.reg(insn.rd)} & {g.reg(insn.rr)}")
+
+
+def _e_andi(g, insn, live):
+    _logic_like(g, insn, live, f"{g.reg(insn.rd)} & {insn.k}")
+
+
+def _e_or(g, insn, live):
+    _logic_like(g, insn, live, f"{g.reg(insn.rd)} | {g.reg(insn.rr)}")
+
+
+def _e_ori(g, insn, live):
+    _logic_like(g, insn, live, f"{g.reg(insn.rd)} | {insn.k}")
+
+
+def _e_eor(g, insn, live):
+    _logic_like(g, insn, live, f"{g.reg(insn.rd)} ^ {g.reg(insn.rr)}")
+
+
+def _e_com(g, insn, live):
+    a = g.reg(insn.rd)
+    g.raw(f"_r = {a} ^ 255")
+    if "c" in live:
+        g.setflag("c", "1")
+    if "v" in live:
+        g.setflag("v", "0")
+    if "n" in live:
+        g.setflag("n", "_r >> 7")
+    if "z" in live:
+        g.setflag("z", "_r == 0")
+    if "s" in live:
+        g.setflag("s", "fn")
+    g.assign(insn.rd, "_r")
+
+
+def _e_neg(g, insn, live):
+    a = g.reg(insn.rd)
+    g.raw(f"_r = -{a} & 255")
+    if "h" in live:
+        g.setflag("h", f"((_r | {a}) >> 3) & 1")
+    if "c" in live:
+        g.setflag("c", "_r != 0")
+    if "v" in live:
+        g.setflag("v", "_r == 128")
+    _nzs8(g, live)
+    g.assign(insn.rd, "_r")
+
+
+def _e_inc(g, insn, live):
+    a = g.reg(insn.rd)
+    g.raw(f"_r = ({a} + 1) & 255")
+    if "v" in live:
+        g.setflag("v", "_r == 128")
+    _nzs8(g, live)
+    g.assign(insn.rd, "_r")
+
+
+def _e_dec(g, insn, live):
+    a = g.reg(insn.rd)
+    g.raw(f"_r = ({a} - 1) & 255")
+    if "v" in live:
+        g.setflag("v", "_r == 127")
+    _nzs8(g, live)
+    g.assign(insn.rd, "_r")
+
+
+def _e_lsr(g, insn, live):
+    a = g.reg(insn.rd)
+    g.raw(f"_r = {a} >> 1")
+    # N is 0, so V = N^C = C and S = N^V = C: all directly from bit 0.
+    if "c" in live:
+        g.setflag("c", f"{a} & 1")
+    if "n" in live:
+        g.setflag("n", "0")
+    if "z" in live:
+        g.setflag("z", "_r == 0")
+    if "v" in live:
+        g.setflag("v", f"{a} & 1")
+    if "s" in live:
+        g.setflag("s", f"{a} & 1")
+    g.assign(insn.rd, "_r")
+
+
+def _shift_right(g, insn, live, result_expr: str) -> None:
+    a = g.reg(insn.rd)
+    g.raw(f"_r = {result_expr}")
+    if "c" in live:
+        g.setflag("c", f"{a} & 1")
+    if "n" in live:
+        g.setflag("n", "_r >> 7")
+    if "z" in live:
+        g.setflag("z", "_r == 0")
+    if "v" in live:
+        g.setflag("v", f"(_r >> 7) ^ ({a} & 1)")
+    if "s" in live:
+        g.setflag("s", f"{a} & 1")  # S = N^V = N^(N^C) = C
+    g.assign(insn.rd, "_r")
+
+
+def _e_asr(g, insn, live):
+    a = g.reg(insn.rd)
+    _shift_right(g, insn, live, f"({a} >> 1) | ({a} & 128)")
+
+
+def _e_ror(g, insn, live):
+    cin = g.flag("c")
+    a = g.reg(insn.rd)
+    _shift_right(g, insn, live, f"({a} >> 1) | ({cin} << 7)")
+
+
+def _word_imm(g, insn, live, *, add: bool) -> None:
+    lo = g.reg(insn.rd)
+    hi = g.reg(insn.rd + 1)
+    g.raw(f"_p = {lo} | ({hi} << 8)")
+    g.raw(f"_s = _p {'+' if add else '-'} {insn.k}")
+    g.raw("_r = _s & 65535")
+    if "c" in live:
+        g.setflag("c", "_s > 65535" if add else "_s < 0")
+    if "z" in live:
+        g.setflag("z", "_r == 0")
+    if "n" in live:
+        g.setflag("n", "_r >> 15")
+    if "v" in live:
+        g.setflag("v", "(~_p & _r & 32768) >> 15" if add else "(_p & ~_r & 32768) >> 15")
+    if "s" in live:
+        g.setflag("s", "fn ^ fv")
+    g.assign(insn.rd, "_r & 255")
+    g.assign(insn.rd + 1, "_r >> 8")
+
+
+def _e_adiw(g, insn, live):
+    _word_imm(g, insn, live, add=True)
+
+
+def _e_sbiw(g, insn, live):
+    _word_imm(g, insn, live, add=False)
+
+
+def _mul_like(g, insn, live, signed_d: bool, signed_r: bool) -> None:
+    a = g.reg(insn.rd)
+    b = g.reg(insn.rr)
+    ea = f"({a} - 256 if {a} & 128 else {a})" if signed_d else a
+    eb = f"({b} - 256 if {b} & 128 else {b})" if signed_r else b
+    g.raw(f"_p = ({ea} * {eb}) & 65535")
+    g.assign(0, "_p & 255")
+    g.assign(1, "_p >> 8")
+    if "c" in live:
+        g.setflag("c", "_p >> 15")
+    if "z" in live:
+        g.setflag("z", "_p == 0")
+
+
+def _e_mul(g, insn, live):
+    _mul_like(g, insn, live, signed_d=False, signed_r=False)
+
+
+def _e_muls(g, insn, live):
+    _mul_like(g, insn, live, signed_d=True, signed_r=True)
+
+
+def _e_mulsu(g, insn, live):
+    _mul_like(g, insn, live, signed_d=True, signed_r=False)
+
+
+def _e_bst(g, insn, live):
+    if "t" in live:
+        g.setflag("t", f"({g.reg(insn.rd)} >> {insn.b}) & 1")
+
+
+def _e_bld(g, insn, live):
+    t = g.flag("t")
+    a = g.reg(insn.rd)
+    set_mask = 1 << insn.b
+    clear_mask = 0xFF & ~set_mask
+    g.assign(insn.rd, f"({a} | {set_mask}) if {t} else ({a} & {clear_mask})")
+
+
+def _e_bset(g, insn, live):
+    name = _FLAG_ATTR[insn.b]
+    if name in live:
+        g.setflag(name, "1")
+
+
+def _e_bclr(g, insn, live):
+    name = _FLAG_ATTR[insn.b]
+    if name in live:
+        g.setflag(name, "0")
+
+
+# The per-mnemonic source-template table — the codegen twin of
+# ``engine.HANDLERS``.  A body mnemonic absent from this table executes
+# as a callout through its HANDLERS entry (flush / call / invalidate):
+# exactly the loads and I/O reads whose hook and fault semantics must
+# stay the handlers' own.  Stores, control flow, break and sleep never
+# appear in a block body (they are terminators).
+SOURCE_TEMPLATES: Dict[Mnemonic, Emitter] = {
+    Mnemonic.NOP: _e_nop,
+    Mnemonic.WDR: _e_nop,
+    Mnemonic.MOV: _e_mov,
+    Mnemonic.MOVW: _e_movw,
+    Mnemonic.LDI: _e_ldi,
+    Mnemonic.ADD: _e_add,
+    Mnemonic.ADC: _e_adc,
+    Mnemonic.SUB: _e_sub,
+    Mnemonic.SBC: _e_sbc,
+    Mnemonic.SUBI: _e_subi,
+    Mnemonic.SBCI: _e_sbci,
+    Mnemonic.AND: _e_and,
+    Mnemonic.ANDI: _e_andi,
+    Mnemonic.OR: _e_or,
+    Mnemonic.ORI: _e_ori,
+    Mnemonic.EOR: _e_eor,
+    Mnemonic.COM: _e_com,
+    Mnemonic.NEG: _e_neg,
+    Mnemonic.INC: _e_inc,
+    Mnemonic.DEC: _e_dec,
+    Mnemonic.SWAP: _e_swap,
+    Mnemonic.LSR: _e_lsr,
+    Mnemonic.ASR: _e_asr,
+    Mnemonic.ROR: _e_ror,
+    Mnemonic.ADIW: _e_adiw,
+    Mnemonic.SBIW: _e_sbiw,
+    Mnemonic.CP: _e_cp,
+    Mnemonic.CPC: _e_cpc,
+    Mnemonic.CPI: _e_cpi,
+    Mnemonic.MUL: _e_mul,
+    Mnemonic.MULS: _e_muls,
+    Mnemonic.MULSU: _e_mulsu,
+    Mnemonic.BST: _e_bst,
+    Mnemonic.BLD: _e_bld,
+    Mnemonic.BSET: _e_bset,
+    Mnemonic.BCLR: _e_bclr,
+}
+
+# Template/handler drift would miscompile silently; fail at import like
+# the HANDLERS completeness check does.
+_orphans = [m for m in SOURCE_TEMPLATES if m not in HANDLERS]
+if _orphans:  # pragma: no cover - import-time consistency check
+    raise RuntimeError(f"source templates without handlers: {_orphans}")
+
+
+# Terminators folded inline (final PC and accounting become constants).
+_INLINE_TERMINATORS = frozenset(
+    {
+        Mnemonic.RJMP,
+        Mnemonic.JMP,
+        Mnemonic.IJMP,
+        Mnemonic.BRBS,
+        Mnemonic.BRBC,
+        Mnemonic.SLEEP,
+    }
+)
+
+
+def _terminator_flag_rw(insn: Instruction) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    mnemonic = insn.mnemonic
+    if mnemonic is Mnemonic.BRBS or mnemonic is Mnemonic.BRBC:
+        return frozenset(_FLAG_ATTR[insn.b]), frozenset()
+    if mnemonic is Mnemonic.BSET and insn.b == _SREG_I_BIT:
+        return frozenset(), frozenset("i")
+    if mnemonic in _INLINE_TERMINATORS:
+        return frozenset(), frozenset()
+    # handler-call terminator (or a fusion-stopped pseudo-terminator):
+    # conservatively reads everything — all dirty state flushes first.
+    return _ALL_FLAGS, frozenset()
+
+
+def compile_superblock(block: Superblock, cpu):
+    """Generate, compile and exec one specialized block callable.
+
+    Returns ``(fn, source)``.  The callable performs the whole blocks-
+    engine retire sequence for the block: body, ``body_cycles``, PC to
+    the terminator's fall-through, terminator, ``last_base_cycles``,
+    ``instructions_retired``.  Callout faults surface as
+    :class:`CompiledBodyFault` for the engine to translate.
+
+    ``cpu.data._bytes`` and ``cpu.sreg`` are bound as default arguments —
+    both are created once in ``AvrCpu.__init__`` and never rebound, and a
+    compiled callable only ever runs on the cpu it was compiled for.
+    """
+    body = block.body
+    terminator = block.last_insn
+    count = block.count
+
+    # Backward flag-liveness: start from "everything live" (the next
+    # block reads anything), through the terminator, then the body.
+    term_reads, term_writes = _terminator_flag_rw(terminator)
+    live = (_ALL_FLAGS - term_writes) | term_reads
+    live_sets: List[FrozenSet[str]] = [frozenset()] * len(body)
+    for j in range(len(body) - 1, -1, -1):
+        insn = body[j][1]
+        if insn.mnemonic not in SOURCE_TEMPLATES:
+            live_sets[j] = _ALL_FLAGS
+            live = _ALL_FLAGS  # a callout may read any flag
+        else:
+            reads, writes = _flag_rw(insn)
+            live_sets[j] = live
+            live = (live - writes) | reads
+
+    g = _Gen()
+    ns: Dict[str, object] = {
+        "_MAE": MemoryAccessError,
+        "_CBF": CompiledBodyFault,
+        "_buf": cpu.data._bytes,
+        "_sreg": cpu.sreg,
+    }
+    has_callout = False
+    for j, (handler, insn) in enumerate(body):
+        emitter = SOURCE_TEMPLATES.get(insn.mnemonic)
+        if emitter is None:
+            has_callout = True
+            ns[f"_h{j}"] = handler
+            ns[f"_i{j}"] = insn
+            g.flush()
+            g.raw(f"_fi = {j}")
+            g.raw(f"_h{j}(cpu, _i{j})")
+            g.invalidate()
+        else:
+            slot_live = live_sets[j]
+            if "s" in slot_live:
+                slot_live = slot_live | frozenset("nv")
+            emitter(g, insn, slot_live)
+
+    g.flush()
+    mnemonic = terminator.mnemonic
+    total_cycles = block.body_cycles + block.last_base_cycles
+    inline_term = (
+        mnemonic in _INLINE_TERMINATORS
+        or (mnemonic is Mnemonic.BSET and terminator.b == _SREG_I_BIT)
+    )
+    if inline_term:
+        if mnemonic is Mnemonic.RJMP:
+            g.raw(f"cpu.pc = {block.last_next_pc + terminator.k}")
+            g.raw(f"cpu.cycles += {total_cycles}")
+        elif mnemonic is Mnemonic.JMP:
+            g.raw(f"cpu.pc = {terminator.k}")
+            g.raw(f"cpu.cycles += {total_cycles}")
+        elif mnemonic is Mnemonic.IJMP:
+            g.raw("cpu.pc = buf[30] | (buf[31] << 8)")
+            g.raw(f"cpu.cycles += {total_cycles}")
+        elif mnemonic is Mnemonic.BRBS or mnemonic is Mnemonic.BRBC:
+            cond = f"s.{_FLAG_ATTR[terminator.b]}"
+            if mnemonic is Mnemonic.BRBC:
+                cond = "not " + cond
+            g.raw(f"if {cond}:")
+            g.raw(f"    cpu.pc = {block.last_next_pc + terminator.k}")
+            g.raw(f"    cpu.cycles += {total_cycles + 1}")  # taken: +1 cycle
+            g.raw("else:")
+            g.raw(f"    cpu.pc = {block.last_next_pc}")
+            g.raw(f"    cpu.cycles += {total_cycles}")
+        else:  # SLEEP (modeled as nop) or BSET of I (sei)
+            if mnemonic is Mnemonic.BSET:
+                g.raw("s.i = True")
+            g.raw(f"cpu.pc = {block.last_next_pc}")
+            g.raw(f"cpu.cycles += {total_cycles}")
+        g.raw(f"cpu.instructions_retired += {count}")
+        has_term_call = False
+    else:
+        ns["_ht"] = block.last_handler
+        ns["_it"] = terminator
+        g.raw(f"cpu.cycles += {block.body_cycles}")
+        g.raw(f"cpu.pc = {block.last_next_pc}")
+        g.raw("_fi = -1")
+        g.raw("_ht(cpu, _it)")
+        g.raw(f"cpu.cycles += {block.last_base_cycles}")
+        g.raw(f"cpu.instructions_retired += {count}")
+        has_term_call = True
+
+    need_try = has_callout or has_term_call
+    out: List[str] = ["def _sb(cpu, buf=_buf, s=_sreg):"]
+    if need_try:
+        out.append("    try:")
+        out.extend("        " + line for line in g.lines)
+        out.append("    except _MAE as exc:")
+        out.append("        raise _CBF(_fi, exc) from exc")
+    else:
+        out.extend("    " + line for line in g.lines)
+    source = "\n".join(out) + "\n"
+    code = compile(source, f"<superblock@0x{block.start * 2:05x}>", "exec")
+    exec(code, ns)
+    return ns["_sb"], source
+
+
+class CompiledBlock:
+    """A superblock plus its (lazily) compiled callable."""
+
+    __slots__ = ("block", "fn", "source", "entries", "count", "last_pc_bytes")
+
+    def __init__(self, block: Superblock) -> None:
+        self.block = block
+        self.fn = None
+        self.source: Optional[str] = None
+        self.entries = 0  # entries before compilation (warmup counter)
+        # mirrored from the block so the hot loop touches one object
+        self.count = block.count
+        self.last_pc_bytes = block.last_pc_bytes
+
+
+class CompiledEngine(BlockEngine):
+    """Superblock engine with exec-generated specialized block bodies."""
+
+    name = "compiled"
+
+    # Wall-clock codegen budget per flash generation: once spent, new
+    # blocks run through the shared blocks-engine path instead (identical
+    # results, no compile cost) until the next reflash resets it.
+    COMPILE_BUDGET_S = 0.25
+    # A block compiles on this entry count within a generation, so code
+    # that runs once per generation (boot paths, reflash thrash) never
+    # pays codegen at all.
+    WARM_THRESHOLD = 2
+
+    def __init__(self, cpu) -> None:
+        super().__init__(cpu)
+        self._compiled: Dict[int, CompiledBlock] = {}
+        self._compile_spent = 0.0
+        # telemetry accumulators, sampled pull-style at snapshot time
+        self.compiled_built = 0
+        self.compiled_entered = 0
+        self.compile_times_ms: List[float] = []  # append-only build log
+
+    # -- cache maintenance ----------------------------------------------
+
+    def _sync_cache(self):
+        # Evict (not just invalidate) on any flash write: compiled code
+        # objects are the largest per-block artifact, so reflash loops
+        # must not accumulate them.  Cleared in place so hot-loop locals
+        # stay bound to the dict.  The compile budget resets with the
+        # generation.
+        if self.cpu.flash.generation != self._generation:
+            self._compiled.clear()
+            self._compile_spent = 0.0
+        return super()._sync_cache()
+
+    # -- compilation -----------------------------------------------------
+
+    def _compile_block(self, cb: CompiledBlock):
+        if self._compile_spent >= self.COMPILE_BUDGET_S:
+            return None
+        start = time.perf_counter()
+        fn, source = compile_superblock(cb.block, self.cpu)
+        elapsed = time.perf_counter() - start
+        self._compile_spent += elapsed
+        cb.fn = fn
+        cb.source = source
+        self.compiled_built += 1
+        self.compile_times_ms.append(elapsed * 1000.0)
+        return fn
+
+    # -- execution --------------------------------------------------------
+
+    def _raise_compiled_fault(self, block: Superblock, fault: CompiledBodyFault):
+        """Translate a callout fault into the exact per-instruction CpuFault."""
+        cpu = self.cpu
+        exc = fault.exc
+        if fault.index < 0:  # the terminator handler faulted
+            cpu.instructions_retired += block.count - 1
+            raise CpuFault(str(exc), block.last_pc_bytes, cpu.cycles) from exc
+        next_pc, pc_bytes, cycles_before = block.body_meta[fault.index]
+        cpu.pc = next_pc
+        cpu.cycles += cycles_before
+        cpu.instructions_retired += fault.index
+        raise CpuFault(str(exc), pc_bytes, cpu.cycles) from exc
+
+    def run(self, max_instructions: int) -> int:
+        """Retire compiled superblocks; degrade exactly like the blocks engine.
+
+        The retire preamble is inlined (not called through
+        :func:`retire_preamble`) because at compiled-block speed the call
+        itself is a measurable fraction of the per-block budget; the
+        sequence is statement-for-statement the same.
+        """
+        cpu = self.cpu
+        flash = cpu.flash
+        self._sync_cache()
+        compiled = self._compiled
+        get_compiled = compiled.get
+        per_instruction = PredecodedEngine.run
+        executed = 0
+        entered = 0
+        try:
+            while not cpu.halted and executed < max_instructions:
+                if cpu.trace_hooks:
+                    # exact-latency fallback: a trace/lockstep hook is watching
+                    return executed + per_instruction(
+                        self, max_instructions - executed
+                    )
+                # retire preamble, inlined
+                if cpu.pending_interrupts and cpu.sreg.i:
+                    cpu._service_interrupt()
+                pc = cpu.pc
+                limit = cpu.code_limit
+                if limit is not None and pc * 2 >= limit:
+                    raise _out_of_image_error(pc * 2, limit)
+                if flash.generation != self._generation:
+                    self._sync_cache()
+                cb = get_compiled(pc)
+                if cb is None or (limit is not None and cb.last_pc_bytes >= limit):
+                    cb = compiled[pc] = CompiledBlock(self._build_block(pc))
+                count = cb.count
+                if count > max_instructions - executed:
+                    # budget tail: retire exactly the remaining instructions
+                    executed += per_instruction(self, max_instructions - executed)
+                    continue
+                fn = cb.fn
+                if fn is None:
+                    cb.entries += 1
+                    if cb.entries >= self.WARM_THRESHOLD:
+                        fn = self._compile_block(cb)
+                    if fn is None:
+                        # cold or budget-capped: shared blocks-engine path
+                        self._execute_block(cb.block)
+                        executed += count
+                        self.blocks_entered += 1
+                        continue
+                try:
+                    fn(cpu)
+                except Halt:
+                    cpu.halted = True
+                    cpu.cycles += cb.block.last_base_cycles
+                    cpu.instructions_retired += count
+                except CompiledBodyFault as fault:
+                    self._raise_compiled_fault(cb.block, fault)
+                executed += count
+                entered += 1
+        finally:
+            self.compiled_entered += entered
+        return executed

@@ -15,13 +15,14 @@ Models the ATmega2560 as the paper uses it:
 
 Instruction semantics live in the dispatch table of
 :mod:`repro.avr.engine` (one handler per mnemonic).  The core runs on one
-of three interchangeable engines: the ``predecoded`` engine (default;
+of four interchangeable engines: the ``predecoded`` engine (default;
 decode cache keyed on the flash generation counter, tight ``run()`` loop),
 the ``blocks`` superblock engine (fused straight-line runs, preamble paid
-per block — :mod:`repro.avr.blocks`), or the ``interpreter`` reference
-engine (decode at PC every step).  All retire instructions through an
-identical sequence — see docs/PERFORMANCE.md and the lockstep harness in
-:mod:`repro.avr.trace`.
+per block — :mod:`repro.avr.blocks`), the ``compiled`` engine
+(exec-generated specialized block bodies — :mod:`repro.avr.compiled`),
+or the ``interpreter`` reference engine (decode at PC every step).  All
+retire instructions through an identical sequence — see
+docs/PERFORMANCE.md and the lockstep harness in :mod:`repro.avr.trace`.
 """
 
 from __future__ import annotations

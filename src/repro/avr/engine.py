@@ -1,6 +1,6 @@
 """Execution engines: how the core turns flash words into state changes.
 
-Three engines share one set of instruction semantics (the dispatch table
+Four engines share one set of instruction semantics (the dispatch table
 ``HANDLERS``, one handler per :class:`~repro.avr.insn.Mnemonic`):
 
 * :class:`InterpreterEngine` — the reference engine: decode the word at PC
@@ -14,6 +14,11 @@ Three engines share one set of instruction semantics (the dispatch table
   consecutive predecoded entries into straight-line blocks and hoists the
   per-instruction retire preamble to block boundaries (see
   :mod:`repro.avr.blocks` for the fusion rules and latency model).
+* :class:`~repro.avr.compiled.CompiledEngine` — the compiled superblock
+  engine: ``exec``-generates one specialized Python callable per
+  superblock (operands folded, registers/flags in locals, dead flag
+  computations elided — see :mod:`repro.avr.compiled`), with the same
+  invalidation and degrade rules as the blocks engine.
 
 All engines retire instructions through exactly the same sequence as
 :meth:`AvrCpu.step`: pending-interrupt service, code-limit check, execute,
@@ -712,8 +717,13 @@ def create_engine(name: str, cpu: "AvrCpu"):
     return factory(cpu)
 
 
-# The superblock engine subclasses PredecodedEngine, so it lives in its
-# own module and registers itself here after the base classes exist.
+# The superblock engines subclass PredecodedEngine (and each other), so
+# they live in their own modules and register here after the base classes
+# and dispatch tables exist.
 from .blocks import BlockEngine  # noqa: E402  (import cycle: blocks needs the tables above)
 
 ENGINES[BlockEngine.name] = BlockEngine
+
+from .compiled import CompiledEngine  # noqa: E402  (needs BlockEngine + HANDLERS)
+
+ENGINES[CompiledEngine.name] = CompiledEngine

@@ -105,9 +105,11 @@ class MasterProcessor:
         """
         autopilot = self.autopilot
         app = autopilot.image.name
-        # cursor into BlockEngine.fusion_lengths: builds already folded
-        # into the histogram are not re-observed at the next snapshot
+        # cursors into the engines' append-only build logs: entries
+        # already folded into a histogram are not re-observed at the next
+        # snapshot
         fusion_cursor = [0]
+        compile_cursor = [0]
 
         def collect(registry) -> None:
             cpu = autopilot.cpu
@@ -144,6 +146,21 @@ class MasterProcessor:
                     for length in fresh:
                         histogram.observe(length)
                     fusion_cursor[0] = len(lengths)
+            if hasattr(engine, "compiled_built"):
+                sample("avr.compiled.built", engine.compiled_built)
+                sample("avr.compiled.entered", engine.compiled_entered)
+                times = engine.compile_times_ms
+                fresh_times = times[compile_cursor[0]:]
+                if fresh_times:
+                    histogram = registry.histogram(
+                        "avr.compiled.compile_ms",
+                        buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
+                        component="cpu",
+                        app=app,
+                    )
+                    for elapsed_ms in fresh_times:
+                        histogram.observe(elapsed_ms)
+                    compile_cursor[0] = len(times)
 
         self.telemetry.add_collector(collect)
 

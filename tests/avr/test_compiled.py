@@ -1,0 +1,471 @@
+"""Unit coverage for the compiled superblock engine (:mod:`repro.avr.compiled`).
+
+The contract under test: exec-generated block bodies are *observably
+identical* to per-instruction retirement — identical flag algebra on
+randomized ALU programs, interrupts serviced at the exact same points,
+identical crashes with identical fault state, no stale compiled code
+after a flash write — while the codegen machinery itself (warm
+threshold, compile budget, cache eviction, liveness elision, trace-hook
+degradation) behaves as documented.
+"""
+
+import random
+
+import pytest
+
+from repro.avr import (
+    AvrCpu,
+    CompiledEngine,
+    CpuStateStream,
+    Instruction,
+    Mnemonic,
+    diff_state_streams,
+    encode,
+    encode_stream,
+)
+from repro.avr.blocks import WRITE_CAPABLE
+from repro.avr.compiled import SOURCE_TEMPLATES
+from repro.avr.engine import ENGINES, HANDLERS
+from repro.errors import CpuFault, IllegalExecutionError
+
+I = Instruction
+M = Mnemonic
+
+HOOK_ADDR = 0x0300  # an ordinary SRAM byte, hooked like a peripheral register
+
+
+def _cpu(program, engine="compiled", setup=None, warm=None):
+    cpu = AvrCpu(engine=engine)
+    cpu.load_program(encode_stream(program))
+    cpu.reset()
+    if warm is not None and isinstance(cpu.engine, CompiledEngine):
+        cpu.engine.WARM_THRESHOLD = warm
+    if setup:
+        setup(cpu)
+    return cpu
+
+
+def _state(cpu):
+    return (
+        cpu.pc,
+        cpu.data.sp,
+        cpu.sreg.byte,
+        cpu.cycles,
+        cpu.instructions_retired,
+        cpu.halted,
+        bytes(cpu.data.read_reg(r) for r in range(32)),
+    )
+
+
+def _hot_loop(body_len=6):
+    body = [I(M.INC, rd=16 + (i % 4)) for i in range(body_len)]
+    return body + [I(M.RJMP, k=-(body_len + 1))]
+
+
+# -- registry / template table -------------------------------------------
+
+
+def test_compiled_engine_registered_and_selectable():
+    assert ENGINES["compiled"] is CompiledEngine
+    cpu = AvrCpu(engine="compiled")
+    assert cpu.engine_name == "compiled"
+    assert isinstance(cpu.engine, CompiledEngine)
+
+
+def test_templates_cover_only_fusable_body_mnemonics():
+    # every template shadows a real handler, and no store/out/push ever
+    # gets a template — those must keep their hook-visible handler path
+    assert set(SOURCE_TEMPLATES) <= set(HANDLERS)
+    assert not (WRITE_CAPABLE & set(SOURCE_TEMPLATES))
+
+
+# -- warm threshold and compile budget ------------------------------------
+
+
+def test_blocks_compile_only_after_warm_threshold_entries():
+    cpu = _cpu(_hot_loop(6))  # default WARM_THRESHOLD == 2
+    engine = cpu.engine
+    cpu.run(7)  # first entry: cold, runs through the shared blocks path
+    assert engine.compiled_built == 0
+    assert engine.compiled_entered == 0
+    assert engine.blocks_entered == 1
+    cpu.run(7)  # second entry: compiles and runs the generated callable
+    assert engine.compiled_built == 1
+    assert engine.compiled_entered == 1
+    cpu.run(70)  # reused, never rebuilt
+    assert engine.compiled_built == 1
+    assert engine.compiled_entered == 11
+
+
+def test_zero_compile_budget_degrades_to_blocks_path_bit_exact():
+    reference = _cpu(_hot_loop(6), engine="interpreter")
+    subject = _cpu(_hot_loop(6), warm=1)
+    subject.engine.COMPILE_BUDGET_S = 0.0
+    assert reference.run(70) == subject.run(70) == 70
+    assert _state(subject) == _state(reference)
+    assert subject.engine.compiled_built == 0
+    assert subject.engine.compiled_entered == 0
+    assert subject.engine.blocks_entered == 10
+
+
+# -- generated source shape -----------------------------------------------
+
+
+def test_generated_source_folds_terminator_and_elides_dead_flags():
+    program = [
+        I(M.ADD, rd=16, rr=17),  # every flag overwritten before any read
+        I(M.ADD, rd=16, rr=17),  # H/C survive (inc only writes Z/N/V/S)
+        I(M.INC, rd=20),
+        I(M.RJMP, k=-4),
+    ]
+    cpu = _cpu(program, warm=1)
+    cpu.run(8)
+    [cb] = cpu.engine._compiled.values()
+    source = cb.source
+    assert cb.fn is not None
+    # inline terminator: jump target and retire count folded to constants,
+    # no handler call left in the body
+    assert "cpu.pc = 0" in source
+    assert "cpu.instructions_retired += 4" in source
+    assert "_ht" not in source
+    # liveness elision: only the second add's H/C and the inc's Z survive
+    assert source.count("fh =") == 1
+    assert source.count("fc =") == 1
+    assert source.count("fz =") == 1
+
+
+# -- randomized flag-algebra parity ---------------------------------------
+
+
+def _random_alu_program(rng, length=48):
+    program = []
+    for _ in range(length):
+        pick = rng.randrange(9)
+        if pick == 0:
+            program.append(I(M.LDI, rd=rng.randrange(16, 32), k=rng.randrange(256)))
+        elif pick == 1:
+            mnemonic = rng.choice([M.MOV, M.ADD, M.ADC, M.SUB, M.SBC, M.AND,
+                                   M.OR, M.EOR, M.CP, M.CPC, M.MUL])
+            program.append(I(mnemonic, rd=rng.randrange(32), rr=rng.randrange(32)))
+        elif pick == 2:
+            mnemonic = rng.choice([M.SUBI, M.SBCI, M.ANDI, M.ORI, M.CPI])
+            program.append(I(mnemonic, rd=rng.randrange(16, 32), k=rng.randrange(256)))
+        elif pick == 3:
+            mnemonic = rng.choice([M.INC, M.DEC, M.COM, M.NEG, M.LSR, M.ASR,
+                                   M.ROR, M.SWAP])
+            program.append(I(mnemonic, rd=rng.randrange(32)))
+        elif pick == 4:
+            mnemonic = rng.choice([M.ADIW, M.SBIW])
+            program.append(I(mnemonic, rd=rng.choice([24, 26, 28, 30]),
+                             k=rng.randrange(64)))
+        elif pick == 5:
+            mnemonic = rng.choice([M.BST, M.BLD])
+            program.append(I(mnemonic, rd=rng.randrange(32), b=rng.randrange(8)))
+        elif pick == 6:
+            program.append(I(rng.choice([M.BSET, M.BCLR]), b=rng.randrange(8)))
+        elif pick == 7:
+            program.append(I(M.MOVW, rd=rng.randrange(0, 32, 2),
+                             rr=rng.randrange(0, 32, 2)))
+        else:
+            program.append(I(M.NOP))
+    program.append(I(M.BREAK))
+    return program
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_alu_programs_retire_bit_exact(seed):
+    """The inlined flag formulas agree with the handlers on random mixes —
+    including blocks cut at the fuse cap (handler-call pseudo-terminator)."""
+    program = _random_alu_program(random.Random(seed))
+    reference = _cpu(program, engine="interpreter")
+    subject = _cpu(program, warm=1)
+    reference.run(1_000)
+    subject.run(1_000)
+    assert reference.halted and subject.halted
+    assert subject.engine.compiled_built > 0
+    assert _state(subject) == _state(reference)
+
+
+# -- interrupt latency ----------------------------------------------------
+
+
+def _interrupt_program():
+    """A store whose write hook latches vectors 3 then 2 mid-execution."""
+    return [
+        I(M.JMP, k=8),                    # vector 0 -> main
+        I(M.NOP), I(M.NOP),               # words 2-3 (vector slot padding)
+        I(M.LDI, rd=20, k=1),             # vector 2 handler (word 4)
+        I(M.RETI),
+        I(M.MOV, rd=21, rr=20),           # vector 3 handler (word 6)
+        I(M.RETI),
+        I(M.BSET, b=7),                   # main (word 8): sei
+        I(M.LDI, rd=26, k=HOOK_ADDR & 0xFF),
+        I(M.LDI, rd=27, k=HOOK_ADDR >> 8),
+        I(M.ST_X, rr=0),                  # hook latches both interrupts
+        I(M.INC, rd=16), I(M.INC, rd=16), I(M.INC, rd=16),
+        I(M.INC, rd=16), I(M.INC, rd=16), I(M.INC, rd=16),
+        I(M.BREAK),
+    ]
+
+
+def _arm_interrupt_hook(cpu):
+    def hook(address, value):
+        cpu.request_interrupt(3)
+        cpu.request_interrupt(2)
+        return None
+
+    cpu.data.add_write_hook(HOOK_ADDR, hook)
+
+
+def test_interrupt_latched_mid_compiled_block_serviced_with_priority():
+    states = {}
+    for engine in ("interpreter", "compiled"):
+        cpu = _cpu(_interrupt_program(), engine=engine,
+                   setup=_arm_interrupt_hook, warm=1)
+        cpu.run(100)
+        assert cpu.halted
+        assert cpu.interrupts_serviced == 2
+        # vector 2 (higher priority) serviced before vector 3: the copy in
+        # vector 3's handler saw the marker vector 2's handler loaded
+        assert cpu.data.read_reg(20) == 1
+        assert cpu.data.read_reg(21) == 1
+        states[engine] = _state(cpu)
+    # exact-latency: compiled execution serviced at the very same points
+    assert states["compiled"] == states["interpreter"]
+
+
+def test_sei_terminates_compiled_block_so_latency_stays_exact():
+    """sei is folded inline but still ends its block: a pending interrupt
+    is serviced at the first boundary after it, before any filler runs."""
+    program = [
+        I(M.JMP, k=8),
+        I(M.NOP), I(M.NOP),
+        I(M.LDI, rd=20, k=1),             # vector 2 handler
+        I(M.RETI),
+        I(M.NOP), I(M.NOP),
+        I(M.BSET, b=7),                   # main (word 8): sei
+        *[I(M.INC, rd=16) for _ in range(32)],
+        I(M.BREAK),
+    ]
+    cpu = _cpu(program, warm=1)
+    cpu.request_interrupt(2)
+    cpu.run(3)
+    assert cpu.interrupts_serviced == 1
+    assert cpu.data.read_reg(20) == 1
+
+
+# -- generation fence and cache eviction ----------------------------------
+
+
+def test_spm_write_mid_run_invalidates_compiled_blocks():
+    """A store hook rewrites an already-compiled instruction word; the
+    stale callable must never execute again (the reflash safety rule)."""
+    new_word = encode(I(M.LDI, rd=16, k=99))[0]
+    program = [
+        I(M.LDI, rd=26, k=HOOK_ADDR & 0xFF),   # word 0
+        I(M.LDI, rd=27, k=HOOK_ADDR >> 8),     # word 1
+        I(M.ST_X, rr=0),                       # word 2: hook may reflash
+        I(M.INC, rd=16),                       # word 3: the rewrite target
+        I(M.BREAK),                            # word 4
+    ]
+    states = {}
+    for engine in ("interpreter", "compiled"):
+        cpu = _cpu(program, engine=engine, warm=1)
+        armed = [False]
+
+        def hook(address, value, cpu=cpu, armed=armed):
+            if armed[0]:
+                cpu.flash.write_word(3, new_word)
+            return None
+
+        cpu.data.add_write_hook(HOOK_ADDR, hook)
+        # first pass, hook disarmed: compiles the block holding `inc r16`
+        cpu.run(100)
+        assert cpu.halted and cpu.data.read_reg(16) == 1
+        if engine == "compiled":
+            assert cpu.engine._compiled[3].fn is not None
+        # second pass: the store rewrites word 3 under the compiled block
+        armed[0] = True
+        cpu.reset()
+        cpu.run(100)
+        assert cpu.halted
+        # stale code would have executed `inc` (r16 == 2); the fence
+        # forces a recompile and the new `ldi r16, 99` runs instead
+        assert cpu.data.read_reg(16) == 99
+        states[engine] = _state(cpu)
+    assert states["compiled"] == states["interpreter"]
+
+
+def test_repeated_reflash_does_not_grow_the_compiled_cache():
+    """Every generation change evicts: N reflash cycles leave exactly the
+    live blocks compiled, never an accumulation of stale callables."""
+    cpu = _cpu(_hot_loop(6), warm=1)
+    engine = cpu.engine
+    for generation in range(8):
+        cpu.run(70)
+        assert len(engine._compiled) == 1  # one live block, nothing stale
+        # reflash word 0 in place (same instruction, new generation)
+        cpu.flash.write_word(0, encode(I(M.INC, rd=16))[0])
+        cpu.reset()
+    # each generation recompiled its block from scratch: eviction, not reuse
+    assert engine.compiled_built == 8
+    assert len(engine.compile_times_ms) == 8
+
+
+# -- misaligned entry (the ROP gadget property) ---------------------------
+
+
+def test_misaligned_entry_compiles_its_own_block():
+    raw = encode_stream([I(M.CALL, k=0), I(M.BREAK)])
+    states = {}
+    for engine in ("interpreter", "compiled"):
+        cpu = AvrCpu(engine=engine)
+        cpu.load_program(raw)
+        cpu.reset()
+        if engine == "compiled":
+            cpu.engine.WARM_THRESHOLD = 1
+        cpu.run(3)  # aligned: three recursive `call 0`s
+        assert cpu.instructions_retired == 3
+        cpu.pc = 1  # jump into the second word of the call
+        cpu.run(10)
+        assert cpu.halted
+        states[engine] = _state(cpu)
+    assert states["compiled"] == states["interpreter"]
+
+    cpu = _cpu([I(M.CALL, k=0), I(M.BREAK)], warm=1)
+    cpu.run(3)
+    cpu.pc = 1
+    cpu.run(10)
+    compiled = cpu.engine._compiled
+    assert compiled[0].count == 1        # [call] — control flow terminates
+    assert compiled[1].count == 2        # [nop, break] compiled from word 1
+    assert cpu.engine.compiled_built == 2
+
+
+# -- budget exactness -----------------------------------------------------
+
+
+def test_run_budget_is_exact_even_mid_compiled_block():
+    for budget in (1, 2, 6, 7, 13, 37):
+        reference = _cpu(_hot_loop(6), engine="interpreter")
+        subject = _cpu(_hot_loop(6), warm=1)
+        assert reference.run(budget) == budget
+        assert subject.run(budget) == budget
+        assert _state(subject) == _state(reference), budget
+
+
+# -- trace hooks degrade to exact per-instruction retirement --------------
+
+
+def test_trace_hooks_force_per_instruction_fallback():
+    reference = _cpu(_interrupt_program(), engine="interpreter",
+                     setup=_arm_interrupt_hook)
+    subject = _cpu(_interrupt_program(), engine="compiled",
+                   setup=_arm_interrupt_hook, warm=1)
+    ref_stream = CpuStateStream().attach(reference)
+    sub_stream = CpuStateStream().attach(subject)
+    reference.run(100)
+    subject.run(100)
+    assert subject.halted
+    divergence = diff_state_streams(ref_stream, sub_stream)
+    assert divergence is None, divergence
+    # neither the compiled nor the fused fast path ran under a hook
+    assert subject.engine.compiled_entered == 0
+    assert subject.engine.blocks_entered == 0
+
+
+def test_compilation_resumes_after_hooks_detach():
+    cpu = _cpu(_hot_loop(6), warm=1)
+    stream = CpuStateStream().attach(cpu)
+    cpu.run(14)
+    assert cpu.engine.compiled_built == 0
+    cpu.trace_hooks.remove(stream._on_retire)
+    cpu.run(14)
+    assert cpu.engine.compiled_built == 1
+    assert cpu.engine.compiled_entered > 0
+
+
+# -- crash parity ---------------------------------------------------------
+
+
+def test_out_of_image_and_undecodable_crash_parity():
+    for raw in (b"\xff\xff", encode_stream([I(M.NOP)])):
+        errors = []
+        for engine in ("interpreter", "compiled"):
+            cpu = AvrCpu(engine=engine)
+            cpu.load_program(raw)
+            cpu.reset()
+            with pytest.raises(IllegalExecutionError) as excinfo:
+                cpu.run(10)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+
+
+def test_mid_block_callout_fault_reconstructs_exact_state():
+    # `lds` reads out of the data space mid-body; the compiled callable
+    # raises through CompiledBodyFault and the engine must reconstruct the
+    # per-instruction fault address, cycle count and retire count exactly
+    program = [
+        I(M.LDI, rd=16, k=5),          # word 0
+        I(M.LDS, rd=17, k=0xBEEF),     # words 1-2: out-of-range read
+        I(M.INC, rd=16),
+        I(M.BREAK),
+    ]
+    faults = {}
+    for engine in ("interpreter", "compiled"):
+        cpu = _cpu(program, engine=engine, warm=1)
+        with pytest.raises(CpuFault) as excinfo:
+            cpu.run(10)
+        fault = excinfo.value
+        faults[engine] = (str(fault), fault.pc, fault.cycles,
+                          cpu.pc, cpu.cycles, cpu.instructions_retired)
+    assert faults["compiled"] == faults["interpreter"]
+    assert faults["compiled"][1] == 2  # byte address of the faulting lds
+
+
+def test_terminator_fault_reconstructs_exact_state():
+    # the block's terminator faults: st through X at an invalid address
+    program = [
+        I(M.LDI, rd=26, k=0xFF),
+        I(M.LDI, rd=27, k=0xFF),
+        I(M.ST_X, rr=0),
+    ]
+    faults = {}
+    for engine in ("interpreter", "compiled"):
+        cpu = _cpu(program, engine=engine, warm=1)
+        with pytest.raises(CpuFault) as excinfo:
+            cpu.run(10)
+        fault = excinfo.value
+        faults[engine] = (str(fault), fault.pc, fault.cycles,
+                          cpu.pc, cpu.cycles, cpu.instructions_retired)
+    assert faults["compiled"] == faults["interpreter"]
+
+
+# -- telemetry ------------------------------------------------------------
+
+
+def test_compiled_metrics_reach_the_telemetry_snapshot(testapp):
+    """avr.compiled.* gauges + the compile-time histogram are sampled
+    pull-style at snapshot time when the protected board runs compiled."""
+    from repro.core import MavrSystem
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry(enabled=True)
+    system = MavrSystem(testapp, seed=7, telemetry=tel, engine="compiled")
+    system.boot()
+    system.run(5)
+    engine = system.autopilot.cpu.engine
+    assert engine.compiled_built > 0
+
+    registry = tel.registry
+    registry.snapshot()  # collectors are pull-style: sample now
+    built = registry.value("avr.compiled.built", component="cpu")
+    entered = registry.value("avr.compiled.entered", component="cpu")
+    assert built == engine.compiled_built > 0
+    assert entered == engine.compiled_entered > built  # callables are reused
+    [histogram] = registry.find("avr.compiled.compile_ms", component="cpu")
+    assert histogram.count == engine.compiled_built
+    assert histogram.min > 0
+    # a second snapshot must not re-observe builds already folded in
+    registry.snapshot()
+    assert histogram.count == engine.compiled_built

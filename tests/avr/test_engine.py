@@ -48,7 +48,7 @@ def test_every_mnemonic_has_handler_and_cycle_cost():
 def test_unknown_engine_name_rejected():
     with pytest.raises(ValueError, match="unknown execution engine"):
         AvrCpu(engine="jit")
-    assert sorted(ENGINES) == ["blocks", "interpreter", "predecoded"]
+    assert sorted(ENGINES) == ["blocks", "compiled", "interpreter", "predecoded"]
 
 
 # -- flash generation counter -------------------------------------------

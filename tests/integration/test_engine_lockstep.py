@@ -1,18 +1,18 @@
-"""Differential tests: predecoded + block engines vs the reference
-interpreter on the paper's real scenarios.
+"""Differential tests: predecoded + block + compiled engines vs the
+reference interpreter on the paper's real scenarios.
 
 These are the acceptance gates of the execution-engine PRs: the V2
 stealthy attack and a full MAVR re-randomization boot must produce
-bit-for-bit identical PC/SP/SREG/cycle streams on all three engines,
+bit-for-bit identical PC/SP/SREG/cycle streams on all four engines,
 trace hooks must fire with identical ``(pc, insn)`` sequences, and after
 the master detects a crash and re-randomizes, the next ``run()`` must
 execute the *new* image (the stale-decode regression).
 
-The block engine is exercised twice per scenario: with a
-``CpuStateStream`` attached (which transparently degrades it to exact
+The block and compiled engines are exercised twice per scenario: with a
+``CpuStateStream`` attached (which transparently degrades them to exact
 per-instruction retirement — that path must stay bit-exact) and with no
-hooks at all (the fused fast path — end states and attack outcomes must
-still match the reference exactly).
+hooks at all (the fused/compiled fast paths — end states and attack
+outcomes must still match the reference exactly).
 """
 
 import random
@@ -27,7 +27,7 @@ from repro.core.preprocess import preprocess
 from repro.firmware import build_testapp
 from repro.uav import Autopilot, AutopilotStatus
 
-ENGINES = ("interpreter", "predecoded", "blocks")
+ENGINES = ("interpreter", "predecoded", "blocks", "compiled")
 REFERENCE = "interpreter"
 
 
@@ -154,12 +154,15 @@ def test_v2_attack_identical_outcome_on_fused_fast_path(image):
     outcomes = {}
     states = {}
     entered = {}
+    compiled_entered = {}
     for engine in ENGINES:
         uav = Autopilot(image, engine=engine)
         outcomes[engine] = StealthyAttack(image).execute(uav)
         states[engine] = _architectural_state(uav.cpu)
         entered[engine] = getattr(uav.cpu.engine, "blocks_entered", 0)
+        compiled_entered[engine] = getattr(uav.cpu.engine, "compiled_entered", 0)
     assert entered["blocks"] > 1_000  # the fused path genuinely ran
+    assert compiled_entered["compiled"] > 1_000  # ...and so did the compiled one
     for engine in ENGINES[1:]:
         assert outcomes[engine] == outcomes[REFERENCE], engine
         assert states[engine] == states[REFERENCE], engine
