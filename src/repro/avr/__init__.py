@@ -37,10 +37,12 @@ from .memory import (
     Eeprom,
     FlashMemory,
 )
+from .profile import AvrProfiler, PROFILE_MODES, table_for_symbols
 from .sreg import StatusRegister
 from .trace import (
     CpuStateStream,
     ExecutionTrace,
+    FlightRecorder,
     StackSnapshot,
     diff_state_streams,
     run_lockstep,
@@ -86,4 +88,8 @@ __all__ = [
     "ExecutionTrace",
     "StackSnapshot",
     "snapshot_stack",
+    "AvrProfiler",
+    "PROFILE_MODES",
+    "table_for_symbols",
+    "FlightRecorder",
 ]

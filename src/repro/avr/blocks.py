@@ -249,6 +249,9 @@ class BlockEngine(PredecodedEngine):
             raise CpuFault(str(exc), block.last_pc_bytes, cpu.cycles) from exc
         cpu.cycles += block.last_base_cycles
         cpu.instructions_retired += block.count
+        profile = self.profile_hook
+        if profile is not None:
+            profile[block] = profile.get(block, 0) + 1
 
     def run(self, max_instructions: int) -> int:
         """Retire whole superblocks; fall back per-instruction when needed."""
@@ -260,6 +263,7 @@ class BlockEngine(PredecodedEngine):
         build = self._build_block
         preamble = retire_preamble
         per_instruction = PredecodedEngine.run
+        profile = self.profile_hook
         executed = 0
         while not cpu.halted and executed < max_instructions:
             if cpu.trace_hooks:
@@ -299,4 +303,7 @@ class BlockEngine(PredecodedEngine):
             cpu.instructions_retired += count
             executed += count
             self.blocks_entered += 1
+            if profile is not None:
+                # inline upsert: a method call per block here is measurable
+                profile[block] = profile.get(block, 0) + 1
         return executed

@@ -839,6 +839,7 @@ class CompiledEngine(BlockEngine):
         compiled = self._compiled
         get_compiled = compiled.get
         per_instruction = PredecodedEngine.run
+        profile = self.profile_hook
         executed = 0
         entered = 0
         try:
@@ -886,6 +887,9 @@ class CompiledEngine(BlockEngine):
                     self._raise_compiled_fault(cb.block, fault)
                 executed += count
                 entered += 1
+                if profile is not None:
+                    block = cb.block
+                    profile[block] = profile.get(block, 0) + 1
         finally:
             self.compiled_entered += entered
         return executed

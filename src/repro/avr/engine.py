@@ -604,6 +604,14 @@ class PredecodedEngine:
         # ``instructions_retired - decode_misses`` — the hit path itself
         # stays untouched, which keeps telemetry off the hot loop.
         self.decode_misses = 0
+        # Block-granularity profiling sink (see repro.avr.profile): when
+        # set, it is a mutable mapping from Superblock to entry count;
+        # the superblock engines upsert it inline once per retired block
+        # (a dict operation, not a Python call, so the fast path stays
+        # fast).  It lives on the base class so AvrProfiler can probe
+        # for it uniformly; the per-instruction engines never touch it
+        # (exact mode uses cpu.trace_hooks instead).
+        self.profile_hook = None
 
     # -- cache maintenance ----------------------------------------------
 

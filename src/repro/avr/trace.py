@@ -107,6 +107,127 @@ class ExecutionTrace:
         return counts
 
 
+# -- flight recorder ------------------------------------------------------
+
+
+FLIGHT_RECORDER_SCHEMA = 1
+DEFAULT_RING_DEPTH = 256
+
+
+class FlightRecorder:
+    """Bounded ring of retired states plus a forensic-bundle builder.
+
+    Attach one to a core and it maintains the last ``depth`` retired
+    ``(pc, sp, sreg, cycles)`` states at trace-hook cost (the superblock
+    engines degrade to their per-instruction path while attached — this
+    is a forensics tool, not a profiler).  When a :class:`CpuFault` fires
+    or the master detects an attack, :meth:`bundle` freezes everything an
+    investigator needs into plain builtins: registers, a stack window,
+    the ring, a decoded disassembly of the fault neighbourhood, and the
+    most recent telemetry events.  ``repro forensics <bundle.json>``
+    renders the result.
+    """
+
+    def __init__(self, depth: int = DEFAULT_RING_DEPTH) -> None:
+        self.depth = depth
+        self.stream = CpuStateStream(max_entries=depth)
+        self._cpu: Optional[AvrCpu] = None
+
+    def attach(self, cpu: AvrCpu) -> "FlightRecorder":
+        self._cpu = cpu
+        self.stream.attach(cpu)
+        return self
+
+    @property
+    def states(self):
+        return self.stream.states
+
+    def bundle(
+        self,
+        reason: str,
+        kind: str = "manual",
+        symbols=None,
+        telemetry=None,
+        profiler=None,
+        fault_pc: Optional[int] = None,
+        stack_window: int = 48,
+        disasm_window: int = 32,
+        recent_events: int = 32,
+    ) -> dict:
+        """Freeze a JSON-ready forensic bundle from the current state.
+
+        ``fault_pc`` overrides the neighbourhood centre (byte address) —
+        on a :class:`~repro.errors.CpuFault` the core's PC may already
+        have moved past the faulting instruction, so callers should pass
+        ``fault.pc`` when they have it.
+        """
+        cpu = self._cpu
+        if cpu is None:
+            raise RuntimeError("flight recorder is not attached to a core")
+        pc_bytes = fault_pc if fault_pc is not None else cpu.pc_bytes
+        registers = [cpu.data.read_reg(i) for i in range(32)]
+        stack = snapshot_stack(cpu, f"forensic:{kind}", window=stack_window)
+        bundle = {
+            "schema": FLIGHT_RECORDER_SCHEMA,
+            "kind": kind,
+            "reason": reason,
+            "cpu": {
+                "pc_bytes": pc_bytes,
+                "sp": cpu.data.sp,
+                "sreg": cpu.sreg.byte,
+                "cycles": cpu.cycles,
+                "cycles_lifetime": cpu.cycles_lifetime,
+                "instructions_retired": cpu.instructions_retired,
+                "halted": cpu.halted,
+                "engine": cpu.engine_name,
+            },
+            "registers": registers,
+            "ring": [list(state) for state in self.stream.states],
+            "stack": {
+                "label": stack.label,
+                "sp": stack.sp,
+                "base_address": stack.base_address,
+                "data_hex": stack.data.hex(),
+                "cycle": stack.cycle,
+            },
+            "disassembly": self._disassemble_neighbourhood(
+                cpu, pc_bytes, disasm_window
+            ),
+        }
+        if symbols is not None:
+            containing = symbols.function_containing(pc_bytes)
+            bundle["function"] = containing.name if containing is not None else None
+        if telemetry is not None and telemetry.enabled:
+            bundle["events"] = telemetry.events.events()[-recent_events:]
+        if profiler is not None:
+            bundle["profile"] = {
+                "mode": profiler.mode,
+                "effective_mode": profiler.effective_mode,
+                "anomaly_count": profiler.anomaly_count,
+                "anomalies": list(profiler.anomalies),
+            }
+        return bundle
+
+    @staticmethod
+    def _disassemble_neighbourhood(
+        cpu: AvrCpu, pc_bytes: int, window: int
+    ) -> List[dict]:
+        """Best-effort decode of ± ``window`` bytes around ``pc_bytes``."""
+        from .decoder import disassemble_range
+
+        start = max(0, pc_bytes - window) & ~1
+        end = min(cpu.flash.size, pc_bytes + window)
+        code = cpu.flash.dump(0, end)
+        return [
+            {
+                "pc": offset,
+                "text": str(insn),
+                "current": offset == pc_bytes,
+            }
+            for offset, insn in disassemble_range(code, start, end)
+        ]
+
+
 # -- engine differential harness -----------------------------------------
 
 # One retired instruction's architecturally visible state:

@@ -94,6 +94,13 @@ class MasterProcessor:
         self._original: Optional[FirmwareImage] = None
         self.current_image: Optional[FirmwareImage] = None
         self.last_permutation: Optional[Permutation] = None
+        # Optional forensics wiring (see repro.avr.trace.FlightRecorder /
+        # repro.avr.profile.AvrProfiler): when a Board attaches them, a
+        # detection freezes a forensic bundle *before* recovery reboots
+        # the core and destroys the evidence.
+        self.flight_recorder = None
+        self.profiler = None
+        self.last_forensic_bundle: Optional[dict] = None
         self._register_cpu_collector()
 
     def _register_cpu_collector(self) -> None:
@@ -292,6 +299,18 @@ class MasterProcessor:
             )
             telemetry.emit("attack.detected", cause=cause, boots=self.stats.boots)
             self.stats.attacks_detected += 1
+            if self.flight_recorder is not None:
+                crash = self.autopilot.crash
+                self.last_forensic_bundle = self.flight_recorder.bundle(
+                    reason=f"attack detected ({cause})",
+                    kind="attack_detected",
+                    symbols=self.autopilot.debug_symbols,
+                    telemetry=telemetry,
+                    profiler=self.profiler,
+                    fault_pc=(
+                        crash.pc_bytes if crashed and crash is not None else None
+                    ),
+                )
             with telemetry.span("mavr.rerandomize", cause=cause):
                 self.boot(attack_detected=True)
             return True

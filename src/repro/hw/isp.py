@@ -29,6 +29,7 @@ next pass back to a full reprogram.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import List, Optional
 
 from ..errors import FlashWearError, HardwareError
@@ -103,6 +104,10 @@ class IspProgrammer:
         self._last_flash = None
         self._last_digests: Optional[List[bytes]] = None
         self._last_image_len = 0
+        # Host-side wall time spent inside program() — the "program" phase
+        # of the campaign phase breakdown.  Simulated time lives in
+        # stats.total_programming_ms; this is what the host actually paid.
+        self.host_program_s = 0.0
 
     def program(self, flash, image: bytes, force_full: bool = False) -> float:
         """Write ``image`` into ``flash`` (an :class:`~repro.avr.FlashMemory`).
@@ -124,6 +129,7 @@ class IspProgrammer:
                 f"application flash exhausted: {self.stats.programming_cycles} "
                 f"of {self.endurance} write cycles used"
             )
+        host_start = time.perf_counter()
         digests = _page_digests(image)
         changed = self._changed_pages(flash, image, digests, force_full)
         with self.telemetry.span("isp.program", image_bytes=len(image)) as span:
@@ -161,6 +167,7 @@ class IspProgrammer:
         self.stats.last_bytes_on_wire = wire
         if differential:
             self.stats.differential_passes += 1
+        self.host_program_s += time.perf_counter() - host_start
         return elapsed
 
     # -- the two programming strategies ---------------------------------

@@ -15,11 +15,19 @@ boards only through here.  See ``docs/SCENARIOS.md`` for the spec
 schema, the runner semantics and the determinism contract.
 """
 
-from .campaign import CampaignReport, CampaignRunner, aggregate_results
+from .campaign import (
+    CampaignReport,
+    CampaignRunner,
+    aggregate_phases,
+    aggregate_results,
+    deterministic_phases,
+)
 from .pool import PoolTaskError, map_indexed
 from .scenario import (
     ATTACK_VARIANTS,
+    PHASE_ORDER,
     Board,
+    PhaseRecorder,
     ScenarioResult,
     ScenarioSpec,
     derive_seed,
@@ -32,11 +40,15 @@ __all__ = [
     "Board",
     "CampaignReport",
     "CampaignRunner",
+    "PHASE_ORDER",
+    "PhaseRecorder",
     "PoolTaskError",
     "ScenarioResult",
     "ScenarioSpec",
+    "aggregate_phases",
     "aggregate_results",
     "derive_seed",
+    "deterministic_phases",
     "load_spec_image",
     "map_indexed",
     "run_scenario",

@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence
 
 from ..telemetry import Telemetry, jsonable
 from .pool import PoolTaskError, _TaskTimeout, call_with_timeout, in_worker, map_indexed
-from .scenario import ScenarioResult, ScenarioSpec, run_scenario
+from .scenario import PHASE_ORDER, ScenarioResult, ScenarioSpec, run_scenario
 
 
 def aggregate_results(results: Sequence[ScenarioResult]) -> dict:
@@ -58,6 +58,47 @@ def aggregate_results(results: Sequence[ScenarioResult]) -> dict:
     }
 
 
+def aggregate_phases(results: Sequence[ScenarioResult]) -> dict:
+    """Per-phase totals across a campaign, in lifecycle order.
+
+    ``sim_ms`` sums are deterministic (cycle counts and the ISP timing
+    model); ``host_ms`` sums are wall time and vary run to run.  Results
+    arrive in spec order at every ``jobs`` level, so the float additions
+    happen in the same order and the deterministic fields are
+    bit-identical between serial and parallel runs.
+    """
+    totals: dict = {}
+    for result in results:
+        for name, cell in result.phases.items():
+            agg = totals.setdefault(
+                name, {"scenarios": 0, "host_ms": 0.0, "sim_ms": 0.0}
+            )
+            agg["scenarios"] += 1
+            agg["host_ms"] += cell.get("host_ms", 0.0)
+            agg["sim_ms"] += cell.get("sim_ms", 0.0)
+    return {
+        name: {
+            "scenarios": totals[name]["scenarios"],
+            "host_ms": round(totals[name]["host_ms"], 3),
+            "sim_ms": round(totals[name]["sim_ms"], 6),
+        }
+        for name in PHASE_ORDER
+        if name in totals
+    }
+
+
+def deterministic_phases(phases: dict) -> dict:
+    """The phase breakdown minus its wall-clock fields.
+
+    What the JSONL sink (and any byte-identity comparison between
+    runners) may carry: scenario counts and simulated milliseconds only.
+    """
+    return {
+        name: {"scenarios": cell["scenarios"], "sim_ms": cell["sim_ms"]}
+        for name, cell in phases.items()
+    }
+
+
 @dataclass
 class CampaignReport:
     """Everything one campaign produced, results in spec order."""
@@ -65,6 +106,9 @@ class CampaignReport:
     results: List[ScenarioResult]
     aggregates: dict
     merged_snapshot: Optional[dict] = None
+    # per-phase breakdown from aggregate_phases(); sim_ms fields are
+    # deterministic, host_ms fields are wall time
+    phases: dict = field(default_factory=dict)
     # non-deterministic diagnostics (wall time, retry counts); kept out of
     # the JSONL records so those stay bit-identical across runs
     runner: dict = field(default_factory=dict)
@@ -127,20 +171,39 @@ class CampaignRunner:
         timeout_s: Optional[float] = None,
         jsonl_path=None,
         retry_worker_death: bool = True,
+        progress=None,
     ) -> None:
         self.jobs = jobs
         self.timeout_s = timeout_s
         self.jsonl_path = jsonl_path
         self.retry_worker_death = retry_worker_death
+        # progress(done, total, index, outcome) — called in the parent as
+        # each scenario's final result lands (live campaign progress)
+        self.progress = progress
 
     def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
         specs = list(specs)
         started = time.perf_counter()
+        on_result = None
+        if self.progress is not None:
+            total = len(specs)
+            done = [0]
+            progress = self.progress
+
+            def on_result(index: int, item) -> None:
+                done[0] += 1
+                outcome = (
+                    item.outcome
+                    if isinstance(item, ScenarioResult) else item.kind
+                )
+                progress(done[0], total, index, outcome)
+
         raw = map_indexed(
             _campaign_worker,
             [(index, spec, self.timeout_s) for index, spec in enumerate(specs)],
             jobs=self.jobs,
             retry_worker_death=self.retry_worker_death,
+            on_result=on_result,
         )
         results: List[ScenarioResult] = []
         worker_deaths = 0
@@ -162,6 +225,7 @@ class CampaignRunner:
             results=results,
             aggregates=aggregate_results(results),
             merged_snapshot=Telemetry.merge(snapshots) if snapshots else None,
+            phases=aggregate_phases(results),
             runner={
                 "jobs": self.jobs,
                 "wall_s": time.perf_counter() - started,
@@ -177,9 +241,10 @@ class CampaignRunner:
         """One record per spec, in spec order, plus a trailing aggregate.
 
         Records are deterministic functions of their specs; the trailing
-        ``campaign.aggregates`` line carries only deterministic sums, so
-        the whole file is bit-identical between serial and parallel runs
-        of the same spec list.
+        ``campaign.aggregates`` and ``campaign.phases`` lines carry only
+        deterministic sums (the phase line strips its wall-clock fields),
+        so the whole file is bit-identical between serial and parallel
+        runs of the same spec list.
         """
         with open(self.jsonl_path, "w", encoding="utf-8") as handle:
             for record in report.records():
@@ -189,6 +254,17 @@ class CampaignRunner:
             handle.write(
                 json.dumps(
                     {"campaign.aggregates": jsonable(report.aggregates)},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            handle.write(
+                json.dumps(
+                    {
+                        "campaign.phases": jsonable(
+                            deterministic_phases(report.phases)
+                        )
+                    },
                     separators=(",", ":"),
                 )
                 + "\n"

@@ -86,25 +86,50 @@ def map_indexed(
     payloads: Sequence,
     jobs: int = 1,
     retry_worker_death: bool = True,
+    on_result: Optional[Callable[[int, object], None]] = None,
 ) -> List[object]:
     """Ordered fan-out; every slot is a result or a :class:`PoolTaskError`.
 
     ``worker`` must be a module-level callable (picklable by reference)
     taking one payload.  Results come back in payload order.
+
+    ``on_result(index, result)`` is invoked in the *parent* process as
+    each payload's final result lands (progress reporting).  Worker-death
+    placeholders that will be retried are not reported until the retry
+    resolves, so every index is reported exactly once.  The callback is
+    observational only — it must not mutate the result.
     """
     payloads = list(payloads)
     if jobs <= 1 or len(payloads) <= 1:
-        return [_run_inline(worker, payload, i) for i, payload in enumerate(payloads)]
+        results = []
+        for index, payload in enumerate(payloads):
+            result = _run_inline(worker, payload, index)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
 
     results: List[object] = [None] * len(payloads)
-    pending = _run_pool(worker, payloads, range(len(payloads)), jobs, results)
+    pending = _run_pool(
+        worker, payloads, range(len(payloads)), jobs, results,
+        on_result=on_result, defer_dead=True,
+    )
     if pending and retry_worker_death:
         # one fresh pool, one retry per dead task
-        still_dead = _run_pool(worker, payloads, pending, jobs, results)
+        still_dead = _run_pool(
+            worker, payloads, pending, jobs, results, defer_dead=True
+        )
         for index in still_dead:
             error = results[index]
             if isinstance(error, PoolTaskError):
                 error.retried = True
+        if on_result is not None:
+            for index in pending:
+                on_result(index, results[index])
+    elif pending and on_result is not None:
+        # retries disabled: the deaths are final, report them now
+        for index in pending:
+            on_result(index, results[index])
     return results
 
 
@@ -121,9 +146,13 @@ def _run_pool(
     indices,
     jobs: int,
     results: List[object],
+    on_result: Optional[Callable[[int, object], None]] = None,
+    defer_dead: bool = False,
 ) -> List[int]:
     """Run the given payload indices; fill ``results``; return the indices
-    whose worker died (candidates for retry)."""
+    whose worker died (candidates for retry).  ``on_result`` fires per
+    finished index; dead indices are skipped when ``defer_dead`` (the
+    caller will report them after the retry pass)."""
     dead: List[int] = []
     executor = ProcessPoolExecutor(
         max_workers=min(jobs, max(len(list(indices)), 1)),
@@ -134,6 +163,7 @@ def _run_pool(
             index: executor.submit(worker, payloads[index]) for index in indices
         }
         for index, future in futures.items():
+            died = False
             try:
                 results[index] = future.result()
             except BrokenProcessPool:
@@ -142,10 +172,13 @@ def _run_pool(
                     message="worker process died before returning a result",
                 )
                 dead.append(index)
+                died = True
             except Exception as exc:
                 results[index] = PoolTaskError(
                     index=index, kind="exception", message=repr(exc)
                 )
+            if on_result is not None and not (died and defer_dead):
+                on_result(index, results[index])
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
     return dead

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import hashlib
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..avr.engine import DEFAULT_ENGINE
+from ..avr.profile import PROFILE_MODES
 from ..binfmt.image import FirmwareImage
 from ..core.defenses import DEFENSE_BACKENDS
 from ..telemetry import Telemetry, jsonable
@@ -93,6 +95,8 @@ class ScenarioSpec:
     # -- faults and observability ----------------------------------------
     fault: Optional[str] = None      # "wild_jump" | "silence"
     telemetry: bool = False
+    profile: Optional[str] = None    # PC profiler mode, or None (off)
+    flight_recorder: bool = False    # ring-buffer forensics on the core
     label: str = ""
     # test-only: path of a marker file; a campaign *worker* seeing no
     # marker creates it and dies hard (simulating a worker crash), the
@@ -113,6 +117,11 @@ class ScenarioSpec:
             )
         if self.fault not in (None, "wild_jump", "silence"):
             raise ValueError(f"unknown fault {self.fault!r}")
+        if self.profile is not None and self.profile not in PROFILE_MODES:
+            raise ValueError(
+                f"unknown profile mode {self.profile!r}; "
+                f"expected one of {PROFILE_MODES}"
+            )
         if self.attack == "oracle" and self.protected:
             raise ValueError("the oracle attacker targets an unprotected board")
 
@@ -152,6 +161,66 @@ def load_spec_image(spec: ScenarioSpec) -> FirmwareImage:
     return build_app(
         manifest_by_name(spec.app), options, vulnerable=spec.vulnerable
     )
+
+
+#: lifecycle phases, in execution order — the keys of every phase breakdown
+PHASE_ORDER = (
+    "build", "preprocess", "program", "boot", "warmup", "attack", "run"
+)
+
+
+class PhaseRecorder:
+    """Dual-clock attribution of one scenario's lifecycle phases.
+
+    ``host_ms`` is wall time the worker actually paid (nondeterministic:
+    it depends on the machine and the process mix, so it never enters a
+    JSONL record field that must be byte-identical across runners);
+    ``sim_ms`` is simulated time (deterministic: cycle counts and the ISP
+    timing model are pure functions of the spec).  Aggregated across a
+    campaign this is the measurement that says *which* phase swamps the
+    workers — the attribution the parallel-speedup work is blocked on.
+    """
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, List[float]] = {}  # name -> [host_s, sim_ms]
+
+    def record(self, name: str, host_s: float, sim_ms: float = 0.0) -> None:
+        cell = self.phases.get(name)
+        if cell is None:
+            self.phases[name] = [host_s, sim_ms]
+        else:
+            cell[0] += host_s
+            cell[1] += sim_ms
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready breakdown in :data:`PHASE_ORDER` order."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in PHASE_ORDER:
+            cell = self.phases.get(name)
+            if cell is None:
+                continue
+            out[name] = {
+                "host_ms": round(cell[0] * 1000.0, 3),
+                "sim_ms": round(cell[1], 6),
+            }
+        return out
+
+    def emit_spans(self, telemetry: Telemetry) -> None:
+        """Publish the breakdown as ``scenario.phase`` marker spans.
+
+        The measured values ride as span attrs (the span's own duration
+        is ~0 — the phases were timed externally), so they travel through
+        ``Telemetry.merge`` back to the campaign parent like any other
+        worker span.
+        """
+        if not telemetry.enabled:
+            return
+        for name, cell in self.snapshot().items():
+            with telemetry.span(
+                "scenario.phase", phase=name,
+                host_ms=cell["host_ms"], sim_ms=cell["sim_ms"],
+            ):
+                pass
 
 
 class Board:
@@ -202,8 +271,62 @@ class Board:
         else:
             self.system = None
             self.autopilot = Autopilot(self.image, engine=spec.engine)
+        self.profiler = None
+        self.recorder = None
 
     # -- lifecycle --------------------------------------------------------
+
+    def attach_observers(self) -> None:
+        """Attach the spec's profiler / flight recorder to the live core.
+
+        Called after the first boot so function attribution uses the
+        *running* (possibly randomized) layout's symbols.  The hooks live
+        on the CPU object, which persists across reflashes — but a mid-run
+        re-randomization does shift the layout out from under the
+        profiler's function table (documented caveat in
+        docs/OBSERVABILITY.md).
+        """
+        from ..avr.profile import AvrProfiler
+        from ..avr.trace import FlightRecorder
+
+        spec = self.spec
+        cpu = self.autopilot.cpu
+        if spec.profile is not None and self.profiler is None:
+            self.profiler = AvrProfiler(
+                mode=spec.profile,
+                symbols=self.autopilot.debug_symbols,
+                telemetry=self.telemetry,
+            ).attach(cpu, cpu.engine)
+            if self.system is not None:
+                self.system.master.profiler = self.profiler
+        if spec.flight_recorder and self.recorder is None:
+            self.recorder = FlightRecorder().attach(cpu)
+            if self.system is not None:
+                self.system.master.flight_recorder = self.recorder
+
+    def forensic_bundle(
+        self, reason: str, kind: str = "manual", fault_pc: Optional[int] = None
+    ) -> Optional[dict]:
+        """The forensic bundle for this board, or ``None`` (no recorder).
+
+        Prefers the bundle the master froze at detection time (captured
+        *before* recovery rebooted the core) over a fresh post-run one.
+        """
+        if self.recorder is None:
+            return None
+        if (
+            self.system is not None
+            and self.system.master.last_forensic_bundle is not None
+        ):
+            return self.system.master.last_forensic_bundle
+        return self.recorder.bundle(
+            reason,
+            kind=kind,
+            symbols=self.autopilot.debug_symbols,
+            telemetry=self.telemetry,
+            profiler=self.profiler,
+            fault_pc=fault_pc,
+        )
 
     def boot(self) -> float:
         """Power on; returns the startup overhead in ms (0 when bare)."""
@@ -280,8 +403,14 @@ class ScenarioResult:
     randomizations: int = 0
     attacks_detected: int = 0
     startup_overhead_ms: float = 0.0
+    profile_anomalies: int = 0
     events: List[dict] = field(default_factory=list)
     snapshot: Optional[dict] = None
+    # per-phase time breakdown; host_ms values are wall-clock and thus
+    # excluded (with profile/forensics) from the deterministic record
+    phases: Dict[str, dict] = field(default_factory=dict)
+    profile: Optional[dict] = None
+    forensics: Optional[dict] = None
     error: Optional[str] = None
 
     @property
@@ -307,6 +436,7 @@ class ScenarioResult:
             "boots": self.boots,
             "randomizations": self.randomizations,
             "attacks_detected": self.attacks_detected,
+            "profile_anomalies": self.profile_anomalies,
             "error": self.error,
         }
         return record
@@ -339,16 +469,61 @@ def run_scenario(
     or inject the fault, then fly ``observe_ticks`` with the master
     watching every ``watch_every`` ticks, and read the outcome off the
     board.
+
+    Every lifecycle phase is timed into a :class:`PhaseRecorder`
+    (host wall time + deterministic simulated time); the breakdown rides
+    ``ScenarioResult.phases`` and, when telemetry is enabled, also merges
+    back to campaign parents as ``scenario.phase`` spans.
     """
+    host = time.perf_counter
+    phases = PhaseRecorder()
+
+    start = host()
+    load_spec_image(spec)  # "build": toolchain build / HEX decode (cached)
+    phases.record("build", host() - start)
+
+    start = host()
     board, base = _build_board(spec, telemetry)
+    phases.record("preprocess", host() - start)
+
+    cpu = board.autopilot.cpu
+    isp = board.system.master.isp if board.system is not None else None
+    ms_per_cycle = 1000.0 / cpu.clock_hz
+
+    def cpu_total() -> int:
+        return cpu.cycles_lifetime + cpu.cycles
+
+    program_host = isp.host_program_s if isp is not None else 0.0
+    program_sim = isp.stats.total_programming_ms if isp is not None else 0.0
+    start = host()
     overhead_ms = board.boot()
+    boot_host = host() - start
+    if isp is not None:
+        program_host = isp.host_program_s - program_host
+        program_sim = isp.stats.total_programming_ms - program_sim
+    else:
+        program_host = program_sim = 0.0
+    phases.record("program", program_host, program_sim)
+    phases.record(
+        "boot", max(boot_host - program_host, 0.0),
+        max(overhead_ms - program_sim, 0.0),
+    )
+    board.attach_observers()
+
+    cycles = cpu_total()
+    start = host()
     board.run(spec.warmup_ticks)
+    phases.record(
+        "warmup", host() - start, (cpu_total() - cycles) * ms_per_cycle
+    )
     baseline = board.read_target()
     detections_before = _detections(board)
 
     delivered = 0
     attack_outcome = None
     observe_done = False
+    cycles = cpu_total()
+    start = host()
     if spec.attack in ("v1", "v2", "v3"):
         attack_outcome = _run_variant_attack(spec, board, base)
         delivered = attack_outcome.delivered_bytes
@@ -361,9 +536,18 @@ def run_scenario(
     elif spec.attack == "oracle":
         attack_outcome = _run_oracle_attack(spec, board, base)
         observe_done = True
+    if spec.attack is not None:
+        phases.record(
+            "attack", host() - start, (cpu_total() - cycles) * ms_per_cycle
+        )
     board.inject_fault()
+    cycles = cpu_total()
+    start = host()
     if not observe_done:
         board.run(spec.observe_ticks, spec.watch_every)
+    phases.record(
+        "run", host() - start, (cpu_total() - cycles) * ms_per_cycle
+    )
 
     status = board.autopilot.status.value
     effect = board.read_target() != baseline
@@ -400,6 +584,27 @@ def run_scenario(
         attacks_detected=report.attacks_detected if report else 0,
         startup_overhead_ms=overhead_ms,
     )
+    result.phases = phases.snapshot()
+    if board.profiler is not None:
+        result.profile = board.profiler.snapshot()
+        result.profile_anomalies = board.profiler.anomaly_count
+    if board.recorder is not None and (
+        crash is not None or detected or result.profile_anomalies
+    ):
+        kind = (
+            "cpu_fault" if crash is not None
+            else "attack_detected" if detected
+            else "profile_anomaly"
+        )
+        reason = (
+            crash["reason"] if crash is not None
+            else f"outcome {result.outcome}"
+        )
+        result.forensics = board.forensic_bundle(
+            reason, kind=kind,
+            fault_pc=crash["pc_bytes"] if crash is not None else None,
+        )
+    phases.emit_spans(board.telemetry)
     if board.telemetry.enabled:
         result.events = board.telemetry.events.events()
         result.snapshot = board.telemetry.snapshot()

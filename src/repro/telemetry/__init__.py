@@ -16,6 +16,14 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profiler import (
+    FunctionTable,
+    PROFILE_SCHEMA,
+    build_report,
+    collapsed_stack_lines,
+    format_profile_table,
+    merge_reports,
+)
 from .tracing import Span, Tracer
 from .views import CounterField, GaugeField, StatsView
 
@@ -24,10 +32,16 @@ __all__ = [
     "CounterField",
     "DEFAULT_BUCKETS_MS",
     "EventLog",
+    "FunctionTable",
     "Gauge",
     "GaugeField",
     "Histogram",
     "MetricsRegistry",
+    "PROFILE_SCHEMA",
+    "build_report",
+    "collapsed_stack_lines",
+    "format_profile_table",
+    "merge_reports",
     "SCHEMA_VERSION",
     "Span",
     "StatsView",

@@ -1,0 +1,232 @@
+"""Profile data model: PC-sample attribution, reports, collapsed stacks.
+
+This module is the *presentation* half of the PC profiler: it knows how
+to turn raw per-address samples — ``{pc_bytes: [hits, cycles]}`` — into
+per-function self-cycle tables, hot-address listings and flamegraph-
+compatible collapsed-stack text.  It is dependency-free (like the rest
+of :mod:`repro.telemetry`): the function layout arrives as plain
+``(name, start, end)`` triples, so the sampling half
+(:mod:`repro.avr.profile`) owns the only import of :mod:`repro.binfmt`.
+
+Pseudo-regions cover addresses outside any known function:
+
+* ``[fixed]``    — the vectors+init region below ``text_start`` (interrupt
+  vectors, init stubs, trampolines);
+* ``[unmapped]`` — anything else (erased flash, data constants executed
+  as code — usually the signature of a crash or an attack).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+PROFILE_SCHEMA = 1
+
+FIXED_REGION = "[fixed]"
+UNMAPPED_REGION = "[unmapped]"
+
+
+@dataclass(frozen=True)
+class Region:
+    """One attributable address range (a function or a pseudo-region)."""
+
+    name: str
+    start: int
+    end: int
+
+    def contains(self, pc_bytes: int) -> bool:
+        return self.start <= pc_bytes < self.end
+
+
+class FunctionTable:
+    """Sorted function regions with binary-search PC attribution.
+
+    Built once per profiled image from ``(name, start, end)`` triples
+    (see :meth:`repro.avr.profile.AvrProfiler.use_image`); ``resolve``
+    is the per-sample lookup, so it keeps a one-entry cache — consecutive
+    retires overwhelmingly land in the same function.
+    """
+
+    def __init__(
+        self,
+        regions: Iterable[Tuple[str, int, int]],
+        text_start: int = 0,
+        text_end: Optional[int] = None,
+    ) -> None:
+        ordered = sorted(regions, key=lambda r: r[1])
+        self._regions: List[Region] = [
+            Region(name, start, end) for name, start, end in ordered
+        ]
+        self._starts: List[int] = [r.start for r in self._regions]
+        self.text_start = text_start
+        self.text_end = text_end
+        self._fixed = Region(FIXED_REGION, 0, text_start)
+        self._last: Optional[Region] = None
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def functions(self) -> List[Region]:
+        return list(self._regions)
+
+    def resolve(self, pc_bytes: int) -> Region:
+        """The region containing ``pc_bytes`` (never ``None``)."""
+        last = self._last
+        if last is not None and last.contains(pc_bytes):
+            return last
+        index = bisect_right(self._starts, pc_bytes) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if region.contains(pc_bytes):
+                self._last = region
+                return region
+        if pc_bytes < self.text_start:
+            return self._fixed
+        return Region(UNMAPPED_REGION, pc_bytes, pc_bytes + 2)
+
+
+# -- report assembly ------------------------------------------------------
+
+
+def build_report(
+    samples: Dict[int, List[int]],
+    table: Optional[FunctionTable],
+    mode: str = "exact",
+    top_addresses: int = 20,
+) -> dict:
+    """Fold raw ``{pc: [hits, cycles]}`` samples into a profile report.
+
+    The report is JSON-ready and deterministic: functions sort by
+    descending self-cycles (name-tiebroken), hot addresses by descending
+    hit count then address.
+    """
+    per_function: Dict[str, List[int]] = {}
+    entries: Dict[str, int] = {}
+    total_hits = 0
+    total_cycles = 0
+    rows = []
+    for pc, (hits, cycles) in samples.items():
+        region = table.resolve(pc) if table is not None else Region(
+            UNMAPPED_REGION, pc, pc + 2
+        )
+        cell = per_function.get(region.name)
+        if cell is None:
+            per_function[region.name] = [hits, cycles]
+            entries[region.name] = region.start
+        else:
+            cell[0] += hits
+            cell[1] += cycles
+        total_hits += hits
+        total_cycles += cycles
+        rows.append((pc, hits, cycles, region.name, pc - region.start))
+
+    functions = [
+        {
+            "name": name,
+            "start": entries[name],
+            "hits": hits,
+            "self_cycles": cycles,
+            "share_pct": round(100.0 * cycles / total_cycles, 2)
+            if total_cycles else 0.0,
+        }
+        for name, (hits, cycles) in per_function.items()
+    ]
+    functions.sort(key=lambda f: (-f["self_cycles"], f["name"]))
+
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    hot = [
+        {
+            "pc": pc,
+            "hits": hits,
+            "cycles": cycles,
+            "function": name,
+            "offset": offset,
+        }
+        for pc, hits, cycles, name, offset in rows[:top_addresses]
+    ]
+    return {
+        "schema": PROFILE_SCHEMA,
+        "mode": mode,
+        "total_hits": total_hits,
+        "total_cycles": total_cycles,
+        "functions": functions,
+        "hot_addresses": hot,
+    }
+
+
+def merge_reports(reports: Sequence[dict]) -> dict:
+    """Fold several :func:`build_report` dicts (e.g. one per worker)."""
+    reports = [r for r in reports if r]
+    if not reports:
+        return build_report({}, None)
+    per_function: Dict[str, dict] = {}
+    hot: Dict[int, dict] = {}
+    total_hits = 0
+    total_cycles = 0
+    for report in reports:
+        total_hits += report.get("total_hits", 0)
+        total_cycles += report.get("total_cycles", 0)
+        for row in report.get("functions", ()):
+            into = per_function.get(row["name"])
+            if into is None:
+                per_function[row["name"]] = dict(row)
+            else:
+                into["hits"] += row["hits"]
+                into["self_cycles"] += row["self_cycles"]
+        for row in report.get("hot_addresses", ()):
+            into = hot.get(row["pc"])
+            if into is None:
+                hot[row["pc"]] = dict(row)
+            else:
+                into["hits"] += row["hits"]
+                into["cycles"] += row["cycles"]
+    functions = list(per_function.values())
+    for row in functions:
+        row["share_pct"] = round(
+            100.0 * row["self_cycles"] / total_cycles, 2
+        ) if total_cycles else 0.0
+    functions.sort(key=lambda f: (-f["self_cycles"], f["name"]))
+    addresses = sorted(hot.values(), key=lambda r: (-r["hits"], r["pc"]))
+    return {
+        "schema": PROFILE_SCHEMA,
+        "mode": "merged",
+        "total_hits": total_hits,
+        "total_cycles": total_cycles,
+        "functions": functions,
+        "hot_addresses": addresses[:20],
+    }
+
+
+# -- collapsed stacks (flamegraph wire format) ----------------------------
+
+
+def collapsed_stack_lines(collapsed: Dict[Tuple[str, ...], int]) -> List[str]:
+    """``a;b;c <cycles>`` lines, the format ``flamegraph.pl``/speedscope eat.
+
+    Sorted by chain for deterministic output.
+    """
+    return [
+        ";".join(chain) + f" {cycles}"
+        for chain, cycles in sorted(collapsed.items())
+        if cycles > 0
+    ]
+
+
+def format_profile_table(report: dict, top: int = 15) -> str:
+    """Human-readable per-function table for the CLI."""
+    lines = [
+        f"mode: {report['mode']}   samples: {report['total_hits']}   "
+        f"cycles: {report['total_cycles']}",
+        f"{'function':<32} {'self-cycles':>12} {'hits':>10} {'share':>7}",
+    ]
+    for row in report["functions"][:top]:
+        lines.append(
+            f"{row['name']:<32} {row['self_cycles']:>12} "
+            f"{row['hits']:>10} {row['share_pct']:>6.2f}%"
+        )
+    remaining = len(report["functions"]) - top
+    if remaining > 0:
+        lines.append(f"... and {remaining} more functions")
+    return "\n".join(lines)

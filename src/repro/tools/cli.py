@@ -16,9 +16,16 @@ Commands mirror the workflows a user of the original system would have:
   {mavr,daedalus,ctomp}`` to pick the mitigation backend protecting the
   board (``docs/DEFENSES.md``); the default is the paper's ``mavr``.
 * ``campaign`` — fan N attack scenarios over a process pool and print the
-  aggregate outcome table (or ``--json`` / ``--jsonl``).
+  aggregate outcome table (or ``--json`` / ``--jsonl``); ``--progress``
+  streams live per-scenario completion lines to stderr.
 * ``telemetry``— boot a protected board, force a crash/recovery cycle,
-  and dump the metrics/span/event snapshot.
+  and dump the metrics/span/event snapshot; ``--profile`` /
+  ``--flight-recorder`` fold the profiler and forensic views in.
+* ``profile``  — run an application under the PC profiler and print the
+  per-function self-cycle table (``--collapsed`` writes flamegraph
+  input, ``--mode heatmap`` adds control-flow anomaly detection).
+* ``forensics``— render a forensic bundle JSON (written by ``attack
+  --forensics`` or frozen by the master at detection time) for humans.
 
 Board construction goes exclusively through :mod:`repro.sim` — the CLI
 never wires an ``Autopilot``/``MavrSystem`` by hand.  ``info`` and
@@ -38,6 +45,7 @@ from ..asm import disassemble_image
 from ..asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
 from ..attack import GadgetFinder
 from ..avr.engine import DEFAULT_ENGINE, ENGINES
+from ..avr.profile import PROFILE_MODES
 from ..core.defenses import DEFENSE_BACKENDS
 from ..firmware import build_app, manifest_by_name
 from ..sim import (
@@ -190,6 +198,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         observe_ticks=150 if args.protected else 30,
         watch_every=5,
         telemetry=bool(args.telemetry),
+        # the forensic bundle wants the gadget heatmap's anomaly records
+        profile="heatmap" if args.forensics else None,
+        flight_recorder=bool(args.forensics),
     )
     telemetry = None
     if args.telemetry:
@@ -214,6 +225,19 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         ]
     if snapshot_path is not None:
         rows += [("event log", args.telemetry), ("snapshot", snapshot_path)]
+    if args.forensics:
+        rows.append(("profile anomalies", str(result.profile_anomalies)))
+        if result.forensics is not None:
+            from ..telemetry import jsonable
+
+            with open(args.forensics, "w", encoding="utf-8") as handle:
+                json.dump(jsonable(result.forensics), handle, indent=2)
+                handle.write("\n")
+            rows.append(("forensic bundle", args.forensics))
+        else:
+            rows.append(
+                ("forensic bundle", "not triggered (no fault/detection/anomaly)")
+            )
     board_kind = f"{args.defense}-protected" if args.protected else "unprotected"
     print(format_table(
         ("field", "value"), rows,
@@ -281,8 +305,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         for index in range(args.count)
     ]
+    progress = None
+    if args.progress:
+        labels = [spec.label for spec in specs]
+
+        def progress(done: int, total: int, index: int, outcome: str) -> None:
+            print(f"[{done}/{total}] {labels[index]} {outcome}",
+                  file=sys.stderr, flush=True)
+
     runner = CampaignRunner(
-        jobs=args.jobs, timeout_s=args.timeout, jsonl_path=args.jsonl
+        jobs=args.jobs, timeout_s=args.timeout, jsonl_path=args.jsonl,
+        progress=progress,
     )
     report = runner.run(specs)
     aggregates = report.aggregates
@@ -294,6 +327,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "attack": args.attack,
             "seed": args.seed,
             "aggregates": aggregates,
+            "phases": report.phases,
             "runner": report.runner,
         }), indent=2))
     else:
@@ -301,6 +335,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 if key != "by_outcome"]
         rows += [(f"outcome[{name}]", str(count))
                  for name, count in aggregates["by_outcome"].items()]
+        rows += [
+            (f"phase[{name}]",
+             f"{cell['sim_ms']:.1f} sim-ms / {cell['host_ms']:.0f} host-ms "
+             f"({cell['scenarios']} scenarios)")
+            for name, cell in report.phases.items()
+        ]
         print(format_table(
             ("field", "value"), rows,
             title=f"{args.attack} campaign vs {args.defense}-protected {args.app} "
@@ -374,6 +414,22 @@ def _report_data(full: bool) -> dict:
         "campaign_detections": campaign.detections,
         "uav_survived_campaign": campaign.still_flying,
     }
+
+    # where a small reference campaign spends its simulated time, phase
+    # by phase (deterministic fields only — see docs/SCENARIOS.md)
+    from ..sim import deterministic_phases
+
+    phase_report = CampaignRunner(jobs=1).run([
+        ScenarioSpec(
+            app="testapp",
+            seed=derive_seed(1, index, "board"),
+            attack="v2",
+            attack_seed=derive_seed(1, index, "attack"),
+            label=f"v2-{index}",
+        )
+        for index in range(2)
+    ])
+    data["campaign_phases"] = deterministic_phases(phase_report.phases)
     return data
 
 
@@ -470,15 +526,24 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         watch_every=5,
         fault="wild_jump",
         telemetry=True,
+        profile=args.profile,
+        flight_recorder=args.flight_recorder,
     )
     tel = Telemetry(enabled=True, jsonl_path=args.jsonl)
     try:
         board = Board(spec, telemetry=tel)
         board.boot()
+        board.attach_observers()
         board.run(spec.warmup_ticks)
         board.inject_fault()
         board.run(spec.observe_ticks, spec.watch_every)
         snapshot = tel.snapshot()
+        if board.profiler is not None:
+            snapshot["profile"] = board.profiler.snapshot()
+        if board.recorder is not None:
+            snapshot["forensics"] = board.forensic_bundle(
+                "telemetry crash/recovery demo", kind="cpu_fault"
+            )
         report = board.report()
     finally:
         tel.close()
@@ -498,6 +563,13 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         ("spans", str(len(snapshot["spans"]))),
         ("events", str(len(snapshot["events"]))),
     ]
+    if "profile" in snapshot:
+        rows.append(("profile anomalies",
+                     str(snapshot["profile"]["anomaly_count"])))
+    if "forensics" in snapshot:
+        rows.append(("forensic bundle",
+                     f"{snapshot['forensics']['kind']} "
+                     f"@pc=0x{snapshot['forensics']['cpu']['pc_bytes']:05x}"))
     if args.jsonl:
         rows.append(("event log", args.jsonl))
     if args.out:
@@ -508,6 +580,135 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         from ..telemetry import jsonable
 
         print(json.dumps(jsonable(snapshot), indent=2))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run an application under the PC profiler and print hot functions.
+
+    ``--mode exact`` attributes every retired instruction; ``block``
+    keeps the superblock engines on their fast path (block-entry
+    attribution, see docs/OBSERVABILITY.md for the accuracy contract);
+    ``heatmap`` additionally shadows the call stack and flags retired
+    control flow that no legitimate call chain explains.
+    """
+    spec = ScenarioSpec(
+        app=args.app,
+        toolchain=args.toolchain,
+        protected=args.protected,
+        engine=args.engine,
+        seed=args.seed,
+        profile=args.mode,
+    )
+    board = Board(spec)
+    board.boot()
+    board.attach_observers()
+    board.run(args.ticks)
+    profiler = board.profiler
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(profiler.collapsed_text() + "\n")
+    if args.json:
+        from ..telemetry import jsonable
+
+        print(json.dumps(jsonable(profiler.snapshot()), indent=2))
+        return 0
+    from ..telemetry import format_profile_table
+
+    print(format_profile_table(profiler.report(), top=args.top))
+    if args.mode == "heatmap":
+        print(f"\nprofile anomalies: {profiler.anomaly_count}")
+    if args.collapsed:
+        print(f"wrote collapsed stacks to {args.collapsed}")
+    return 0
+
+
+def _render_forensics(bundle: dict) -> str:
+    """Human rendering of a flight-recorder bundle (plain builtins in,
+    text out — shared by the ``forensics`` command and nothing else, so
+    it tolerates bundles with optional sections missing)."""
+    cpu = bundle["cpu"]
+    lines = [
+        f"# forensic bundle: {bundle.get('kind', 'manual')}",
+        f"reason: {bundle.get('reason', '?')}",
+        "",
+        f"pc=0x{cpu['pc_bytes']:05x}  sp=0x{cpu['sp']:04x}  "
+        f"sreg=0x{cpu['sreg']:02x}  cycles={cpu['cycles']}  "
+        f"retired={cpu['instructions_retired']}  engine={cpu['engine']}"
+        + ("  [HALTED]" if cpu.get("halted") else ""),
+    ]
+    if bundle.get("function"):
+        lines.append(f"faulting function: {bundle['function']}")
+    lines.append("")
+
+    lines.append("## registers")
+    registers = bundle.get("registers", [])
+    for row in range(0, len(registers), 8):
+        cells = "  ".join(
+            f"r{index:<2}=0x{value:02x}"
+            for index, value in enumerate(registers[row : row + 8], start=row)
+        )
+        lines.append("  " + cells)
+    lines.append("")
+
+    stack = bundle.get("stack")
+    if stack:
+        lines.append(f"## stack window (sp=0x{stack['sp']:04x})")
+        data = bytes.fromhex(stack["data_hex"])
+        for row_start in range(0, len(data), 8):
+            row = data[row_start : row_start + 8]
+            addr = stack["base_address"] + row_start
+            lines.append(
+                f"  0x{addr:06x}: " + " ".join(f"{b:02x}" for b in row)
+            )
+        lines.append("")
+
+    disassembly = bundle.get("disassembly", [])
+    if disassembly:
+        lines.append("## fault neighbourhood")
+        for entry in disassembly:
+            marker = ">" if entry.get("current") else " "
+            lines.append(f" {marker} 0x{entry['pc']:05x}: {entry['text']}")
+        lines.append("")
+
+    ring = bundle.get("ring", [])
+    if ring:
+        lines.append(f"## flight recorder (last {min(len(ring), 16)} "
+                     f"of {len(ring)} retired states)")
+        lines.append("   pc       sp      sreg  cycles")
+        for pc, sp, sreg, cycles in ring[-16:]:
+            lines.append(
+                f"   0x{pc:05x}  0x{sp:04x}  0x{sreg:02x}  {cycles}"
+            )
+        lines.append("")
+
+    profile = bundle.get("profile")
+    if profile:
+        lines.append(
+            f"## profile ({profile['mode']} mode, "
+            f"{profile['anomaly_count']} anomalies)"
+        )
+        for anomaly in profile.get("anomalies", []):
+            target_fn = anomaly.get("target_function") or "?"
+            lines.append(
+                f"  {anomaly['kind']}: 0x{anomaly['from_pc']:05x} -> "
+                f"0x{anomaly['target_pc']:05x} ({target_fn}) "
+                f"@cycle {anomaly['cycle']}"
+            )
+        lines.append("")
+
+    events = bundle.get("events")
+    if events:
+        lines.append(f"## recent telemetry events ({len(events)})")
+        for event in events[-10:]:
+            lines.append(f"  {event.get('event', '?')}")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    with open(args.bundle, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    print(_render_forensics(bundle), end="")
     return 0
 
 
@@ -552,6 +753,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--seed", type=int, default=1,
                         help="board randomization seed (--protected)")
+    attack.add_argument(
+        "--forensics", metavar="PATH",
+        help="run with the gadget heatmap + flight recorder attached and "
+             "write the forensic bundle JSON to PATH (render it with "
+             "'repro.tools forensics PATH')",
+    )
     _add_defense_argument(attack)
     _add_engine_argument(attack)
     attack.set_defaults(func=_cmd_attack)
@@ -596,6 +803,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="machine-readable JSON output")
     campaign.add_argument("--jsonl", metavar="PATH",
                           help="write one record per scenario to PATH")
+    campaign.add_argument("--progress", action="store_true",
+                          help="stream [done/total] completion lines to stderr")
     campaign.add_argument("--inject-worker-fault", metavar="PATH",
                           help=argparse.SUPPRESS)  # test-only crash injection
     _add_defense_argument(campaign)
@@ -624,8 +833,60 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also stream the event log here (JSONL)")
     telemetry.add_argument("--out", metavar="PATH",
                            help="write the snapshot JSON here")
+    telemetry.add_argument(
+        "--profile", choices=PROFILE_MODES, default=None,
+        help="attach the PC profiler; its snapshot joins the output "
+             "under the 'profile' key",
+    )
+    telemetry.add_argument(
+        "--flight-recorder", action="store_true",
+        help="attach the flight recorder; the crash's forensic bundle "
+             "joins the output under the 'forensics' key",
+    )
     _add_engine_argument(telemetry)
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    profile = subparsers.add_parser(
+        "profile", help="profile hot functions on a simulated board"
+    )
+    profile.add_argument(
+        "--app",
+        choices=("testapp", "arduplane", "arducopter", "ardurover"),
+        default="testapp", help="application to profile",
+    )
+    profile.add_argument(
+        "--toolchain", choices=tuple(_TOOLCHAINS), default="mavr",
+        help="toolchain flag set (default: mavr, the randomizable build)",
+    )
+    profile.add_argument(
+        "--mode", choices=PROFILE_MODES, default="exact",
+        help="exact per-instruction attribution, block-entry attribution "
+             "(keeps superblock engines fast), or the gadget heatmap",
+    )
+    profile.add_argument("--ticks", type=int, default=200,
+                         help="flight ticks to profile")
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--protected", action="store_true",
+                         help="profile a MAVR-protected board instead of "
+                              "a bare autopilot")
+    profile.add_argument("--top", type=int, default=15,
+                         help="functions to show in the table")
+    profile.add_argument("--collapsed", metavar="PATH",
+                         help="write collapsed-stack (flamegraph) lines here")
+    profile.add_argument("--json", action="store_true",
+                         help="machine-readable profiler snapshot")
+    _add_engine_argument(profile)
+    profile.set_defaults(func=_cmd_profile)
+
+    forensics = subparsers.add_parser(
+        "forensics", help="render a forensic bundle JSON for humans"
+    )
+    forensics.add_argument(
+        "bundle",
+        help="bundle path (from 'attack --forensics' or 'telemetry "
+             "--flight-recorder --out')",
+    )
+    forensics.set_defaults(func=_cmd_forensics)
 
     return parser
 

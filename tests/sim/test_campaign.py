@@ -11,11 +11,14 @@ import pytest
 
 from repro.analysis.attack_sim import campaign_specs, guessing_campaign
 from repro.sim import (
+    PHASE_ORDER,
     CampaignRunner,
     PoolTaskError,
     ScenarioSpec,
+    aggregate_phases,
     aggregate_results,
     derive_seed,
+    deterministic_phases,
     map_indexed,
     run_scenario,
 )
@@ -84,10 +87,11 @@ def test_jsonl_sink_layout(tmp_path):
     path = tmp_path / "out.jsonl"
     report = CampaignRunner(jobs=1, jsonl_path=path).run(specs)
     lines = [json.loads(line) for line in path.read_text().splitlines()]
-    assert len(lines) == 3  # one per spec + trailing aggregates
-    assert [line["index"] for line in lines[:-1]] == [0, 1]
-    assert lines[-1]["campaign.aggregates"] == report.aggregates
-    for line in lines[:-1]:
+    assert len(lines) == 4  # one per spec + trailing aggregates + phases
+    assert [line["index"] for line in lines[:-2]] == [0, 1]
+    assert lines[-2]["campaign.aggregates"] == report.aggregates
+    assert lines[-1]["campaign.phases"] == deterministic_phases(report.phases)
+    for line in lines[:-2]:
         assert line["spec"]["app"] == "testapp"
         assert "wall_s" not in line
 
@@ -113,6 +117,73 @@ def test_merged_snapshot_spans_all_scenarios():
     detected = [e for e in merged["events"] if e["event"] == "attack.detected"]
     assert len(detected) == 2
     assert {e["source"] for e in detected} == {0, 1}
+
+
+# -- phase attribution -------------------------------------------------------
+
+def test_phase_breakdown_shape_and_order():
+    specs = specs_for(2)
+    report = CampaignRunner(jobs=1).run(specs)
+    assert list(report.phases) == [
+        name for name in PHASE_ORDER if name in report.phases
+    ]
+    for name in ("build", "program", "warmup", "run"):
+        assert name in report.phases
+        cell = report.phases[name]
+        assert cell["scenarios"] == 2
+        assert cell["host_ms"] >= 0.0 and cell["sim_ms"] >= 0.0
+    # the attack phase only counts scenarios that actually attacked
+    assert report.phases["attack"]["scenarios"] == 2
+    # programming is simulated time (the ISP timing model), not host time
+    assert report.phases["program"]["sim_ms"] > 0.0
+
+
+def test_phase_deterministic_fields_identical_serial_vs_parallel():
+    specs = specs_for(3)
+    serial = CampaignRunner(jobs=1).run(specs)
+    parallel = CampaignRunner(jobs=4).run(specs)
+    assert deterministic_phases(serial.phases) == deterministic_phases(
+        parallel.phases
+    )
+    # host_ms is wall time: present in both, excluded from the contract
+    assert all("host_ms" in cell for cell in serial.phases.values())
+    assert all(
+        "host_ms" not in cell
+        for cell in deterministic_phases(serial.phases).values()
+    )
+
+
+def test_aggregate_phases_sums_per_scenario_cells():
+    specs = specs_for(2)
+    results = [run_scenario(spec, index=i) for i, spec in enumerate(specs)]
+    totals = aggregate_phases(results)
+    for name, cell in totals.items():
+        expected = sum(r.phases[name]["sim_ms"] for r in results
+                       if name in r.phases)
+        assert cell["sim_ms"] == pytest.approx(expected, abs=1e-6)
+
+
+def test_progress_callback_reports_each_scenario_once():
+    specs = specs_for(3)
+    for jobs in (1, 3):
+        calls = []
+        CampaignRunner(
+            jobs=jobs,
+            progress=lambda d, t, i, o: calls.append((d, t, i, o)),
+        ).run(specs)
+        assert [c[0] for c in calls] == [1, 2, 3]
+        assert sorted(c[2] for c in calls) == [0, 1, 2]
+        assert all(t == 3 for _, t, _, _ in calls)
+        assert all(outcome == "deflected" for _, _, _, outcome in calls)
+
+
+def test_progress_reports_pool_errors_too():
+    bad = ScenarioSpec(app="nonesuch", attack="guess", label="broken")
+    calls = []
+    CampaignRunner(
+        jobs=1, progress=lambda d, t, i, o: calls.append(o)
+    ).run([bad])
+    assert calls == ["exception"]
 
 
 # -- failure semantics -------------------------------------------------------

@@ -212,9 +212,14 @@ def test_campaign_json_schema(capsys, tmp_path):
     assert aggregates["errors"] == 0
     assert aggregates["by_outcome"] == {"deflected": 2}
     assert data["runner"]["jobs"] == 1
+    # per-phase breakdown rides the JSON output
+    assert "run" in data["phases"]
+    assert data["phases"]["run"]["scenarios"] == 2
     lines = [json.loads(line) for line in records_path.read_text().splitlines()]
-    assert [line.get("index") for line in lines[:-1]] == [0, 1]
-    assert lines[-1]["campaign.aggregates"] == aggregates
+    assert [line.get("index") for line in lines[:-2]] == [0, 1]
+    assert lines[-2]["campaign.aggregates"] == aggregates
+    phase_line = lines[-1]["campaign.phases"]
+    assert set(phase_line["run"]) == {"scenarios", "sim_ms"}
 
 
 def test_campaign_table_output(capsys):
@@ -248,3 +253,79 @@ def test_telemetry_command(capsys, tmp_path):
     data = json.loads(snap.read_text())
     assert data["schema"] == 1
     assert any(e["event"] == "attack.detected" for e in data["events"])
+
+
+def test_telemetry_with_profile_and_flight_recorder(capsys, tmp_path):
+    import json
+
+    snap = tmp_path / "snap.json"
+    code, out = run(capsys, "telemetry", "testapp", "--ticks", "10",
+                    "--profile", "exact", "--flight-recorder",
+                    "--out", str(snap))
+    assert code == 0
+    assert "profile anomalies" in out
+    assert "forensic bundle" in out
+    data = json.loads(snap.read_text())
+    assert data["profile"]["mode"] == "exact"
+    assert data["profile"]["report"]["total_hits"] > 0
+    assert data["forensics"]["kind"] in ("cpu_fault", "attack_detected")
+    assert data["forensics"]["ring"]
+
+
+def test_profile_command_table(capsys):
+    code, out = run(capsys, "profile", "--app", "testapp", "--ticks", "40")
+    assert code == 0
+    assert "mode: exact" in out
+    assert "self-cycles" in out
+    assert "main" in out
+
+
+def test_profile_command_json_and_collapsed(capsys, tmp_path):
+    import json
+
+    collapsed = tmp_path / "stacks.txt"
+    code, out = run(capsys, "profile", "--app", "testapp", "--ticks", "30",
+                    "--mode", "heatmap", "--collapsed", str(collapsed),
+                    "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["mode"] == "heatmap"
+    assert data["anomaly_count"] == 0  # clean flight
+    lines = collapsed.read_text().strip().splitlines()
+    assert lines and all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+    assert any(";" in line for line in lines)  # real call chains
+
+
+def test_profile_block_mode_on_compiled_engine(capsys):
+    code, out = run(capsys, "profile", "--app", "testapp", "--ticks", "30",
+                    "--mode", "block", "--engine", "compiled")
+    assert code == 0
+    assert "mode: block" in out
+
+
+def test_attack_forensics_roundtrip_through_renderer(capsys, tmp_path):
+    bundle_path = tmp_path / "bundle.json"
+    code, out = run(capsys, "attack", "testapp", "--variant", "v2",
+                    "--forensics", str(bundle_path))
+    assert code == 0
+    assert bundle_path.exists()
+    assert "profile anomalies" in out
+
+    code, rendered = run(capsys, "forensics", str(bundle_path))
+    assert code == 0
+    assert "# forensic bundle: profile_anomaly" in rendered
+    assert "bad_return" in rendered
+    assert "rtos_context_restore" in rendered or "param_block_write" in rendered
+    assert "## flight recorder" in rendered
+    assert "## fault neighbourhood" in rendered
+
+
+def test_campaign_progress_lines(capsys):
+    code = main(["campaign", "--app", "testapp", "-n", "2", "--seed", "3",
+                 "--progress", "--json"])
+    captured = capsys.readouterr()
+    assert code == 0
+    progress = [line for line in captured.err.splitlines() if line]
+    assert len(progress) == 2
+    assert progress[0].startswith("[1/2] ")
+    assert progress[1].startswith("[2/2] ")
