@@ -191,6 +191,18 @@ class MasterProcessor:
         self.external_flash.store(blob)
         self._original = None  # reparse on next boot
 
+    def deploy_blob(self, blob: bytes) -> None:
+        """Store a ready-made external-flash blob (the artifact fast path).
+
+        The blob is byte-identical to what :meth:`deploy` would have
+        stored for the same preprocessed HEX — it was captured off a
+        cold deployment and content-addressed by the artifact cache —
+        so the decode/encode round-trip is skipped without changing a
+        single byte on the chip.
+        """
+        self.external_flash.store(blob)
+        self._original = None  # reparse on next boot
+
     def _original_image(self) -> FirmwareImage:
         if self._original is None:
             blob = self.external_flash.read_all()

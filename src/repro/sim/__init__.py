@@ -15,12 +15,15 @@ boards only through here.  See ``docs/SCENARIOS.md`` for the spec
 schema, the runner semantics and the determinism contract.
 """
 
+from .artifacts import ArtifactCache, artifact_key, get_cache
 from .campaign import (
+    DEFAULT_SHARDS,
     CampaignReport,
     CampaignRunner,
     aggregate_phases,
     aggregate_results,
     deterministic_phases,
+    spec_digest,
 )
 from .pool import PoolTaskError, map_indexed
 from .scenario import (
@@ -37,9 +40,11 @@ from .scenario import (
 
 __all__ = [
     "ATTACK_VARIANTS",
+    "ArtifactCache",
     "Board",
     "CampaignReport",
     "CampaignRunner",
+    "DEFAULT_SHARDS",
     "PHASE_ORDER",
     "PhaseRecorder",
     "PoolTaskError",
@@ -47,9 +52,12 @@ __all__ = [
     "ScenarioSpec",
     "aggregate_phases",
     "aggregate_results",
+    "artifact_key",
     "derive_seed",
     "deterministic_phases",
+    "get_cache",
     "load_spec_image",
     "map_indexed",
     "run_scenario",
+    "spec_digest",
 ]

@@ -20,15 +20,35 @@ that the hand-wired drivers used to re-implement:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 from ..telemetry import Telemetry, jsonable
+from .artifacts import get_cache
 from .pool import PoolTaskError, _TaskTimeout, call_with_timeout, in_worker, map_indexed
 from .scenario import PHASE_ORDER, ScenarioResult, ScenarioSpec, run_scenario
+
+#: default number of checkpoint shard files a checkpointed campaign keeps
+DEFAULT_SHARDS = 4
+
+
+def spec_digest(spec: ScenarioSpec) -> str:
+    """Content digest of a spec, pinning checkpoint lines to their spec.
+
+    Resume only replays a checkpointed result when the stored digest
+    matches the spec at the same index in the *current* spec list, so a
+    checkpoint directory can never leak results across campaigns (or
+    across edits to the same campaign's parameters).
+    """
+    canonical = json.dumps(
+        jsonable(spec.to_record()), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def aggregate_results(results: Sequence[ScenarioResult]) -> dict:
@@ -118,12 +138,16 @@ class CampaignReport:
 
 
 def _campaign_worker(payload) -> ScenarioResult:
-    """Run one (index, spec, timeout) task; module-level for pickling."""
-    index, spec, timeout_s = payload
+    """Run one (index, spec, timeout, cache root) task; module-level for
+    pickling.  The cache root travels as a string so every worker resolves
+    the same per-process :class:`~repro.sim.artifacts.ArtifactCache`."""
+    index, spec, timeout_s, cache_root = payload
     _maybe_die_for_test(spec)
+    cache = get_cache(cache_root)
     try:
         return call_with_timeout(
-            lambda p: run_scenario(p[1], index=p[0]), (index, spec), timeout_s
+            lambda p: run_scenario(p[1], index=p[0], cache=cache),
+            (index, spec), timeout_s,
         )
     except _TaskTimeout:
         return _placeholder(index, spec, "timeout", f"exceeded {timeout_s}s")
@@ -161,6 +185,43 @@ def _placeholder(
     )
 
 
+def _result_from_checkpoint(
+    index: int, spec: ScenarioSpec, entry: dict
+) -> ScenarioResult:
+    """Rehydrate a checkpointed result for the merge.
+
+    The checkpoint stores the result's deterministic record verbatim
+    (JSON round-trips preserve key order and float exactness), so the
+    rebuilt result re-serializes byte-identically and feeds the same
+    values into :func:`aggregate_results`.  Phase cells keep only their
+    deterministic ``sim_ms``; host time belongs to the run that paid it.
+    """
+    record = entry["record"]
+    return ScenarioResult(
+        index=index,
+        spec=spec,
+        outcome=record["outcome"],
+        effect=record["effect"],
+        detected=record["detected"],
+        stealthy=record["stealthy"],
+        succeeded=record["succeeded"],
+        status=record["status"],
+        crash=record.get("crash"),
+        delivered_bytes=record.get("delivered_bytes", 0),
+        link_lost=record.get("link_lost", False),
+        telemetry_frames_after=record.get("telemetry_frames_after", 0),
+        boots=record.get("boots", 0),
+        randomizations=record.get("randomizations", 0),
+        attacks_detected=record.get("attacks_detected", 0),
+        profile_anomalies=record.get("profile_anomalies", 0),
+        error=record.get("error"),
+        phases={
+            name: {"sim_ms": cell["sim_ms"]}
+            for name, cell in entry.get("phases", {}).items()
+        },
+    )
+
+
 class CampaignRunner:
     """Runs spec lists; serial (``jobs=1``) and parallel paths share all
     scenario code, differing only in where :func:`run_scenario` executes."""
@@ -172,6 +233,11 @@ class CampaignRunner:
         jsonl_path=None,
         retry_worker_death: bool = True,
         progress=None,
+        cache_dir=None,
+        checkpoint_dir=None,
+        shards: int = DEFAULT_SHARDS,
+        resume: bool = False,
+        result_sink=None,
     ) -> None:
         self.jobs = jobs
         self.timeout_s = timeout_s
@@ -180,45 +246,156 @@ class CampaignRunner:
         # progress(done, total, index, outcome) — called in the parent as
         # each scenario's final result lands (live campaign progress)
         self.progress = progress
+        # artifact-cache root shared by all workers (None disables caching)
+        self.cache_dir = None if cache_dir is None else str(Path(cache_dir))
+        # checkpoint shard directory; resume=True replays completed specs
+        # from it instead of re-running them
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.resume = resume
+        if resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires a checkpoint_dir")
+        # result_sink(index, result) — called in the parent as each final
+        # ScenarioResult lands (the serve front end streams these)
+        self.result_sink = result_sink
+
+    # -- checkpoint shards -------------------------------------------------
+
+    def _shard_path(self, index: int) -> Path:
+        return self.checkpoint_dir / f"shard-{index % self.shards}.jsonl"
+
+    def _shard_paths(self) -> List[Path]:
+        return [
+            self.checkpoint_dir / f"shard-{shard}.jsonl"
+            for shard in range(self.shards)
+        ]
+
+    def _write_checkpoint(
+        self, index: int, spec: ScenarioSpec, result: ScenarioResult
+    ) -> None:
+        """Append one completed spec to its shard (open-append-close, so an
+        interrupt loses at most the line being written)."""
+        entry = {
+            "index": index,
+            "spec": spec_digest(spec),
+            "record": jsonable(result.to_record()),
+            "phases": {
+                name: {"sim_ms": cell["sim_ms"]}
+                for name, cell in result.phases.items()
+            },
+        }
+        with open(self._shard_path(index), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            handle.flush()
+
+    def _load_checkpoints(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> Dict[int, ScenarioResult]:
+        """Replay completed specs from the shard files.
+
+        Lines that fail to parse (the torn tail of an interrupted append),
+        carry an out-of-range index, or whose spec digest does not match
+        the current spec list are skipped — those specs simply re-run.
+        """
+        completed: Dict[int, ScenarioResult] = {}
+        for path in self._shard_paths():
+            if not path.exists():
+                continue
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        index = entry["index"]
+                        if not 0 <= index < len(specs):
+                            continue
+                        if entry["spec"] != spec_digest(specs[index]):
+                            continue
+                        completed[index] = _result_from_checkpoint(
+                            index, specs[index], entry
+                        )
+                    except Exception:
+                        continue
+        return completed
 
     def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
         specs = list(specs)
         started = time.perf_counter()
-        on_result = None
-        if self.progress is not None:
-            total = len(specs)
-            done = [0]
-            progress = self.progress
+        completed: Dict[int, ScenarioResult] = {}
+        checkpointing = self.checkpoint_dir is not None
+        if checkpointing:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            if self.resume:
+                completed = self._load_checkpoints(specs)
+            else:
+                for path in self._shard_paths():
+                    if path.exists():
+                        path.unlink()
+        pending = [
+            index for index in range(len(specs)) if index not in completed
+        ]
 
-            def on_result(index: int, item) -> None:
-                done[0] += 1
-                outcome = (
-                    item.outcome
-                    if isinstance(item, ScenarioResult) else item.kind
-                )
-                progress(done[0], total, index, outcome)
+        on_result = None
+        if self.progress is not None or checkpointing or self.result_sink:
+            total = len(specs)
+            done = [len(completed)]
+            progress = self.progress
+            result_sink = self.result_sink
+            runner = self
+
+            def on_result(list_index: int, item) -> None:
+                index = pending[list_index]
+                is_result = isinstance(item, ScenarioResult)
+                if (
+                    checkpointing and is_result
+                    and item.outcome not in ("error", "timeout")
+                ):
+                    runner._write_checkpoint(index, specs[index], item)
+                if result_sink is not None:
+                    result_sink(
+                        index,
+                        item if is_result else _placeholder(
+                            index, specs[index], "error", item.message,
+                            retried=item.retried,
+                        ),
+                    )
+                if progress is not None:
+                    done[0] += 1
+                    progress(
+                        done[0], total, index,
+                        item.outcome if is_result else item.kind,
+                    )
 
         raw = map_indexed(
             _campaign_worker,
-            [(index, spec, self.timeout_s) for index, spec in enumerate(specs)],
+            [
+                (index, specs[index], self.timeout_s, self.cache_dir)
+                for index in pending
+            ],
             jobs=self.jobs,
             retry_worker_death=self.retry_worker_death,
             on_result=on_result,
         )
-        results: List[ScenarioResult] = []
+        by_index: Dict[int, ScenarioResult] = dict(completed)
         worker_deaths = 0
-        for index, item in enumerate(raw):
+        for list_index, item in enumerate(raw):
+            index = pending[list_index]
             if isinstance(item, PoolTaskError):
                 if item.kind == "worker_death":
                     worker_deaths += 1
-                results.append(
-                    _placeholder(
-                        index, specs[index], "error", item.message,
-                        retried=item.retried,
-                    )
+                by_index[index] = _placeholder(
+                    index, specs[index], "error", item.message,
+                    retried=item.retried,
                 )
             else:
-                results.append(item)
+                by_index[index] = item
+        results = [by_index[index] for index in range(len(specs))]
 
         snapshots = [r.snapshot for r in results if r.snapshot is not None]
         report = CampaignReport(
@@ -231,6 +408,9 @@ class CampaignRunner:
                 "wall_s": time.perf_counter() - started,
                 "worker_deaths": worker_deaths,
                 "timeout_s": self.timeout_s,
+                "resumed": len(completed),
+                "cache_dir": self.cache_dir,
+                "shards": self.shards if checkpointing else None,
             },
         )
         if self.jsonl_path is not None:

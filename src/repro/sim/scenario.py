@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import random
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,6 +33,7 @@ from ..avr.profile import PROFILE_MODES
 from ..binfmt.image import FirmwareImage
 from ..core.defenses import DEFENSE_BACKENDS
 from ..telemetry import Telemetry, jsonable
+from .artifacts import ArtifactCache, artifact_key, get_cache
 
 #: attack variants a spec may name (``None`` = fly clean)
 ATTACK_VARIANTS = ("v1", "v2", "v3", "guess", "oracle")
@@ -133,33 +135,123 @@ class ScenarioSpec:
         return record
 
 
-_IMAGE_CACHE: Dict[str, FirmwareImage] = {}
+#: inline-image decode cache: bounded, content-keyed LRU.  The key is the
+#: BLAKE2b digest of the preprocessed HEX payload itself, so two specs
+#: carrying byte-identical firmware share one decode and a long-lived
+#: serve-mode process can never grow it past the bound.
+_IMAGE_CACHE: "OrderedDict[str, FirmwareImage]" = OrderedDict()
+_IMAGE_CACHE_LIMIT = 16
 
 
-def load_spec_image(spec: ScenarioSpec) -> FirmwareImage:
+def _cached_inline_image(image_hex: str) -> FirmwareImage:
+    key = hashlib.blake2b(
+        image_hex.encode("ascii"), digest_size=16
+    ).hexdigest()
+    image = _IMAGE_CACHE.get(key)
+    if image is None:
+        image = _IMAGE_CACHE[key] = FirmwareImage.from_preprocessed_hex(
+            image_hex
+        )
+    else:
+        _IMAGE_CACHE.move_to_end(key)
+    while len(_IMAGE_CACHE) > _IMAGE_CACHE_LIMIT:
+        _IMAGE_CACHE.popitem(last=False)
+    return image
+
+
+def load_spec_image(
+    spec: ScenarioSpec, cache: Optional[ArtifactCache] = None
+) -> FirmwareImage:
     """Resolve the spec's firmware image (cached per process).
 
     Named apps go through :func:`repro.firmware.build_app`'s own cache;
     inline images are decoded from the preprocessed HEX once per distinct
-    payload.  Serial and parallel campaign paths both resolve through
-    here, so every run sees byte-identical firmware.
+    payload (bounded LRU).  With an artifact ``cache`` the built image is
+    also shared *across* processes — a fresh pool worker unpickles the
+    build artifact instead of paying the toolchain.  Serial and parallel
+    campaign paths both resolve through here, so every run sees
+    byte-identical firmware.
     """
     if spec.image_hex is not None:
-        key = hashlib.blake2b(
-            spec.image_hex.encode("ascii"), digest_size=16
-        ).hexdigest()
-        image = _IMAGE_CACHE.get(key)
-        if image is None:
-            image = _IMAGE_CACHE[key] = FirmwareImage.from_preprocessed_hex(
-                spec.image_hex
-            )
-        return image
+        return _cached_inline_image(spec.image_hex)
+    if cache is not None:
+        key = _build_key(spec)
+        image = cache.get_object(key)
+        if image is not None:
+            return image
     from ..asm.linker import MAVR_OPTIONS, STOCK_OPTIONS
     from ..firmware import build_app, manifest_by_name
 
     options = {"stock": STOCK_OPTIONS, "mavr": MAVR_OPTIONS}[spec.toolchain]
-    return build_app(
+    image = build_app(
         manifest_by_name(spec.app), options, vulnerable=spec.vulnerable
+    )
+    if cache is not None:
+        cache.put_object(_build_key(spec), image)
+    return image
+
+
+# -- artifact-cache keys -----------------------------------------------------
+
+def _firmware_fields(spec: ScenarioSpec) -> dict:
+    """The spec fields that determine the built firmware bytes."""
+    fields = {
+        "app": spec.app,
+        "toolchain": spec.toolchain,
+        "vulnerable": spec.vulnerable,
+    }
+    if spec.image_hex is not None:
+        fields["image_hex"] = hashlib.blake2b(
+            spec.image_hex.encode("ascii"), digest_size=16
+        ).hexdigest()
+    return fields
+
+
+def _build_key(spec: ScenarioSpec) -> str:
+    return artifact_key("build", **_firmware_fields(spec))
+
+
+def _deploy_key(spec: ScenarioSpec) -> str:
+    """Key of the external-flash blob (firmware x defense backend)."""
+    return artifact_key(
+        "deploy", defense=spec.defense, **_firmware_fields(spec)
+    )
+
+
+def _board_key(spec: ScenarioSpec) -> str:
+    """Key of the booted-board snapshot: every field that shapes the
+    post-boot state (the attack/budget/observability fields do not)."""
+    from ..core.mavr import SNAPSHOT_VERSION
+
+    return artifact_key(
+        "board",
+        snapshot_version=SNAPSHOT_VERSION,
+        defense=spec.defense,
+        engine=spec.engine,
+        seed=spec.seed,
+        randomize_every_boots=spec.randomize_every_boots,
+        watchdog_period_cycles=spec.watchdog_period_cycles,
+        watchdog_missed_periods=spec.watchdog_missed_periods,
+        link_baud=spec.link_baud,
+        **_firmware_fields(spec),
+    )
+
+
+def _snapshot_eligible(spec: ScenarioSpec, telemetry: Optional[Telemetry]) -> bool:
+    """May this scenario restore (or capture) a booted-board snapshot?
+
+    Only protected boards without observers: telemetry, the profiler and
+    the flight recorder all accumulate state from the programming/boot
+    phases that a restore would have to fabricate, so those specs always
+    take the cold path.  Everything else — attack variant, fault
+    injection, tick budgets — happens after the snapshot point.
+    """
+    return (
+        spec.protected
+        and not spec.telemetry
+        and (telemetry is None or not telemetry.enabled)
+        and spec.profile is None
+        and not spec.flight_recorder
     )
 
 
@@ -239,40 +331,109 @@ class Board:
         spec: ScenarioSpec,
         telemetry: Optional[Telemetry] = None,
         image: Optional[FirmwareImage] = None,
+        cache: Optional[ArtifactCache] = None,
     ) -> None:
         from ..core import MavrSystem, RandomizationPolicy, WatchdogConfig
         from ..hw.serialbus import PROTOTYPE_LINK, ProgrammingLink
         from ..uav.autopilot import Autopilot
 
         self.spec = spec
-        self.image = image if image is not None else load_spec_image(spec)
+        if image is not None:
+            cache = None  # a caller-transformed image is never cacheable
+        self.image = image if image is not None else load_spec_image(spec, cache)
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry(enabled=spec.telemetry)
         )
+        # how the board was provisioned: "cold" (full preprocess+deploy),
+        # "cached" (deploy blob from the artifact cache), or "warm"
+        # (booted-board snapshot restore); diagnostics only
+        self.provisioned = "cold"
+        # the restored snapshot's replay data (phase sim_ms + overhead),
+        # or None when the board still needs a cold boot
+        self.restored: Optional[dict] = None
         if spec.protected:
             link = (
                 ProgrammingLink(baud=spec.link_baud)
                 if spec.link_baud is not None else PROTOTYPE_LINK
             )
-            self.system: Optional[MavrSystem] = MavrSystem(
-                self.image,
-                policy=RandomizationPolicy(spec.randomize_every_boots),
-                link=link,
-                watchdog=WatchdogConfig(
-                    expected_period_cycles=spec.watchdog_period_cycles,
-                    missed_periods_threshold=spec.watchdog_missed_periods,
-                ),
-                seed=spec.seed,
-                telemetry=self.telemetry,
-                engine=spec.engine,
-                defense=spec.defense,
+            policy = RandomizationPolicy(spec.randomize_every_boots)
+            watchdog = WatchdogConfig(
+                expected_period_cycles=spec.watchdog_period_cycles,
+                missed_periods_threshold=spec.watchdog_missed_periods,
             )
+            snapshot = None
+            deploy_blob = None
+            if cache is not None and _snapshot_eligible(spec, telemetry):
+                snapshot = cache.get_object(_board_key(spec))
+            if snapshot is not None:
+                self.system: Optional[MavrSystem] = MavrSystem.from_snapshot(
+                    snapshot,
+                    self.image,
+                    policy=policy,
+                    link=link,
+                    watchdog=watchdog,
+                    telemetry=self.telemetry,
+                    engine=spec.engine,
+                    defense=spec.defense,
+                )
+                self.provisioned = "warm"
+                self.restored = {
+                    "overhead_ms": snapshot["overhead_ms"],
+                    "program_sim_ms": snapshot["program_sim_ms"],
+                    "boot_sim_ms": snapshot["boot_sim_ms"],
+                }
+            else:
+                if cache is not None:
+                    deploy_blob = cache.get_bytes(_deploy_key(spec))
+                    if deploy_blob is not None:
+                        self.provisioned = "cached"
+                self.system = MavrSystem(
+                    self.image,
+                    policy=policy,
+                    link=link,
+                    watchdog=watchdog,
+                    seed=spec.seed,
+                    telemetry=self.telemetry,
+                    engine=spec.engine,
+                    defense=spec.defense,
+                    deploy_blob=deploy_blob,
+                )
+                if cache is not None and deploy_blob is None:
+                    # publish the chip contents for the next worker; the
+                    # blob is exactly what deploy() stored, fallback
+                    # decisions included
+                    cache.put_bytes(
+                        _deploy_key(spec),
+                        self.system.master.external_flash.read_all(),
+                    )
+            if cache is not None:
+                self._ensure_base_reloc_index()
             self.autopilot = self.system.autopilot
         else:
             self.system = None
             self.autopilot = Autopilot(self.image, engine=spec.engine)
         self.profiler = None
         self.recorder = None
+
+    def _ensure_base_reloc_index(self) -> None:
+        """Keep the attacker-side randomize fast path armed off-preprocess.
+
+        On the cold path ``defense.preprocess`` attaches the relocation
+        index to the shared base image as a side effect; the cached and
+        warm paths skip preprocess, so the guessing/oracle attackers
+        (which randomize their own copy of the public binary) would fall
+        back to the slow patcher.  Attach it here instead — identical
+        content, built once per process per image.
+        """
+        if (
+            self.image.reloc_index is None
+            and self.spec.toolchain == "mavr"
+            and self.system is not None
+            and self.system.defense.requires_randomizable
+        ):
+            from ..binfmt.relocindex import build_relocation_index
+
+            self.image.reloc_index = build_relocation_index(self.image)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -461,6 +622,7 @@ def run_scenario(
     spec: ScenarioSpec,
     index: int = 0,
     telemetry: Optional[Telemetry] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> ScenarioResult:
     """Play one spec end to end: build, boot, attack/fault, observe.
 
@@ -474,16 +636,26 @@ def run_scenario(
     (host wall time + deterministic simulated time); the breakdown rides
     ``ScenarioResult.phases`` and, when telemetry is enabled, also merges
     back to campaign parents as ``scenario.phase`` spans.
+
+    ``cache`` (an :class:`~repro.sim.artifacts.ArtifactCache`, or a root
+    path for one) turns on the campaign fast path: builds, deploy blobs
+    and booted-board snapshots are shared across processes.  The cache
+    only ever changes host time — the result record and every
+    deterministic phase field are byte-identical with caching off, cold
+    or warm (a restored board replays the cold boot's recorded
+    ``sim_ms``, and the eligibility gate routes observer-carrying specs
+    to the cold path).
     """
+    cache = get_cache(cache)
     host = time.perf_counter
     phases = PhaseRecorder()
 
     start = host()
-    load_spec_image(spec)  # "build": toolchain build / HEX decode (cached)
+    load_spec_image(spec, cache)  # "build": toolchain build / HEX decode
     phases.record("build", host() - start)
 
     start = host()
-    board, base = _build_board(spec, telemetry)
+    board, base = _build_board(spec, telemetry, cache)
     phases.record("preprocess", host() - start)
 
     cpu = board.autopilot.cpu
@@ -493,21 +665,38 @@ def run_scenario(
     def cpu_total() -> int:
         return cpu.cycles_lifetime + cpu.cycles
 
-    program_host = isp.host_program_s if isp is not None else 0.0
-    program_sim = isp.stats.total_programming_ms if isp is not None else 0.0
-    start = host()
-    overhead_ms = board.boot()
-    boot_host = host() - start
-    if isp is not None:
-        program_host = isp.host_program_s - program_host
-        program_sim = isp.stats.total_programming_ms - program_sim
+    if board.restored is not None:
+        # warm board fork: the snapshot restore already reproduced the
+        # post-boot state; replay the cold boot's deterministic phase
+        # times so the campaign.phases contract holds bit for bit
+        overhead_ms = board.restored["overhead_ms"]
+        phases.record("program", 0.0, board.restored["program_sim_ms"])
+        phases.record("boot", 0.0, board.restored["boot_sim_ms"])
     else:
-        program_host = program_sim = 0.0
-    phases.record("program", program_host, program_sim)
-    phases.record(
-        "boot", max(boot_host - program_host, 0.0),
-        max(overhead_ms - program_sim, 0.0),
-    )
+        program_host = isp.host_program_s if isp is not None else 0.0
+        program_sim = isp.stats.total_programming_ms if isp is not None else 0.0
+        start = host()
+        overhead_ms = board.boot()
+        boot_host = host() - start
+        if isp is not None:
+            program_host = isp.host_program_s - program_host
+            program_sim = isp.stats.total_programming_ms - program_sim
+        else:
+            program_host = program_sim = 0.0
+        phases.record("program", program_host, program_sim)
+        boot_sim_ms = max(overhead_ms - program_sim, 0.0)
+        phases.record("boot", max(boot_host - program_host, 0.0), boot_sim_ms)
+        if (
+            cache is not None
+            and board.system is not None
+            and _snapshot_eligible(spec, telemetry)
+            and board.system.master.current_image is not None
+        ):
+            snapshot = board.system.capture_snapshot()
+            snapshot["overhead_ms"] = overhead_ms
+            snapshot["program_sim_ms"] = program_sim
+            snapshot["boot_sim_ms"] = boot_sim_ms
+            cache.put_object(_board_key(spec), snapshot)
     board.attach_observers()
 
     cycles = cpu_total()
@@ -613,7 +802,11 @@ def run_scenario(
 
 # -- scenario internals -----------------------------------------------------
 
-def _build_board(spec: ScenarioSpec, telemetry: Optional[Telemetry]):
+def _build_board(
+    spec: ScenarioSpec,
+    telemetry: Optional[Telemetry],
+    cache: Optional[ArtifactCache] = None,
+):
     """Build the board, applying attack-specific image transforms.
 
     The oracle attacker flies a board running a *randomized* image whose
@@ -622,7 +815,7 @@ def _build_board(spec: ScenarioSpec, telemetry: Optional[Telemetry]):
     Returns ``(board, base_image)`` — base is what attackers statically
     analyze (the paper's threat model: the unprotected public binary).
     """
-    base = load_spec_image(spec)
+    base = load_spec_image(spec, cache)
     if spec.attack == "oracle":
         from ..core import randomize_image
 
@@ -633,7 +826,7 @@ def _build_board(spec: ScenarioSpec, telemetry: Optional[Telemetry]):
         # host-side SRAM map: randomization never moves data
         board.autopilot.debug_symbols = base.symbols
         return board, base
-    return Board(spec, telemetry), base
+    return Board(spec, telemetry, cache=cache), base
 
 
 def _detections(board: Board) -> int:

@@ -50,6 +50,7 @@ from ..core.defenses import DEFENSE_BACKENDS
 from ..firmware import build_app, manifest_by_name
 from ..sim import (
     ATTACK_VARIANTS,
+    DEFAULT_SHARDS,
     Board,
     CampaignRunner,
     ScenarioSpec,
@@ -289,8 +290,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     Every scenario gets its own board seed and attacker seed derived from
     ``--seed`` (BLAKE2b, stable across processes), so the same invocation
     always produces the same aggregates and JSONL records at any
-    ``--jobs`` level.
+    ``--jobs`` level — and, because the artifact cache and the checkpoint
+    replay change host time only, at any ``--cache-dir``/``--resume``
+    setting too.
     """
+    if getattr(args, "campaign_command", None) == "serve":
+        return _cmd_campaign_serve(args)
+    if args.resume and args.checkpoint_dir is None:
+        print("campaign: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     specs = [
         ScenarioSpec(
             app=args.app,
@@ -315,7 +323,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     runner = CampaignRunner(
         jobs=args.jobs, timeout_s=args.timeout, jsonl_path=args.jsonl,
-        progress=progress,
+        progress=progress, cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir, shards=args.shards,
+        resume=args.resume,
     )
     report = runner.run(specs)
     aggregates = report.aggregates
@@ -349,6 +359,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.jsonl:
             print(f"wrote per-scenario records to {args.jsonl}")
     return 0 if aggregates["effects"] == 0 and aggregates["errors"] == 0 else 1
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    """Run the stdlib-only campaign job server until interrupted."""
+    import asyncio
+
+    from ..sim.serve import CampaignServer
+
+    server = CampaignServer(
+        host=args.host, port=args.port, default_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"campaign server listening on {server.host}:{server.port}",
+              file=sys.stderr, flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _report_data(full: bool) -> dict:
@@ -807,9 +841,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream [done/total] completion lines to stderr")
     campaign.add_argument("--inject-worker-fault", metavar="PATH",
                           help=argparse.SUPPRESS)  # test-only crash injection
+    campaign.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed artifact cache shared by all workers "
+             "(build + preprocess once per image, warm board restore)",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write per-shard completion checkpoints here",
+    )
+    campaign.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                          help="checkpoint shard file count "
+                               f"(default: {DEFAULT_SHARDS})")
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="replay completed specs from --checkpoint-dir, run the rest",
+    )
     _add_defense_argument(campaign)
     _add_engine_argument(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    campaign_sub = campaign.add_subparsers(dest="campaign_command")
+    serve = campaign_sub.add_parser(
+        "serve",
+        help="job server: campaign requests in, JSONL results streamed back",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=7667,
+                       help="TCP port (default: 7667; 0 picks a free port)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="default worker count for requests that omit it")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact cache shared by every served campaign")
+    serve.set_defaults(func=_cmd_campaign_serve)
 
     report = subparsers.add_parser(
         "report", help="paper-vs-measured reproduction summary"

@@ -1,0 +1,75 @@
+"""Campaign job server: request in, byte-identical JSONL streamed back."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.sim import CampaignRunner
+from repro.sim.serve import CampaignServer, specs_from_request
+
+
+async def _request(port: int, payload: dict):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+    await writer.drain()
+    lines = []
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        lines.append(line.decode("utf-8"))
+    writer.close()
+    await writer.wait_closed()
+    return lines
+
+
+def test_specs_from_request_mirrors_cli_derivation():
+    specs = specs_from_request({"attack": "guess", "count": 3, "seed": 9})
+    assert [spec.label for spec in specs] == ["guess-0", "guess-1", "guess-2"]
+    assert len({spec.seed for spec in specs}) == 3
+    assert len({spec.attack_seed for spec in specs}) == 3
+
+
+def test_specs_from_request_rejects_bad_input():
+    with pytest.raises(ValueError):
+        specs_from_request({"attack": "nonesuch"})
+    with pytest.raises(ValueError):
+        specs_from_request({"count": 0})
+
+
+def test_served_campaign_streams_file_sink_bytes(tmp_path):
+    request = {"app": "testapp", "attack": "guess", "count": 3, "seed": 5,
+               "jobs": 2}
+
+    async def scenario():
+        server = CampaignServer(port=0, cache_dir=tmp_path / "cache")
+        await server.start()
+        try:
+            return await _request(server.port, request)
+        finally:
+            server._server.close()
+            await server._server.wait_closed()
+
+    lines = asyncio.run(scenario())
+    direct = CampaignRunner(jobs=1, jsonl_path=tmp_path / "direct.jsonl")
+    direct.run(specs_from_request(request))
+    expected = (tmp_path / "direct.jsonl").read_text().splitlines(keepends=True)
+    assert lines == expected
+    assert "campaign.aggregates" in lines[-2]
+    assert "campaign.phases" in lines[-1]
+
+
+def test_served_error_is_one_json_line(tmp_path):
+    async def scenario():
+        server = CampaignServer(port=0)
+        await server.start()
+        try:
+            return await _request(server.port, {"attack": "nonesuch"})
+        finally:
+            server._server.close()
+            await server._server.wait_closed()
+
+    lines = asyncio.run(scenario())
+    assert len(lines) == 1
+    assert "campaign.error" in json.loads(lines[0])

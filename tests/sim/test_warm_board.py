@@ -1,0 +1,128 @@
+"""Warm board fork: cache provisioning tiers and the byte-identity contract.
+
+The artifact cache's whole claim is that it changes *host* time only:
+a scenario's deterministic record and its simulated phase times must be
+byte-identical whether the board was provisioned cold (full preprocess +
+ISP programming), from a cached deploy blob, or from a booted-board
+snapshot restored in a different process.  These tests pin that.
+"""
+
+import pytest
+
+import repro.sim.scenario as scenario_mod
+from repro.sim import Board, ScenarioSpec, run_scenario
+from repro.sim.artifacts import ArtifactCache
+
+
+def spec_for(**overrides):
+    defaults = dict(
+        app="testapp", seed=7, attack="guess", attack_seed=11, label="warm"
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def sim_phases(result):
+    return {name: cell["sim_ms"] for name, cell in result.phases.items()}
+
+
+# -- byte-identity across provisioning tiers ---------------------------------
+
+@pytest.mark.parametrize("defense", ("mavr", "daedalus", "ctomp"))
+def test_cold_prime_warm_records_identical(tmp_path, defense):
+    spec = spec_for(defense=defense)
+    cold = run_scenario(spec, 3)
+    prime = run_scenario(spec, 3, cache=ArtifactCache(tmp_path))
+    # a fresh cache instance (a different pool worker) restores from disk
+    warm_cache = ArtifactCache(tmp_path)
+    warm = run_scenario(spec, 3, cache=warm_cache)
+    assert warm_cache.hits.get("board") == 1
+    assert cold.to_record() == prime.to_record() == warm.to_record()
+    assert sim_phases(cold) == sim_phases(prime) == sim_phases(warm)
+
+
+def test_warm_restore_skips_programming_host_time(tmp_path):
+    spec = spec_for()
+    cache = ArtifactCache(tmp_path)
+    cold = run_scenario(spec, 0, cache=cache)
+    warm = run_scenario(spec, 0, cache=ArtifactCache(tmp_path))
+    setup = ("build", "preprocess", "program", "boot")
+    cold_setup = sum(cold.phases[name]["host_ms"] for name in setup)
+    warm_setup = sum(warm.phases[name]["host_ms"] for name in setup)
+    assert warm_setup < cold_setup
+    # the simulated ISP/boot time is replayed, not skipped
+    assert warm.phases["program"]["sim_ms"] == cold.phases["program"]["sim_ms"]
+
+
+# -- provisioning tiers ------------------------------------------------------
+
+def test_board_provisioning_tiers(tmp_path):
+    spec = spec_for()
+    assert Board(spec).provisioned == "cold"
+    cache = ArtifactCache(tmp_path)
+    run_scenario(spec, 0, cache=cache)  # primes deploy blob + snapshot
+    assert Board(spec, cache=cache).provisioned == "warm"
+    # snapshot-ineligible specs still reuse the deploy blob
+    observed = spec_for(telemetry=True)
+    board = Board(observed, cache=cache)
+    assert board.provisioned == "cached"
+    assert board.restored is None
+
+
+def test_image_override_bypasses_cache(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    spec = spec_for()
+    run_scenario(spec, 0, cache=cache)
+    image = scenario_mod.load_spec_image(spec)
+    board = Board(spec, image=image, cache=cache)
+    assert board.provisioned == "cold"
+
+
+def test_ineligible_specs_write_no_board_snapshot(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    for ineligible in (
+        spec_for(telemetry=True),
+        spec_for(profile="block"),
+        spec_for(flight_recorder=True),
+    ):
+        run_scenario(ineligible, 0, cache=cache)
+    assert not [p for p in tmp_path.iterdir() if p.name.startswith("board-")]
+    # ...but the firmware/deploy artifacts were still shared
+    assert [p for p in tmp_path.iterdir() if p.name.startswith("deploy-")]
+
+
+def test_snapshot_key_includes_board_seed(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    run_scenario(spec_for(seed=7), 0, cache=cache)
+    # a different board seed randomizes differently: its snapshot misses,
+    # so the scenario boots cold and stays correct
+    other = run_scenario(spec_for(seed=8), 0, cache=cache)
+    assert other.to_record() == run_scenario(spec_for(seed=8), 0).to_record()
+    boards = [p for p in tmp_path.iterdir() if p.name.startswith("board-")]
+    assert len(boards) == 2
+
+
+# -- the bounded inline-image cache ------------------------------------------
+
+def test_inline_image_cache_is_bounded_lru(monkeypatch):
+    class FakeImage:
+        built = 0
+
+        @classmethod
+        def from_preprocessed_hex(cls, hex_text):
+            cls.built += 1
+            return (cls.built, hex_text)
+
+    monkeypatch.setattr(scenario_mod, "FirmwareImage", FakeImage)
+    monkeypatch.setattr(scenario_mod, "_IMAGE_CACHE", type(scenario_mod._IMAGE_CACHE)())
+    limit = scenario_mod._IMAGE_CACHE_LIMIT
+    for index in range(limit + 4):
+        scenario_mod._cached_inline_image(f"hex-{index}")
+    assert len(scenario_mod._IMAGE_CACHE) == limit
+    assert FakeImage.built == limit + 4
+    # newest entry is still memoized...
+    scenario_mod._cached_inline_image(f"hex-{limit + 3}")
+    assert FakeImage.built == limit + 4
+    # ...the evicted oldest is rebuilt
+    scenario_mod._cached_inline_image("hex-0")
+    assert FakeImage.built == limit + 5

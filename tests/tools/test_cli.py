@@ -243,6 +243,47 @@ def test_campaign_worker_crash_retries(capsys, tmp_path):
     assert data["aggregates"]["scenarios"] == 2
 
 
+def test_campaign_cache_checkpoint_and_resume(capsys, tmp_path):
+    import json
+
+    cache = tmp_path / "cache"
+    ckpt = tmp_path / "ckpt"
+    common = ("campaign", "--app", "testapp", "-n", "2", "--seed", "7",
+              "--json", "--cache-dir", str(cache),
+              "--checkpoint-dir", str(ckpt))
+    code, out = run(capsys, *common)
+    assert code == 0
+    data = json.loads(out)
+    assert data["runner"]["cache_dir"] == str(cache)
+    assert data["runner"]["shards"] == 4
+    assert any(cache.iterdir())  # build/deploy/board artifacts published
+    assert list(ckpt.glob("shard-*.jsonl"))
+    # resume replays everything from the checkpoints, runs nothing new
+    code, out = run(capsys, *common, "--resume")
+    assert code == 0
+    resumed = json.loads(out)
+    assert resumed["runner"]["resumed"] == 2
+    assert resumed["aggregates"] == data["aggregates"]
+
+
+def test_campaign_resume_requires_checkpoint_dir(capsys):
+    code, _ = run(capsys, "campaign", "-n", "1", "--resume")
+    assert code == 2
+
+
+def test_campaign_serve_parser_wiring():
+    args = build_parser().parse_args(
+        ["campaign", "serve", "--port", "0", "--jobs", "2"]
+    )
+    assert args.campaign_command == "serve"
+    assert args.port == 0 and args.jobs == 2
+    assert args.host == "127.0.0.1"
+    # the plain campaign form is untouched by the sub-subcommand
+    plain = build_parser().parse_args(["campaign", "-n", "3"])
+    assert getattr(plain, "campaign_command", None) is None
+    assert plain.count == 3
+
+
 def test_telemetry_command(capsys, tmp_path):
     import json
 
