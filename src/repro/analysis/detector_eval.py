@@ -1,0 +1,155 @@
+"""Detector scoring: per-attack-kind precision/recall for the GCS.
+
+The :class:`~repro.uav.groundstation.GcsAnomalyDetector` is the defense
+of the protocol tier, and this module is its measurement harness.  For
+every protocol-layer kind in the attack registry it flies a batch of
+attacked sessions (each with a derived attacker seed) plus an equal
+batch of benign sessions, and scores the detector the standard way:
+
+* **recall** — attacked runs where the detector flagged at least one of
+  the kind's ``expected_anomalies``, over attacked runs;
+* **precision** — those true positives over (true positives + benign
+  runs that flagged the same anomaly set — false alarms);
+* **effect_rate** — attacked runs where the attack actually landed
+  (duplicates accepted, GCS belief dragged off track, rogue waypoint
+  accepted, mode forced, uplink saturated), independent of detection.
+
+Sessions run on the simulated clock with seeded RNGs, so the matrix is
+bit-identical across runs — ``BENCH_detector.json`` and the table in
+``docs/ATTACKS.md`` can be diffed mechanically (the doc-drift suite
+does).  Flood throughput (frames/s, wall clock) is measured separately
+in ``benchmarks/bench_detector.py`` and deliberately kept out of the
+table, so a CI-regenerated JSON still renders the same markdown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..attack.registry import PROTOCOL_LAYER, attack_kinds
+from ..sim.scenario import derive_seed
+from ..sim.swarm import SwarmSpec, run_swarm_scenario
+
+#: column order of the markdown table (keys into a kind's metric dict)
+DETECTOR_COLUMNS = (
+    ("expected", "expected anomalies"),
+    ("effect_rate", "effect rate"),
+    ("recall", "recall"),
+    ("precision", "precision"),
+)
+
+
+def _swarm_spec(
+    kind: Optional[str], run: int, *, boards: int, seed: int,
+    observe_ticks: int,
+) -> SwarmSpec:
+    stream = kind if kind is not None else "benign"
+    return SwarmSpec(
+        protected=False,  # the detector, not the firmware defense, is under test
+        boards=boards,
+        seed=derive_seed(seed, run, f"{stream}-board"),
+        attack=kind,
+        attack_seed=derive_seed(seed, run, f"{stream}-attack"),
+        observe_ticks=observe_ticks,
+        label=f"{stream}-{run}",
+    )
+
+
+def build_detector_matrix(
+    runs_per_kind: int = 6,
+    boards: int = 1,
+    seed: int = 0,
+    observe_ticks: int = 80,
+) -> dict:
+    """Score every protocol kind against the detector, plus a benign
+    baseline, as one JSON-serializable dict."""
+    kinds = attack_kinds(PROTOCOL_LAYER)
+
+    benign_flags: List[tuple] = []
+    for run in range(runs_per_kind):
+        result = run_swarm_scenario(_swarm_spec(
+            None, run, boards=boards, seed=seed, observe_ticks=observe_ticks,
+        ))
+        benign_flags.append(tuple(result.detector["flagged"]))
+
+    matrix: dict = {
+        "runs_per_kind": runs_per_kind,
+        "boards": boards,
+        "seed": seed,
+        "observe_ticks": observe_ticks,
+        "benign": {
+            "runs": runs_per_kind,
+            "false_alarm_runs": sum(1 for f in benign_flags if f),
+        },
+        "kinds": {},
+    }
+    for kind in kinds:
+        detected = 0
+        effects = 0
+        for run in range(runs_per_kind):
+            result = run_swarm_scenario(_swarm_spec(
+                kind.name, run, boards=boards, seed=seed,
+                observe_ticks=observe_ticks,
+            ))
+            if result.detected:
+                detected += 1
+            if result.effect:
+                effects += 1
+        false_alarms = sum(
+            1 for flagged in benign_flags
+            if any(k in flagged for k in kind.expected_anomalies)
+        )
+        matrix["kinds"][kind.name] = {
+            "expected": list(kind.expected_anomalies),
+            "runs": runs_per_kind,
+            "detected": detected,
+            "effects": effects,
+            "benign_false_alarms": false_alarms,
+            "effect_rate": round(effects / runs_per_kind, 4),
+            "recall": round(detected / runs_per_kind, 4),
+            "precision": round(
+                detected / (detected + false_alarms), 4
+            ) if detected + false_alarms else 0.0,
+        }
+    return matrix
+
+
+def format_detector_table(matrix: dict) -> str:
+    """Render the matrix as the markdown table ``docs/ATTACKS.md`` embeds.
+
+    The doc-drift suite re-renders the committed JSON through this exact
+    function and diffs it against the doc, so the formatting here is the
+    single source of truth for the published detector numbers.
+    """
+    headers = ["attack kind"] + [label for _, label in DETECTOR_COLUMNS]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for name, metrics in matrix["kinds"].items():
+        cells = [name] + [
+            _format_cell(key, metrics[key]) for key, _ in DETECTOR_COLUMNS
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _format_cell(key: str, value) -> str:
+    if key == "expected":
+        return ", ".join(value)
+    return f"{value:.2f}"
+
+
+def matrix_summary_lines(matrix: dict) -> List[str]:
+    """Human-readable one-liners for the bench's console output."""
+    lines = [
+        f"benign: {matrix['benign']['false_alarm_runs']}"
+        f"/{matrix['benign']['runs']} false-alarm runs"
+    ]
+    for name, m in matrix["kinds"].items():
+        lines.append(
+            f"{name:>16} effect {m['effect_rate']:.2f}, "
+            f"recall {m['recall']:.2f}, precision {m['precision']:.2f} "
+            f"(expected: {', '.join(m['expected'])})"
+        )
+    return lines

@@ -1,6 +1,17 @@
 """Stealthy code-reuse attacks against the simulated APM (paper §IV)."""
 
 from .chain import ChainBuilder, FILL_BYTE, Write3, ret_address_bytes
+from .registry import (
+    ATTACK_LAYERS,
+    MEMORY_LAYER,
+    PROTOCOL_LAYER,
+    AttackKind,
+    AttackPlay,
+    attack_kind,
+    attack_kinds,
+    attack_names,
+    register_kind,
+)
 from .gadgets import Gadget, GadgetFinder, StkMoveGadget, WriteMemGadget
 from .results import AttackOutcome, deliver
 from .runtime_facts import (
@@ -20,6 +31,15 @@ from .v4_persistence import (
 )
 
 __all__ = [
+    "ATTACK_LAYERS",
+    "MEMORY_LAYER",
+    "PROTOCOL_LAYER",
+    "AttackKind",
+    "AttackPlay",
+    "attack_kind",
+    "attack_kinds",
+    "attack_names",
+    "register_kind",
     "ChainBuilder",
     "FILL_BYTE",
     "Write3",

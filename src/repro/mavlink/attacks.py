@@ -1,0 +1,660 @@
+"""MAVLink protocol-tier attacks: link injection vs the GCS detector.
+
+The memory tier (``repro.attack``) exploits the *firmware's* vulnerable
+receive buffer; this tier attacks the *link* itself with well-formed (or
+deliberately malformed) MAVLink frames, the threat model of the
+ArduPilot control-layer security analyses in the related work: replay,
+GPS spoofing, waypoint injection, command injection, flood/DoS.
+
+A :class:`ProtocolSession` owns one simulated engagement:
+
+* one :class:`~repro.mavlink.channel.SerialChannel` shared by the whole
+  fleet (N boards, one ground station — the swarm topology),
+* deterministic benign traffic (heartbeats, a PARAM_SET and a
+  MISSION_ITEM per board, GLOBAL_POSITION_INT reports synthesized from
+  each board's flight state),
+* an optional :class:`ProtocolAttacker` injecting frames into either
+  direction, seeded only from the spec (``random.Random`` over a string
+  seed — stable across processes, the campaign determinism contract),
+* a host-side :class:`UplinkModel` — the *correct*, length-checking
+  receive stack a patched firmware would run — that decides which
+  injected frames a UAV would actually accept, and
+* one :class:`~repro.uav.groundstation.GcsAnomalyDetector` tapping both
+  directions, whose verdict is scored against each attack kind's
+  ``expected_anomalies`` from the registry.
+
+Attack frames deliberately do *not* enter the simulated AVR firmware's
+USART: that receive path is the paper's memory-corruption surface, and
+feeding protocol chaff through it would conflate the two tiers.  The
+boards keep flying (and emitting their 0xA5 telemetry, which each
+station's :class:`~repro.uav.groundstation.GroundStation` still
+monitors) while the MAVLink engagement plays out on the channel model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# NOTE: repro.uav.groundstation imports mavlink submodules at module
+# level, so the uav classes are imported lazily here to keep the
+# packages' __init__ modules cycle-free.
+from .channel import SerialChannel
+from .messages import (
+    COMMAND_LONG,
+    GLOBAL_POSITION_INT,
+    HEARTBEAT,
+    MISSION_ITEM,
+    PARAM_SET,
+)
+from .packet import Packet, build
+from .parser import StreamParser
+
+GCS_SYSID = 255
+#: benign traffic cadence (ticks)
+HEARTBEAT_EVERY = 5
+POSITION_EVERY = 4
+#: MAV_CMD ids used by the scripted traffic
+CMD_NAV_WAYPOINT = 16
+CMD_RETURN_TO_LAUNCH = 20
+#: extra per-window rate headroom granted per additional fleet board
+RATE_HEADROOM_PER_BOARD = 5
+#: GCS-believed-vs-actual deviation that counts as a spoofing effect (m)
+SPOOF_EFFECT_M = 25.0
+#: uplink share above which a flood counts as link saturation
+FLOOD_SATURATION = 0.5
+
+
+def mission_item_frame(
+    frame_seq: int,
+    *,
+    target_system: int,
+    mission_seq: int,
+    x: float,
+    y: float,
+    current: int = 0,
+    sysid: int = GCS_SYSID,
+) -> bytes:
+    """Build a MISSION_ITEM frame.
+
+    Done by hand because the message's payload field ``seq`` (mission
+    sequence) collides with :func:`build`'s frame-sequence keyword.
+    """
+    payload = MISSION_ITEM.pack(
+        param1=0.0, param2=0.0, param3=0.0, param4=0.0,
+        x=x, y=y, z=100.0,
+        seq=mission_seq, command=CMD_NAV_WAYPOINT,
+        target_system=target_system, target_component=0,
+        frame=0, current=current, autocontinue=1,
+    )
+    return Packet(
+        seq=frame_seq, sysid=sysid, compid=0,
+        msgid=MISSION_ITEM.msg_id, payload=payload,
+    ).to_bytes()
+
+
+class FrameStore:
+    """Captured benign frames, in capture order (the replay corpus)."""
+
+    def __init__(self) -> None:
+        self.frames: List[bytes] = []
+
+    def capture(self, frame: bytes) -> None:
+        self.frames.append(frame)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def pick(self, rng: random.Random) -> bytes:
+        return self.frames[rng.randrange(len(self.frames))]
+
+
+class UplinkModel:
+    """What a *correct* UAV receive stack would accept off the uplink.
+
+    Length-checking parser, CRC enforced — the patched counterpart of
+    the paper's vulnerable firmware.  Tracks the semantic state injected
+    commands would reach: parameters, mission lists, commanded modes,
+    plus exact-duplicate acceptance (the replay attack's effect).
+    """
+
+    def __init__(self, sysids: Sequence[int]) -> None:
+        self.sysids = tuple(sysids)
+        self.parser = StreamParser(length_check=True)
+        self.params: Dict[Tuple[int, int], float] = {}
+        self.missions: Dict[int, List[Tuple[int, float, float, int]]] = {}
+        self.modes: Dict[int, int] = {}
+        self.heartbeats = 0
+        self.accepted = 0
+        self.duplicates = 0
+        self._seen: set = set()
+
+    def _targets(self, target_system: int) -> Tuple[int, ...]:
+        if target_system == 0:  # broadcast
+            return self.sysids
+        if target_system in self.sysids:
+            return (target_system,)
+        return ()
+
+    def ingest(self, data: bytes) -> None:
+        for packet in self.parser.push(data):
+            self.accepted += 1
+            key = (
+                packet.sysid, packet.compid, packet.seq, packet.msgid,
+                bytes(packet.payload),
+            )
+            if key in self._seen:
+                self.duplicates += 1
+            else:
+                self._seen.add(key)
+            if packet.msgid == HEARTBEAT.msg_id:
+                self.heartbeats += 1
+                continue
+            values = packet.decode()
+            if packet.msgid == PARAM_SET.msg_id:
+                for sysid in self._targets(int(values["target_system"])):
+                    self.params[(sysid, int(values["param_index"]))] = (
+                        values["param_value"]
+                    )
+            elif packet.msgid == MISSION_ITEM.msg_id:
+                for sysid in self._targets(int(values["target_system"])):
+                    self.missions.setdefault(sysid, []).append((
+                        int(values["seq"]), values["x"], values["y"],
+                        int(values["command"]),
+                    ))
+            elif packet.msgid == COMMAND_LONG.msg_id:
+                for sysid in self._targets(int(values["target_system"])):
+                    self.modes[sysid] = int(values["command"])
+
+
+class ProtocolAttacker:
+    """Base class: deterministic frame injection, one direction or both."""
+
+    name = "attacker"
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    def _count(self, frames: List[bytes]) -> List[bytes]:
+        self.frames_sent += len(frames)
+        self.bytes_sent += sum(len(f) for f in frames)
+        return frames
+
+    def uplink_frames(self, tick: int, session: "ProtocolSession") -> List[bytes]:
+        return []
+
+    def downlink_frames(self, tick: int, session: "ProtocolSession") -> List[bytes]:
+        return []
+
+    def effect(self, session: "ProtocolSession") -> Tuple[bool, dict]:
+        return False, {}
+
+
+class ReplayAttacker(ProtocolAttacker):
+    """Re-send captured benign GCS frames verbatim.
+
+    The frames are bit-perfect (CRC included), so only statefulness can
+    catch them: the re-used sequence numbers fall out of phase with the
+    live GCS counter.  Effect: the correct receive stack accepts an
+    exact duplicate of a frame it already consumed.
+    """
+
+    name = "replay"
+
+    def __init__(self, rng: random.Random) -> None:
+        super().__init__(rng)
+        self.interval = rng.randint(3, 6)
+
+    def uplink_frames(self, tick: int, session: "ProtocolSession") -> List[bytes]:
+        start = min(30, session.total_ticks // 3)
+        if tick < start or (tick - start) % self.interval or not session.store:
+            return []
+        return self._count([session.store.pick(self.rng)])
+
+    def effect(self, session: "ProtocolSession") -> Tuple[bool, dict]:
+        duplicates = session.uplink.duplicates
+        return duplicates > 0, {"duplicates_accepted": duplicates}
+
+
+class GpsSpoofAttacker(ProtocolAttacker):
+    """Forge GLOBAL_POSITION_INT downlink claiming the target's sysid.
+
+    Each forged report drifts the claimed position a fixed step further
+    from the truth; the GCS's belief (last report wins) walks away from
+    the actual track.  The detector has no ground truth — it flags the
+    implied teleport speed between consecutive claims.
+    """
+
+    name = "gps_spoof"
+
+    def __init__(self, rng: random.Random) -> None:
+        super().__init__(rng)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        self.step = rng.uniform(6.0, 18.0)
+        self.direction = (math.sin(angle), math.cos(angle))
+        self.reports = 0
+        self._seq = rng.randrange(256)
+
+    def downlink_frames(self, tick: int, session: "ProtocolSession") -> List[bytes]:
+        # ride the target's own report cadence: the forged frame lands
+        # right after the genuine one each cycle, so last-report-wins
+        # leaves the GCS holding the forgery
+        if tick < 10 or (tick - session.target.index) % POSITION_EVERY:
+            return []
+        self.reports += 1
+        target = session.target
+        state = target.board.autopilot.flight.state
+        drift = self.step * self.reports
+        x = state.x + self.direction[0] * drift
+        y = state.y + self.direction[1] * drift
+        frame = session.position_frame(
+            target.sysid, x, y, seq=self._seq
+        )
+        self._seq = (self._seq + 1) & 0xFF
+        session.claimed[target.sysid] = (x, y)
+        return self._count([frame])
+
+    def effect(self, session: "ProtocolSession") -> Tuple[bool, dict]:
+        target = session.target
+        claimed = session.claimed.get(target.sysid)
+        if claimed is None:
+            return False, {"deviation_m": 0.0}
+        state = target.board.autopilot.flight.state
+        deviation = math.hypot(claimed[0] - state.x, claimed[1] - state.y)
+        return deviation > SPOOF_EFFECT_M, {
+            "deviation_m": round(deviation, 3),
+        }
+
+
+class WaypointInjectAttacker(ProtocolAttacker):
+    """Append rogue MISSION_ITEM waypoints from a forged GCS identity."""
+
+    name = "waypoint_inject"
+
+    def __init__(self, rng: random.Random) -> None:
+        super().__init__(rng)
+        self.interval = rng.randint(8, 14)
+        self._seq = rng.randrange(256)
+        self._mission_seq = rng.randint(900, 4000)
+        self.injected: List[Tuple[float, float]] = []
+
+    def uplink_frames(self, tick: int, session: "ProtocolSession") -> List[bytes]:
+        if tick < 20 or (tick - 20) % self.interval:
+            return []
+        x = round(self.rng.uniform(200.0, 900.0), 1)
+        y = round(self.rng.uniform(200.0, 900.0), 1)
+        frame = mission_item_frame(
+            self._seq, target_system=session.target.sysid,
+            mission_seq=self._mission_seq, x=x, y=y,
+        )
+        self._seq = (self._seq + 1) & 0xFF
+        self._mission_seq += 1
+        self.injected.append((x, y))
+        return self._count([frame])
+
+    def effect(self, session: "ProtocolSession") -> Tuple[bool, dict]:
+        accepted = session.uplink.missions.get(session.target.sysid, [])
+        legit = session.legit_waypoints
+        rogue = [
+            item for item in accepted if (item[1], item[2]) not in legit
+        ]
+        return bool(rogue), {"rogue_waypoints": len(rogue)}
+
+
+class CommandInjectAttacker(ProtocolAttacker):
+    """Forge a COMMAND_LONG (return-to-launch) from the GCS identity."""
+
+    name = "command_inject"
+
+    def __init__(self, rng: random.Random) -> None:
+        super().__init__(rng)
+        self.interval = rng.randint(10, 16)
+        self._seq = rng.randrange(256)
+
+    def uplink_frames(self, tick: int, session: "ProtocolSession") -> List[bytes]:
+        if tick < 25 or (tick - 25) % self.interval:
+            return []
+        frame = build(
+            COMMAND_LONG, seq=self._seq, sysid=GCS_SYSID,
+            param1=0.0, param2=0.0, param3=0.0, param4=0.0,
+            param5=0.0, param6=0.0, param7=0.0,
+            command=CMD_RETURN_TO_LAUNCH,
+            target_system=session.target.sysid, target_component=0,
+            confirmation=0,
+        ).to_bytes()
+        self._seq = (self._seq + 1) & 0xFF
+        return self._count([frame])
+
+    def effect(self, session: "ProtocolSession") -> Tuple[bool, dict]:
+        mode = session.uplink.modes.get(session.target.sysid)
+        return mode == CMD_RETURN_TO_LAUNCH, {"commanded_mode": mode}
+
+
+class FloodAttacker(ProtocolAttacker):
+    """Saturate the uplink: bursts of valid and CRC-corrupt frames."""
+
+    name = "flood"
+
+    def __init__(self, rng: random.Random) -> None:
+        super().__init__(rng)
+        self.rate = rng.randint(4, 12)  # frames per tick once started
+
+    def uplink_frames(self, tick: int, session: "ProtocolSession") -> List[bytes]:
+        if tick < 10:
+            return []
+        frames: List[bytes] = []
+        for i in range(self.rate):
+            frame = build(
+                HEARTBEAT, seq=self.rng.randrange(256), sysid=254,
+                custom_mode=0, type=1, autopilot=3, base_mode=81,
+                system_status=4, mavlink_version=3,
+            ).to_bytes()
+            if i % 4 == 3:  # corrupt every fourth frame's CRC
+                frame = frame[:-1] + bytes([frame[-1] ^ 0xFF])
+            frames.append(frame)
+        return self._count(frames)
+
+    def effect(self, session: "ProtocolSession") -> Tuple[bool, dict]:
+        total = session.channel.bytes_to_uav
+        share = self.bytes_sent / total if total else 0.0
+        return share > FLOOD_SATURATION, {
+            "uplink_share": round(share, 3),
+        }
+
+
+_ATTACKERS = {
+    cls.name: cls
+    for cls in (
+        ReplayAttacker, GpsSpoofAttacker, WaypointInjectAttacker,
+        CommandInjectAttacker, FloodAttacker,
+    )
+}
+
+PROTOCOL_ATTACK_NAMES = tuple(_ATTACKERS)
+
+
+def make_attacker(name: str, rng: random.Random) -> ProtocolAttacker:
+    try:
+        cls = _ATTACKERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol attack {name!r}; "
+            f"expected one of {PROTOCOL_ATTACK_NAMES}"
+        ) from None
+    return cls(rng)
+
+
+@dataclass
+class ProtocolOutcome:
+    """What one protocol engagement produced (all deterministic)."""
+
+    kind: Optional[str]
+    expected_anomalies: Tuple[str, ...]
+    attack_frames: int
+    attack_bytes: int
+    benign_frames: int
+    effect: bool
+    effect_detail: dict
+    detected: bool
+    flagged: Tuple[str, ...]
+    detector: dict
+    link_lost: bool
+    telemetry_frames: int
+    statuses: Tuple[str, ...]
+
+    def record(self) -> dict:
+        """JSON-ready verdict for the campaign record's ``detector`` key."""
+        return {
+            "kind": self.kind,
+            "expected": list(self.expected_anomalies),
+            "flagged": list(self.flagged),
+            "detected": self.detected,
+            "attack_frames": self.attack_frames,
+            "attack_bytes": self.attack_bytes,
+            "benign_frames": self.benign_frames,
+            "effect_detail": self.effect_detail,
+            **self.detector,
+        }
+
+
+class _Station:
+    """One fleet member: board + its 0xA5-telemetry ground monitor."""
+
+    def __init__(self, index: int, board) -> None:
+        from ..uav.groundstation import GroundStation
+
+        self.index = index
+        self.board = board
+        self.sysid = index + 1
+        self.monitor = GroundStation()
+        self.telemetry_frames = 0
+        self._seq = 0
+
+    def next_seq(self) -> int:
+        seq = self._seq
+        self._seq = (self._seq + 1) & 0xFF
+        return seq
+
+
+class ProtocolSession:
+    """One GCS ⇄ fleet MAVLink engagement with deterministic scheduling.
+
+    Per tick, in fixed order: benign uplink (heartbeat round + the
+    per-board PARAM_SET/MISSION_ITEM script) → attacker uplink → the
+    UAV-side drain feeds the detector and the correct-receiver model →
+    each board flies one tick (its 0xA5 telemetry going to its own
+    monitor) → benign position downlink per board → attacker downlink →
+    the GCS-side drain feeds the detector.  Every byte on the channel is
+    a deterministic function of (specs, attack seed), which is what lets
+    swarm campaign records stay byte-identical across job counts.
+    """
+
+    def __init__(
+        self,
+        boards: Sequence,
+        attacker: Optional[ProtocolAttacker] = None,
+        *,
+        attack_board: int = 0,
+        watch_every: int = 5,
+        telemetry=None,
+    ) -> None:
+        from ..uav.groundstation import GcsAnomalyDetector
+
+        if not boards:
+            raise ValueError("a protocol session needs at least one board")
+        self.stations = [
+            _Station(index, board) for index, board in enumerate(boards)
+        ]
+        if not 0 <= attack_board < len(self.stations):
+            raise ValueError(
+                f"attack_board {attack_board} out of range for "
+                f"{len(self.stations)} boards"
+            )
+        self.target = self.stations[attack_board]
+        self.attacker = attacker
+        self.watch_every = watch_every
+        self.channel = SerialChannel()
+        self.store = FrameStore()
+        self.uplink = UplinkModel([s.sysid for s in self.stations])
+        self.detector = GcsAnomalyDetector(
+            rate_limit=(
+                GcsAnomalyDetector.RATE_LIMIT_PER_WINDOW
+                + RATE_HEADROOM_PER_BOARD * (len(self.stations) - 1)
+            ),
+            telemetry=telemetry,
+        )
+        self.claimed: Dict[int, Tuple[float, float]] = {}
+        self.legit_waypoints: set = set()
+        self.benign_frames = 0
+        self.total_ticks = 0
+        self._gcs_seq = 0
+
+    # -- frame helpers ----------------------------------------------------
+
+    def _next_gcs_seq(self) -> int:
+        seq = self._gcs_seq
+        self._gcs_seq = (self._gcs_seq + 1) & 0xFF
+        return seq
+
+    def position_frame(
+        self, sysid: int, x: float, y: float, seq: Optional[int] = None
+    ) -> bytes:
+        """A GLOBAL_POSITION_INT report claiming planar position (x, y)."""
+        from ..uav.groundstation import POSITION_UNITS_PER_M
+
+        return build(
+            GLOBAL_POSITION_INT,
+            seq=seq if seq is not None else 0,
+            sysid=sysid,
+            time_boot_ms=0,
+            lat=int(round(y * POSITION_UNITS_PER_M)),
+            lon=int(round(x * POSITION_UNITS_PER_M)),
+            alt=100_000, relative_alt=100_000,
+            vx=0, vy=0, vz=0, hdg=0,
+        ).to_bytes()
+
+    def _send_up(self, frame: bytes, benign: bool) -> None:
+        self.channel.send_to_uav(frame)
+        if benign:
+            self.benign_frames += 1
+            self.store.capture(frame)
+
+    def _send_down(self, frame: bytes, benign: bool) -> None:
+        self.channel.send_to_gcs(frame)
+        if benign:
+            self.benign_frames += 1
+
+    # -- engagement -------------------------------------------------------
+
+    def run(self, ticks: int) -> None:
+        self.total_ticks = ticks
+        for tick in range(ticks):
+            self.detector.begin_tick(tick)
+            self._benign_uplink(tick)
+            if self.attacker is not None:
+                for frame in self.attacker.uplink_frames(tick, self):
+                    self._send_up(frame, benign=False)
+            uplink_bytes = self.channel.drain_uav_side()
+            self.detector.observe("up", uplink_bytes)
+            self.uplink.ingest(uplink_bytes)
+            for station in self.stations:
+                station.board.run(1, self.watch_every)
+                frames = station.monitor.ingest(
+                    station.board.autopilot.transmitted_bytes()
+                )
+                station.telemetry_frames += len(frames)
+            self._benign_downlink(tick)
+            if self.attacker is not None:
+                for frame in self.attacker.downlink_frames(tick, self):
+                    self._send_down(frame, benign=False)
+            self.detector.observe("down", self.channel.drain_gcs_side())
+
+    def _benign_uplink(self, tick: int) -> None:
+        if tick % HEARTBEAT_EVERY == 0:
+            self._send_up(build(
+                HEARTBEAT, seq=self._next_gcs_seq(), sysid=GCS_SYSID,
+                custom_mode=0, type=6, autopilot=3, base_mode=81,
+                system_status=4, mavlink_version=3,
+            ).to_bytes(), benign=True)
+        for station in self.stations:
+            if tick == 2 + 2 * station.index:
+                self._send_up(build(
+                    PARAM_SET, seq=self._next_gcs_seq(), sysid=GCS_SYSID,
+                    param_value=4.0, target_system=station.sysid,
+                    target_component=0, param_index=7, param_type=9,
+                ).to_bytes(), benign=True)
+            if tick == 3 + 2 * station.index:
+                x, y = 50.0 + 10.0 * station.index, 120.0
+                self.legit_waypoints.add((x, y))
+                self._send_up(mission_item_frame(
+                    self._next_gcs_seq(), target_system=station.sysid,
+                    mission_seq=0, x=x, y=y, current=1,
+                ), benign=True)
+
+    def _benign_downlink(self, tick: int) -> None:
+        for station in self.stations:
+            if (tick - station.index) % POSITION_EVERY == 0:
+                state = station.board.autopilot.flight.state
+                self._send_down(self.position_frame(
+                    station.sysid, state.x, state.y, seq=station.next_seq(),
+                ), benign=True)
+                self.claimed[station.sysid] = (state.x, state.y)
+
+    # -- verdict ----------------------------------------------------------
+
+    def outcome(
+        self, kind: Optional[str], expected: Tuple[str, ...]
+    ) -> ProtocolOutcome:
+        flagged = self.detector.flagged_kinds()
+        if self.attacker is not None:
+            effect, detail = self.attacker.effect(self)
+            detected = any(k in flagged for k in expected)
+            frames, attack_bytes = (
+                self.attacker.frames_sent, self.attacker.bytes_sent
+            )
+        else:
+            # benign session: any anomaly at all is a false alarm
+            effect, detail = False, {}
+            detected = bool(flagged)
+            frames = attack_bytes = 0
+        return ProtocolOutcome(
+            kind=kind,
+            expected_anomalies=tuple(expected),
+            attack_frames=frames,
+            attack_bytes=attack_bytes,
+            benign_frames=self.benign_frames,
+            effect=effect,
+            effect_detail=detail,
+            detected=detected,
+            flagged=flagged,
+            detector=self.detector.snapshot(),
+            link_lost=any(s.monitor.link_lost for s in self.stations),
+            telemetry_frames=sum(s.telemetry_frames for s in self.stations),
+            statuses=tuple(
+                s.board.autopilot.status.value for s in self.stations
+            ),
+        )
+
+
+def session_rng(kind: Optional[str], attack_seed: int) -> random.Random:
+    """Cross-process-stable RNG for one engagement (string seeding uses
+    SHA-512 internally, never Python's randomized ``hash``)."""
+    return random.Random(f"mavlink-attack:{kind}:{attack_seed}")
+
+
+def run_protocol_attack(
+    spec,
+    boards: Sequence,
+    kind: str,
+    expected_anomalies: Tuple[str, ...],
+    telemetry=None,
+) -> ProtocolOutcome:
+    """Play one protocol attack kind against already-warmed boards.
+
+    ``spec`` supplies ``attack_seed``/``observe_ticks``/``watch_every``
+    (and, for swarm specs, ``attack_board``); the boards must already be
+    booted and past warmup — the scenario layer owns that lifecycle.
+    """
+    attacker = make_attacker(kind, session_rng(kind, spec.attack_seed))
+    session = ProtocolSession(
+        boards,
+        attacker,
+        attack_board=getattr(spec, "attack_board", 0),
+        watch_every=spec.watch_every,
+        telemetry=telemetry,
+    )
+    session.run(spec.observe_ticks)
+    return session.outcome(kind, tuple(expected_anomalies))
+
+
+def run_benign_session(spec, boards: Sequence, telemetry=None) -> ProtocolOutcome:
+    """The same engagement with no attacker (false-alarm measurement)."""
+    session = ProtocolSession(
+        boards, None, watch_every=spec.watch_every, telemetry=telemetry,
+    )
+    session.run(spec.observe_ticks)
+    return session.outcome(None, ())

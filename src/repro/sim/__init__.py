@@ -37,9 +37,12 @@ from .scenario import (
     load_spec_image,
     run_scenario,
 )
+from .swarm import SwarmSpec, run_swarm_scenario
 
 __all__ = [
     "ATTACK_VARIANTS",
+    "SwarmSpec",
+    "run_swarm_scenario",
     "ArtifactCache",
     "Board",
     "CampaignReport",

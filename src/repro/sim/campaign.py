@@ -32,6 +32,7 @@ from ..telemetry import Telemetry, jsonable
 from .artifacts import get_cache
 from .pool import PoolTaskError, _TaskTimeout, call_with_timeout, in_worker, map_indexed
 from .scenario import PHASE_ORDER, ScenarioResult, ScenarioSpec, run_scenario
+from .swarm import SwarmSpec, run_swarm_scenario
 
 #: default number of checkpoint shard files a checkpointed campaign keeps
 DEFAULT_SHARDS = 4
@@ -144,9 +145,10 @@ def _campaign_worker(payload) -> ScenarioResult:
     index, spec, timeout_s, cache_root = payload
     _maybe_die_for_test(spec)
     cache = get_cache(cache_root)
+    play = run_swarm_scenario if isinstance(spec, SwarmSpec) else run_scenario
     try:
         return call_with_timeout(
-            lambda p: run_scenario(p[1], index=p[0], cache=cache),
+            lambda p: play(p[1], index=p[0], cache=cache),
             (index, spec), timeout_s,
         )
     except _TaskTimeout:
@@ -215,6 +217,8 @@ def _result_from_checkpoint(
         attacks_detected=record.get("attacks_detected", 0),
         profile_anomalies=record.get("profile_anomalies", 0),
         error=record.get("error"),
+        detector=record.get("detector"),
+        swarm=record.get("swarm"),
         phases={
             name: {"sim_ms": cell["sim_ms"]}
             for name, cell in entry.get("phases", {}).items()

@@ -22,12 +22,12 @@ serial and parallel campaign runs bit-identical.
 from __future__ import annotations
 
 import hashlib
-import random
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..attack.registry import attack_kind, attack_names
 from ..avr.engine import DEFAULT_ENGINE
 from ..avr.profile import PROFILE_MODES
 from ..binfmt.image import FirmwareImage
@@ -35,8 +35,9 @@ from ..core.defenses import DEFENSE_BACKENDS
 from ..telemetry import Telemetry, jsonable
 from .artifacts import ArtifactCache, artifact_key, get_cache
 
-#: attack variants a spec may name (``None`` = fly clean)
-ATTACK_VARIANTS = ("v1", "v2", "v3", "guess", "oracle")
+#: attack kinds a spec may name (``None`` = fly clean); derived from the
+#: attack registry, whose registration order defines CLI choice order
+ATTACK_VARIANTS = attack_names()
 
 _SEED_SPACE = 2**31
 
@@ -112,11 +113,10 @@ class ScenarioSpec:
                 f"unknown defense backend {self.defense!r}; "
                 f"expected one of {DEFENSE_BACKENDS}"
             )
-        if self.attack is not None and self.attack not in ATTACK_VARIANTS:
-            raise ValueError(
-                f"unknown attack variant {self.attack!r}; "
-                f"expected one of {ATTACK_VARIANTS}"
-            )
+        if self.attack is not None:
+            kind = attack_kind(self.attack)  # raises on an unknown name
+            if kind.validate is not None:
+                kind.validate(self)
         if self.fault not in (None, "wild_jump", "silence"):
             raise ValueError(f"unknown fault {self.fault!r}")
         if self.profile is not None and self.profile not in PROFILE_MODES:
@@ -124,8 +124,6 @@ class ScenarioSpec:
                 f"unknown profile mode {self.profile!r}; "
                 f"expected one of {PROFILE_MODES}"
             )
-        if self.attack == "oracle" and self.protected:
-            raise ValueError("the oracle attacker targets an unprotected board")
 
     def to_record(self) -> dict:
         """JSON-ready spec (bytes become hex via the shared serializer)."""
@@ -573,6 +571,11 @@ class ScenarioResult:
     profile: Optional[dict] = None
     forensics: Optional[dict] = None
     error: Optional[str] = None
+    # protocol-tier verdict (GcsAnomalyDetector + attack effect), or None
+    # for memory-tier/clean scenarios; deterministic, enters the record
+    detector: Optional[dict] = None
+    # per-board breakdown of a swarm scenario, or None for single-board
+    swarm: Optional[dict] = None
 
     @property
     def still_flying(self) -> bool:
@@ -600,6 +603,12 @@ class ScenarioResult:
             "profile_anomalies": self.profile_anomalies,
             "error": self.error,
         }
+        # appended (never inserted) so pre-existing memory-tier records
+        # stay byte-identical — the registry refactor's pinned contract
+        if self.detector is not None:
+            record["detector"] = self.detector
+        if self.swarm is not None:
+            record["swarm"] = self.swarm
         return record
 
 
@@ -658,46 +667,13 @@ def run_scenario(
     board, base = _build_board(spec, telemetry, cache)
     phases.record("preprocess", host() - start)
 
+    overhead_ms = _boot_with_phases(spec, board, phases, cache, telemetry)
+
     cpu = board.autopilot.cpu
-    isp = board.system.master.isp if board.system is not None else None
     ms_per_cycle = 1000.0 / cpu.clock_hz
 
     def cpu_total() -> int:
         return cpu.cycles_lifetime + cpu.cycles
-
-    if board.restored is not None:
-        # warm board fork: the snapshot restore already reproduced the
-        # post-boot state; replay the cold boot's deterministic phase
-        # times so the campaign.phases contract holds bit for bit
-        overhead_ms = board.restored["overhead_ms"]
-        phases.record("program", 0.0, board.restored["program_sim_ms"])
-        phases.record("boot", 0.0, board.restored["boot_sim_ms"])
-    else:
-        program_host = isp.host_program_s if isp is not None else 0.0
-        program_sim = isp.stats.total_programming_ms if isp is not None else 0.0
-        start = host()
-        overhead_ms = board.boot()
-        boot_host = host() - start
-        if isp is not None:
-            program_host = isp.host_program_s - program_host
-            program_sim = isp.stats.total_programming_ms - program_sim
-        else:
-            program_host = program_sim = 0.0
-        phases.record("program", program_host, program_sim)
-        boot_sim_ms = max(overhead_ms - program_sim, 0.0)
-        phases.record("boot", max(boot_host - program_host, 0.0), boot_sim_ms)
-        if (
-            cache is not None
-            and board.system is not None
-            and _snapshot_eligible(spec, telemetry)
-            and board.system.master.current_image is not None
-        ):
-            snapshot = board.system.capture_snapshot()
-            snapshot["overhead_ms"] = overhead_ms
-            snapshot["program_sim_ms"] = program_sim
-            snapshot["boot_sim_ms"] = boot_sim_ms
-            cache.put_object(_board_key(spec), snapshot)
-    board.attach_observers()
 
     cycles = cpu_total()
     start = host()
@@ -708,31 +684,18 @@ def run_scenario(
     baseline = board.read_target()
     detections_before = _detections(board)
 
-    delivered = 0
-    attack_outcome = None
-    observe_done = False
+    play = None
     cycles = cpu_total()
     start = host()
-    if spec.attack in ("v1", "v2", "v3"):
-        attack_outcome = _run_variant_attack(spec, board, base)
-        delivered = attack_outcome.delivered_bytes
-        # on a bare board the attack's own delivery protocol already
-        # observed the aftermath; a protected board defers observation to
-        # the master-supervised run below
-        observe_done = not spec.protected
-    elif spec.attack == "guess":
-        delivered = _deliver_guess(spec, board, base)
-    elif spec.attack == "oracle":
-        attack_outcome = _run_oracle_attack(spec, board, base)
-        observe_done = True
     if spec.attack is not None:
+        play = attack_kind(spec.attack).inject(spec, board, base)
         phases.record(
             "attack", host() - start, (cpu_total() - cycles) * ms_per_cycle
         )
     board.inject_fault()
     cycles = cpu_total()
     start = host()
-    if not observe_done:
+    if play is None or not play.observe_done:
         board.run(spec.observe_ticks, spec.watch_every)
     phases.record(
         "run", host() - start, (cpu_total() - cycles) * ms_per_cycle
@@ -741,12 +704,33 @@ def run_scenario(
     status = board.autopilot.status.value
     effect = board.read_target() != baseline
     detected = _detections(board) > detections_before
+    attack_outcome = play.outcome if play is not None else None
+    protocol_outcome = play.protocol if play is not None else None
     if attack_outcome is not None:
         effect = effect or attack_outcome.succeeded
     stealthy = (
         attack_outcome.stealthy if attack_outcome is not None
         else (effect and status == "running" and not detected)
     )
+    succeeded = attack_outcome.succeeded if attack_outcome else effect
+    link_lost = attack_outcome.link_lost if attack_outcome else False
+    frames_after = (
+        attack_outcome.telemetry_frames_after if attack_outcome else 0
+    )
+    detector_record = None
+    if protocol_outcome is not None:
+        # protocol tier: the link attack's effect and the GCS detector's
+        # verdict replace the memory-tier SRAM readout
+        effect = protocol_outcome.effect
+        succeeded = protocol_outcome.effect
+        detected = detected or protocol_outcome.detected
+        link_lost = protocol_outcome.link_lost
+        frames_after = protocol_outcome.telemetry_frames
+        stealthy = (
+            effect and status == "running"
+            and not detected and not link_lost
+        )
+        detector_record = protocol_outcome.record()
     crash = jsonable(board.autopilot.crash) if board.autopilot.crash else None
 
     report = board.report()
@@ -760,18 +744,17 @@ def run_scenario(
         effect=effect,
         detected=detected,
         stealthy=stealthy,
-        succeeded=attack_outcome.succeeded if attack_outcome else effect,
+        succeeded=succeeded,
         status=status,
         crash=crash,
-        delivered_bytes=delivered,
-        link_lost=attack_outcome.link_lost if attack_outcome else False,
-        telemetry_frames_after=(
-            attack_outcome.telemetry_frames_after if attack_outcome else 0
-        ),
+        delivered_bytes=play.delivered_bytes if play is not None else 0,
+        link_lost=link_lost,
+        telemetry_frames_after=frames_after,
         boots=report.boots if report else 1,
         randomizations=report.randomizations if report else 0,
         attacks_detected=report.attacks_detected if report else 0,
         startup_overhead_ms=overhead_ms,
+        detector=detector_record,
     )
     result.phases = phases.snapshot()
     if board.profiler is not None:
@@ -807,91 +790,73 @@ def _build_board(
     telemetry: Optional[Telemetry],
     cache: Optional[ArtifactCache] = None,
 ):
-    """Build the board, applying attack-specific image transforms.
+    """Build the board, applying the attack kind's board transform.
 
-    The oracle attacker flies a board running a *randomized* image whose
-    layout it fully knows (the situation the readout fuse prevents); all
-    other scenarios run the spec's image as built.
+    Most kinds fly the spec's image as built; a kind with a
+    ``build_board`` hook (the oracle: a *randomized* image whose layout
+    the attacker fully knows) constructs its own board instead.
     Returns ``(board, base_image)`` — base is what attackers statically
     analyze (the paper's threat model: the unprotected public binary).
     """
     base = load_spec_image(spec, cache)
-    if spec.attack == "oracle":
-        from ..core import randomize_image
-
-        randomized, _permutation = randomize_image(
-            base, random.Random(spec.attack_seed)
-        )
-        board = Board(spec, telemetry, image=randomized)
-        # host-side SRAM map: randomization never moves data
-        board.autopilot.debug_symbols = base.symbols
-        return board, base
+    if spec.attack is not None:
+        kind = attack_kind(spec.attack)
+        if kind.build_board is not None:
+            return kind.build_board(spec, telemetry, cache, base), base
     return Board(spec, telemetry, cache=cache), base
+
+
+def _boot_with_phases(
+    spec: ScenarioSpec,
+    board: Board,
+    phases: PhaseRecorder,
+    cache: Optional[ArtifactCache],
+    telemetry: Optional[Telemetry],
+) -> float:
+    """Program + boot one built board, recording the program/boot phases.
+
+    A warm-restored board replays the cold boot's recorded deterministic
+    ``sim_ms`` so the ``campaign.phases`` contract holds bit for bit; a
+    cold boot records the real split and publishes the booted-board
+    snapshot when the spec is eligible.  Shared by the single-board and
+    swarm runners — the operation order here is part of the byte-identity
+    contract.  Returns the startup overhead in ms.
+    """
+    host = time.perf_counter
+    isp = board.system.master.isp if board.system is not None else None
+    if board.restored is not None:
+        overhead_ms = board.restored["overhead_ms"]
+        phases.record("program", 0.0, board.restored["program_sim_ms"])
+        phases.record("boot", 0.0, board.restored["boot_sim_ms"])
+    else:
+        program_host = isp.host_program_s if isp is not None else 0.0
+        program_sim = isp.stats.total_programming_ms if isp is not None else 0.0
+        start = host()
+        overhead_ms = board.boot()
+        boot_host = host() - start
+        if isp is not None:
+            program_host = isp.host_program_s - program_host
+            program_sim = isp.stats.total_programming_ms - program_sim
+        else:
+            program_host = program_sim = 0.0
+        phases.record("program", program_host, program_sim)
+        boot_sim_ms = max(overhead_ms - program_sim, 0.0)
+        phases.record("boot", max(boot_host - program_host, 0.0), boot_sim_ms)
+        if (
+            cache is not None
+            and board.system is not None
+            and _snapshot_eligible(spec, telemetry)
+            and board.system.master.current_image is not None
+        ):
+            snapshot = board.system.capture_snapshot()
+            snapshot["overhead_ms"] = overhead_ms
+            snapshot["program_sim_ms"] = program_sim
+            snapshot["boot_sim_ms"] = boot_sim_ms
+            cache.put_object(_board_key(spec), snapshot)
+    board.attach_observers()
+    return overhead_ms
 
 
 def _detections(board: Board) -> int:
     report = board.report()
     return report.attacks_detected if report else 0
-
-
-def _attack_class(variant: str):
-    from ..attack import BasicAttack, StealthyAttack, TrampolineAttack
-
-    return {"v1": BasicAttack, "v2": StealthyAttack, "v3": TrampolineAttack}[
-        variant
-    ]
-
-
-def _run_variant_attack(spec: ScenarioSpec, board: Board, base: FirmwareImage):
-    """V1/V2/V3 built against the base (pre-randomization) layout.
-
-    Against an unprotected board this is the paper's §IV demonstration;
-    against a protected board the same payload lands wrong and the
-    master's detect/re-randomize cycle plays out during the observe run.
-    """
-    cls = _attack_class(spec.attack)
-    attack = cls(base, telemetry=board.telemetry)
-    kwargs = {
-        "observe_ticks": 0 if spec.protected else spec.observe_ticks
-    }
-    if spec.attack in ("v1", "v2"):
-        kwargs.update(
-            target_variable=spec.target_variable, values=spec.values
-        )
-    return attack.execute(board.autopilot, **kwargs)
-
-
-def _deliver_guess(spec: ScenarioSpec, board: Board, base: FirmwareImage) -> int:
-    """One wrong-layout replay: the §VII-A1 guessing attacker.
-
-    The attacker randomizes their own copy of the public binary
-    (``attack_seed``), builds a V2 exploit against that guess, and aims
-    at the base layout's SRAM address (stack geometry and the data space
-    are layout-invariant; the code layout is the secret).
-    """
-    from ..attack import StealthyAttack, Write3, derive_runtime_facts, variable_address
-    from ..core import randomize_image
-    from ..mavlink.messages import PARAM_SET
-    from ..uav.groundstation import MaliciousGroundStation
-
-    guess, _permutation = randomize_image(base, random.Random(spec.attack_seed))
-    facts = derive_runtime_facts(base)  # stack geometry is layout-invariant
-    exploit = StealthyAttack(guess, facts)
-    target = variable_address(base, spec.target_variable)
-    burst = MaliciousGroundStation().exploit_burst(
-        PARAM_SET.msg_id, exploit.attack_bytes([Write3(target, spec.values)])
-    )
-    board.autopilot.receive_bytes(burst)
-    return len(burst)
-
-
-def _run_oracle_attack(spec: ScenarioSpec, board: Board, base: FirmwareImage):
-    """Full-knowledge attacker vs the randomized image it knows."""
-    from ..attack import StealthyAttack
-
-    return StealthyAttack(board.image, telemetry=board.telemetry).execute(
-        board.autopilot,
-        target_variable=spec.target_variable,
-        values=spec.values,
-        observe_ticks=spec.observe_ticks,
-    )

@@ -3,6 +3,8 @@
 from .autopilot import Autopilot, AutopilotStatus, CrashInfo
 from .flight import FlightModel, FlightState, GYRO_UNITS_PER_DEG_S, SERVO_NEUTRAL
 from .groundstation import (
+    ANOMALY_KINDS,
+    GcsAnomalyDetector,
     GroundStation,
     LinkHealth,
     MaliciousGroundStation,
@@ -19,6 +21,8 @@ __all__ = [
     "FlightState",
     "GYRO_UNITS_PER_DEG_S",
     "SERVO_NEUTRAL",
+    "ANOMALY_KINDS",
+    "GcsAnomalyDetector",
     "GroundStation",
     "LinkHealth",
     "MaliciousGroundStation",

@@ -8,20 +8,28 @@ frame-rate accounting plus structural validation of every telemetry frame.
 
 :class:`MaliciousGroundStation` is the compromised/attacker-built station
 of Fig. 3: same link, but it can emit raw (oversized) MAVLink frames.
+
+:class:`GcsAnomalyDetector` is the protocol-tier counterpart: a stateful
+monitor of the *MAVLink* side of the link (the custom 0xA5 telemetry
+framing above is a separate downlink) that flags sequence gaps, CRC
+failures, frame-rate bursts and geofence/teleport deviations — the four
+signals the ``repro.mavlink.attacks`` kinds are scored against.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..firmware.hwmap import (
     TELEMETRY_FRAME_LENGTH,
     TELEMETRY_MARKER,
     TELEMETRY_TRAILER,
 )
-from ..mavlink.messages import MessageDef
+from ..mavlink.messages import GLOBAL_POSITION_INT, MessageDef
 from ..mavlink.packet import Packet, build
+from ..mavlink.parser import StreamParser
 
 
 @dataclass(frozen=True)
@@ -123,6 +131,180 @@ class GroundStation:
     def command(self, definition: MessageDef, **values) -> bytes:
         """Serialize a legitimate MAVLink command frame."""
         return build(definition, seq=self.next_seq(), sysid=255, **values).to_bytes()
+
+
+#: anomaly kinds the detector can flag (the registry's
+#: ``expected_anomalies`` tuples draw from this set)
+ANOMALY_KINDS = ("seq_gap", "crc_fail", "rate", "geofence")
+
+#: GLOBAL_POSITION_INT lat/lon wire units per metre (planar sim: the
+#: flight model's y goes on ``lat``, x on ``lon``, both in centimetres)
+POSITION_UNITS_PER_M = 100
+
+
+class GcsAnomalyDetector:
+    """Stateful MAVLink-stream monitor on the ground-station side.
+
+    The detector taps the raw bytes of both link directions through its
+    own correct (length-checking) :class:`~repro.mavlink.parser.
+    StreamParser` instances and keeps per-stream state:
+
+    * **seq_gap** — per ``(direction, sysid, compid)`` sequence counter;
+      any step other than +1 mod 256 after the first frame is a gap
+      (replayed frames re-use old numbers, forged frames come from an
+      attacker counter that cannot stay in phase).
+    * **crc_fail** — the parser's ``frames_bad_crc`` delta per observe
+      call (flood traffic mixes deliberately corrupt frames in).
+    * **rate** — total frames per :attr:`RATE_WINDOW_TICKS` tick window
+      against :attr:`rate_limit` (flood/DoS), flagged once per window.
+    * **geofence** — claimed GLOBAL_POSITION_INT positions per sysid:
+      leaving the :attr:`GEOFENCE_RADIUS_M` circle around home, or an
+      implied speed over :attr:`MAX_SPEED_M_PER_TICK` between
+      consecutive claims (teleport), is a deviation.  The detector never
+      sees ground truth — only what the stream claims.
+
+    Every flag lands in deterministic counters (and, with a telemetry
+    handle, as a ``gcs.anomaly`` event), so detector verdicts can ride
+    byte-identical campaign records.
+    """
+
+    GEOFENCE_RADIUS_M = 500.0
+    MAX_SPEED_M_PER_TICK = 1.5
+    RATE_WINDOW_TICKS = 10
+    RATE_LIMIT_PER_WINDOW = 15
+    #: anomaly instances kept with full detail (counters are unbounded)
+    EVENT_LIMIT = 64
+
+    def __init__(
+        self, rate_limit: Optional[int] = None, telemetry=None
+    ) -> None:
+        self.rate_limit = (
+            rate_limit if rate_limit is not None
+            else self.RATE_LIMIT_PER_WINDOW
+        )
+        self.telemetry = telemetry
+        self._parsers: Dict[str, StreamParser] = {}
+        self._bad_crc_seen: Dict[str, int] = {}
+        self._last_seq: Dict[Tuple[str, int, int], int] = {}
+        self._claimed: Dict[int, Tuple[int, float, float]] = {}
+        self._geofenced: set = set()  # sysids already flagged out-of-fence
+        self._tick = 0
+        self._window_start = 0
+        self._window_frames = 0
+        self._window_flagged = False
+        self.frames_seen = 0
+        self.anomaly_counts: Dict[str, int] = {}
+        self.anomalies: List[dict] = []
+        self.first_anomaly_tick: Optional[int] = None
+
+    # -- stream input -----------------------------------------------------
+
+    def begin_tick(self, tick: int) -> None:
+        """Advance the detector clock (rolls the rate window)."""
+        self._tick = tick
+        if tick - self._window_start >= self.RATE_WINDOW_TICKS:
+            self._window_start = tick
+            self._window_frames = 0
+            self._window_flagged = False
+
+    def observe(self, direction: str, data: bytes) -> List[Packet]:
+        """Tap one direction's raw bytes; returns the parsed packets."""
+        if not data:
+            return []
+        parser = self._parsers.get(direction)
+        if parser is None:
+            parser = self._parsers[direction] = StreamParser(length_check=True)
+            self._bad_crc_seen[direction] = 0
+        packets = parser.push(data)
+        bad = parser.stats.frames_bad_crc - self._bad_crc_seen[direction]
+        if bad:
+            self._bad_crc_seen[direction] = parser.stats.frames_bad_crc
+            self._flag("crc_fail", direction=direction, frames=bad)
+        self._window_frames += len(packets) + bad
+        self.frames_seen += len(packets)
+        for packet in packets:
+            self._check_sequence(direction, packet)
+            if packet.msgid == GLOBAL_POSITION_INT.msg_id:
+                self._check_position(packet)
+        if (
+            self._window_frames > self.rate_limit
+            and not self._window_flagged
+        ):
+            self._window_flagged = True
+            self._flag("rate", frames=self._window_frames)
+        return packets
+
+    # -- checks -----------------------------------------------------------
+
+    def _check_sequence(self, direction: str, packet: Packet) -> None:
+        key = (direction, packet.sysid, packet.compid)
+        last = self._last_seq.get(key)
+        self._last_seq[key] = packet.seq
+        if last is None:
+            return
+        if packet.seq != (last + 1) & 0xFF:
+            self._flag(
+                "seq_gap", direction=direction, sysid=packet.sysid,
+                expected=(last + 1) & 0xFF, got=packet.seq,
+            )
+
+    def _check_position(self, packet: Packet) -> None:
+        values = packet.decode()
+        x = values["lon"] / POSITION_UNITS_PER_M
+        y = values["lat"] / POSITION_UNITS_PER_M
+        sysid = packet.sysid
+        previous = self._claimed.get(sysid)
+        self._claimed[sysid] = (self._tick, x, y)
+        if (
+            math.hypot(x, y) > self.GEOFENCE_RADIUS_M
+            and sysid not in self._geofenced
+        ):
+            self._geofenced.add(sysid)
+            self._flag("geofence", sysid=sysid, reason="outside_fence")
+        if previous is None:
+            return
+        last_tick, last_x, last_y = previous
+        ticks = max(self._tick - last_tick, 1)
+        speed = math.hypot(x - last_x, y - last_y) / ticks
+        if speed > self.MAX_SPEED_M_PER_TICK:
+            self._flag(
+                "geofence", sysid=sysid, reason="teleport",
+                speed=round(speed, 3),
+            )
+
+    def _flag(self, kind: str, **detail) -> None:
+        self.anomaly_counts[kind] = self.anomaly_counts.get(kind, 0) + 1
+        if self.first_anomaly_tick is None:
+            self.first_anomaly_tick = self._tick
+        if len(self.anomalies) < self.EVENT_LIMIT:
+            self.anomalies.append({"kind": kind, "tick": self._tick, **detail})
+        if self.telemetry is not None:
+            self.telemetry.emit("gcs.anomaly", kind=kind, tick=self._tick, **detail)
+            self.telemetry.counter(
+                "gcs.anomalies", component="gcs", kind=kind
+            ).inc()
+
+    # -- verdicts ---------------------------------------------------------
+
+    @property
+    def total_anomalies(self) -> int:
+        return sum(self.anomaly_counts.values())
+
+    def flagged_kinds(self) -> Tuple[str, ...]:
+        """Anomaly kinds seen at least once, in canonical order."""
+        return tuple(k for k in ANOMALY_KINDS if self.anomaly_counts.get(k))
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready verdict for campaign records."""
+        return {
+            "frames": self.frames_seen,
+            "anomalies": {
+                kind: self.anomaly_counts[kind]
+                for kind in ANOMALY_KINDS
+                if kind in self.anomaly_counts
+            },
+            "first_anomaly_tick": self.first_anomaly_tick,
+        }
 
 
 class MaliciousGroundStation(GroundStation):

@@ -1,0 +1,87 @@
+"""Attack registry: lookup contract, layer partition, lifecycle hooks."""
+
+import pytest
+
+from repro.attack import (
+    MEMORY_LAYER,
+    PROTOCOL_LAYER,
+    AttackKind,
+    attack_kind,
+    attack_kinds,
+    attack_names,
+    register_kind,
+)
+from repro.sim import ATTACK_VARIANTS, ScenarioSpec, run_scenario
+from repro.uav import ANOMALY_KINDS
+
+
+# -- lookup contract ----------------------------------------------------------
+
+def test_registration_order_defines_attack_variants():
+    assert attack_names() == ATTACK_VARIANTS
+    # the memory tier keeps its historical order; protocol kinds follow
+    assert ATTACK_VARIANTS[:6] == ("v1", "v2", "v3", "guess", "oracle", "v4")
+
+
+def test_layers_partition_the_registry():
+    memory = attack_names(MEMORY_LAYER)
+    protocol = attack_names(PROTOCOL_LAYER)
+    assert set(memory) | set(protocol) == set(attack_names())
+    assert not set(memory) & set(protocol)
+    assert protocol == (
+        "replay", "gps_spoof", "waypoint_inject", "command_inject", "flood",
+    )
+
+
+def test_unknown_name_raises_listing_choices():
+    with pytest.raises(ValueError, match="unknown attack kind"):
+        attack_kind("v9")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_kind(AttackKind(name="v1", layer=MEMORY_LAYER, summary="dup"))
+
+
+def test_unknown_layer_rejected():
+    with pytest.raises(ValueError, match="unknown attack layer"):
+        AttackKind(name="x", layer="astral", summary="nope")
+
+
+def test_every_kind_has_summary_and_inject():
+    for kind in attack_kinds():
+        assert kind.summary
+        assert kind.inject is not None
+
+
+def test_protocol_kinds_declare_detector_contract():
+    for kind in attack_kinds(PROTOCOL_LAYER):
+        assert kind.expected_anomalies, kind.name
+        assert set(kind.expected_anomalies) <= set(ANOMALY_KINDS)
+        assert "attack_seed" in kind.required_fields
+    for kind in attack_kinds(MEMORY_LAYER):
+        assert kind.expected_anomalies == ()
+
+
+# -- hooks --------------------------------------------------------------------
+
+def test_oracle_validate_hook_rejects_protected_spec():
+    with pytest.raises(ValueError, match="unprotected"):
+        ScenarioSpec(attack="oracle", protected=True)
+
+
+def test_spec_validation_goes_through_registry():
+    with pytest.raises(ValueError, match="unknown attack kind"):
+        ScenarioSpec(attack="nonesuch")
+
+
+def test_v4_runs_through_the_registry(testapp):
+    """The orphaned persistence attack is a first-class spec kind now."""
+    spec = ScenarioSpec(
+        image_hex=testapp.to_preprocessed_hex(), protected=False,
+        attack="v4", observe_ticks=30,
+    )
+    result = run_scenario(spec)
+    assert result.succeeded
+    assert result.delivered_bytes > 0
+    assert result.detector is None  # memory-tier records keep their shape

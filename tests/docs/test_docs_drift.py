@@ -8,7 +8,10 @@ Three mechanical invariants, enforced in CI:
 * every relative markdown link resolves to a file in the repository;
 * the comparison matrix embedded in ``docs/DEFENSES.md`` is exactly what
   ``format_matrix_table`` renders from the committed
-  ``BENCH_defense_matrix.json`` — the table cannot drift from the data.
+  ``BENCH_defense_matrix.json`` — the table cannot drift from the data;
+* likewise the detector scorecard in ``docs/ATTACKS.md`` against
+  ``BENCH_detector.json`` (via ``format_detector_table``), and the doc's
+  per-kind coverage against the live attack registry.
 """
 
 import json
@@ -119,6 +122,51 @@ def test_defenses_matrix_matches_committed_json():
     assert match.group(1) == expected, (
         "docs/DEFENSES.md matrix drifted from BENCH_defense_matrix.json; "
         "re-run benchmarks/bench_defense_matrix.py and paste the table"
+    )
+
+
+def test_attacks_detector_table_matches_committed_json():
+    from repro.analysis.detector_eval import format_detector_table
+
+    doc = (REPO / "docs" / "ATTACKS.md").read_text()
+    match = re.search(
+        r"<!-- detector-matrix:begin -->\n(.*?)\n<!-- detector-matrix:end -->",
+        doc,
+        re.DOTALL,
+    )
+    assert match, "docs/ATTACKS.md lost its detector-matrix markers"
+    results = json.loads((REPO / "BENCH_detector.json").read_text())
+    expected = format_detector_table(results["matrix"])
+    assert match.group(1) == expected, (
+        "docs/ATTACKS.md scorecard drifted from BENCH_detector.json; "
+        "re-run benchmarks/bench_detector.py and paste the table"
+    )
+
+
+def test_detector_json_covers_every_protocol_kind():
+    from repro.attack import PROTOCOL_LAYER, attack_names
+
+    results = json.loads((REPO / "BENCH_detector.json").read_text())
+    assert tuple(results["matrix"]["kinds"]) == attack_names(PROTOCOL_LAYER)
+    required = {
+        "expected", "runs", "detected", "effects", "benign_false_alarms",
+        "effect_rate", "recall", "precision",
+    }
+    for name, metrics in results["matrix"]["kinds"].items():
+        missing = required - set(metrics)
+        assert not missing, f"{name} missing {missing}"
+    assert results["flood_throughput"]["frames_per_s"] > 0
+
+
+def test_attacks_doc_documents_every_registered_kind():
+    from repro.attack import attack_names
+
+    doc = (REPO / "docs" / "ATTACKS.md").read_text()
+    undocumented = [
+        name for name in attack_names() if f"`{name}`" not in doc
+    ]
+    assert not undocumented, (
+        f"docs/ATTACKS.md missing registered attack kinds: {undocumented}"
     )
 
 

@@ -1,0 +1,141 @@
+"""Protocol attack tier: attackers, the correct-receiver model, sessions."""
+
+import json
+
+import pytest
+
+from repro.attack import attack_kind
+from repro.mavlink import (
+    HEARTBEAT,
+    PARAM_SET,
+    PROTOCOL_ATTACK_NAMES,
+    FrameStore,
+    Packet,
+    ProtocolSession,
+    UplinkModel,
+    build,
+    make_attacker,
+    mission_item_frame,
+)
+from repro.mavlink.attacks import session_rng
+from repro.sim import ScenarioSpec, run_scenario
+
+
+# -- uplink model (the patched receiver) --------------------------------------
+
+def param_set_frame(seq=0, target=1, index=7, value=4.0):
+    return build(
+        PARAM_SET, seq=seq, param_value=value, target_system=target,
+        target_component=0, param_index=index, param_type=9,
+    ).to_bytes()
+
+
+def test_uplink_model_tracks_duplicates():
+    model = UplinkModel([1])
+    frame = param_set_frame()
+    model.ingest(frame)
+    model.ingest(frame)
+    assert model.accepted == 2
+    assert model.duplicates == 1
+    assert model.params[(1, 7)] == pytest.approx(4.0)
+
+
+def test_uplink_model_broadcast_reaches_every_sysid():
+    model = UplinkModel([1, 2, 3])
+    model.ingest(param_set_frame(target=0))
+    assert set(model.params) == {(1, 7), (2, 7), (3, 7)}
+
+
+def test_uplink_model_ignores_unknown_target():
+    model = UplinkModel([1])
+    model.ingest(param_set_frame(target=9))
+    assert model.params == {}
+    assert model.accepted == 1  # parsed, just not for any fleet member
+
+
+def test_uplink_model_rejects_corrupt_crc():
+    model = UplinkModel([1])
+    frame = param_set_frame()
+    model.ingest(frame[:-1] + bytes([frame[-1] ^ 0xFF]))
+    assert model.accepted == 0
+    assert model.parser.stats.frames_bad_crc == 1
+
+
+# -- frame helpers ------------------------------------------------------------
+
+def test_mission_item_frame_roundtrip():
+    frame = mission_item_frame(
+        7, target_system=2, mission_seq=1234, x=300.5, y=450.25,
+    )
+    packet = Packet.from_bytes(frame)
+    assert packet.seq == 7
+    values = packet.decode()
+    assert values["seq"] == 1234  # the payload's mission sequence
+    assert values["target_system"] == 2
+    assert values["x"] == pytest.approx(300.5)
+    assert values["y"] == pytest.approx(450.25)
+
+
+def test_frame_store_capture_order_and_seeded_pick():
+    store = FrameStore()
+    for frame in (b"a", b"b", b"c"):
+        store.capture(frame)
+    assert len(store) == 3
+    first = store.pick(session_rng("replay", 1))
+    assert first == store.pick(session_rng("replay", 1))
+
+
+# -- attacker construction ----------------------------------------------------
+
+def test_make_attacker_covers_registry_and_rejects_unknown():
+    for name in PROTOCOL_ATTACK_NAMES:
+        attacker = make_attacker(name, session_rng(name, 0))
+        assert attacker.name == name
+        assert attacker.frames_sent == 0
+    with pytest.raises(ValueError, match="unknown protocol attack"):
+        make_attacker("carrier_pigeon", session_rng("x", 0))
+
+
+def test_session_rng_is_deterministic_per_kind_and_seed():
+    assert session_rng("flood", 3).random() == session_rng("flood", 3).random()
+    assert session_rng("flood", 3).random() != session_rng("flood", 4).random()
+    assert session_rng("flood", 3).random() != session_rng("replay", 3).random()
+
+
+def test_session_rejects_empty_fleet():
+    with pytest.raises(ValueError, match="at least one board"):
+        ProtocolSession([])
+
+
+# -- end-to-end through the scenario runner -----------------------------------
+
+@pytest.mark.parametrize("name", PROTOCOL_ATTACK_NAMES)
+def test_each_kind_lands_and_is_flagged(name):
+    kind = attack_kind(name)
+    spec = ScenarioSpec(
+        protected=False, attack=name, attack_seed=1, observe_ticks=80,
+    )
+    result = run_scenario(spec)
+    assert result.effect, result.detector
+    assert result.detected
+    assert result.detector["kind"] == name
+    assert set(result.detector["flagged"]) & set(kind.expected_anomalies)
+    assert result.delivered_bytes == result.detector["attack_bytes"] > 0
+    # the link attack never touches the firmware: the board keeps flying
+    assert result.status == "running"
+
+
+def test_protocol_record_is_deterministic():
+    spec = ScenarioSpec(
+        protected=False, attack="replay", attack_seed=5, observe_ticks=60,
+    )
+    first = json.dumps(run_scenario(spec).to_record(), separators=(",", ":"))
+    second = json.dumps(run_scenario(spec).to_record(), separators=(",", ":"))
+    assert first == second
+
+
+def test_memory_tier_records_carry_no_detector_key():
+    spec = ScenarioSpec(protected=False, attack="v2", observe_ticks=30)
+    record = run_scenario(spec).to_record()
+    assert "detector" not in record
+    assert "swarm" not in record

@@ -1,0 +1,128 @@
+"""Swarm scenarios: spec validation, derived boards, campaign determinism."""
+
+import json
+
+import pytest
+
+from repro.sim import (
+    CampaignRunner,
+    SwarmSpec,
+    derive_seed,
+    run_swarm_scenario,
+)
+from repro.sim.swarm import SWARM_BOARD_STREAM
+
+
+def swarm_specs_for(n, attack="flood", base_seed=77, **overrides):
+    return [
+        SwarmSpec(
+            boards=3,
+            protected=False,
+            seed=derive_seed(base_seed, index, "swarm"),
+            attack=attack,
+            attack_seed=derive_seed(base_seed, index, "swarm-attack"),
+            observe_ticks=40,
+            label=f"s{index}",
+            **overrides,
+        )
+        for index in range(n)
+    ]
+
+
+# -- spec validation ----------------------------------------------------------
+
+def test_swarm_spec_rejects_bad_fleet_shapes():
+    with pytest.raises(ValueError, match="at least one board"):
+        SwarmSpec(boards=0)
+    with pytest.raises(ValueError, match="out of range"):
+        SwarmSpec(boards=2, attack_board=2)
+    with pytest.raises(ValueError, match="defense backend"):
+        SwarmSpec(defense="aslr")
+
+
+def test_swarm_spec_accepts_protocol_kinds_only():
+    SwarmSpec(attack="replay")  # fine
+    SwarmSpec(attack=None)      # benign fleet, fine
+    with pytest.raises(ValueError, match="protocol-layer"):
+        SwarmSpec(attack="v2")
+    with pytest.raises(ValueError, match="unknown attack kind"):
+        SwarmSpec(attack="nonesuch")
+
+
+def test_board_spec_derivation_is_clean_and_seed_separated():
+    spec = SwarmSpec(boards=3, seed=5, attack="flood", label="fleet")
+    subs = [spec.board_spec(i) for i in range(3)]
+    assert [s.seed for s in subs] == [
+        derive_seed(5, i, SWARM_BOARD_STREAM) for i in range(3)
+    ]
+    assert len({s.seed for s in subs}) == 3
+    # the protocol attacker never touches firmware: boards fly clean,
+    # which is what lets deploy artifacts and warm forks be shared
+    assert all(s.attack is None for s in subs)
+    assert [s.label for s in subs] == ["fleet/b0", "fleet/b1", "fleet/b2"]
+
+
+def test_swarm_record_omits_test_only_fields():
+    record = SwarmSpec(worker_fault_marker="/tmp/m").to_record()
+    assert "worker_fault_marker" not in record
+    assert record["boards"] == 3
+
+
+# -- single runs --------------------------------------------------------------
+
+def test_attacked_swarm_scores_the_detector():
+    result = run_swarm_scenario(swarm_specs_for(1)[0])
+    assert result.effect and result.detected
+    assert result.swarm["boards"] == 3
+    assert result.swarm["statuses"] == ["running"] * 3
+    assert result.swarm["benign_frames"] > 0
+    assert result.detector["kind"] == "flood"
+    record = result.to_record()
+    assert record["detector"] == result.detector
+    assert record["swarm"] == result.swarm
+
+
+def test_benign_swarm_raises_no_alarms():
+    result = run_swarm_scenario(swarm_specs_for(1, attack=None)[0])
+    assert not result.effect and not result.detected
+    assert result.detector["kind"] is None
+    assert result.detector["flagged"] == []
+    assert result.delivered_bytes == 0
+
+
+# -- campaign determinism -----------------------------------------------------
+
+def test_swarm_campaign_serial_vs_parallel_bit_identical(tmp_path):
+    specs = swarm_specs_for(4)
+    serial_path = tmp_path / "serial.jsonl"
+    parallel_path = tmp_path / "parallel.jsonl"
+    serial = CampaignRunner(jobs=1, jsonl_path=serial_path).run(specs)
+    parallel = CampaignRunner(jobs=4, jsonl_path=parallel_path).run(specs)
+    assert serial.aggregates == parallel.aggregates
+    assert serial.records() == parallel.records()
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+    assert serial.aggregates["errors"] == 0
+    assert serial.aggregates["detections"] == 4
+
+
+def test_swarm_campaign_checkpoint_resume_round_trips(tmp_path):
+    specs = swarm_specs_for(3)
+    checkpoint = tmp_path / "checkpoints"
+    first = CampaignRunner(jobs=1, checkpoint_dir=checkpoint).run(specs)
+    resumed = CampaignRunner(
+        jobs=1, resume=True, checkpoint_dir=checkpoint,
+    ).run(specs)
+    assert resumed.runner["resumed"] == 3
+    assert first.records() == resumed.records()
+    # resurrected results keep the swarm extensions
+    assert all(r.detector is not None for r in resumed.results)
+    assert all(r.swarm["boards"] == 3 for r in resumed.results)
+
+
+def test_swarm_jsonl_records_parse_with_extensions(tmp_path):
+    path = tmp_path / "swarm.jsonl"
+    CampaignRunner(jobs=1, jsonl_path=path).run(swarm_specs_for(1))
+    line = json.loads(path.read_text().splitlines()[0])
+    assert line["spec"]["boards"] == 3
+    assert line["detector"]["detected"] is True
+    assert line["swarm"]["statuses"] == ["running"] * 3

@@ -1,0 +1,227 @@
+"""Ground-station edges: link-loss timing, frame resync, exploit framing,
+and the MAVLink anomaly detector."""
+
+import pytest
+
+from repro.firmware.hwmap import TELEMETRY_MARKER, TELEMETRY_TRAILER
+from repro.mavlink import GLOBAL_POSITION_INT, HEARTBEAT, PARAM_SET, build
+from repro.uav import (
+    ANOMALY_KINDS,
+    GcsAnomalyDetector,
+    GroundStation,
+    MaliciousGroundStation,
+)
+from repro.uav.groundstation import POSITION_UNITS_PER_M
+
+
+def make_frame(gx=0, gy=0, gz=0):
+    def split(v):
+        v &= 0xFFFF
+        return [v & 0xFF, v >> 8]
+    return bytes([TELEMETRY_MARKER] + split(gx) + split(gy) + split(gz)
+                 + [TELEMETRY_TRAILER])
+
+
+# -- link-loss alarm edges ----------------------------------------------------
+
+def test_link_lost_fires_exactly_at_threshold():
+    gcs = GroundStation()
+    gcs.ingest(make_frame())
+    for _ in range(GroundStation.SILENCE_ALARM_THRESHOLD - 1):
+        gcs.ingest(b"")
+        assert not gcs.link_lost  # one poll short of the alarm
+    gcs.ingest(b"")
+    assert gcs.link_lost
+
+
+def test_garbage_only_polls_count_as_silence():
+    gcs = GroundStation()
+    for _ in range(GroundStation.SILENCE_ALARM_THRESHOLD):
+        gcs.ingest(b"\x00\x01")  # bytes arrive, but no valid frame
+    assert gcs.link_lost
+    assert gcs.health.malformed_bytes == (
+        2 * GroundStation.SILENCE_ALARM_THRESHOLD
+    )
+
+
+def test_partial_frame_does_not_reset_the_alarm_clock():
+    gcs = GroundStation()
+    frame = make_frame(9)
+    for _ in range(GroundStation.SILENCE_ALARM_THRESHOLD - 1):
+        gcs.ingest(b"")
+    gcs.ingest(frame[:4])  # still no complete frame: alarm trips
+    assert gcs.link_lost
+    gcs.ingest(frame[4:])  # completion clears it
+    assert not gcs.link_lost
+
+
+# -- resync on damaged input --------------------------------------------------
+
+def test_resync_skips_broken_frame_and_recovers_the_next():
+    gcs = GroundStation()
+    broken = bytearray(make_frame(1))
+    broken[-1] ^= 0xFF  # trailer corrupted
+    frames = gcs.ingest(bytes(broken) + make_frame(2))
+    assert [f.gyro_x for f in frames] == [2]
+    assert gcs.health.malformed_bytes > 0
+
+
+def test_resync_handles_marker_bytes_inside_garbage():
+    gcs = GroundStation()
+    # a stray marker starts a bogus frame whose trailer check fails;
+    # the parser must still find the real frame behind it
+    noise = bytes([TELEMETRY_MARKER, 1, 2, 3])
+    frames = gcs.ingest(noise + make_frame(5))
+    assert [f.gyro_x for f in frames] == [5]
+
+
+def test_byte_at_a_time_delivery_parses_everything():
+    gcs = GroundStation()
+    stream = make_frame(1) + make_frame(-2)
+    frames = []
+    for i in range(len(stream)):
+        frames.extend(gcs.ingest(stream[i:i + 1]))
+    assert [f.gyro_x for f in frames] == [1, -2]
+    assert gcs.health.malformed_bytes == 0
+
+
+# -- exploit framing (golden bytes) -------------------------------------------
+
+def test_exploit_burst_golden_bytes():
+    station = MaliciousGroundStation()
+    burst = station.exploit_burst(23, b"\xab\xcd\xef")
+    # MAGIC, honest length, seq 0, sysid 255, compid 0, msgid, payload;
+    # no trailing checksum — the overflow happens before any CRC check
+    assert burst == bytes([0xFE, 3, 0, 255, 0, 23]) + b"\xab\xcd\xef"
+    assert station.exploit_burst(23, b"\x00")[2] == 1  # seq advanced
+
+
+def test_exploit_burst_length_byte_lies_past_255():
+    station = MaliciousGroundStation()
+    payload = bytes(300)
+    burst = station.exploit_burst(23, payload)
+    assert burst[1] == 255  # capped: the lie a vulnerable parser believes
+    assert len(burst) == 6 + 300  # every payload byte still ships
+
+
+def test_exploit_frame_oversized_carries_crc_and_lying_length():
+    station = MaliciousGroundStation()
+    frame = station.exploit_frame(PARAM_SET.msg_id, bytes(range(256)) + b"\x11")
+    assert frame[0] == 0xFE
+    assert frame[1] == 255  # declared length caps at one byte
+    assert frame[5] == PARAM_SET.msg_id
+    assert len(frame) == 6 + 257 + 2  # header + full payload + checksum
+
+
+# -- anomaly detector ---------------------------------------------------------
+
+def heartbeat(seq, sysid=255):
+    return build(
+        HEARTBEAT, seq=seq, sysid=sysid, custom_mode=0, type=6,
+        autopilot=3, base_mode=81, system_status=4, mavlink_version=3,
+    ).to_bytes()
+
+
+def position(seq, sysid, x, y):
+    return build(
+        GLOBAL_POSITION_INT, seq=seq, sysid=sysid, time_boot_ms=0,
+        lat=int(round(y * POSITION_UNITS_PER_M)),
+        lon=int(round(x * POSITION_UNITS_PER_M)),
+        alt=100_000, relative_alt=100_000, vx=0, vy=0, vz=0, hdg=0,
+    ).to_bytes()
+
+
+def test_in_sequence_benign_stream_is_clean():
+    detector = GcsAnomalyDetector()
+    for seq in range(6):
+        detector.begin_tick(seq)
+        detector.observe("up", heartbeat(seq))
+    assert detector.flagged_kinds() == ()
+    assert detector.total_anomalies == 0
+    assert detector.snapshot() == {
+        "frames": 6, "anomalies": {}, "first_anomaly_tick": None,
+    }
+
+
+def test_sequence_gap_flagged_per_stream():
+    detector = GcsAnomalyDetector()
+    detector.observe("up", heartbeat(0) + heartbeat(1) + heartbeat(5))
+    assert detector.flagged_kinds() == ("seq_gap",)
+    assert detector.anomalies[0]["expected"] == 2
+    assert detector.anomalies[0]["got"] == 5
+    # an independent sysid starts its own counter: no gap
+    detector.observe("up", heartbeat(9, sysid=42))
+    assert detector.anomaly_counts["seq_gap"] == 1
+
+
+def test_sequence_wraps_without_a_gap():
+    detector = GcsAnomalyDetector()
+    detector.observe("up", heartbeat(255) + heartbeat(0))
+    assert "seq_gap" not in detector.anomaly_counts
+
+
+def test_crc_failures_counted():
+    detector = GcsAnomalyDetector()
+    frame = heartbeat(0)
+    detector.observe("up", frame[:-1] + bytes([frame[-1] ^ 0xFF]))
+    assert detector.flagged_kinds() == ("crc_fail",)
+    assert detector.frames_seen == 0  # the frame never parsed
+
+
+def test_rate_window_flags_once_then_rolls():
+    detector = GcsAnomalyDetector(rate_limit=3)
+    detector.begin_tick(0)
+    burst = b"".join(heartbeat(seq) for seq in range(6))
+    detector.observe("up", burst)
+    assert detector.anomaly_counts["rate"] == 1  # once per window
+    detector.observe("up", heartbeat(6))
+    assert detector.anomaly_counts["rate"] == 1
+    # a fresh window can flag again
+    detector.begin_tick(GcsAnomalyDetector.RATE_WINDOW_TICKS)
+    detector.observe(
+        "up", b"".join(heartbeat(seq) for seq in range(7, 12))
+    )
+    assert detector.anomaly_counts["rate"] == 2
+
+
+def test_geofence_exit_flagged_once_per_sysid():
+    detector = GcsAnomalyDetector()
+    detector.begin_tick(0)
+    detector.observe("down", position(0, 1, 0.0, 100.0))
+    assert "geofence" not in detector.anomaly_counts
+    detector.begin_tick(400)
+    detector.observe("down", position(1, 1, 0.0, 600.0))  # outside 500 m
+    assert detector.anomaly_counts["geofence"] == 1
+    detector.begin_tick(800)
+    detector.observe("down", position(2, 1, 0.0, 700.0))
+    assert detector.anomaly_counts["geofence"] == 1  # still the same exit
+
+
+def test_teleport_between_claims_flagged():
+    detector = GcsAnomalyDetector()
+    detector.begin_tick(0)
+    detector.observe("down", position(0, 1, 0.0, 10.0))
+    detector.begin_tick(1)
+    detector.observe("down", position(1, 1, 0.0, 30.0))  # 20 m in one tick
+    assert detector.anomaly_counts["geofence"] == 1
+    assert detector.anomalies[-1]["reason"] == "teleport"
+
+
+def test_event_detail_list_is_bounded():
+    detector = GcsAnomalyDetector()
+    frame = heartbeat(0)
+    bad = frame[:-1] + bytes([frame[-1] ^ 0xFF])
+    for _ in range(GcsAnomalyDetector.EVENT_LIMIT + 10):
+        detector.observe("up", bad)
+    assert len(detector.anomalies) == GcsAnomalyDetector.EVENT_LIMIT
+    counted = detector.anomaly_counts["crc_fail"]
+    assert counted == GcsAnomalyDetector.EVENT_LIMIT + 10  # counters unbounded
+
+
+def test_flagged_kinds_keep_canonical_order():
+    detector = GcsAnomalyDetector()
+    detector.begin_tick(0)
+    detector.observe("down", position(0, 1, 0.0, 600.0))  # geofence
+    detector.observe("up", heartbeat(0) + heartbeat(4))   # seq_gap
+    assert detector.flagged_kinds() == ("seq_gap", "geofence")
+    assert set(detector.flagged_kinds()) <= set(ANOMALY_KINDS)
